@@ -1,0 +1,41 @@
+#ifndef SQOD_BENCH_BENCH_COMMON_H_
+#define SQOD_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/check.h"
+#include "src/eval/evaluator.h"
+#include "src/sqo/optimizer.h"
+#include "src/workload/graphs.h"
+#include "src/workload/programs.h"
+
+namespace sqod {
+
+// Evaluates `program` on `edb`, reports work counters on `state`, and
+// returns the query answers (to keep the optimizer honest).
+inline std::vector<Tuple> RunAndReport(const Program& program,
+                                       const Database& edb,
+                                       benchmark::State& state,
+                                       EvalOptions options = {}) {
+  EvalStats stats;
+  Result<std::vector<Tuple>> answers =
+      EvaluateQuery(program, edb, options, &stats);
+  SQOD_CHECK_MSG(answers.ok(), answers.status().message().c_str());
+  state.counters["derived"] = static_cast<double>(stats.tuples_derived);
+  state.counters["probes"] = static_cast<double>(stats.join_probes);
+  state.counters["answers"] = static_cast<double>(answers.value().size());
+  return answers.take();
+}
+
+// Runs the full SQO pipeline; CHECK-fails on error.
+inline SqoReport MustOptimize(const Program& program,
+                              const std::vector<Constraint>& ics,
+                              SqoOptions options = {}) {
+  Result<SqoReport> report = OptimizeProgram(program, ics, options);
+  SQOD_CHECK_MSG(report.ok(), report.status().message().c_str());
+  return report.take();
+}
+
+}  // namespace sqod
+
+#endif  // SQOD_BENCH_BENCH_COMMON_H_

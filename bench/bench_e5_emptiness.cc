@@ -1,0 +1,78 @@
+// Experiment E5 — Proposition 5.2 / Theorem 5.2.
+//
+// Program emptiness reduces to the initialization rules only (NP-complete
+// for plain ICs) and is therefore *much* cheaper than full query
+// satisfiability (doubly exponential, Theorem 5.1). We measure both
+// procedures on the same inputs; the gap is the point.
+
+#include "bench/bench_common.h"
+#include "src/sqo/satisfiability.h"
+
+namespace sqod {
+namespace {
+
+void BM_E5_Emptiness(benchmark::State& state) {
+  const int colors = static_cast<int>(state.range(0));
+  Rng rng(55);
+  ColoredClosure cc = MakeColoredClosure(colors, colors, &rng);
+  for (auto _ : state) {
+    Result<bool> empty = ProgramEmpty(cc.program, cc.ics);
+    SQOD_CHECK(empty.ok());
+    benchmark::DoNotOptimize(empty.value());
+  }
+}
+
+void BM_E5_FullSatisfiability(benchmark::State& state) {
+  const int colors = static_cast<int>(state.range(0));
+  Rng rng(55);
+  ColoredClosure cc = MakeColoredClosure(colors, colors, &rng);
+  SqoOptions options;
+  options.adorn.max_adorned_preds = 100000;
+  options.adorn.max_adorned_rules = 1000000;
+  options.tree.max_classes = 200000;
+  for (auto _ : state) {
+    Result<bool> sat = QuerySatisfiable(cc.program, cc.ics, options);
+    SQOD_CHECK(sat.ok());
+    benchmark::DoNotOptimize(sat.value());
+  }
+}
+
+// Emptiness with order ICs (the Pi2P case of Theorem 5.2(3)): init-rule
+// bodies with order atoms against {theta}-ICs, decided by the dense-order
+// clause solver.
+void BM_E5_OrderEmptiness(benchmark::State& state) {
+  const int chain = static_cast<int>(state.range(0));
+  // q :- e(X0,X1), ..., e(Xk-1,Xk), X0 < X1 < ... < Xk, with ICs that
+  // forbid ascending edges above each step.
+  Program p;
+  Rule r;
+  r.head = Atom("q", {Term::Var("X0")});
+  std::vector<Constraint> ics;
+  for (int i = 0; i < chain; ++i) {
+    Term a = Term::Var("X" + std::to_string(i));
+    Term b = Term::Var("X" + std::to_string(i + 1));
+    r.body.push_back(Literal::Pos(Atom("e", {a, b})));
+    r.comparisons.push_back(Comparison(a, CmpOp::kLt, b));
+    Constraint ic;
+    ic.body.push_back(Literal::Pos(Atom("e", {Term::Var("A"), Term::Var("B")})));
+    ic.comparisons.push_back(
+        Comparison(Term::Var("A"), CmpOp::kGe, Term::Int(100 + i)));
+    ics.push_back(std::move(ic));
+  }
+  p.AddRule(std::move(r));
+  p.SetQuery("q");
+  for (auto _ : state) {
+    Result<bool> empty = ProgramEmpty(p, ics);
+    SQOD_CHECK(empty.ok());
+    benchmark::DoNotOptimize(empty.value());
+  }
+}
+
+BENCHMARK(BM_E5_Emptiness)->DenseRange(1, 4)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_E5_FullSatisfiability)->DenseRange(1, 4)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_E5_OrderEmptiness)->Arg(2)->Arg(4)->Arg(6)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sqod

@@ -1,0 +1,135 @@
+// Experiment E6 — Proposition 5.1: containment of a datalog program in a
+// union of conjunctive queries, decided through the satisfiability
+// reduction (add a marked answer predicate, turn each disjunct into an IC).
+// We time contained and non-contained instances as the UCQ grows, plus the
+// plain CQ/UCQ containment substrate.
+
+#include "bench/bench_common.h"
+#include "src/parser/parser.h"
+#include "src/sqo/containment.h"
+
+namespace sqod {
+namespace {
+
+Program TransitiveClosure() {
+  return ParseProgram(R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- e(X, Z), tc(Z, Y).
+    ?- tc.
+  )").take();
+}
+
+// The union of paths of length 1..k.
+UnionOfCqs BoundedPaths(int k) {
+  UnionOfCqs ucq;
+  for (int len = 1; len <= k; ++len) {
+    Rule q;
+    q.head = Atom("tc", {Term::Var("X0"), Term::Var("X" + std::to_string(len))});
+    for (int i = 0; i < len; ++i) {
+      q.body.push_back(Literal::Pos(
+          Atom("e", {Term::Var("X" + std::to_string(i)),
+                     Term::Var("X" + std::to_string(i + 1))})));
+    }
+    ucq.push_back(std::move(q));
+  }
+  return ucq;
+}
+
+// Non-contained family: tc is never contained in bounded paths.
+void BM_E6_NotContained(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Program p = TransitiveClosure();
+  UnionOfCqs ucq = BoundedPaths(k);
+  SqoOptions options;
+  options.adorn.max_adorned_preds = 100000;
+  options.adorn.max_adorned_rules = 1000000;
+  options.tree.max_classes = 200000;
+  for (auto _ : state) {
+    Result<bool> contained = DatalogContainedInUcq(p, ucq, options);
+    SQOD_CHECK(contained.ok());
+    SQOD_CHECK(!contained.value());
+    benchmark::DoNotOptimize(contained.value());
+  }
+}
+
+// Contained family: a k-bounded program against k-bounded paths.
+void BM_E6_Contained(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Program p;
+  for (int len = 1; len <= k; ++len) {
+    Rule r;
+    r.head = Atom("tc", {Term::Var("X0"), Term::Var("X" + std::to_string(len))});
+    for (int i = 0; i < len; ++i) {
+      r.body.push_back(Literal::Pos(
+          Atom("e", {Term::Var("X" + std::to_string(i)),
+                     Term::Var("X" + std::to_string(i + 1))})));
+    }
+    p.AddRule(std::move(r));
+  }
+  p.SetQuery("tc");
+  UnionOfCqs ucq = BoundedPaths(k);
+  SqoOptions options;
+  options.adorn.max_adorned_preds = 100000;
+  options.adorn.max_adorned_rules = 1000000;
+  options.tree.max_classes = 200000;
+  for (auto _ : state) {
+    Result<bool> contained = DatalogContainedInUcq(p, ucq, options);
+    SQOD_CHECK(contained.ok());
+    SQOD_CHECK(contained.value());
+    benchmark::DoNotOptimize(contained.value());
+  }
+}
+
+// Substrate: plain CQ containment (the classic NP test) as query size grows.
+void BM_E6_CqContainment(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  Rule q1;
+  q1.head = Atom("q", {Term::Var("X0")});
+  for (int i = 0; i < len; ++i) {
+    q1.body.push_back(Literal::Pos(
+        Atom("e", {Term::Var("X" + std::to_string(i)),
+                   Term::Var("X" + std::to_string(i + 1))})));
+  }
+  Rule q2 = ParseRule("q(X) :- e(X, Y), e(Y, Z).").take();
+  for (auto _ : state) {
+    Result<bool> c = CqContained(q1, q2);
+    SQOD_CHECK(c.ok());
+    benchmark::DoNotOptimize(c.value());
+  }
+}
+
+// Substrate: Klug's test with order atoms (linearization enumeration).
+void BM_E6_OrderContainment(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  Rule q1;
+  q1.head = Atom("q", {Term::Var("X0"), Term::Var("X" + std::to_string(len))});
+  for (int i = 0; i < len; ++i) {
+    q1.body.push_back(Literal::Pos(
+        Atom("e", {Term::Var("X" + std::to_string(i)),
+                   Term::Var("X" + std::to_string(i + 1))})));
+  }
+  // q1 has no comparisons of its own; the union needs both sides.
+  Rule lo = q1;
+  lo.comparisons.push_back(Comparison(Term::Var("X0"), CmpOp::kLe,
+                                      Term::Var("X" + std::to_string(len))));
+  Rule hi = q1;
+  hi.comparisons.push_back(Comparison(Term::Var("X0"), CmpOp::kGe,
+                                      Term::Var("X" + std::to_string(len))));
+  UnionOfCqs ucq{lo, hi};
+  for (auto _ : state) {
+    Result<bool> c = CqContainedInUnion(q1, ucq);
+    SQOD_CHECK(c.ok());
+    SQOD_CHECK(c.value());
+    benchmark::DoNotOptimize(c.value());
+  }
+}
+
+BENCHMARK(BM_E6_NotContained)->DenseRange(1, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E6_Contained)->DenseRange(1, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E6_CqContainment)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_E6_OrderContainment)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sqod

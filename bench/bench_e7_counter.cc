@@ -1,0 +1,133 @@
+// Experiment E7 — the Theorem 5.4 reduction (appendix of the paper).
+//
+// We measure (a) the size and generation cost of the {not}-IC reduction as
+// the machine grows, (b) consistency checking of the canonical run
+// database, and (c) the bounded witness search (chase over the unrolled
+// halting query) — whose cost explodes with the unroll depth, as expected
+// for an undecidable problem attacked by finite search.
+
+#include "bench/bench_common.h"
+#include "src/chase/chase.h"
+#include "src/counter/machine.h"
+#include "src/counter/reduction.h"
+#include "src/cq/ic_check.h"
+#include "src/sqo/satisfiability.h"
+
+namespace sqod {
+namespace {
+
+void BM_E7_ReductionGeneration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TwoCounterMachine m = MakeBumpMachine(n);
+  ReductionOutput last;
+  for (auto _ : state) {
+    last = BuildReduction(m);
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["ics"] = static_cast<double>(last.ics.size());
+  state.counters["rules"] = static_cast<double>(last.program.rules().size());
+}
+
+void BM_E7_CanonicalRunConsistency(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TwoCounterMachine m = MakeBumpMachine(n);
+  ReductionOutput red = BuildReduction(m);
+  Database db = CanonicalRunDatabase(m, 2 * n + 2);
+  for (auto _ : state) {
+    bool ok = SatisfiesAll(db, red.ics);
+    SQOD_CHECK(ok);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["facts"] = static_cast<double>(db.TotalTuples());
+}
+
+void BM_E7_HaltDerivation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TwoCounterMachine m = MakeBumpMachine(n);
+  ReductionOutput red = BuildReduction(m);
+  Database db = CanonicalRunDatabase(m, 2 * n + 2);
+  for (auto _ : state) {
+    auto answers = RunAndReport(red.program, db, state);
+    SQOD_CHECK(answers.size() == 1);
+  }
+}
+
+void BM_E7_BoundedWitnessChase(benchmark::State& state) {
+  // MakeBumpMachine(0) halts in exactly 1 step; chase the depth-1 unrolled
+  // query. This is the expensive end: the chase must saturate the eq/neq
+  // closure over the frozen constants.
+  TwoCounterMachine m = MakeBumpMachine(0);
+  ReductionOutput red = BuildReduction(m);
+  Rule query = UnrolledHaltQuery(m, 1);
+  ChaseOptions options;
+  options.max_steps = 5000000;
+  int64_t steps = 0;
+  for (auto _ : state) {
+    Result<ChaseOutcome> outcome =
+        CqSatisfiableWithChase(query, red.ics, options);
+    SQOD_CHECK(outcome.ok());
+    SQOD_CHECK(outcome.value().result == ChaseResult::kSatisfiable);
+    steps = outcome.value().steps;
+    benchmark::DoNotOptimize(outcome.value().steps);
+  }
+  state.counters["chase_steps"] = static_cast<double>(steps);
+}
+
+void BM_E7_BoundedWitnessRefutation(benchmark::State& state) {
+  // Depth-0: no halting run of length 0 exists; the chase refutes it.
+  TwoCounterMachine m = MakeBumpMachine(0);
+  ReductionOutput red = BuildReduction(m);
+  Rule query = UnrolledHaltQuery(m, 0);
+  ChaseOptions options;
+  options.max_steps = 5000000;
+  for (auto _ : state) {
+    Result<ChaseOutcome> outcome =
+        CqSatisfiableWithChase(query, red.ics, options);
+    SQOD_CHECK(outcome.ok());
+    SQOD_CHECK(outcome.value().result == ChaseResult::kUnsatisfiable);
+    benchmark::DoNotOptimize(outcome.value().steps);
+  }
+}
+
+// The Theorem 5.3 ({!=}-IC) variant: bounded witness search through the
+// dense-order clause solver instead of the chase.
+void BM_E7_OrderWitnessSearch(benchmark::State& state) {
+  TwoCounterMachine m = MakeBumpMachine(0);
+  ReductionOutput red = BuildOrderReduction(m);
+  Rule query = UnrolledHaltQuery(m, 1);
+  for (auto _ : state) {
+    Result<bool> sat = RuleBodySatisfiable(query, red.ics);
+    SQOD_CHECK(sat.ok());
+    SQOD_CHECK(sat.value());
+    benchmark::DoNotOptimize(sat.value());
+  }
+}
+
+void BM_E7_OrderWitnessRefutation(benchmark::State& state) {
+  TwoCounterMachine m = MakeBumpMachine(0);
+  ReductionOutput red = BuildOrderReduction(m);
+  Rule query = UnrolledHaltQuery(m, 0);
+  for (auto _ : state) {
+    Result<bool> sat = RuleBodySatisfiable(query, red.ics);
+    SQOD_CHECK(sat.ok());
+    SQOD_CHECK(!sat.value());
+    benchmark::DoNotOptimize(sat.value());
+  }
+}
+
+BENCHMARK(BM_E7_OrderWitnessSearch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E7_OrderWitnessRefutation)->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_E7_ReductionGeneration)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_E7_CanonicalRunConsistency)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E7_HaltDerivation)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E7_BoundedWitnessChase)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_E7_BoundedWitnessRefutation)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace sqod

@@ -1,0 +1,91 @@
+// Containment checker — a small CLI around Proposition 5.1.
+//
+// Reads a datalog source file with a `?- q.` query declaration, followed by
+// the UCQ disjuncts given as extra rules for a predicate named `ucq` with
+// the same arity, and decides whether the program's query predicate is
+// contained in the union.
+//
+//   $ ./containment_checker file.dl
+//   $ echo '...' | ./containment_checker -
+//
+// Input format example (is transitive closure contained in 1-2 step paths?):
+//
+//   tc(X, Y) :- e(X, Y).
+//   tc(X, Y) :- e(X, Z), tc(Z, Y).
+//   ?- tc.
+//   ucq(X, Y) :- e(X, Y).
+//   ucq(X, Y) :- e(X, Z), e(Z, Y).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/parser/parser.h"
+#include "src/sqo/containment.h"
+
+int main(int argc, char** argv) {
+  using namespace sqod;
+
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <file.dl | ->\n", argv[0]);
+    return 2;
+  }
+  std::string source;
+  if (std::string(argv[1]) == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    source = buffer.str();
+  } else {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  }
+
+  Result<ParsedUnit> parsed = ParseUnit(source);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().message().c_str());
+    return 2;
+  }
+  ParsedUnit& unit = parsed.value();
+  if (unit.program.query() == -1) {
+    std::fprintf(stderr, "missing query declaration (?- q.)\n");
+    return 2;
+  }
+
+  // Split off the `ucq` rules; rewrite their heads to the query predicate.
+  PredId ucq_pred = InternPred("ucq");
+  Program program;
+  program.SetQuery(unit.program.query());
+  UnionOfCqs ucq;
+  for (const Rule& r : unit.program.rules()) {
+    if (r.head.pred() == ucq_pred) {
+      Rule disjunct = r;
+      disjunct.head = Atom(unit.program.query(), r.head.args());
+      ucq.push_back(std::move(disjunct));
+    } else {
+      program.AddRule(r);
+    }
+  }
+  if (ucq.empty()) {
+    std::fprintf(stderr, "no ucq(...) disjuncts found\n");
+    return 2;
+  }
+
+  Result<bool> contained = DatalogContainedInUcq(program, ucq);
+  if (!contained.ok()) {
+    std::fprintf(stderr, "error: %s\n", contained.status().message().c_str());
+    return 2;
+  }
+  std::printf("%s is %scontained in the union of %zu conjunctive queries\n",
+              PredName(program.query()).c_str(),
+              contained.value() ? "" : "NOT ", ucq.size());
+  return contained.value() ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+// Data integration — the motivation of the paper's introduction: semantic
+// query optimization matters most when integrating multiple heterogeneous
+// sources, because inter-source constraints prune whole access paths.
+//
+// Scenario: a mediator exposes `reachable` flight connectivity over three
+// airline feeds. Integrity constraints record what the sources guarantee:
+//   * regional and intercontinental fleets never share a leg
+//     (:- regional(X, Y), intercontinental(X, Y).),
+//   * after an intercontinental leg arrives at a hub, budget airlines do
+//     not operate the onward leg (:- intercontinental(X, Y), budget(Y, Z).).
+// The optimizer deletes every mediator rule chain that crosses sources in a
+// forbidden way — queries never touch those feeds at all.
+
+#include <cstdio>
+
+#include "src/cq/ic_check.h"
+#include "src/eval/evaluator.h"
+#include "src/parser/parser.h"
+#include "src/sqo/optimizer.h"
+
+int main() {
+  using namespace sqod;
+
+  const char* source = R"(
+    % The mediator's view over three airline feeds.
+    leg(X, Y) :- regional(X, Y).
+    leg(X, Y) :- budget(X, Y).
+    leg(X, Y) :- intercontinental(X, Y).
+
+    reachable(X, Y) :- leg(X, Y).
+    reachable(X, Y) :- leg(X, Z), reachable(Z, Y).
+
+    % A suspicious route auditor: intercontinental leg followed by a budget
+    % continuation (the constraint says this cannot happen).
+    audit(X, Y) :- intercontinental(X, Z), budget(Z, W), reachable(W, Y).
+
+    % What the sources guarantee.
+    :- regional(X, Y), intercontinental(X, Y).
+    :- intercontinental(X, Y), budget(Y, Z).
+
+    % Feed extracts.
+    regional(tlv, ath). regional(ath, rom).
+    budget(rom, par). budget(par, lon).
+    intercontinental(lon, jfk). intercontinental(jfk, sfo).
+
+    ?- audit.
+  )";
+
+  Result<ParsedUnit> parsed = ParseUnit(source);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().message().c_str());
+    return 1;
+  }
+  ParsedUnit& unit = parsed.value();
+
+  Database edb;
+  for (const Atom& fact : unit.facts) edb.InsertAtom(fact);
+  std::printf("Feeds are consistent with the source guarantees: %s\n\n",
+              SatisfiesAll(edb, unit.constraints) ? "yes" : "no");
+
+  Result<SqoReport> optimized =
+      OptimizeProgram(unit.program, unit.constraints);
+  if (!optimized.ok()) {
+    std::fprintf(stderr, "optimizer error: %s\n",
+                 optimized.status().message().c_str());
+    return 1;
+  }
+  const SqoReport& report = optimized.value();
+
+  // The audit rule needs an intercontinental->budget hop, which the second
+  // constraint forbids: the optimizer proves `audit` unsatisfiable and the
+  // rewritten program is empty — no feed is ever contacted.
+  std::printf("Is `audit` satisfiable over consistent feeds? %s\n",
+              report.query_satisfiable ? "yes" : "no");
+  std::printf("Rewritten program:\n%s\n",
+              report.rewritten.rules().empty()
+                  ? "(empty - the query can never produce answers)\n"
+                  : report.rewritten.ToString().c_str());
+
+  EvalStats stats;
+  auto answers = EvaluateQuery(unit.program, edb, {}, &stats).take();
+  std::printf("Evaluating the original anyway: %zu answers, %s\n",
+              answers.size(), stats.ToString().c_str());
+
+  // Flip the query to plain reachability and show the optimizer keeps it.
+  Program reach_program = unit.program;
+  reach_program.SetQuery("reachable");
+  Result<SqoReport> reach = OptimizeProgram(reach_program, unit.constraints);
+  if (!reach.ok()) {
+    std::fprintf(stderr, "optimizer error: %s\n",
+                 reach.status().message().c_str());
+    return 1;
+  }
+  auto a = EvaluateQuery(reach_program, edb).take();
+  auto b = EvaluateQuery(reach.value().rewritten, edb).take();
+  std::printf("\n`reachable` stays satisfiable: %s; %zu answers; rewritten "
+              "agrees: %s\n",
+              reach.value().query_satisfiable ? "yes" : "no", a.size(),
+              a == b ? "yes" : "NO");
+  return a == b ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// Quickstart: parse a datalog program with integrity constraints, run the
+// semantic query optimizer, and evaluate both versions.
+//
+//   $ ./quickstart
+//
+// The program is the paper's Section 4 running example (Figure 1).
+
+#include <cstdio>
+
+#include "src/cq/ic_check.h"
+#include "src/eval/evaluator.h"
+#include "src/parser/parser.h"
+#include "src/sqo/optimizer.h"
+
+int main() {
+  using namespace sqod;
+
+  // 1. Parse a unit: rules, an integrity constraint, facts, and the query.
+  const char* source = R"(
+    % p is the transitive closure over two edge colors.
+    p(X, Y) :- a(X, Y).
+    p(X, Y) :- b(X, Y).
+    p(X, Y) :- a(X, Z), p(Z, Y).
+    p(X, Y) :- b(X, Z), p(Z, Y).
+
+    % Integrity constraint: an a-edge is never followed by a b-edge.
+    :- a(X, Y), b(Y, Z).
+
+    % A small consistent database: b-edges first, then a-edges.
+    b(1, 2). b(2, 3). a(3, 4). a(4, 5).
+
+    ?- p.
+  )";
+  Result<ParsedUnit> parsed = ParseUnit(source);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().message().c_str());
+    return 1;
+  }
+  ParsedUnit& unit = parsed.value();
+
+  Database edb;
+  for (const Atom& fact : unit.facts) edb.InsertAtom(fact);
+  if (!SatisfiesAll(edb, unit.constraints)) {
+    std::fprintf(stderr, "the facts violate the integrity constraints\n");
+    return 1;
+  }
+
+  // 2. Optimize: the full pipeline of the paper (adornments, query tree,
+  //    residue attachment).
+  Result<SqoReport> optimized =
+      OptimizeProgram(unit.program, unit.constraints);
+  if (!optimized.ok()) {
+    std::fprintf(stderr, "optimizer error: %s\n",
+                 optimized.status().message().c_str());
+    return 1;
+  }
+  const SqoReport& report = optimized.value();
+
+  std::printf("Original program:\n%s\n", unit.program.ToString().c_str());
+  std::printf("Rewritten program (completely incorporates the ICs):\n%s\n",
+              report.rewritten.ToString().c_str());
+
+  // 3. Evaluate both; they agree on every consistent database.
+  EvalStats original_stats, rewritten_stats;
+  auto original =
+      EvaluateQuery(unit.program, edb, {}, &original_stats).take();
+  auto rewritten =
+      EvaluateQuery(report.rewritten, edb, {}, &rewritten_stats).take();
+
+  std::printf("Answers (%zu tuples):\n", original.size());
+  for (const Tuple& t : original) {
+    std::printf("  p(%s, %s)\n", t[0].ToString().c_str(),
+                t[1].ToString().c_str());
+  }
+  std::printf("\nOriginal evaluation:  %s\n",
+              original_stats.ToString().c_str());
+  std::printf("Rewritten evaluation: %s\n",
+              rewritten_stats.ToString().c_str());
+  std::printf("Results identical: %s\n",
+              original == rewritten ? "yes" : "NO (bug!)");
+  return original == rewritten ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+#include "src/ast/atom.h"
+
+#include <algorithm>
+
+namespace sqod {
+
+bool Atom::is_ground() const {
+  return std::none_of(args_.begin(), args_.end(),
+                      [](const Term& t) { return t.is_var(); });
+}
+
+void Atom::CollectVars(std::vector<VarId>* out) const {
+  for (const Term& t : args_) {
+    if (!t.is_var()) continue;
+    if (std::find(out->begin(), out->end(), t.var()) == out->end()) {
+      out->push_back(t.var());
+    }
+  }
+}
+
+bool Atom::operator==(const Atom& other) const {
+  return pred_ == other.pred_ && args_ == other.args_;
+}
+
+size_t Atom::Hash() const {
+  size_t h = std::hash<int32_t>()(pred_);
+  for (const Term& t : args_) h = h * 1000003 + t.Hash();
+  return h;
+}
+
+std::string Atom::ToString() const {
+  std::string s = PredName(pred_);
+  if (args_.empty()) return s;
+  s += "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += args_[i].ToString();
+  }
+  s += ")";
+  return s;
+}
+
+std::string Literal::ToString() const {
+  return negated ? "!" + atom.ToString() : atom.ToString();
+}
+
+}  // namespace sqod

@@ -1,0 +1,77 @@
+#ifndef SQOD_AST_ATOM_H_
+#define SQOD_AST_ATOM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ast/term.h"
+
+namespace sqod {
+
+// Identifier of a predicate (interned name).
+using PredId = SymbolId;
+
+inline PredId InternPred(std::string_view name) {
+  return GlobalStrings().Intern(name);
+}
+inline const std::string& PredName(PredId id) {
+  return GlobalStrings().Name(id);
+}
+
+// A predicate atom p(t1, ..., tn).
+class Atom {
+ public:
+  Atom() : pred_(-1) {}
+  Atom(PredId pred, std::vector<Term> args)
+      : pred_(pred), args_(std::move(args)) {}
+  Atom(std::string_view pred, std::vector<Term> args)
+      : pred_(InternPred(pred)), args_(std::move(args)) {}
+
+  PredId pred() const { return pred_; }
+  int arity() const { return static_cast<int>(args_.size()); }
+  const std::vector<Term>& args() const { return args_; }
+  const Term& arg(int i) const { return args_[i]; }
+  Term* mutable_arg(int i) { return &args_[i]; }
+
+  bool is_ground() const;
+  // Appends the distinct variables of this atom, in order of first
+  // occurrence, to `out` (skipping ones already present).
+  void CollectVars(std::vector<VarId>* out) const;
+
+  bool operator==(const Atom& other) const;
+  bool operator!=(const Atom& other) const { return !(*this == other); }
+
+  size_t Hash() const;
+  std::string ToString() const;
+
+ private:
+  PredId pred_;
+  std::vector<Term> args_;
+};
+
+struct AtomHash {
+  size_t operator()(const Atom& a) const { return a.Hash(); }
+};
+
+// A positive or negated predicate atom. Negation is restricted to EDB
+// predicates (checked by Program::Validate).
+struct Literal {
+  Atom atom;
+  bool negated = false;
+
+  Literal() = default;
+  Literal(Atom a, bool neg) : atom(std::move(a)), negated(neg) {}
+  static Literal Pos(Atom a) { return Literal(std::move(a), false); }
+  static Literal Neg(Atom a) { return Literal(std::move(a), true); }
+
+  bool operator==(const Literal& other) const {
+    return negated == other.negated && atom == other.atom;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace sqod
+
+#endif  // SQOD_AST_ATOM_H_

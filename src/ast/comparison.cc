@@ -1,0 +1,86 @@
+#include "src/ast/comparison.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace sqod {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+  }
+  SQOD_CHECK(false);
+  return "?";
+}
+
+CmpOp NegateOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return CmpOp::kGe;
+    case CmpOp::kLe: return CmpOp::kGt;
+    case CmpOp::kGt: return CmpOp::kLe;
+    case CmpOp::kGe: return CmpOp::kLt;
+    case CmpOp::kEq: return CmpOp::kNe;
+    case CmpOp::kNe: return CmpOp::kEq;
+  }
+  SQOD_CHECK(false);
+  return CmpOp::kEq;
+}
+
+CmpOp FlipOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return CmpOp::kGt;
+    case CmpOp::kLe: return CmpOp::kGe;
+    case CmpOp::kGt: return CmpOp::kLt;
+    case CmpOp::kGe: return CmpOp::kLe;
+    case CmpOp::kEq: return CmpOp::kEq;
+    case CmpOp::kNe: return CmpOp::kNe;
+  }
+  SQOD_CHECK(false);
+  return CmpOp::kEq;
+}
+
+bool EvalCmp(const Value& a, CmpOp op, const Value& b) {
+  int c = a.Compare(b);
+  switch (op) {
+    case CmpOp::kLt: return c < 0;
+    case CmpOp::kLe: return c <= 0;
+    case CmpOp::kGt: return c > 0;
+    case CmpOp::kGe: return c >= 0;
+    case CmpOp::kEq: return c == 0;
+    case CmpOp::kNe: return c != 0;
+  }
+  SQOD_CHECK(false);
+  return false;
+}
+
+Comparison Comparison::Canonical() const {
+  Comparison c = *this;
+  if (c.op == CmpOp::kGt || c.op == CmpOp::kGe) c = c.Flipped();
+  // For the symmetric operators, order the arguments canonically.
+  if ((c.op == CmpOp::kEq || c.op == CmpOp::kNe) && !(c.lhs < c.rhs) &&
+      c.lhs != c.rhs) {
+    std::swap(c.lhs, c.rhs);
+  }
+  return c;
+}
+
+void Comparison::CollectVars(std::vector<VarId>* out) const {
+  for (const Term* t : {&lhs, &rhs}) {
+    if (!t->is_var()) continue;
+    if (std::find(out->begin(), out->end(), t->var()) == out->end()) {
+      out->push_back(t->var());
+    }
+  }
+}
+
+std::string Comparison::ToString() const {
+  return lhs.ToString() + " " + CmpOpName(op) + " " + rhs.ToString();
+}
+
+}  // namespace sqod

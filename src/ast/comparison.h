@@ -1,0 +1,54 @@
+#ifndef SQOD_AST_COMPARISON_H_
+#define SQOD_AST_COMPARISON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ast/term.h"
+
+namespace sqod {
+
+// The comparison predicates of order atoms (Section 2 of the paper).
+enum class CmpOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+// Returns the textual form ("<", "<=", ...).
+const char* CmpOpName(CmpOp op);
+// Negation over a dense total order: !(X < Y) == X >= Y, etc.
+CmpOp NegateOp(CmpOp op);
+// Argument swap: X < Y == Y > X, etc.
+CmpOp FlipOp(CmpOp op);
+// Evaluates `a op b` over the total order on values.
+bool EvalCmp(const Value& a, CmpOp op, const Value& b);
+
+// An order atom gamma theta delta where gamma, delta are variables or
+// constants.
+struct Comparison {
+  Term lhs;
+  CmpOp op = CmpOp::kEq;
+  Term rhs;
+
+  Comparison() = default;
+  Comparison(Term l, CmpOp o, Term r)
+      : lhs(std::move(l)), op(o), rhs(std::move(r)) {}
+
+  // The logical negation over a dense order (always exists: the comparison
+  // predicates are closed under negation).
+  Comparison Negated() const { return Comparison(lhs, NegateOp(op), rhs); }
+  // The same constraint with the arguments swapped.
+  Comparison Flipped() const { return Comparison(rhs, FlipOp(op), lhs); }
+  // A canonical orientation (lhs <= rhs by term order; kGt/kGe flipped away),
+  // so syntactically different spellings of the same atom compare equal.
+  Comparison Canonical() const;
+
+  void CollectVars(std::vector<VarId>* out) const;
+
+  bool operator==(const Comparison& other) const {
+    return op == other.op && lhs == other.lhs && rhs == other.rhs;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace sqod
+
+#endif  // SQOD_AST_COMPARISON_H_

@@ -1,0 +1,60 @@
+#include "src/ast/pattern.h"
+
+#include <string>
+
+namespace sqod {
+
+EqualityPattern::EqualityPattern(const Atom& a) : pred_(a.pred()) {
+  slots_.reserve(a.args().size());
+  for (int i = 0; i < a.arity(); ++i) {
+    const Term& t = a.arg(i);
+    Slot slot;
+    if (t.is_const()) {
+      slot.first_occurrence = -1;
+      slot.constant = t.value();
+    } else {
+      slot.first_occurrence = i;
+      for (int j = 0; j < i; ++j) {
+        if (a.arg(j) == t) {
+          slot.first_occurrence = j;
+          break;
+        }
+      }
+    }
+    slots_.push_back(slot);
+  }
+}
+
+size_t EqualityPattern::Hash() const {
+  size_t h = std::hash<int32_t>()(pred_);
+  for (const Slot& s : slots_) {
+    h = h * 1000003 + static_cast<size_t>(s.first_occurrence + 1);
+    if (s.first_occurrence == -1) h = h * 31 + s.constant.Hash();
+  }
+  return h;
+}
+
+std::string EqualityPattern::ToString() const {
+  return CanonicalAtom().ToString();
+}
+
+Atom EqualityPattern::CanonicalAtom() const {
+  std::vector<Term> args;
+  args.reserve(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (s.first_occurrence == -1) {
+      args.push_back(Term::Const(s.constant));
+    } else {
+      args.push_back(Term::Var("V" + std::to_string(s.first_occurrence)));
+    }
+  }
+  return Atom(pred_, std::move(args));
+}
+
+bool AtomsIsomorphic(const Atom& a, const Atom& b) {
+  if (a.pred() != b.pred() || a.arity() != b.arity()) return false;
+  return EqualityPattern(a) == EqualityPattern(b);
+}
+
+}  // namespace sqod

@@ -1,0 +1,58 @@
+#ifndef SQOD_AST_PATTERN_H_
+#define SQOD_AST_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ast/atom.h"
+
+namespace sqod {
+
+// The *equality pattern* of an atom: which argument positions hold the same
+// variable, and which hold which constant. Two atoms are isomorphic (same
+// pattern) iff one can be obtained from the other by a variable renaming.
+// Section 4.1 of the paper treats each EDB predicate as a collection of
+// predicates, one per pattern; the query-tree equivalence relation also
+// requires isomorphic atoms.
+class EqualityPattern {
+ public:
+  // Computes the pattern of `a`: for each position, either the index of the
+  // first position holding the same variable, or the constant.
+  explicit EqualityPattern(const Atom& a);
+
+  bool operator==(const EqualityPattern& other) const {
+    return pred_ == other.pred_ && slots_ == other.slots_;
+  }
+
+  size_t Hash() const;
+  std::string ToString() const;
+
+  // A canonical atom with this pattern, using variables V0, V1, ...
+  Atom CanonicalAtom() const;
+
+ private:
+  struct Slot {
+    // >= 0: index of first position with the same variable; -1: constant.
+    int first_occurrence;
+    Value constant;  // meaningful iff first_occurrence == -1
+
+    bool operator==(const Slot& other) const {
+      if (first_occurrence != other.first_occurrence) return false;
+      if (first_occurrence >= 0) return true;
+      return constant == other.constant;
+    }
+  };
+  PredId pred_;
+  std::vector<Slot> slots_;
+};
+
+struct EqualityPatternHash {
+  size_t operator()(const EqualityPattern& p) const { return p.Hash(); }
+};
+
+// True iff `a` and `b` have the same equality pattern.
+bool AtomsIsomorphic(const Atom& a, const Atom& b);
+
+}  // namespace sqod
+
+#endif  // SQOD_AST_PATTERN_H_

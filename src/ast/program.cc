@@ -1,0 +1,218 @@
+#include "src/ast/program.h"
+
+#include <algorithm>
+
+namespace sqod {
+
+bool Program::IsIdb(PredId p) const {
+  return std::any_of(rules_.begin(), rules_.end(),
+                     [p](const Rule& r) { return r.head.pred() == p; });
+}
+
+bool Program::IsEdb(PredId p) const {
+  if (IsIdb(p)) return false;
+  for (const Rule& r : rules_) {
+    for (const Literal& l : r.body) {
+      if (l.atom.pred() == p) return true;
+    }
+  }
+  return false;
+}
+
+std::set<PredId> Program::IdbPreds() const {
+  std::set<PredId> out;
+  for (const Rule& r : rules_) out.insert(r.head.pred());
+  return out;
+}
+
+std::set<PredId> Program::EdbPreds() const {
+  std::set<PredId> idb = IdbPreds();
+  std::set<PredId> out;
+  for (const Rule& r : rules_) {
+    for (const Literal& l : r.body) {
+      if (idb.count(l.atom.pred()) == 0) out.insert(l.atom.pred());
+    }
+  }
+  return out;
+}
+
+int Program::Arity(PredId p) const {
+  for (const Rule& r : rules_) {
+    if (r.head.pred() == p) return r.head.arity();
+    for (const Literal& l : r.body) {
+      if (l.atom.pred() == p) return l.atom.arity();
+    }
+  }
+  return -1;
+}
+
+std::vector<int> Program::RulesFor(PredId p) const {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(rules_.size()); ++i) {
+    if (rules_[i].head.pred() == p) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> Program::InitializationRules() const {
+  std::set<PredId> idb = IdbPreds();
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(rules_.size()); ++i) {
+    bool has_idb = false;
+    for (const Literal& l : rules_[i].body) {
+      if (idb.count(l.atom.pred()) > 0) has_idb = true;
+    }
+    if (!has_idb) out.push_back(i);
+  }
+  return out;
+}
+
+namespace {
+
+// Checks that all variables of `vars` appear in a positive, non-negated body
+// literal of `body`.
+Status CheckSafety(const std::vector<Literal>& body,
+                   const std::vector<VarId>& must_be_bound,
+                   const std::string& what) {
+  std::vector<VarId> positive_vars;
+  for (const Literal& l : body) {
+    if (!l.negated) l.atom.CollectVars(&positive_vars);
+  }
+  for (VarId v : must_be_bound) {
+    if (std::find(positive_vars.begin(), positive_vars.end(), v) ==
+        positive_vars.end()) {
+      return Status::Error("unsafe " + what + ": variable " +
+                           GlobalStrings().Name(v) +
+                           " does not occur in a positive body literal");
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckArities(const std::vector<Literal>& body, const Atom* head,
+                    std::unordered_map<PredId, int>* arities) {
+  auto check = [&](const Atom& a) -> Status {
+    auto [it, inserted] = arities->emplace(a.pred(), a.arity());
+    if (!inserted && it->second != a.arity()) {
+      return Status::Error("predicate " + PredName(a.pred()) +
+                           " used with arities " + std::to_string(it->second) +
+                           " and " + std::to_string(a.arity()));
+    }
+    return Status::Ok();
+  };
+  if (head != nullptr) {
+    Status s = check(*head);
+    if (!s.ok()) return s;
+  }
+  for (const Literal& l : body) {
+    Status s = check(l.atom);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Program::Validate() const {
+  std::unordered_map<PredId, int> arities;
+  std::set<PredId> idb = IdbPreds();
+  for (const Rule& r : rules_) {
+    Status s = CheckArities(r.body, &r.head, &arities);
+    if (!s.ok()) return s.WithContext("in rule " + r.ToString());
+
+    // Safety of head variables, negated literals and comparisons.
+    std::vector<VarId> need;
+    r.head.CollectVars(&need);
+    for (const Literal& l : r.body) {
+      if (l.negated) l.atom.CollectVars(&need);
+    }
+    for (const Comparison& c : r.comparisons) c.CollectVars(&need);
+    s = CheckSafety(r.body, need, "rule");
+    if (!s.ok()) return s.WithContext("in rule " + r.ToString());
+
+  }
+  if (query_ != -1 && idb.count(query_) == 0) {
+    return Status::Error("query predicate " + PredName(query_) +
+                         " is not an IDB predicate");
+  }
+  // Negation on IDB predicates must be stratified.
+  Result<std::map<PredId, int>> strata = Stratify();
+  if (!strata.ok()) return strata.status();
+  return Status::Ok();
+}
+
+bool Program::NegationOnEdbOnly() const {
+  std::set<PredId> idb = IdbPreds();
+  for (const Rule& r : rules_) {
+    for (const Literal& l : r.body) {
+      if (l.negated && idb.count(l.atom.pred()) > 0) return false;
+    }
+  }
+  return true;
+}
+
+Result<std::map<PredId, int>> Program::Stratify() const {
+  std::set<PredId> idb = IdbPreds();
+  std::map<PredId, int> stratum;
+  for (PredId p : idb) stratum[p] = 0;
+
+  // Fixpoint over the constraints: for a rule h :- ..., b, ...
+  //   positive IDB b: stratum(h) >= stratum(b)
+  //   negated  IDB b: stratum(h) >= stratum(b) + 1
+  // A program is stratified iff this converges; a stratum exceeding the
+  // number of IDB predicates witnesses a negative cycle.
+  const int limit = static_cast<int>(idb.size());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& r : rules_) {
+      int& h = stratum[r.head.pred()];
+      for (const Literal& l : r.body) {
+        if (idb.count(l.atom.pred()) == 0) continue;
+        int need = stratum[l.atom.pred()] + (l.negated ? 1 : 0);
+        if (h < need) {
+          h = need;
+          changed = true;
+          if (h > limit) {
+            return Status::Error(
+                "program is not stratified: negation through the recursive "
+                "cycle of " + PredName(r.head.pred()));
+          }
+        }
+      }
+    }
+  }
+  return stratum;
+}
+
+Status Program::ValidateConstraint(const Constraint& ic) const {
+  std::set<PredId> idb = IdbPreds();
+  for (const Literal& l : ic.body) {
+    if (idb.count(l.atom.pred()) > 0) {
+      return Status::Error("IDB predicate " + PredName(l.atom.pred()) +
+                           " in integrity constraint " + ic.ToString());
+    }
+  }
+  std::vector<VarId> need;
+  for (const Literal& l : ic.body) {
+    if (l.negated) l.atom.CollectVars(&need);
+  }
+  for (const Comparison& c : ic.comparisons) c.CollectVars(&need);
+  Status s = CheckSafety(ic.body, need, "integrity constraint");
+  if (!s.ok()) return s.WithContext("in " + ic.ToString());
+  return Status::Ok();
+}
+
+std::string Program::ToString() const {
+  std::string s;
+  for (const Rule& r : rules_) {
+    s += r.ToString();
+    s += "\n";
+  }
+  if (query_ != -1) {
+    s += "?- " + PredName(query_) + ".\n";
+  }
+  return s;
+}
+
+}  // namespace sqod

@@ -1,0 +1,90 @@
+#include "src/ast/rule.h"
+
+namespace sqod {
+
+namespace {
+
+std::vector<const Atom*> FilterAtoms(const std::vector<Literal>& lits,
+                                     bool negated) {
+  std::vector<const Atom*> out;
+  for (const Literal& l : lits) {
+    if (l.negated == negated) out.push_back(&l.atom);
+  }
+  return out;
+}
+
+std::string BodyToString(const std::vector<Literal>& body,
+                         const std::vector<Comparison>& comparisons) {
+  std::string s;
+  bool first = true;
+  for (const Literal& l : body) {
+    if (!first) s += ", ";
+    first = false;
+    s += l.ToString();
+  }
+  for (const Comparison& c : comparisons) {
+    if (!first) s += ", ";
+    first = false;
+    s += c.ToString();
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<const Atom*> Rule::PositiveAtoms() const {
+  return FilterAtoms(body, /*negated=*/false);
+}
+
+std::vector<const Atom*> Rule::NegatedAtoms() const {
+  return FilterAtoms(body, /*negated=*/true);
+}
+
+std::vector<VarId> Rule::Vars() const {
+  std::vector<VarId> vars;
+  head.CollectVars(&vars);
+  for (const Literal& l : body) l.atom.CollectVars(&vars);
+  for (const Comparison& c : comparisons) c.CollectVars(&vars);
+  return vars;
+}
+
+std::vector<VarId> Rule::BodyVars() const {
+  std::vector<VarId> vars;
+  for (const Literal& l : body) l.atom.CollectVars(&vars);
+  for (const Comparison& c : comparisons) c.CollectVars(&vars);
+  return vars;
+}
+
+std::string Rule::ToString() const {
+  if (body.empty() && comparisons.empty()) return head.ToString() + ".";
+  return head.ToString() + " :- " + BodyToString(body, comparisons) + ".";
+}
+
+std::vector<const Atom*> Constraint::PositiveAtoms() const {
+  return FilterAtoms(body, /*negated=*/false);
+}
+
+std::vector<const Atom*> Constraint::NegatedAtoms() const {
+  return FilterAtoms(body, /*negated=*/true);
+}
+
+std::vector<VarId> Constraint::Vars() const {
+  std::vector<VarId> vars;
+  for (const Literal& l : body) l.atom.CollectVars(&vars);
+  for (const Comparison& c : comparisons) c.CollectVars(&vars);
+  return vars;
+}
+
+bool Constraint::IsPlain() const {
+  if (!comparisons.empty()) return false;
+  for (const Literal& l : body) {
+    if (l.negated) return false;
+  }
+  return true;
+}
+
+std::string Constraint::ToString() const {
+  return ":- " + BodyToString(body, comparisons) + ".";
+}
+
+}  // namespace sqod

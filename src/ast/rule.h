@@ -1,0 +1,71 @@
+#ifndef SQOD_AST_RULE_H_
+#define SQOD_AST_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ast/atom.h"
+#include "src/ast/comparison.h"
+
+namespace sqod {
+
+// A function-free Horn rule with optional order atoms and safely negated EDB
+// subgoals in the body:
+//   head :- l1, ..., ln, c1, ..., ck.
+struct Rule {
+  Atom head;
+  std::vector<Literal> body;          // predicate literals, in written order
+  std::vector<Comparison> comparisons;
+
+  Rule() = default;
+  Rule(Atom h, std::vector<Literal> b, std::vector<Comparison> c = {})
+      : head(std::move(h)), body(std::move(b)), comparisons(std::move(c)) {}
+
+  // All positive body literals.
+  std::vector<const Atom*> PositiveAtoms() const;
+  // All negated body literals.
+  std::vector<const Atom*> NegatedAtoms() const;
+
+  // Distinct variables of the whole rule, in order of first occurrence
+  // (head first, then body, then comparisons).
+  std::vector<VarId> Vars() const;
+  // Distinct variables of the body only.
+  std::vector<VarId> BodyVars() const;
+
+  bool operator==(const Rule& other) const {
+    return head == other.head && body == other.body &&
+           comparisons == other.comparisons;
+  }
+
+  std::string ToString() const;
+};
+
+// An integrity constraint: a rule with an empty head. The body may contain
+// only EDB predicates (positively or, in the {not}-variants, negatively) plus
+// order atoms (in the {theta}-variants).
+struct Constraint {
+  std::vector<Literal> body;
+  std::vector<Comparison> comparisons;
+
+  Constraint() = default;
+  Constraint(std::vector<Literal> b, std::vector<Comparison> c = {})
+      : body(std::move(b)), comparisons(std::move(c)) {}
+
+  std::vector<const Atom*> PositiveAtoms() const;
+  std::vector<const Atom*> NegatedAtoms() const;
+  std::vector<VarId> Vars() const;
+
+  // True if the constraint has neither order atoms nor negated literals
+  // (a plain "ic" in the paper's notation).
+  bool IsPlain() const;
+
+  bool operator==(const Constraint& other) const {
+    return body == other.body && comparisons == other.comparisons;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace sqod
+
+#endif  // SQOD_AST_RULE_H_

@@ -1,0 +1,76 @@
+#include "src/ast/substitution.h"
+
+namespace sqod {
+
+Term Substitution::Walk(const Term& t) const {
+  Term cur = t;
+  // Cycle-free by construction (unification never binds a variable to a
+  // chain leading back to itself), but guard with a step bound anyway.
+  for (int steps = 0; steps <= size(); ++steps) {
+    if (!cur.is_var()) return cur;
+    const Term* next = Lookup(cur.var());
+    if (next == nullptr) return cur;
+    cur = *next;
+  }
+  return cur;
+}
+
+Term Substitution::Apply(const Term& t) const {
+  if (!t.is_var()) return t;
+  const Term* bound = Lookup(t.var());
+  return bound == nullptr ? t : *bound;
+}
+
+Atom Substitution::Apply(const Atom& a) const {
+  std::vector<Term> args;
+  args.reserve(a.args().size());
+  for (const Term& t : a.args()) args.push_back(Apply(t));
+  return Atom(a.pred(), std::move(args));
+}
+
+Literal Substitution::Apply(const Literal& l) const {
+  return Literal(Apply(l.atom), l.negated);
+}
+
+Comparison Substitution::Apply(const Comparison& c) const {
+  return Comparison(Apply(c.lhs), c.op, Apply(c.rhs));
+}
+
+Rule Substitution::Apply(const Rule& r) const {
+  Rule out;
+  out.head = Apply(r.head);
+  out.body.reserve(r.body.size());
+  for (const Literal& l : r.body) out.body.push_back(Apply(l));
+  out.comparisons.reserve(r.comparisons.size());
+  for (const Comparison& c : r.comparisons) out.comparisons.push_back(Apply(c));
+  return out;
+}
+
+Constraint Substitution::Apply(const Constraint& ic) const {
+  Constraint out;
+  out.body.reserve(ic.body.size());
+  for (const Literal& l : ic.body) out.body.push_back(Apply(l));
+  out.comparisons.reserve(ic.comparisons.size());
+  for (const Comparison& c : ic.comparisons) out.comparisons.push_back(Apply(c));
+  return out;
+}
+
+void Substitution::ResolveChains() {
+  for (auto& [var, term] : map_) {
+    term = Walk(term);
+  }
+}
+
+std::string Substitution::ToString() const {
+  std::string s = "{";
+  bool first = true;
+  for (const auto& [var, term] : map_) {
+    if (!first) s += ", ";
+    first = false;
+    s += GlobalStrings().Name(var) + " -> " + term.ToString();
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace sqod

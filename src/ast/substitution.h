@@ -1,0 +1,54 @@
+#ifndef SQOD_AST_SUBSTITUTION_H_
+#define SQOD_AST_SUBSTITUTION_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/ast/rule.h"
+
+namespace sqod {
+
+// A mapping from variables to terms, applied simultaneously (no chasing of
+// chains at application time; Compose resolves chains when building).
+class Substitution {
+ public:
+  Substitution() = default;
+
+  bool empty() const { return map_.empty(); }
+  int size() const { return static_cast<int>(map_.size()); }
+
+  // Binds `var` to `term`, overwriting any previous binding.
+  void Bind(VarId var, Term term) { map_[var] = std::move(term); }
+
+  // Returns the binding of `var`, or nullptr if unbound.
+  const Term* Lookup(VarId var) const {
+    auto it = map_.find(var);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  // Walks variable->variable chains starting at `t` until a non-variable or
+  // unbound variable is reached. Used during unification.
+  Term Walk(const Term& t) const;
+
+  Term Apply(const Term& t) const;
+  Atom Apply(const Atom& a) const;
+  Literal Apply(const Literal& l) const;
+  Comparison Apply(const Comparison& c) const;
+  Rule Apply(const Rule& r) const;
+  Constraint Apply(const Constraint& ic) const;
+
+  // Resolves every right-hand side through the substitution itself, so that
+  // subsequent Apply calls need a single pass. Call after unification.
+  void ResolveChains();
+
+  const std::unordered_map<VarId, Term>& map() const { return map_; }
+
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<VarId, Term> map_;
+};
+
+}  // namespace sqod
+
+#endif  // SQOD_AST_SUBSTITUTION_H_

@@ -1,0 +1,41 @@
+#include "src/ast/term.h"
+
+#include <string>
+
+namespace sqod {
+
+bool Term::operator==(const Term& other) const {
+  if (is_var_ != other.is_var_) return false;
+  if (is_var_) return var_ == other.var_;
+  return value_ == other.value_;
+}
+
+bool Term::operator<(const Term& other) const {
+  if (is_var_ != other.is_var_) return is_var_;  // variables first
+  if (is_var_) return var_ < other.var_;
+  return value_ < other.value_;
+}
+
+size_t Term::Hash() const {
+  if (is_var_) return std::hash<int32_t>()(var_) * 4 + 2;
+  return value_.Hash() * 4;
+}
+
+std::string Term::ToString() const {
+  if (is_var_) return GlobalStrings().Name(var_);
+  return value_.ToString();
+}
+
+Term FreshVarGen::Next() { return NextLike("_G"); }
+
+Term FreshVarGen::NextLike(std::string_view base) {
+  // Loop until the generated name is genuinely unused as a variable name in
+  // this process (the global interner remembers every name ever seen, so a
+  // name is fresh iff it has never been interned).
+  for (;;) {
+    std::string name = std::string(base) + "#" + std::to_string(counter_++);
+    if (GlobalStrings().Find(name) == -1) return Term::Var(name);
+  }
+}
+
+}  // namespace sqod

@@ -1,0 +1,76 @@
+#include "src/ast/unify.h"
+
+namespace sqod {
+
+bool UnifyTermsInto(const Term& a, const Term& b, Substitution* subst) {
+  Term x = subst->Walk(a);
+  Term y = subst->Walk(b);
+  if (x == y) return true;
+  if (x.is_var()) {
+    subst->Bind(x.var(), y);
+    return true;
+  }
+  if (y.is_var()) {
+    subst->Bind(y.var(), x);
+    return true;
+  }
+  return false;  // two distinct constants
+}
+
+bool UnifyInto(const Atom& a, const Atom& b, Substitution* subst) {
+  if (a.pred() != b.pred() || a.arity() != b.arity()) return false;
+  for (int i = 0; i < a.arity(); ++i) {
+    if (!UnifyTermsInto(a.arg(i), b.arg(i), subst)) return false;
+  }
+  return true;
+}
+
+std::optional<Substitution> Unify(const Atom& a, const Atom& b) {
+  Substitution subst;
+  if (!UnifyInto(a, b, &subst)) return std::nullopt;
+  subst.ResolveChains();
+  return subst;
+}
+
+namespace {
+
+Substitution FreshRenaming(const std::vector<VarId>& vars, FreshVarGen* gen) {
+  Substitution s;
+  for (VarId v : vars) {
+    s.Bind(v, gen->NextLike(GlobalStrings().Name(v)));
+  }
+  return s;
+}
+
+}  // namespace
+
+Rule RenameApart(const Rule& r, FreshVarGen* gen) {
+  return FreshRenaming(r.Vars(), gen).Apply(r);
+}
+
+Constraint RenameApart(const Constraint& ic, FreshVarGen* gen) {
+  return FreshRenaming(ic.Vars(), gen).Apply(ic);
+}
+
+bool MatchTermInto(const Term& pattern, const Term& target,
+                   Substitution* subst) {
+  if (pattern.is_var()) {
+    const Term* bound = subst->Lookup(pattern.var());
+    if (bound != nullptr) return *bound == target;
+    subst->Bind(pattern.var(), target);
+    return true;
+  }
+  return pattern == target;
+}
+
+bool MatchInto(const Atom& pattern, const Atom& target, Substitution* subst) {
+  if (pattern.pred() != target.pred() || pattern.arity() != target.arity()) {
+    return false;
+  }
+  for (int i = 0; i < pattern.arity(); ++i) {
+    if (!MatchTermInto(pattern.arg(i), target.arg(i), subst)) return false;
+  }
+  return true;
+}
+
+}  // namespace sqod

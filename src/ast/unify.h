@@ -1,0 +1,34 @@
+#ifndef SQOD_AST_UNIFY_H_
+#define SQOD_AST_UNIFY_H_
+
+#include <optional>
+
+#include "src/ast/rule.h"
+#include "src/ast/substitution.h"
+
+namespace sqod {
+
+// Most general unifier of two atoms (function-free, so unification is just
+// consistent variable binding). Returns nullopt if the atoms do not unify.
+// The returned substitution has resolved chains (single-pass application).
+std::optional<Substitution> Unify(const Atom& a, const Atom& b);
+
+// Extends `subst` so that Apply(a) == Apply(b); returns false (leaving
+// `subst` in an unspecified but valid state) if impossible.
+bool UnifyInto(const Atom& a, const Atom& b, Substitution* subst);
+bool UnifyTermsInto(const Term& a, const Term& b, Substitution* subst);
+
+// Returns a copy of `r` with all variables replaced by fresh ones.
+Rule RenameApart(const Rule& r, FreshVarGen* gen);
+Constraint RenameApart(const Constraint& ic, FreshVarGen* gen);
+
+// Matching (one-way unification): extends `subst` over variables of `pattern`
+// only, so that subst(pattern) == target. `target` is treated as fixed (its
+// variables act as constants). Returns false if there is no match.
+bool MatchInto(const Atom& pattern, const Atom& target, Substitution* subst);
+bool MatchTermInto(const Term& pattern, const Term& target,
+                   Substitution* subst);
+
+}  // namespace sqod
+
+#endif  // SQOD_AST_UNIFY_H_

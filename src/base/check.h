@@ -1,0 +1,29 @@
+#ifndef SQOD_BASE_CHECK_H_
+#define SQOD_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal invariant checks. These are *not* error handling for user input
+// (the parser and solvers return Status/Result for that); a failed check
+// indicates a bug in the library itself, so we abort with a location.
+
+#define SQOD_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SQOD_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define SQOD_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SQOD_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, (msg));                        \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // SQOD_BASE_CHECK_H_

@@ -1,0 +1,31 @@
+#include "src/base/interner.h"
+
+#include "src/base/check.h"
+
+namespace sqod {
+
+SymbolId StringInterner::Intern(std::string_view s) {
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(s);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+SymbolId StringInterner::Find(std::string_view s) const {
+  auto it = ids_.find(std::string(s));
+  return it == ids_.end() ? -1 : it->second;
+}
+
+const std::string& StringInterner::Name(SymbolId id) const {
+  SQOD_CHECK(id >= 0 && id < static_cast<SymbolId>(names_.size()));
+  return names_[id];
+}
+
+StringInterner& GlobalStrings() {
+  static StringInterner* interner = new StringInterner;
+  return *interner;
+}
+
+}  // namespace sqod

@@ -1,0 +1,47 @@
+#ifndef SQOD_BASE_INTERNER_H_
+#define SQOD_BASE_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sqod {
+
+// Dense integer id for an interned string.
+using SymbolId = int32_t;
+
+// Bidirectional string <-> dense-id table. Not thread-safe; the library is
+// single-threaded by design (the evaluator parallelism knob, if ever added,
+// would shard databases, not symbols).
+class StringInterner {
+ public:
+  StringInterner() = default;
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  // Returns the id for `s`, interning it on first use.
+  SymbolId Intern(std::string_view s);
+
+  // Returns the id for `s` or -1 if it was never interned.
+  SymbolId Find(std::string_view s) const;
+
+  // Returns the string for a previously interned id.
+  const std::string& Name(SymbolId id) const;
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::vector<std::string> names_;
+};
+
+// Process-wide interner used for symbolic constants, predicate names and
+// variable names. Function-local static pointer per the style guide's
+// static-storage rules (never destroyed).
+StringInterner& GlobalStrings();
+
+}  // namespace sqod
+
+#endif  // SQOD_BASE_INTERNER_H_

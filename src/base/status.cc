@@ -1,0 +1,7 @@
+#include "src/base/status.h"
+
+namespace sqod {
+
+// Status is header-only today; this translation unit anchors the library.
+
+}  // namespace sqod

@@ -1,0 +1,76 @@
+#ifndef SQOD_BASE_STATUS_H_
+#define SQOD_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace sqod {
+
+// Lightweight error type used instead of exceptions across the public API.
+// A Status is either OK or carries a human-readable error message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+  // Returns a copy of this status with `context` prepended to the message.
+  Status WithContext(const std::string& context) const {
+    if (ok_) return *this;
+    return Error(context + ": " + message_);
+  }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+// A value-or-error result. Use `ok()` before accessing `value()`.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites readable:
+  //   Result<int> F() { return 42; }
+  //   Result<int> G() { return Status::Error("boom"); }
+  Result(T value) : value_(std::move(value)) {}        // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SQOD_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const {
+    SQOD_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T& value() {
+    SQOD_CHECK_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T&& take() {
+    SQOD_CHECK_MSG(ok(), status_.message().c_str());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace sqod
+
+#endif  // SQOD_BASE_STATUS_H_

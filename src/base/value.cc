@@ -1,0 +1,31 @@
+#include "src/base/value.h"
+
+#include <string>
+
+namespace sqod {
+
+int Value::Compare(const Value& other) const {
+  if (kind_ != other.kind_) return kind_ == Kind::kInt ? -1 : 1;
+  if (kind_ == Kind::kInt) {
+    if (int_ < other.int_) return -1;
+    return int_ == other.int_ ? 0 : 1;
+  }
+  if (sym_ == other.sym_) return 0;
+  return symbol_name().compare(other.symbol_name()) < 0 ? -1 : 1;
+}
+
+size_t Value::Hash() const {
+  // Symbols hash by id (stable within a process); integers by value. The two
+  // kinds are separated with a salt so Int(0) and the first symbol differ.
+  if (kind_ == Kind::kInt) {
+    return std::hash<int64_t>()(int_) * 2;
+  }
+  return std::hash<int32_t>()(sym_) * 2 + 1;
+}
+
+std::string Value::ToString() const {
+  if (kind_ == Kind::kInt) return std::to_string(int_);
+  return symbol_name();
+}
+
+}  // namespace sqod

@@ -1,0 +1,211 @@
+#include "src/chase/chase.h"
+
+#include <algorithm>
+
+#include "src/ast/substitution.h"
+#include "src/eval/evaluator.h"
+
+namespace sqod {
+
+namespace {
+
+// The chase detects violations by evaluating, per IC
+//     :- p1, ..., pm, !a1, ..., !ak, c1, ..., cn
+// the probe rule
+//     __chase_i(vars of a1..ak) :- p1, ..., pm, !a1, ..., !ak, c1, ..., cn
+// over the current fact set with the (indexed, semi-naive) join engine.
+// Every answer tuple is a violation; its repairs are the instantiated
+// negated atoms. Denials (k = 0) get a 0-ary head. This is dramatically
+// faster than per-fact homomorphism search and lets unit repairs be applied
+// in batches.
+struct ProbeProgram {
+  Program program;
+  // Per IC: probe head predicate, ordered head variables, negated atoms.
+  struct Entry {
+    PredId head = -1;
+    std::vector<VarId> head_vars;
+    std::vector<Atom> negated;  // the repair templates
+    bool is_denial = false;
+  };
+  std::vector<Entry> entries;
+};
+
+ProbeProgram BuildProbes(const std::vector<Constraint>& ics) {
+  ProbeProgram probes;
+  for (int i = 0; i < static_cast<int>(ics.size()); ++i) {
+    const Constraint& ic = ics[i];
+    ProbeProgram::Entry entry;
+    for (const Literal& l : ic.body) {
+      if (l.negated) {
+        entry.negated.push_back(l.atom);
+        l.atom.CollectVars(&entry.head_vars);
+      }
+    }
+    entry.is_denial = entry.negated.empty();
+    entry.head = InternPred("__chase" + std::to_string(i));
+
+    Rule rule;
+    std::vector<Term> head_args;
+    head_args.reserve(entry.head_vars.size());
+    for (VarId v : entry.head_vars) head_args.push_back(Term::VarFromId(v));
+    rule.head = Atom(entry.head, std::move(head_args));
+    rule.body = ic.body;
+    rule.comparisons = ic.comparisons;
+    probes.program.AddRule(std::move(rule));
+    probes.entries.push_back(std::move(entry));
+  }
+  return probes;
+}
+
+struct SearchState {
+  const ProbeProgram* probes;
+  ChaseOptions options;
+  int64_t steps = 0;
+  int64_t branches = 0;
+  bool out_of_budget = false;
+};
+
+// One round of violation detection. Returns false on evaluation trouble
+// (cannot happen for valid ICs; treated as budget exhaustion).
+enum class RoundOutcome { kModel, kDenial, kProgress, kBranch, kBudget };
+
+RoundOutcome RunRound(Database* db, SearchState* state,
+                      std::pair<int, Tuple>* branch_violation) {
+  Evaluator evaluator(state->probes->program);
+  Result<Database> probed = evaluator.Evaluate(*db);
+  if (!probed.ok()) return RoundOutcome::kBudget;
+
+  bool progress = false;
+  const std::pair<int, Tuple>* pending_branch = nullptr;
+  std::pair<int, Tuple> first_branch;
+
+  for (int i = 0; i < static_cast<int>(state->probes->entries.size()); ++i) {
+    const ProbeProgram::Entry& entry = state->probes->entries[i];
+    const Relation* rel = probed.value().Find(entry.head);
+    if (rel == nullptr || rel->empty()) continue;
+    if (entry.is_denial) return RoundOutcome::kDenial;
+    if (entry.negated.size() == 1) {
+      // Unit repairs are forced; apply the whole batch.
+      for (const Tuple& row : rel->rows()) {
+        Substitution bind;
+        for (size_t v = 0; v < entry.head_vars.size(); ++v) {
+          bind.Bind(entry.head_vars[v], Term::Const(row[v]));
+        }
+        Atom repair = bind.Apply(entry.negated[0]);
+        if (db->InsertAtom(repair)) {
+          ++state->steps;
+          progress = true;
+          if (state->steps > state->options.max_steps) {
+            state->out_of_budget = true;
+            return RoundOutcome::kBudget;
+          }
+        }
+      }
+    } else if (pending_branch == nullptr) {
+      first_branch = {i, rel->rows()[0]};
+      pending_branch = &first_branch;
+    }
+  }
+  if (progress) return RoundOutcome::kProgress;
+  if (pending_branch != nullptr) {
+    *branch_violation = first_branch;
+    return RoundOutcome::kBranch;
+  }
+  return RoundOutcome::kModel;
+}
+
+bool Search(Database* db, SearchState* state) {
+  for (;;) {
+    std::pair<int, Tuple> violation;
+    switch (RunRound(db, state, &violation)) {
+      case RoundOutcome::kModel:
+        return true;
+      case RoundOutcome::kDenial:
+        return false;
+      case RoundOutcome::kBudget:
+        state->out_of_budget = true;
+        return false;
+      case RoundOutcome::kProgress:
+        continue;
+      case RoundOutcome::kBranch: {
+        const ProbeProgram::Entry& entry =
+            state->probes->entries[violation.first];
+        ++state->branches;
+        Substitution bind;
+        for (size_t v = 0; v < entry.head_vars.size(); ++v) {
+          bind.Bind(entry.head_vars[v], Term::Const(violation.second[v]));
+        }
+        for (const Atom& tmpl : entry.negated) {
+          Database copy = *db;
+          ++state->steps;
+          if (state->steps > state->options.max_steps) {
+            state->out_of_budget = true;
+            return false;
+          }
+          copy.InsertAtom(bind.Apply(tmpl));
+          if (Search(&copy, state)) {
+            *db = std::move(copy);
+            return true;
+          }
+          if (state->out_of_budget) return false;
+        }
+        return false;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ChaseOutcome ChaseSatisfiable(const Database& initial,
+                              const std::vector<Constraint>& ics,
+                              const ChaseOptions& options) {
+  ProbeProgram probes = BuildProbes(ics);
+  SearchState state;
+  state.probes = &probes;
+  state.options = options;
+
+  ChaseOutcome outcome;
+  Database db = initial;
+  bool sat = Search(&db, &state);
+  outcome.steps = state.steps;
+  outcome.branches = state.branches;
+  if (state.out_of_budget) {
+    outcome.result = ChaseResult::kResourceLimit;
+  } else if (sat) {
+    outcome.result = ChaseResult::kSatisfiable;
+    outcome.model = std::move(db);
+  } else {
+    outcome.result = ChaseResult::kUnsatisfiable;
+  }
+  return outcome;
+}
+
+Result<ChaseOutcome> CqSatisfiableWithChase(const Rule& cq,
+                                            const std::vector<Constraint>& ics,
+                                            const ChaseOptions& options) {
+  if (!cq.comparisons.empty()) {
+    return Status::Error(
+        "CqSatisfiableWithChase: comparisons are not supported (the chase "
+        "decides {not}-IC satisfiability; see Theorem 5.2(2))");
+  }
+  Database frozen;
+  Substitution freeze;
+  for (const Literal& l : cq.body) {
+    if (l.negated) {
+      return Status::Error(
+          "CqSatisfiableWithChase: the query body must be positive");
+    }
+    std::vector<VarId> vars;
+    l.atom.CollectVars(&vars);
+    for (VarId v : vars) {
+      if (freeze.Lookup(v) == nullptr) {
+        freeze.Bind(v, Term::Symbol("__frozen_" + GlobalStrings().Name(v)));
+      }
+    }
+    frozen.InsertAtom(freeze.Apply(l.atom));
+  }
+  return ChaseSatisfiable(frozen, ics, options);
+}
+
+}  // namespace sqod

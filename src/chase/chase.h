@@ -1,0 +1,60 @@
+#ifndef SQOD_CHASE_CHASE_H_
+#define SQOD_CHASE_CHASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ast/rule.h"
+#include "src/base/status.h"
+#include "src/eval/database.h"
+
+namespace sqod {
+
+// Satisfiability of a fact set with respect to {not}-ICs, via a branching
+// chase. A {not}-IC
+//     :- p1, ..., pm, !a1, ..., !ak.
+// read as a repair rule says: whenever p1..pm hold, at least one of a1..ak
+// must hold. With k = 0 it is a denial; with k >= 1 it is a (disjunctive)
+// *full* tuple-generating dependency — negation safety guarantees the ai
+// introduce no new constants, so the chase terminates on every branch.
+//
+// This is the engine behind the Theorem 5.4 reduction demo: the appendix
+// IC set (dom/eq/neq closure rules, configuration checks) is exactly such a
+// repair system.
+
+struct ChaseOptions {
+  // Upper bound on chase steps (fact additions) across all branches.
+  int64_t max_steps = 1000000;
+};
+
+enum class ChaseResult {
+  kSatisfiable,    // a model extending the initial facts exists
+  kUnsatisfiable,  // every branch hits a violated denial
+  kResourceLimit,  // gave up (treat as unknown)
+};
+
+struct ChaseOutcome {
+  ChaseResult result = ChaseResult::kResourceLimit;
+  // A model (the initial facts plus chase additions) when satisfiable.
+  Database model;
+  int64_t steps = 0;     // facts added
+  int64_t branches = 0;  // disjunctive choice points explored
+};
+
+// Chases `initial` with `ics`. Order atoms inside ICs are evaluated over the
+// concrete order on the stored values (sound for ground inputs; the paper's
+// Theorem 5.4 construction uses {not}-ICs without order atoms).
+ChaseOutcome ChaseSatisfiable(const Database& initial,
+                              const std::vector<Constraint>& ics,
+                              const ChaseOptions& options = {});
+
+// Satisfiability of a conjunctive-query body w.r.t. {not}-ICs: freezes the
+// body (each variable becomes a fresh symbolic constant) and chases. The
+// body must be positive and comparison-free (returns an error otherwise).
+Result<ChaseOutcome> CqSatisfiableWithChase(
+    const Rule& cq, const std::vector<Constraint>& ics,
+    const ChaseOptions& options = {});
+
+}  // namespace sqod
+
+#endif  // SQOD_CHASE_CHASE_H_

@@ -1,0 +1,121 @@
+#include "src/counter/machine.h"
+
+#include <tuple>
+
+namespace sqod {
+
+Status TwoCounterMachine::AddTransition(int state, bool c1_zero, bool c2_zero,
+                                        Transition t) {
+  if (state < 0 || state >= num_states_ || t.next_state < 0 ||
+      t.next_state >= num_states_) {
+    return Status::Error("transition references an unknown state");
+  }
+  if (state == halt_state_) {
+    return Status::Error("the halt state has no outgoing transitions");
+  }
+  if (t.op1 == CounterOp::kDec && c1_zero) {
+    return Status::Error("cannot decrement counter 1 when it is zero");
+  }
+  if (t.op2 == CounterOp::kDec && c2_zero) {
+    return Status::Error("cannot decrement counter 2 when it is zero");
+  }
+  transitions_[{state, c1_zero, c2_zero}] = t;
+  return Status::Ok();
+}
+
+std::optional<TwoCounterMachine::Transition> TwoCounterMachine::Lookup(
+    int state, bool c1_zero, bool c2_zero) const {
+  auto it = transitions_.find({state, c1_zero, c2_zero});
+  if (it == transitions_.end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+
+int64_t ApplyOp(int64_t value, TwoCounterMachine::CounterOp op) {
+  switch (op) {
+    case TwoCounterMachine::CounterOp::kNoop: return value;
+    case TwoCounterMachine::CounterOp::kInc: return value + 1;
+    case TwoCounterMachine::CounterOp::kDec: return value - 1;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::optional<int> TwoCounterMachine::RunsToHalt(int max_steps) const {
+  Configuration c;
+  for (int step = 0; step <= max_steps; ++step) {
+    if (c.state == halt_state_) return step;
+    auto t = Lookup(c.state, c.c1 == 0, c.c2 == 0);
+    if (!t.has_value()) return std::nullopt;  // stuck = diverges
+    c.state = t->next_state;
+    c.c1 = ApplyOp(c.c1, t->op1);
+    c.c2 = ApplyOp(c.c2, t->op2);
+  }
+  return std::nullopt;
+}
+
+std::vector<TwoCounterMachine::Configuration> TwoCounterMachine::Trace(
+    int max_steps) const {
+  std::vector<Configuration> out;
+  Configuration c;
+  out.push_back(c);
+  for (int step = 0; step < max_steps; ++step) {
+    if (c.state == halt_state_) break;
+    auto t = Lookup(c.state, c.c1 == 0, c.c2 == 0);
+    if (!t.has_value()) break;
+    c.state = t->next_state;
+    c.c1 = ApplyOp(c.c1, t->op1);
+    c.c2 = ApplyOp(c.c2, t->op2);
+    out.push_back(c);
+  }
+  return out;
+}
+
+TwoCounterMachine MakeBumpMachine(int n) {
+  // States: 0 = up phase, 1 = down phase, 2 = halt. Counter 1 counts up to
+  // n (tracked by counter 2 staying untouched; we instead count down from n
+  // by encoding the bound in the state graph). To keep the machine small we
+  // use counter 1 as the bump and rely on counter 2 == 0 throughout:
+  //   up:   while c1 < n: inc c1   (n encoded by chaining n "up" states)
+  //   down: while c1 > 0: dec c1
+  // States: 0..n-1 are the up-chain, n is the down state, n+1 is halt.
+  TwoCounterMachine m(n + 2, /*halt_state=*/n + 1);
+  using Op = TwoCounterMachine::CounterOp;
+  for (int i = 0; i < n; ++i) {
+    for (bool z1 : {false, true}) {
+      // c2 is always zero in reachable configurations; define both anyway.
+      for (bool z2 : {false, true}) {
+        m.AddTransition(i, z1, z2,
+                        {i + 1 == n ? n : i + 1, Op::kInc, Op::kNoop});
+      }
+    }
+  }
+  // Down phase: decrement until zero, then halt.
+  for (bool z2 : {false, true}) {
+    m.AddTransition(n, /*c1_zero=*/false, z2, {n, Op::kDec, Op::kNoop});
+    m.AddTransition(n, /*c1_zero=*/true, z2, {n + 1, Op::kNoop, Op::kNoop});
+  }
+  return m;
+}
+
+TwoCounterMachine MakeLoopMachine() {
+  // Two states; moves one token back and forth forever. Never reaches the
+  // halt state (state 2).
+  TwoCounterMachine m(3, /*halt_state=*/2);
+  using Op = TwoCounterMachine::CounterOp;
+  // State 0: put a token on counter 1, go to state 1.
+  m.AddTransition(0, true, true, {1, Op::kInc, Op::kNoop});
+  m.AddTransition(0, false, true, {1, Op::kNoop, Op::kNoop});
+  m.AddTransition(0, true, false, {1, Op::kInc, Op::kNoop});
+  m.AddTransition(0, false, false, {1, Op::kNoop, Op::kNoop});
+  // State 1: take the token off, go back to state 0.
+  m.AddTransition(1, false, true, {0, Op::kDec, Op::kNoop});
+  m.AddTransition(1, false, false, {0, Op::kDec, Op::kNoop});
+  m.AddTransition(1, true, true, {0, Op::kNoop, Op::kNoop});
+  m.AddTransition(1, true, false, {0, Op::kNoop, Op::kNoop});
+  return m;
+}
+
+}  // namespace sqod

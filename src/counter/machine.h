@@ -1,0 +1,79 @@
+#ifndef SQOD_COUNTER_MACHINE_H_
+#define SQOD_COUNTER_MACHINE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace sqod {
+
+// A deterministic 2-counter (Minsky) machine, the undecidability engine
+// behind Theorems 5.3-5.5. States are 0..num_states-1; state `halt_state`
+// halts. A transition is selected by the current state and the zero-tests
+// of both counters.
+class TwoCounterMachine {
+ public:
+  enum class CounterOp { kNoop, kInc, kDec };
+
+  struct Transition {
+    int next_state = 0;
+    CounterOp op1 = CounterOp::kNoop;
+    CounterOp op2 = CounterOp::kNoop;
+  };
+
+  struct Configuration {
+    int state = 0;
+    int64_t c1 = 0;
+    int64_t c2 = 0;
+  };
+
+  TwoCounterMachine(int num_states, int halt_state)
+      : num_states_(num_states), halt_state_(halt_state) {}
+
+  int num_states() const { return num_states_; }
+  int halt_state() const { return halt_state_; }
+
+  // Defines delta(state, c1 == 0 ?, c2 == 0 ?) = t. A kDec op with the
+  // corresponding zero test true is rejected (cannot decrement zero).
+  Status AddTransition(int state, bool c1_zero, bool c2_zero, Transition t);
+
+  std::optional<Transition> Lookup(int state, bool c1_zero,
+                                   bool c2_zero) const;
+
+  const std::map<std::tuple<int, bool, bool>, Transition>& transitions()
+      const {
+    return transitions_;
+  }
+
+  // Runs from (state 0, counters 0) for at most `max_steps` steps.
+  // Returns the number of steps to reach the halt state, or nullopt if the
+  // machine is still running (or stuck on an undefined transition counts as
+  // running forever — the paper's machines are total).
+  std::optional<int> RunsToHalt(int max_steps) const;
+
+  // The trace of configurations from the initial one, truncated at
+  // max_steps or at the halt state (inclusive).
+  std::vector<Configuration> Trace(int max_steps) const;
+
+ private:
+  int num_states_;
+  int halt_state_;
+  std::map<std::tuple<int, bool, bool>, Transition> transitions_;
+};
+
+// Ready-made machines for tests and benches.
+
+// Halts after bumping counter 1 up `n` times and back down to zero:
+// 2n + 1 steps.
+TwoCounterMachine MakeBumpMachine(int n);
+
+// Ping-pongs value between the two counters forever (never halts).
+TwoCounterMachine MakeLoopMachine();
+
+}  // namespace sqod
+
+#endif  // SQOD_COUNTER_MACHINE_H_

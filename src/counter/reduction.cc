@@ -1,0 +1,418 @@
+#include "src/counter/reduction.h"
+
+#include <algorithm>
+#include <string>
+
+namespace sqod {
+
+namespace {
+
+using Op = TwoCounterMachine::CounterOp;
+
+Term V(const std::string& name) { return Term::Var(name); }
+
+Atom Succ(Term a, Term b) { return Atom("succ", {a, b}); }
+Atom Zero(Term a) { return Atom("zero", {a}); }
+Atom Dom(Term a) { return Atom("dom", {a}); }
+Atom Eq(Term a, Term b) { return Atom("eq", {a, b}); }
+Atom Neq(Term a, Term b) { return Atom("neq", {a, b}); }
+Atom Cnfg(Term t, Term c1, Term c2, Term s) {
+  return Atom("cnfg", {t, c1, c2, s});
+}
+
+// Appends the "S = j" shorthand of the paper to `body`: a zero/succ chain
+// of length j ending in `s`. Variables are prefixed to stay distinct across
+// several chains inside one constraint.
+void AppendStateChain(int j, const Term& s, const std::string& prefix,
+                      std::vector<Literal>* body) {
+  if (j == 0) {
+    body->push_back(Literal::Pos(Zero(s)));
+    return;
+  }
+  Term prev = V(prefix + "z");
+  body->push_back(Literal::Pos(Zero(prev)));
+  for (int step = 1; step <= j; ++step) {
+    Term next = step == j ? s : V(prefix + "v" + std::to_string(step));
+    body->push_back(Literal::Pos(Succ(prev, next)));
+    prev = next;
+  }
+}
+
+// The shared prefix of every transition constraint: two configurations at
+// consecutive times whose first one matches (state j, zero-tests z1/z2).
+std::vector<Literal> TransitionPrefix(int j, bool z1, bool z2) {
+  std::vector<Literal> body;
+  body.push_back(Literal::Pos(Cnfg(V("T"), V("C1"), V("C2"), V("S"))));
+  body.push_back(
+      Literal::Pos(Cnfg(V("Tp"), V("C1p"), V("C2p"), V("Sp"))));
+  body.push_back(Literal::Pos(Succ(V("T"), V("Tp"))));
+  AppendStateChain(j, V("S"), "st_", &body);
+  body.push_back(z1 ? Literal::Pos(Zero(V("C1")))
+                    : Literal::Neg(Zero(V("C1"))));
+  body.push_back(z2 ? Literal::Pos(Zero(V("C2")))
+                    : Literal::Neg(Zero(V("C2"))));
+  return body;
+}
+
+// Appends `base` to `out` twice, once per orientation of the difference
+// check neq(a, b) / neq(b, a). neq is a strict order (one direction per
+// distinct pair), so testing "a differs from b" takes both ICs.
+void EmitWithDifference(Constraint base, const Term& a, const Term& b,
+                        std::vector<Constraint>* out) {
+  Constraint forward = base;
+  forward.body.push_back(Literal::Pos(Neq(a, b)));
+  out->push_back(std::move(forward));
+  base.body.push_back(Literal::Pos(Neq(b, a)));
+  out->push_back(std::move(base));
+}
+
+// Constraints: the next configuration's counter (`before` -> `after`) is
+// not the result of applying `op`.
+void WrongCounter(int j, bool z1, bool z2, const Term& before,
+                  const Term& after, Op op, std::vector<Constraint>* out) {
+  Constraint ic;
+  ic.body = TransitionPrefix(j, z1, z2);
+  switch (op) {
+    case Op::kNoop:
+      EmitWithDifference(std::move(ic), after, before, out);
+      return;
+    case Op::kInc:
+      ic.body.push_back(Literal::Pos(Succ(before, V("X"))));
+      EmitWithDifference(std::move(ic), after, V("X"), out);
+      return;
+    case Op::kDec:
+      ic.body.push_back(Literal::Pos(Succ(V("X"), before)));
+      EmitWithDifference(std::move(ic), after, V("X"), out);
+      return;
+  }
+}
+
+}  // namespace
+
+ReductionOutput BuildReduction(const TwoCounterMachine& m) {
+  ReductionOutput out;
+  std::vector<Constraint>& ics = out.ics;
+
+  auto ic = [&](std::vector<Literal> body) {
+    ics.push_back(Constraint(std::move(body)));
+  };
+
+  // Domain coverage.
+  ic({Literal::Pos(Succ(V("X"), V("Y"))), Literal::Neg(Dom(V("X")))});
+  ic({Literal::Pos(Succ(V("X"), V("Y"))), Literal::Neg(Dom(V("Y")))});
+  ic({Literal::Pos(Zero(V("X"))), Literal::Neg(Dom(V("X")))});
+  for (int i = 0; i < 4; ++i) {
+    std::vector<Term> args{V("T"), V("C1"), V("C2"), V("S")};
+    ic({Literal::Pos(Atom("cnfg", args)),
+        Literal::Neg(Dom(args[i]))});
+  }
+
+  // eq: reflexive on dom, symmetric, transitively closed.
+  ic({Literal::Pos(Dom(V("X"))), Literal::Neg(Eq(V("X"), V("X")))});
+  ic({Literal::Pos(Eq(V("X"), V("Y"))), Literal::Neg(Eq(V("Y"), V("X")))});
+  ic({Literal::Pos(Eq(V("X"), V("Z"))), Literal::Pos(Eq(V("Z"), V("Y"))),
+      Literal::Neg(Eq(V("X"), V("Y")))});
+
+  // Zeros are equal; a zero is not equal to a non-zero.
+  ic({Literal::Pos(Zero(V("X"))), Literal::Pos(Zero(V("Y"))),
+      Literal::Neg(Eq(V("X"), V("Y")))});
+  ic({Literal::Pos(Eq(V("X"), V("Y"))), Literal::Pos(Zero(V("X"))),
+      Literal::Neg(Zero(V("Y")))});
+
+  // neq contains succ (modulo eq) and is transitively closed (modulo eq).
+  ic({Literal::Pos(Eq(V("X"), V("Xp"))), Literal::Pos(Succ(V("Xp"), V("Yp"))),
+      Literal::Pos(Eq(V("Yp"), V("Y"))), Literal::Neg(Neq(V("X"), V("Y")))});
+  ic({Literal::Pos(Eq(V("X"), V("Xp"))), Literal::Pos(Neq(V("Xp"), V("Z"))),
+      Literal::Pos(Eq(V("Z"), V("Zp"))), Literal::Pos(Neq(V("Zp"), V("Yp"))),
+      Literal::Pos(Eq(V("Yp"), V("Y"))), Literal::Neg(Neq(V("X"), V("Y")))});
+
+  // Successors and predecessors of equal elements are equal.
+  EmitWithDifference(
+      Constraint({Literal::Pos(Succ(V("X"), V("Y"))),
+                  Literal::Pos(Succ(V("Xp"), V("Z"))),
+                  Literal::Pos(Eq(V("X"), V("Xp")))}),
+      V("Y"), V("Z"), &ics);
+  EmitWithDifference(
+      Constraint({Literal::Pos(Succ(V("Y"), V("X"))),
+                  Literal::Pos(Succ(V("Z"), V("Xp"))),
+                  Literal::Pos(Eq(V("X"), V("Xp")))}),
+      V("Y"), V("Z"), &ics);
+
+  // A zero has no predecessor.
+  ic({Literal::Pos(Succ(V("X"), V("Y"))), Literal::Pos(Zero(V("Y")))});
+
+  // Configurations at time zero start with zeroed counters and state.
+  for (const char* arg : {"C1", "C2", "S"}) {
+    ic({Literal::Pos(Cnfg(V("T"), V("C1"), V("C2"), V("S"))),
+        Literal::Pos(Zero(V("T"))), Literal::Neg(Zero(V(arg)))});
+  }
+
+  // cnfg is closed under equality.
+  ic({Literal::Pos(Cnfg(V("T"), V("C1"), V("C2"), V("S"))),
+      Literal::Pos(Eq(V("T"), V("Tp"))), Literal::Pos(Eq(V("C1"), V("C1p"))),
+      Literal::Pos(Eq(V("C2"), V("C2p"))), Literal::Pos(Eq(V("S"), V("Sp"))),
+      Literal::Neg(Cnfg(V("Tp"), V("C1p"), V("C2p"), V("Sp")))});
+
+  // Transition checks: wrong next state / wrong counter updates violate.
+  for (const auto& [key, t] : m.transitions()) {
+    const auto& [state, z1, z2] = key;
+    // Wrong state.
+    Constraint wrong_state;
+    wrong_state.body = TransitionPrefix(state, z1, z2);
+    AppendStateChain(t.next_state, V("Sgood"), "ns_", &wrong_state.body);
+    EmitWithDifference(std::move(wrong_state), V("Sp"), V("Sgood"), &ics);
+    // Wrong counters.
+    WrongCounter(state, z1, z2, V("C1"), V("C1p"), t.op1, &ics);
+    WrongCounter(state, z1, z2, V("C2"), V("C2p"), t.op2, &ics);
+  }
+
+  // eq-or-neq totality last (the only disjunctive-repair IC), with the
+  // `neq` repairs listed first: unrelated pairs usually end up distinct, so
+  // the chase backtracks less this way.
+  //
+  // Deviation from the extended abstract: the paper writes
+  //     :- dom(X), dom(Y), !eq(X, Y), !neq(X, Y).
+  // but together with the neq-transitivity IC that constraint set is
+  // unsatisfiable on any domain with a succ edge (neq(a,b) and neq(b,a)
+  // compose to the forbidden neq(a,a)). The proof treats neq as a strict
+  // order containing the succ paths, so the intended totality is "equal or
+  // related in one direction", which we encode with both orientations:
+  ic({Literal::Pos(Dom(V("X"))), Literal::Pos(Dom(V("Y"))),
+      Literal::Neg(Neq(V("X"), V("Y"))), Literal::Neg(Neq(V("Y"), V("X"))),
+      Literal::Neg(Eq(V("X"), V("Y")))});
+  // eq and neq are disjoint.
+  ic({Literal::Pos(Eq(V("X"), V("Y"))), Literal::Pos(Neq(V("X"), V("Y")))});
+
+  // The program.
+  Program& p = out.program;
+  {
+    Rule r;
+    r.head = Atom("reach", {V("T")});
+    r.body.push_back(Literal::Pos(Cnfg(V("T"), V("C1"), V("C2"), V("S"))));
+    r.body.push_back(Literal::Pos(Zero(V("T"))));
+    p.AddRule(std::move(r));
+  }
+  {
+    Rule r;
+    r.head = Atom("reach", {V("Tp")});
+    r.body.push_back(Literal::Pos(Atom("reach", {V("T")})));
+    r.body.push_back(Literal::Pos(Succ(V("T"), V("Tp"))));
+    r.body.push_back(Literal::Pos(Cnfg(V("Tp"), V("C1"), V("C2"), V("S"))));
+    p.AddRule(std::move(r));
+  }
+  {
+    Rule r;
+    r.head = Atom("halt", {});
+    r.body.push_back(Literal::Pos(Atom("reach", {V("T")})));
+    r.body.push_back(Literal::Pos(Cnfg(V("T"), V("C1"), V("C2"), V("S"))));
+    AppendStateChain(m.halt_state(), V("S"), "h_", &r.body);
+    p.AddRule(std::move(r));
+  }
+  p.SetQuery("halt");
+  return out;
+}
+
+Database CanonicalRunDatabase(const TwoCounterMachine& m, int steps) {
+  std::vector<TwoCounterMachine::Configuration> trace = m.Trace(steps);
+  int64_t max_value = m.num_states() - 1;
+  max_value = std::max<int64_t>(max_value, static_cast<int64_t>(trace.size()));
+  for (const auto& c : trace) {
+    max_value = std::max({max_value, c.c1, c.c2});
+  }
+
+  Database db;
+  for (int64_t i = 0; i <= max_value; ++i) {
+    db.Insert(InternPred("dom"), {Value::Int(i)});
+    db.Insert(InternPred("eq"), {Value::Int(i), Value::Int(i)});
+    if (i > 0) {
+      db.Insert(InternPred("succ"), {Value::Int(i - 1), Value::Int(i)});
+    }
+    // neq is a *strict order* containing the succ paths (see the totality
+    // IC in BuildReduction): relate each pair in one direction only.
+    for (int64_t j = i + 1; j <= max_value; ++j) {
+      db.Insert(InternPred("neq"), {Value::Int(i), Value::Int(j)});
+    }
+  }
+  db.Insert(InternPred("zero"), {Value::Int(0)});
+  for (size_t t = 0; t < trace.size(); ++t) {
+    db.Insert(InternPred("cnfg"),
+              {Value::Int(static_cast<int64_t>(t)), Value::Int(trace[t].c1),
+               Value::Int(trace[t].c2), Value::Int(trace[t].state)});
+  }
+  return db;
+}
+
+namespace {
+
+Comparison Neq2(Term a, Term b) { return Comparison(a, CmpOp::kNe, b); }
+
+// The reach/halt program shared by both reductions.
+Program ReductionProgram(const TwoCounterMachine& m) {
+  Program p;
+  {
+    Rule r;
+    r.head = Atom("reach", {V("T")});
+    r.body.push_back(Literal::Pos(Cnfg(V("T"), V("C1"), V("C2"), V("S"))));
+    r.body.push_back(Literal::Pos(Zero(V("T"))));
+    p.AddRule(std::move(r));
+  }
+  {
+    Rule r;
+    r.head = Atom("reach", {V("Tp")});
+    r.body.push_back(Literal::Pos(Atom("reach", {V("T")})));
+    r.body.push_back(Literal::Pos(Succ(V("T"), V("Tp"))));
+    r.body.push_back(Literal::Pos(Cnfg(V("Tp"), V("C1"), V("C2"), V("S"))));
+    p.AddRule(std::move(r));
+  }
+  {
+    Rule r;
+    r.head = Atom("halt", {});
+    r.body.push_back(Literal::Pos(Atom("reach", {V("T")})));
+    r.body.push_back(Literal::Pos(Cnfg(V("T"), V("C1"), V("C2"), V("S"))));
+    AppendStateChain(m.halt_state(), V("S"), "h_", &r.body);
+    p.AddRule(std::move(r));
+  }
+  p.SetQuery("halt");
+  return p;
+}
+
+}  // namespace
+
+ReductionOutput BuildOrderReduction(const TwoCounterMachine& m) {
+  ReductionOutput out;
+  std::vector<Constraint>& ics = out.ics;
+
+  // succ is a partial injection and zero is unique, expressed with real
+  // (dis)equality instead of the axiomatized eq/neq of Theorem 5.4.
+  ics.push_back(Constraint({Literal::Pos(Succ(V("X"), V("Y"))),
+                            Literal::Pos(Succ(V("X"), V("Z")))},
+                           {Neq2(V("Y"), V("Z"))}));
+  ics.push_back(Constraint({Literal::Pos(Succ(V("Y"), V("X"))),
+                            Literal::Pos(Succ(V("Z"), V("X")))},
+                           {Neq2(V("Y"), V("Z"))}));
+  ics.push_back(Constraint(
+      {Literal::Pos(Succ(V("X"), V("Y"))), Literal::Pos(Zero(V("Y")))}));
+  ics.push_back(Constraint(
+      {Literal::Pos(Succ(V("X"), V("X")))}));
+  ics.push_back(Constraint({Literal::Pos(Zero(V("X"))),
+                            Literal::Pos(Zero(V("Y")))},
+                           {Neq2(V("X"), V("Y"))}));
+
+  // Configurations are functional in the time argument.
+  for (int pos = 1; pos <= 3; ++pos) {
+    std::vector<Term> a{V("T"), V("A1"), V("A2"), V("A3")};
+    std::vector<Term> b{V("T"), V("B1"), V("B2"), V("B3")};
+    Constraint ic;
+    ic.body.push_back(Literal::Pos(Atom("cnfg", a)));
+    ic.body.push_back(Literal::Pos(Atom("cnfg", b)));
+    ic.comparisons.push_back(
+        Neq2(a[pos], b[pos]));
+    ics.push_back(std::move(ic));
+  }
+
+  // Configurations at time zero have zeroed counters and state.
+  for (const char* arg : {"C1", "C2", "S"}) {
+    Constraint ic;
+    ic.body.push_back(Literal::Pos(Cnfg(V("T"), V("C1"), V("C2"), V("S"))));
+    ic.body.push_back(Literal::Pos(Zero(V("T"))));
+    ic.body.push_back(Literal::Pos(Zero(V("ZZ"))));
+    ic.comparisons.push_back(Neq2(V(arg), V("ZZ")));
+    ics.push_back(std::move(ic));
+  }
+
+  // Transition checks. The zero-test of a counter is "equals the zero
+  // element" (same variable) / "differs from the zero element" (!=).
+  for (const auto& [key, t] : m.transitions()) {
+    const auto& [state, z1, z2] = key;
+    auto prefix = [&, s = state, zz1 = z1, zz2 = z2]() {
+      Constraint ic;
+      ic.body.push_back(Literal::Pos(Cnfg(V("T"), V("C1"), V("C2"), V("S"))));
+      ic.body.push_back(
+          Literal::Pos(Cnfg(V("Tp"), V("C1p"), V("C2p"), V("Sp"))));
+      ic.body.push_back(Literal::Pos(Succ(V("T"), V("Tp"))));
+      AppendStateChain(s, V("S"), "st_", &ic.body);
+      ic.body.push_back(Literal::Pos(Zero(V("ZZ"))));
+      if (zz1) {
+        ic.comparisons.push_back(Comparison(V("C1"), CmpOp::kEq, V("ZZ")));
+      } else {
+        ic.comparisons.push_back(Neq2(V("C1"), V("ZZ")));
+      }
+      if (zz2) {
+        ic.comparisons.push_back(Comparison(V("C2"), CmpOp::kEq, V("ZZ")));
+      } else {
+        ic.comparisons.push_back(Neq2(V("C2"), V("ZZ")));
+      }
+      return ic;
+    };
+    // Wrong next state.
+    {
+      Constraint ic = prefix();
+      AppendStateChain(t.next_state, V("Sgood"), "ns_", &ic.body);
+      ic.comparisons.push_back(Neq2(V("Sp"), V("Sgood")));
+      ics.push_back(std::move(ic));
+    }
+    // Wrong counter updates.
+    auto wrong_counter = [&](const Term& before, const Term& after, Op op) {
+      Constraint ic = prefix();
+      switch (op) {
+        case Op::kNoop:
+          ic.comparisons.push_back(Neq2(after, before));
+          break;
+        case Op::kInc:
+          ic.body.push_back(Literal::Pos(Succ(before, V("X"))));
+          ic.comparisons.push_back(Neq2(after, V("X")));
+          break;
+        case Op::kDec:
+          ic.body.push_back(Literal::Pos(Succ(V("X"), before)));
+          ic.comparisons.push_back(Neq2(after, V("X")));
+          break;
+      }
+      ics.push_back(std::move(ic));
+    };
+    wrong_counter(V("C1"), V("C1p"), t.op1);
+    wrong_counter(V("C2"), V("C2p"), t.op2);
+  }
+
+  out.program = ReductionProgram(m);
+  return out;
+}
+
+Database CanonicalOrderRunDatabase(const TwoCounterMachine& m, int steps) {
+  std::vector<TwoCounterMachine::Configuration> trace = m.Trace(steps);
+  int64_t max_value = m.num_states() - 1;
+  max_value = std::max<int64_t>(max_value, static_cast<int64_t>(trace.size()));
+  for (const auto& c : trace) {
+    max_value = std::max({max_value, c.c1, c.c2});
+  }
+  Database db;
+  for (int64_t i = 1; i <= max_value; ++i) {
+    db.Insert(InternPred("succ"), {Value::Int(i - 1), Value::Int(i)});
+  }
+  db.Insert(InternPred("zero"), {Value::Int(0)});
+  for (size_t t = 0; t < trace.size(); ++t) {
+    db.Insert(InternPred("cnfg"),
+              {Value::Int(static_cast<int64_t>(t)), Value::Int(trace[t].c1),
+               Value::Int(trace[t].c2), Value::Int(trace[t].state)});
+  }
+  return db;
+}
+
+Rule UnrolledHaltQuery(const TwoCounterMachine& m, int k) {
+  Rule q;
+  q.head = Atom("haltWitness", {});
+  auto t_var = [](int i) { return V("T" + std::to_string(i)); };
+  q.body.push_back(Literal::Pos(Zero(t_var(0))));
+  for (int i = 0; i <= k; ++i) {
+    std::string s = std::to_string(i);
+    if (i > 0) {
+      q.body.push_back(Literal::Pos(Succ(t_var(i - 1), t_var(i))));
+    }
+    q.body.push_back(Literal::Pos(
+        Cnfg(t_var(i), V("A" + s), V("B" + s), V("S" + s))));
+  }
+  AppendStateChain(m.halt_state(), V("S" + std::to_string(k)), "hw_",
+                   &q.body);
+  return q;
+}
+
+}  // namespace sqod

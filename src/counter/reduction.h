@@ -1,0 +1,60 @@
+#ifndef SQOD_COUNTER_REDUCTION_H_
+#define SQOD_COUNTER_REDUCTION_H_
+
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/counter/machine.h"
+#include "src/eval/database.h"
+
+namespace sqod {
+
+// The Theorem 5.4 construction (appendix of the paper): a datalog program
+// and a set of {not}-ICs such that the query predicate `halt` is
+// satisfiable w.r.t. the ICs iff the 2-counter machine reaches its halting
+// state. Only negated EDB atoms are used in the ICs — no order atoms —
+// which is exactly what makes satisfiability undecidable in that fragment.
+//
+// EDB predicates: succ/2, zero/1, cnfg/4 (time, counter1, counter2, state),
+// dom/1, eq/2, neq/2. IDB: reach/1 and the 0-ary query predicate halt.
+
+struct ReductionOutput {
+  Program program;
+  std::vector<Constraint> ics;
+};
+
+// Emits the program and the full IC set for `m`. The ICs appear in chase-
+// friendly order: forcing (single-repair) constraints first, the
+// disjunctive eq-or-neq totality constraint last, with its `neq` repair
+// listed before `eq`.
+ReductionOutput BuildReduction(const TwoCounterMachine& m);
+
+// The canonical database encoding the machine's run for `steps` steps over
+// the integers: dom = 0..max, succ, zero(0), the trace's cnfg facts,
+// identity eq and all-distinct neq. Satisfies the reduction's ICs and makes
+// `halt` derivable iff the trace reaches the halt state within `steps`.
+Database CanonicalRunDatabase(const TwoCounterMachine& m, int steps);
+
+// The depth-k unrolled satisfiability query: a positive rule body asserting
+// a chain of k+1 configurations from time zero whose last state is the halt
+// state. Checking it with CqSatisfiableWithChase against the reduction's
+// ICs is the bounded witness search for the (undecidable) halting question:
+// satisfiable iff the machine halts in exactly k steps.
+Rule UnrolledHaltQuery(const TwoCounterMachine& m, int k);
+
+// The Theorem 5.3 variant: the same program, but ICs that use the order
+// atom != instead of the EDB predicates dom/eq/neq — real equality replaces
+// the axiomatized eq, so the construction needs only succ, zero and cnfg.
+// All != atoms are non-local (they relate the two configuration atoms),
+// which is exactly why Theorem 5.3 places satisfiability with {!=}-ICs
+// beyond decidability. Bounded unrollings are decided by
+// RuleBodySatisfiable (the {theta}-IC clause machinery).
+ReductionOutput BuildOrderReduction(const TwoCounterMachine& m);
+
+// Canonical database for the order variant: just succ/zero/cnfg over the
+// integers (no dom/eq/neq).
+Database CanonicalOrderRunDatabase(const TwoCounterMachine& m, int steps);
+
+}  // namespace sqod
+
+#endif  // SQOD_COUNTER_REDUCTION_H_

@@ -1,0 +1,46 @@
+#ifndef SQOD_CQ_CONTAINMENT_H_
+#define SQOD_CQ_CONTAINMENT_H_
+
+#include <vector>
+
+#include "src/ast/rule.h"
+#include "src/base/status.h"
+
+namespace sqod {
+
+// A conjunctive query is a single rule; a union of conjunctive queries (UCQ)
+// is a set of rules with the same head predicate and arity.
+using ConjunctiveQuery = Rule;
+using UnionOfCqs = std::vector<Rule>;
+
+// Decides q1 subseteq q2.
+//
+// Without order atoms this is the classic containment-mapping test (freeze
+// q1, find a head-preserving homomorphism from q2 into the frozen body).
+// With order atoms it is Klug's test: for *every* linearization of q1's
+// terms consistent with q1's comparisons there must be a homomorphism h from
+// q2 with h(q2's comparisons) entailed by the linearization.
+//
+// Negated atoms are not supported here (Result carries an error); the
+// containment of recursive programs in UCQs, including negation, lives in
+// src/sqo/containment.h on top of the query-tree machinery.
+Result<bool> CqContained(const ConjunctiveQuery& q1,
+                         const ConjunctiveQuery& q2);
+
+// Decides q subseteq (q2_1 union q2_2 union ...). With order atoms the
+// disjunction matters per linearization (a different disjunct may cover each
+// linearization), which this implements.
+Result<bool> CqContainedInUnion(const ConjunctiveQuery& q,
+                                const UnionOfCqs& ucq);
+
+// Decides union subseteq union (each disjunct of the left side must be
+// contained in the right-hand union).
+Result<bool> UcqContained(const UnionOfCqs& u1, const UnionOfCqs& u2);
+
+// True iff q1 and q2 are equivalent.
+Result<bool> CqEquivalent(const ConjunctiveQuery& q1,
+                          const ConjunctiveQuery& q2);
+
+}  // namespace sqod
+
+#endif  // SQOD_CQ_CONTAINMENT_H_

@@ -1,0 +1,59 @@
+#include "src/cq/homomorphism.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/ast/unify.h"
+
+namespace sqod {
+
+namespace {
+
+bool Search(const std::vector<Atom>& from,
+            const std::unordered_map<PredId, std::vector<const Atom*>>& index,
+            size_t next, Substitution* subst,
+            const std::function<bool(const Substitution&)>& visit) {
+  if (next == from.size()) return visit(*subst);
+  const Atom& pattern = from[next];
+  auto it = index.find(pattern.pred());
+  if (it == index.end()) return false;
+  for (const Atom* target : it->second) {
+    Substitution attempt = *subst;  // copy; pattern sizes are small
+    if (!MatchInto(pattern, *target, &attempt)) continue;
+    if (Search(from, index, next + 1, &attempt, visit)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ForEachHomomorphism(
+    const std::vector<Atom>& from, const std::vector<Atom>& to,
+    const Substitution& base,
+    const std::function<bool(const Substitution&)>& visit) {
+  std::unordered_map<PredId, std::vector<const Atom*>> index;
+  for (const Atom& a : to) index[a.pred()].push_back(&a);
+
+  // Order the source atoms so that atoms sharing variables with earlier ones
+  // come sooner (cheap join-ordering heuristic): here we simply sort by
+  // (fewest candidate targets first), which bounds the branching early.
+  std::vector<Atom> ordered = from;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [&](const Atom& a, const Atom& b) {
+                     size_t ca = index.count(a.pred()) ? index[a.pred()].size() : 0;
+                     size_t cb = index.count(b.pred()) ? index[b.pred()].size() : 0;
+                     return ca < cb;
+                   });
+
+  Substitution subst = base;
+  return Search(ordered, index, 0, &subst, visit);
+}
+
+bool HomomorphismExists(const std::vector<Atom>& from,
+                        const std::vector<Atom>& to,
+                        const Substitution& base) {
+  return ForEachHomomorphism(from, to, base,
+                             [](const Substitution&) { return true; });
+}
+
+}  // namespace sqod

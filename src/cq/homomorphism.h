@@ -1,0 +1,32 @@
+#ifndef SQOD_CQ_HOMOMORPHISM_H_
+#define SQOD_CQ_HOMOMORPHISM_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/ast/substitution.h"
+
+namespace sqod {
+
+// Enumerates homomorphisms from the atom set `from` into the atom set `to`:
+// substitutions h over the variables of `from` such that h(a) is
+// syntactically equal to some atom of `to`, for every a in `from`.
+// Variables of `to` are treated as frozen constants (they are never bound).
+//
+// `visit` is called for each homomorphism found (extending `base`); if it
+// returns true the search stops and ForEachHomomorphism returns true.
+// Returns false when the enumeration completes without `visit` accepting.
+bool ForEachHomomorphism(
+    const std::vector<Atom>& from, const std::vector<Atom>& to,
+    const Substitution& base,
+    const std::function<bool(const Substitution&)>& visit);
+
+// Convenience: is there any homomorphism from `from` into `to` extending
+// `base`?
+bool HomomorphismExists(const std::vector<Atom>& from,
+                        const std::vector<Atom>& to,
+                        const Substitution& base = Substitution());
+
+}  // namespace sqod
+
+#endif  // SQOD_CQ_HOMOMORPHISM_H_

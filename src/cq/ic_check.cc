@@ -1,0 +1,38 @@
+#include "src/cq/ic_check.h"
+
+#include "src/ast/program.h"
+#include "src/eval/evaluator.h"
+
+namespace sqod {
+
+bool Violates(const Database& db, const Constraint& ic) {
+  // Reuse the join engine: evaluate the rule  __violation :- <ic body>.
+  // The 0-ary head derives a fact iff the body has a satisfying assignment,
+  // with negation and order atoms handled exactly as in rule bodies.
+  Program probe;
+  Rule rule;
+  rule.head = Atom("__violation", {});
+  rule.body = ic.body;
+  rule.comparisons = ic.comparisons;
+  probe.AddRule(std::move(rule));
+
+  Evaluator evaluator(probe);
+  Result<Database> idb = evaluator.Evaluate(db);
+  // The probe program cannot diverge (single non-recursive rule).
+  return idb.ok() && idb.value().Find(InternPred("__violation")) != nullptr &&
+         !idb.value().Find(InternPred("__violation"))->empty();
+}
+
+bool SatisfiesAll(const Database& db, const std::vector<Constraint>& ics) {
+  return !FirstViolated(db, ics).has_value();
+}
+
+std::optional<int> FirstViolated(const Database& db,
+                                 const std::vector<Constraint>& ics) {
+  for (int i = 0; i < static_cast<int>(ics.size()); ++i) {
+    if (Violates(db, ics[i])) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sqod

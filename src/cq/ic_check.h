@@ -1,0 +1,27 @@
+#ifndef SQOD_CQ_IC_CHECK_H_
+#define SQOD_CQ_IC_CHECK_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/ast/rule.h"
+#include "src/eval/database.h"
+
+namespace sqod {
+
+// True iff `db` violates `ic`: there is an assignment of constants to the
+// variables of `ic` under which every positive atom is a fact of `db`, no
+// negated atom is a fact of `db`, and all order atoms hold.
+bool Violates(const Database& db, const Constraint& ic);
+
+// True iff `db` satisfies every constraint in `ics` (a *consistent*
+// database in the paper's terminology).
+bool SatisfiesAll(const Database& db, const std::vector<Constraint>& ics);
+
+// Returns the index of the first violated constraint, if any.
+std::optional<int> FirstViolated(const Database& db,
+                                 const std::vector<Constraint>& ics);
+
+}  // namespace sqod
+
+#endif  // SQOD_CQ_IC_CHECK_H_

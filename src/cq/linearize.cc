@@ -1,0 +1,76 @@
+#include "src/cq/linearize.h"
+
+#include "src/order/solver.h"
+
+namespace sqod {
+
+std::vector<Comparison> LinearizationConstraints(const Linearization& lin) {
+  std::vector<Comparison> out;
+  for (size_t b = 0; b < lin.size(); ++b) {
+    for (size_t i = 1; i < lin[b].size(); ++i) {
+      out.push_back(Comparison(lin[b][0], CmpOp::kEq, lin[b][i]));
+    }
+    if (b + 1 < lin.size()) {
+      out.push_back(Comparison(lin[b][0], CmpOp::kLt, lin[b + 1][0]));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool Extend(const std::vector<Term>& terms, size_t next,
+            const std::vector<Comparison>& given, Linearization* lin,
+            const std::function<bool(const Linearization&)>& visit) {
+  if (next == terms.size()) {
+    // Final consistency check: the linearization plus the given conjunction
+    // must be satisfiable (this also enforces the true order on constants,
+    // which OrderSolver knows about).
+    std::vector<Comparison> all = LinearizationConstraints(*lin);
+    all.insert(all.end(), given.begin(), given.end());
+    if (!ComparisonsConsistent(all)) return false;
+    return visit(*lin);
+  }
+  const Term& t = terms[next];
+
+  // Prune: check consistency of the partial placement plus `given` before
+  // recursing further. (The check at the leaf is still needed because
+  // pruning here uses the same test; this keeps the code simple and the
+  // enumeration correct.)
+  auto consistent_so_far = [&]() {
+    std::vector<Comparison> all = LinearizationConstraints(*lin);
+    all.insert(all.end(), given.begin(), given.end());
+    return ComparisonsConsistent(all);
+  };
+
+  // Insert into an existing block.
+  for (size_t b = 0; b < lin->size(); ++b) {
+    (*lin)[b].push_back(t);
+    if (consistent_so_far() && Extend(terms, next + 1, given, lin, visit)) {
+      (*lin)[b].pop_back();
+      return true;
+    }
+    (*lin)[b].pop_back();
+  }
+  // Insert as a new singleton block at each gap.
+  for (size_t gap = 0; gap <= lin->size(); ++gap) {
+    lin->insert(lin->begin() + gap, {t});
+    if (consistent_so_far() && Extend(terms, next + 1, given, lin, visit)) {
+      lin->erase(lin->begin() + gap);
+      return true;
+    }
+    lin->erase(lin->begin() + gap);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ForEachLinearization(
+    const std::vector<Term>& terms, const std::vector<Comparison>& given,
+    const std::function<bool(const Linearization&)>& visit) {
+  Linearization lin;
+  return Extend(terms, 0, given, &lin, visit);
+}
+
+}  // namespace sqod

@@ -1,0 +1,34 @@
+#ifndef SQOD_CQ_LINEARIZE_H_
+#define SQOD_CQ_LINEARIZE_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/ast/comparison.h"
+
+namespace sqod {
+
+// A linearization (total preorder) over a set of terms: an ordered sequence
+// of blocks; terms within a block are equal, terms in earlier blocks are
+// strictly smaller.
+using Linearization = std::vector<std::vector<Term>>;
+
+// Expands a linearization into the explicit conjunction of order atoms it
+// stands for (equalities within blocks, strict inequalities between
+// consecutive block representatives).
+std::vector<Comparison> LinearizationConstraints(const Linearization& lin);
+
+// Enumerates every total preorder over `terms` that (a) is consistent with
+// the conjunction `given` and (b) orders constants by their true order.
+// Calls `visit` per linearization; stops early (returning true) when `visit`
+// returns true. The number of weak orders grows like the ordered Bell
+// numbers, so this is intended for the small term sets of single queries
+// (Klug's containment test is Pi2P-complete; no polynomial algorithm is
+// expected).
+bool ForEachLinearization(
+    const std::vector<Term>& terms, const std::vector<Comparison>& given,
+    const std::function<bool(const Linearization&)>& visit);
+
+}  // namespace sqod
+
+#endif  // SQOD_CQ_LINEARIZE_H_

@@ -1,0 +1,69 @@
+#include "src/cq/minimize.h"
+
+namespace sqod {
+
+Result<ConjunctiveQuery> MinimizeCq(const ConjunctiveQuery& q) {
+  for (const Literal& l : q.body) {
+    if (l.negated) {
+      return Status::Error("MinimizeCq supports positive bodies only");
+    }
+  }
+  if (!q.comparisons.empty()) {
+    return Status::Error("MinimizeCq does not support order atoms");
+  }
+  ConjunctiveQuery current = q;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < current.body.size(); ++i) {
+      ConjunctiveQuery candidate = current;
+      candidate.body.erase(candidate.body.begin() + i);
+      // Dropping an atom can only enlarge the result; equivalence holds iff
+      // candidate is contained in current.
+      Result<bool> contained = CqContained(candidate, current);
+      if (!contained.ok()) return contained.status();
+      if (contained.value()) {
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+Result<UnionOfCqs> MinimizeUcq(const UnionOfCqs& ucq) {
+  // Drop disjuncts covered by the union of the remaining ones. Processing
+  // in order with re-checks yields an irredundant union.
+  std::vector<bool> keep(ucq.size(), true);
+  for (size_t i = 0; i < ucq.size(); ++i) {
+    UnionOfCqs others;
+    for (size_t j = 0; j < ucq.size(); ++j) {
+      if (j != i && keep[j]) others.push_back(ucq[j]);
+    }
+    if (others.empty()) continue;
+    Result<bool> covered = CqContainedInUnion(ucq[i], others);
+    if (!covered.ok()) return covered.status();
+    if (covered.value()) keep[i] = false;
+  }
+  UnionOfCqs out;
+  for (size_t i = 0; i < ucq.size(); ++i) {
+    if (!keep[i]) continue;
+    // Minimize plain survivors; leave disjuncts with comparisons as-is
+    // (core minimization under order atoms is out of scope).
+    bool plain = ucq[i].comparisons.empty();
+    for (const Literal& l : ucq[i].body) {
+      if (l.negated) plain = false;
+    }
+    if (plain) {
+      Result<ConjunctiveQuery> m = MinimizeCq(ucq[i]);
+      if (!m.ok()) return m.status();
+      out.push_back(m.take());
+    } else {
+      out.push_back(ucq[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace sqod

@@ -1,0 +1,21 @@
+#ifndef SQOD_CQ_MINIMIZE_H_
+#define SQOD_CQ_MINIMIZE_H_
+
+#include "src/cq/containment.h"
+
+namespace sqod {
+
+// Minimizes a plain conjunctive query (no comparisons, no negation) by
+// repeatedly dropping body atoms whose removal keeps the query equivalent
+// (via the classic self-homomorphism test). The result is the unique core
+// up to isomorphism.
+Result<ConjunctiveQuery> MinimizeCq(const ConjunctiveQuery& q);
+
+// Minimizes a union of conjunctive queries: drops disjuncts contained in
+// the union of the others (Sagiv-Yannakakis) and minimizes each survivor.
+// Comparisons are allowed (containment uses Klug's test); negation is not.
+Result<UnionOfCqs> MinimizeUcq(const UnionOfCqs& ucq);
+
+}  // namespace sqod
+
+#endif  // SQOD_CQ_MINIMIZE_H_

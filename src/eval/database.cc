@@ -1,0 +1,76 @@
+#include "src/eval/database.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace sqod {
+
+bool Database::Insert(PredId pred, Tuple t) {
+  return FindOrCreate(pred, static_cast<int>(t.size()))->Insert(t);
+}
+
+bool Database::InsertAtom(const Atom& fact) {
+  SQOD_CHECK_MSG(fact.is_ground(), fact.ToString().c_str());
+  Tuple t;
+  t.reserve(fact.args().size());
+  for (const Term& term : fact.args()) t.push_back(term.value());
+  return Insert(fact.pred(), std::move(t));
+}
+
+bool Database::Contains(PredId pred, const Tuple& t) const {
+  const Relation* rel = Find(pred);
+  return rel != nullptr && rel->Contains(t);
+}
+
+const Relation* Database::Find(PredId pred) const {
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Relation* Database::FindOrCreate(PredId pred, int arity) {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) {
+    it = relations_.emplace(pred, Relation(arity)).first;
+  }
+  SQOD_CHECK_MSG(it->second.arity() == arity, PredName(pred).c_str());
+  return &it->second;
+}
+
+int64_t Database::TotalTuples() const {
+  int64_t n = 0;
+  for (const auto& [pred, rel] : relations_) n += rel.size();
+  return n;
+}
+
+std::string Database::ToString() const {
+  // Deterministic output: predicates sorted by name, tuples sorted.
+  std::vector<PredId> preds;
+  for (const auto& [pred, rel] : relations_) preds.push_back(pred);
+  std::sort(preds.begin(), preds.end(), [](PredId a, PredId b) {
+    return PredName(a) < PredName(b);
+  });
+  std::string out;
+  for (PredId pred : preds) {
+    const Relation& rel = *Find(pred);
+    std::vector<Tuple> rows = rel.rows();
+    std::sort(rows.begin(), rows.end(), [](const Tuple& a, const Tuple& b) {
+      for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c < 0;
+      }
+      return a.size() < b.size();
+    });
+    for (const Tuple& row : rows) {
+      out += PredName(pred) + "(";
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += row[i].ToString();
+      }
+      out += ").\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace sqod

@@ -1,0 +1,45 @@
+#ifndef SQOD_EVAL_DATABASE_H_
+#define SQOD_EVAL_DATABASE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ast/atom.h"
+#include "src/base/status.h"
+#include "src/eval/relation.h"
+
+namespace sqod {
+
+// A set of ground facts: predicate -> relation. Used both for the EDB and
+// for computed IDB relations.
+class Database {
+ public:
+  Database() = default;
+
+  // Inserts a ground fact. Returns true if new.
+  bool Insert(PredId pred, Tuple t);
+  // Inserts a ground atom; CHECK-fails if not ground.
+  bool InsertAtom(const Atom& fact);
+
+  bool Contains(PredId pred, const Tuple& t) const;
+
+  // The relation for `pred` (empty dummy with arity -1 lookups return
+  // nullptr instead).
+  const Relation* Find(PredId pred) const;
+  Relation* FindOrCreate(PredId pred, int arity);
+
+  int64_t TotalTuples() const;
+  const std::unordered_map<PredId, Relation>& relations() const {
+    return relations_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<PredId, Relation> relations_;
+};
+
+}  // namespace sqod
+
+#endif  // SQOD_EVAL_DATABASE_H_

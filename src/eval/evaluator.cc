@@ -1,0 +1,463 @@
+#include "src/eval/evaluator.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "src/base/check.h"
+
+namespace sqod {
+
+std::string EvalStats::ToString() const {
+  return "iterations=" + std::to_string(iterations) +
+         " firings=" + std::to_string(rule_firings) +
+         " derived=" + std::to_string(tuples_derived) +
+         " duplicates=" + std::to_string(duplicate_derivations) +
+         " probes=" + std::to_string(join_probes) +
+         " cmp_checks=" + std::to_string(comparison_checks);
+}
+
+namespace {
+
+// Variable bindings with a trail for cheap backtracking.
+class Bindings {
+ public:
+  size_t Mark() const { return trail_.size(); }
+
+  void Restore(size_t mark) {
+    while (trail_.size() > mark) {
+      map_.erase(trail_.back());
+      trail_.pop_back();
+    }
+  }
+
+  // Binds or checks; returns false on mismatch with an existing binding.
+  bool Bind(VarId var, const Value& value) {
+    auto [it, inserted] = map_.emplace(var, value);
+    if (!inserted) return it->second == value;
+    trail_.push_back(var);
+    return true;
+  }
+
+  const Value* Lookup(VarId var) const {
+    auto it = map_.find(var);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::unordered_map<VarId, Value> map_;
+  std::vector<VarId> trail_;
+};
+
+// One step of a rule-evaluation plan.
+struct PlanStep {
+  enum class Kind { kJoin, kNegation, kComparison };
+  Kind kind;
+  int index;  // into rule.body (kJoin / kNegation) or rule.comparisons
+};
+
+// The precompiled plan for one (rule, delta-subgoal) combination: the order
+// in which body elements are evaluated. Comparisons and negations are placed
+// at the earliest point where all their variables are bound.
+struct RulePlan {
+  int rule_index;
+  // Index (into rule.body) of the positive subgoal that reads the delta
+  // relation, or -1 for "all subgoals read their full relation".
+  int delta_subgoal;
+  std::vector<PlanStep> steps;
+};
+
+bool TermBound(const Term& t, const Bindings& b) {
+  return t.is_const() || b.Lookup(t.var()) != nullptr;
+}
+
+Value TermValue(const Term& t, const Bindings& b) {
+  if (t.is_const()) return t.value();
+  const Value* v = b.Lookup(t.var());
+  SQOD_CHECK(v != nullptr);
+  return *v;
+}
+
+// Builds the evaluation order for a rule. `first` (if >= 0) is the body
+// index of the positive subgoal to evaluate first (the delta subgoal).
+RulePlan BuildPlan(const Rule& rule, int rule_index, int first) {
+  RulePlan plan;
+  plan.rule_index = rule_index;
+  plan.delta_subgoal = first;
+
+  std::set<VarId> bound;
+  std::vector<bool> done_body(rule.body.size(), false);
+  std::vector<bool> done_cmp(rule.comparisons.size(), false);
+
+  auto vars_bound = [&](const std::vector<VarId>& vars) {
+    return std::all_of(vars.begin(), vars.end(),
+                       [&](VarId v) { return bound.count(v) > 0; });
+  };
+
+  auto emit_ready_filters = [&] {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (size_t i = 0; i < rule.comparisons.size(); ++i) {
+        if (done_cmp[i]) continue;
+        std::vector<VarId> vars;
+        rule.comparisons[i].CollectVars(&vars);
+        if (vars_bound(vars)) {
+          plan.steps.push_back(
+              {PlanStep::Kind::kComparison, static_cast<int>(i)});
+          done_cmp[i] = true;
+          progress = true;
+        }
+      }
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (done_body[i] || !rule.body[i].negated) continue;
+        std::vector<VarId> vars;
+        rule.body[i].atom.CollectVars(&vars);
+        if (vars_bound(vars)) {
+          plan.steps.push_back({PlanStep::Kind::kNegation, static_cast<int>(i)});
+          done_body[i] = true;
+          progress = true;
+        }
+      }
+    }
+  };
+
+  auto emit_join = [&](int i) {
+    plan.steps.push_back({PlanStep::Kind::kJoin, i});
+    done_body[i] = true;
+    std::vector<VarId> vars;
+    rule.body[i].atom.CollectVars(&vars);
+    bound.insert(vars.begin(), vars.end());
+  };
+
+  emit_ready_filters();  // ground comparisons, if any
+  if (first >= 0) {
+    SQOD_CHECK(!rule.body[first].negated);
+    emit_join(first);
+    emit_ready_filters();
+  }
+  for (;;) {
+    // Pick the positive subgoal with the most bound argument positions.
+    int best = -1;
+    int best_score = -1;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (done_body[i] || rule.body[i].negated) continue;
+      const Atom& a = rule.body[i].atom;
+      int score = 0;
+      for (const Term& t : a.args()) {
+        if (t.is_const() || bound.count(t.var()) > 0) ++score;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best == -1) break;
+    emit_join(best);
+    emit_ready_filters();
+  }
+  // Safety guarantees every negation and comparison was emitted.
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    SQOD_CHECK_MSG(done_body[i] || !rule.body[i].negated,
+                   rule.ToString().c_str());
+    SQOD_CHECK_MSG(done_body[i], rule.ToString().c_str());
+  }
+  for (size_t i = 0; i < rule.comparisons.size(); ++i) {
+    SQOD_CHECK_MSG(done_cmp[i], rule.ToString().c_str());
+  }
+  return plan;
+}
+
+// Runtime context shared by all rules during one evaluation.
+struct Context {
+  const Program* program;
+  const Database* edb;
+  Database* idb_total;        // all IDB tuples derived so far
+  const Database* idb_delta;  // last iteration's new tuples (may be null)
+  Database* out_new;          // staging area for this iteration's new tuples
+  EvalOptions options;
+  EvalStats* stats;
+  std::set<PredId> idb_preds;
+  int64_t* derived_count;
+  bool* overflow;
+};
+
+const Relation* RelationFor(const Context& ctx, const RulePlan& plan,
+                            int body_index, PredId pred) {
+  if (ctx.idb_preds.count(pred) == 0) return ctx.edb->Find(pred);
+  if (body_index == plan.delta_subgoal) {
+    return ctx.idb_delta == nullptr ? nullptr : ctx.idb_delta->Find(pred);
+  }
+  return ctx.idb_total->Find(pred);
+}
+
+void DeriveHead(const Rule& rule, const Bindings& bindings, Context* ctx) {
+  ++ctx->stats->rule_firings;
+  Tuple head;
+  head.reserve(rule.head.args().size());
+  for (const Term& t : rule.head.args()) {
+    head.push_back(TermValue(t, bindings));
+  }
+  PredId pred = rule.head.pred();
+  if (ctx->idb_total->Contains(pred, head) ||
+      ctx->out_new->Contains(pred, head)) {
+    ++ctx->stats->duplicate_derivations;
+    return;
+  }
+  ctx->out_new->Insert(pred, std::move(head));
+  ++ctx->stats->tuples_derived;
+  ++*ctx->derived_count;
+  if (ctx->options.max_derived >= 0 &&
+      *ctx->derived_count > ctx->options.max_derived) {
+    *ctx->overflow = true;
+  }
+}
+
+// Recursive join over the plan steps.
+void RunSteps(const Rule& rule, const RulePlan& plan, size_t step_index,
+              Bindings* bindings, Context* ctx) {
+  if (*ctx->overflow) return;
+  if (step_index == plan.steps.size()) {
+    DeriveHead(rule, *bindings, ctx);
+    return;
+  }
+  const PlanStep& step = plan.steps[step_index];
+  switch (step.kind) {
+    case PlanStep::Kind::kComparison: {
+      const Comparison& c = rule.comparisons[step.index];
+      ++ctx->stats->comparison_checks;
+      if (EvalCmp(TermValue(c.lhs, *bindings), c.op,
+                  TermValue(c.rhs, *bindings))) {
+        RunSteps(rule, plan, step_index + 1, bindings, ctx);
+      }
+      return;
+    }
+    case PlanStep::Kind::kNegation: {
+      const Atom& a = rule.body[step.index].atom;
+      Tuple t;
+      t.reserve(a.args().size());
+      for (const Term& term : a.args()) t.push_back(TermValue(term, *bindings));
+      // Negated IDB predicates live in strictly lower strata, already
+      // completed in idb_total; EDB predicates live in the input database.
+      const Relation* rel = ctx->idb_preds.count(a.pred()) > 0
+                                ? ctx->idb_total->Find(a.pred())
+                                : ctx->edb->Find(a.pred());
+      if (rel == nullptr || !rel->Contains(t)) {
+        RunSteps(rule, plan, step_index + 1, bindings, ctx);
+      }
+      return;
+    }
+    case PlanStep::Kind::kJoin: {
+      const Atom& a = rule.body[step.index].atom;
+      const Relation* rel = RelationFor(*ctx, plan, step.index, a.pred());
+      if (rel == nullptr || rel->empty()) return;
+
+      // Determine bound positions and the probe key.
+      uint64_t mask = 0;
+      Tuple key;
+      for (int i = 0; i < a.arity(); ++i) {
+        if (TermBound(a.arg(i), *bindings)) {
+          mask |= uint64_t{1} << i;
+          key.push_back(TermValue(a.arg(i), *bindings));
+        }
+      }
+
+      auto try_row = [&](const Tuple& row) {
+        ++ctx->stats->join_probes;
+        size_t mark = bindings->Mark();
+        bool ok = true;
+        for (int i = 0; i < a.arity() && ok; ++i) {
+          const Term& t = a.arg(i);
+          if (t.is_const()) {
+            ok = t.value() == row[i];
+          } else {
+            ok = bindings->Bind(t.var(), row[i]);
+          }
+        }
+        if (ok) RunSteps(rule, plan, step_index + 1, bindings, ctx);
+        bindings->Restore(mark);
+      };
+
+      if (mask != 0 && ctx->options.use_indexes) {
+        const std::vector<int>* rows = rel->Probe(mask, key);
+        if (rows == nullptr) return;
+        for (int r : *rows) {
+          try_row(rel->rows()[r]);
+          if (*ctx->overflow) return;
+        }
+      } else {
+        for (const Tuple& row : rel->rows()) {
+          try_row(row);
+          if (*ctx->overflow) return;
+        }
+      }
+      return;
+    }
+  }
+}
+
+void RunPlan(const Rule& rule, const RulePlan& plan, Context* ctx) {
+  Bindings bindings;
+  RunSteps(rule, plan, 0, &bindings, ctx);
+}
+
+// Merges `src` into `dst`; returns the number of new tuples.
+int64_t MergeInto(const Database& src, Database* dst) {
+  int64_t added = 0;
+  for (const auto& [pred, rel] : src.relations()) {
+    for (const Tuple& t : rel.rows()) {
+      if (dst->Insert(pred, t)) ++added;
+    }
+  }
+  return added;
+}
+
+}  // namespace
+
+Evaluator::Evaluator(const Program& program, EvalOptions options)
+    : program_(program), options_(options) {}
+
+Result<Database> Evaluator::Evaluate(const Database& edb) {
+  stats_ = EvalStats();
+  Result<std::map<PredId, int>> strata = program_.Stratify();
+  if (!strata.ok()) return strata.status();
+  int max_stratum = 0;
+  for (const auto& [pred, s] : strata.value()) {
+    max_stratum = std::max(max_stratum, s);
+  }
+
+  Database total;
+  int64_t derived_count = 0;
+  bool overflow = false;
+
+  Context ctx;
+  ctx.program = &program_;
+  ctx.edb = &edb;
+  ctx.idb_total = &total;
+  ctx.idb_delta = nullptr;
+  ctx.options = options_;
+  ctx.stats = &stats_;
+  ctx.idb_preds = program_.IdbPreds();
+  ctx.derived_count = &derived_count;
+  ctx.overflow = &overflow;
+
+  const std::vector<Rule>& rules = program_.rules();
+
+  auto fail_if_overflow = [&]() -> Status {
+    if (overflow) {
+      return Status::Error("evaluation exceeded max_derived=" +
+                           std::to_string(options_.max_derived));
+    }
+    return Status::Ok();
+  };
+
+  // Evaluate stratum by stratum: negated IDB subgoals point strictly below
+  // and read the completed relations in `total`; positive IDB subgoals of
+  // lower strata are static within this stratum and read `total` too; only
+  // same-stratum positive IDB subgoals drive the semi-naive deltas.
+  for (int stratum = 0; stratum <= max_stratum; ++stratum) {
+    std::vector<int> stratum_rules;
+    for (int r = 0; r < static_cast<int>(rules.size()); ++r) {
+      if (strata.value().at(rules[r].head.pred()) == stratum) {
+        stratum_rules.push_back(r);
+      }
+    }
+    if (stratum_rules.empty()) continue;
+
+    // Same-stratum positive IDB subgoal body indices, per rule.
+    std::map<int, std::vector<int>> recursive_subgoals;
+    for (int r : stratum_rules) {
+      for (size_t i = 0; i < rules[r].body.size(); ++i) {
+        const Literal& l = rules[r].body[i];
+        if (!l.negated && ctx.idb_preds.count(l.atom.pred()) > 0 &&
+            strata.value().at(l.atom.pred()) == stratum) {
+          recursive_subgoals[r].push_back(static_cast<int>(i));
+        }
+      }
+    }
+
+    if (!options_.semi_naive) {
+      // Naive within the stratum.
+      std::vector<RulePlan> plans;
+      for (int r : stratum_rules) plans.push_back(BuildPlan(rules[r], r, -1));
+      for (;;) {
+        ++stats_.iterations;
+        Database fresh;
+        ctx.out_new = &fresh;
+        ctx.idb_delta = nullptr;
+        for (const RulePlan& plan : plans) {
+          RunPlan(rules[plan.rule_index], plan, &ctx);
+        }
+        Status s = fail_if_overflow();
+        if (!s.ok()) return s;
+        if (MergeInto(fresh, &total) == 0) break;
+      }
+      continue;
+    }
+
+    // Semi-naive. Iteration 0: rules with no same-stratum IDB subgoal.
+    Database delta;
+    {
+      ++stats_.iterations;
+      Database fresh;
+      ctx.out_new = &fresh;
+      ctx.idb_delta = nullptr;
+      for (int r : stratum_rules) {
+        if (recursive_subgoals.count(r) > 0) continue;
+        RulePlan plan = BuildPlan(rules[r], r, -1);
+        RunPlan(rules[r], plan, &ctx);
+      }
+      Status s = fail_if_overflow();
+      if (!s.ok()) return s;
+      MergeInto(fresh, &total);
+      delta = std::move(fresh);
+    }
+
+    // One plan per (rule, same-stratum delta-subgoal occurrence).
+    std::vector<RulePlan> delta_plans;
+    for (const auto& [r, occurrences] : recursive_subgoals) {
+      for (int occurrence : occurrences) {
+        delta_plans.push_back(BuildPlan(rules[r], r, occurrence));
+      }
+    }
+
+    while (delta.TotalTuples() > 0) {
+      ++stats_.iterations;
+      Database fresh;
+      ctx.out_new = &fresh;
+      ctx.idb_delta = &delta;
+      for (const RulePlan& plan : delta_plans) {
+        RunPlan(rules[plan.rule_index], plan, &ctx);
+      }
+      Status s = fail_if_overflow();
+      if (!s.ok()) return s;
+      MergeInto(fresh, &total);
+      delta = std::move(fresh);
+    }
+  }
+  return total;
+}
+
+Result<std::vector<Tuple>> EvaluateQuery(const Program& program,
+                                         const Database& edb,
+                                         EvalOptions options,
+                                         EvalStats* stats) {
+  SQOD_CHECK_MSG(program.query() != -1, "program has no query predicate");
+  Evaluator evaluator(program, options);
+  Result<Database> idb = evaluator.Evaluate(edb);
+  if (stats != nullptr) *stats = evaluator.stats();
+  if (!idb.ok()) return idb.status();
+  std::vector<Tuple> out;
+  const Relation* rel = idb.value().Find(program.query());
+  if (rel != nullptr) out = rel->rows();
+  std::sort(out.begin(), out.end(), [](const Tuple& a, const Tuple& b) {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  });
+  return out;
+}
+
+}  // namespace sqod

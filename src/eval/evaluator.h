@@ -1,0 +1,63 @@
+#ifndef SQOD_EVAL_EVALUATOR_H_
+#define SQOD_EVAL_EVALUATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/base/status.h"
+#include "src/eval/database.h"
+
+namespace sqod {
+
+struct EvalOptions {
+  // Semi-naive (delta-driven) iteration vs naive re-evaluation.
+  bool semi_naive = true;
+  // Use hash indexes for bound-column probes; otherwise scan.
+  bool use_indexes = true;
+  // Abort with an error when more than this many IDB tuples are derived
+  // (guards against runaway programs in tests). -1 = unlimited.
+  int64_t max_derived = -1;
+};
+
+// Work counters; the instrument behind every speedup benchmark.
+struct EvalStats {
+  int64_t iterations = 0;
+  int64_t rule_firings = 0;          // complete body matches found
+  int64_t tuples_derived = 0;        // new IDB tuples
+  int64_t duplicate_derivations = 0; // matches deriving an existing tuple
+  int64_t join_probes = 0;           // candidate rows examined during joins
+  int64_t comparison_checks = 0;     // order-atom evaluations
+
+  std::string ToString() const;
+};
+
+// Bottom-up evaluation of a datalog program with safe negation on EDB
+// predicates and order atoms. Negation needs no stratification because only
+// EDB predicates may be negated (Section 2 of the paper).
+class Evaluator {
+ public:
+  explicit Evaluator(const Program& program, EvalOptions options = {});
+
+  // Computes all IDB relations from `edb`. The returned database holds IDB
+  // facts only.
+  Result<Database> Evaluate(const Database& edb);
+
+  const EvalStats& stats() const { return stats_; }
+
+ private:
+  const Program& program_;
+  EvalOptions options_;
+  EvalStats stats_;
+};
+
+// Convenience: evaluates and returns the query predicate's tuples, sorted.
+Result<std::vector<Tuple>> EvaluateQuery(const Program& program,
+                                         const Database& edb,
+                                         EvalOptions options = {},
+                                         EvalStats* stats = nullptr);
+
+}  // namespace sqod
+
+#endif  // SQOD_EVAL_EVALUATOR_H_

@@ -1,0 +1,46 @@
+#include "src/eval/relation.h"
+
+#include "src/base/check.h"
+
+namespace sqod {
+
+bool Relation::Insert(const Tuple& t) {
+  SQOD_CHECK(static_cast<int>(t.size()) == arity_);
+  auto [it, inserted] = dedup_.insert(t);
+  if (!inserted) return false;
+  int row = static_cast<int>(rows_.size());
+  rows_.push_back(t);
+  for (auto& [mask, index] : indexes_) {
+    index[KeyFor(t, mask)].push_back(row);
+  }
+  return true;
+}
+
+Tuple Relation::KeyFor(const Tuple& row, uint64_t mask) const {
+  Tuple key;
+  for (int i = 0; i < arity_; ++i) {
+    if (mask & (uint64_t{1} << i)) key.push_back(row[i]);
+  }
+  return key;
+}
+
+const std::vector<int>* Relation::Probe(uint64_t mask, const Tuple& key) const {
+  auto it = indexes_.find(mask);
+  if (it == indexes_.end()) {
+    Index index;
+    for (int row = 0; row < static_cast<int>(rows_.size()); ++row) {
+      index[KeyFor(rows_[row], mask)].push_back(row);
+    }
+    it = indexes_.emplace(mask, std::move(index)).first;
+  }
+  auto hit = it->second.find(key);
+  return hit == it->second.end() ? nullptr : &hit->second;
+}
+
+void Relation::Clear() {
+  rows_.clear();
+  dedup_.clear();
+  indexes_.clear();
+}
+
+}  // namespace sqod

@@ -1,0 +1,52 @@
+#ifndef SQOD_EVAL_RELATION_H_
+#define SQOD_EVAL_RELATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/eval/tuple.h"
+
+namespace sqod {
+
+// A set of tuples of one arity, with duplicate elimination and lazily built
+// hash indexes on column subsets. Indexes are created on first probe for a
+// column mask and maintained incrementally on insert.
+class Relation {
+ public:
+  explicit Relation(int arity = 0) : arity_(arity) {}
+
+  int arity() const { return arity_; }
+  int64_t size() const { return static_cast<int64_t>(rows_.size()); }
+  bool empty() const { return rows_.empty(); }
+
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  // Inserts `t`; returns true if it was new.
+  bool Insert(const Tuple& t);
+
+  bool Contains(const Tuple& t) const { return dedup_.count(t) > 0; }
+
+  // Row indices whose values at the columns of `mask` (bit i => column i)
+  // equal `key` (the values at the masked columns, in column order).
+  // Builds the index for `mask` on first use. Returns nullptr when no row
+  // matches.
+  const std::vector<int>* Probe(uint64_t mask, const Tuple& key) const;
+
+  void Clear();
+
+ private:
+  using Index = std::unordered_map<Tuple, std::vector<int>, TupleHash>;
+
+  Tuple KeyFor(const Tuple& row, uint64_t mask) const;
+
+  int arity_;
+  std::vector<Tuple> rows_;
+  std::unordered_set<Tuple, TupleHash> dedup_;
+  mutable std::unordered_map<uint64_t, Index> indexes_;
+};
+
+}  // namespace sqod
+
+#endif  // SQOD_EVAL_RELATION_H_

@@ -1,0 +1,23 @@
+#ifndef SQOD_EVAL_TUPLE_H_
+#define SQOD_EVAL_TUPLE_H_
+
+#include <vector>
+
+#include "src/base/value.h"
+
+namespace sqod {
+
+// A database tuple: a fixed-arity sequence of values.
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t h = t.size();
+    for (const Value& v : t) h = h * 1000003 + v.Hash();
+    return h;
+  }
+};
+
+}  // namespace sqod
+
+#endif  // SQOD_EVAL_TUPLE_H_

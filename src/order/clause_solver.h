@@ -1,0 +1,26 @@
+#ifndef SQOD_ORDER_CLAUSE_SOLVER_H_
+#define SQOD_ORDER_CLAUSE_SOLVER_H_
+
+#include <vector>
+
+#include "src/ast/comparison.h"
+
+namespace sqod {
+
+// A clause is a disjunction of order atoms. Clauses arise when checking
+// satisfiability of a rule body w.r.t. {theta}-ICs: every homomorphism of an
+// IC into the body contributes the clause "not all of the IC's order atoms
+// hold", i.e. the disjunction of their negations.
+using OrderClause = std::vector<Comparison>;
+
+// Decides satisfiability of   base /\ (c11 v c12 v ...) /\ (c21 v ...) ...
+// over a dense order, by DPLL-style branching on the clauses with
+// consistency pruning through OrderSolver. Exponential in the number of
+// clauses in the worst case (the problem is Pi2P-hard in general), fine for
+// the problem sizes of the paper's constructions.
+bool SatisfiableWithClauses(const std::vector<Comparison>& base,
+                            const std::vector<OrderClause>& clauses);
+
+}  // namespace sqod
+
+#endif  // SQOD_ORDER_CLAUSE_SOLVER_H_

@@ -1,0 +1,233 @@
+#include "src/order/solver.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "src/base/check.h"
+
+namespace sqod {
+
+namespace {
+
+// Union-find over dense node ids.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+// The normalized constraint system: nodes for every distinct term, `=`
+// already merged, digraph of <= / < edges, list of != pairs.
+struct System {
+  std::vector<Term> node_term;          // node id -> a representative term
+  std::map<Term, int> term_node;        // term -> node id (Term has operator<)
+  std::vector<std::pair<int, int>> le;  // u <= v
+  std::vector<std::pair<int, int>> lt;  // u < v
+  std::vector<std::pair<int, int>> ne;  // u != v
+  UnionFind uf{0};
+  bool trivially_inconsistent = false;
+
+  int NodeFor(const Term& t) {
+    auto it = term_node.find(t);
+    if (it != term_node.end()) return it->second;
+    int id = static_cast<int>(node_term.size());
+    node_term.push_back(t);
+    term_node.emplace(t, id);
+    return id;
+  }
+};
+
+System BuildSystem(const std::vector<Comparison>& conjuncts) {
+  System sys;
+  // First pass: create nodes and collect raw relations.
+  std::vector<std::pair<int, int>> eq;
+  for (const Comparison& raw : conjuncts) {
+    Comparison c = raw.Canonical();  // only kLt, kLe, kEq, kNe remain
+    int u = sys.NodeFor(c.lhs);
+    int v = sys.NodeFor(c.rhs);
+    switch (c.op) {
+      case CmpOp::kLt: sys.lt.emplace_back(u, v); break;
+      case CmpOp::kLe: sys.le.emplace_back(u, v); break;
+      case CmpOp::kEq: eq.emplace_back(u, v); break;
+      case CmpOp::kNe: sys.ne.emplace_back(u, v); break;
+      default: SQOD_CHECK(false);
+    }
+  }
+  // Order the mentioned constants: equal constants share a node already
+  // (Term equality), distinct constants get a strict edge per the true order.
+  std::vector<int> const_nodes;
+  for (int i = 0; i < static_cast<int>(sys.node_term.size()); ++i) {
+    if (sys.node_term[i].is_const()) const_nodes.push_back(i);
+  }
+  for (size_t i = 0; i < const_nodes.size(); ++i) {
+    for (size_t j = i + 1; j < const_nodes.size(); ++j) {
+      int a = const_nodes[i];
+      int b = const_nodes[j];
+      if (sys.node_term[a].value() < sys.node_term[b].value()) {
+        sys.lt.emplace_back(a, b);
+      } else {
+        sys.lt.emplace_back(b, a);
+      }
+    }
+  }
+  // Merge equality classes.
+  sys.uf = UnionFind(static_cast<int>(sys.node_term.size()));
+  for (auto [u, v] : eq) sys.uf.Union(u, v);
+  return sys;
+}
+
+// Tarjan SCC over the merged <=/< digraph. Returns component id per class
+// representative; nodes in the same SCC must be equal in any model.
+std::vector<int> CondenseSccs(System* sys) {
+  const int n = static_cast<int>(sys->node_term.size());
+  // Build adjacency over union-find representatives.
+  std::vector<std::vector<int>> adj(n);
+  auto add_edge = [&](int u, int v) {
+    adj[sys->uf.Find(u)].push_back(sys->uf.Find(v));
+  };
+  for (auto [u, v] : sys->le) add_edge(u, v);
+  for (auto [u, v] : sys->lt) add_edge(u, v);
+
+  std::vector<int> comp(n, -1), low(n), num(n, -1), stack;
+  std::vector<bool> on_stack(n, false);
+  int counter = 0, comp_count = 0;
+  // Iterative Tarjan to avoid deep recursion on long chains.
+  struct Frame {
+    int node;
+    size_t edge;
+  };
+  for (int start = 0; start < n; ++start) {
+    if (sys->uf.Find(start) != start || num[start] != -1) continue;
+    std::vector<Frame> frames{{start, 0}};
+    num[start] = low[start] = counter++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < adj[f.node].size()) {
+        int next = adj[f.node][f.edge++];
+        if (num[next] == -1) {
+          num[next] = low[next] = counter++;
+          stack.push_back(next);
+          on_stack[next] = true;
+          frames.push_back({next, 0});
+        } else if (on_stack[next]) {
+          low[f.node] = std::min(low[f.node], num[next]);
+        }
+      } else {
+        if (low[f.node] == num[f.node]) {
+          for (;;) {
+            int w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp[w] = comp_count;
+            if (w == f.node) break;
+          }
+          ++comp_count;
+        }
+        int finished = f.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().node] =
+              std::min(low[frames.back().node], low[finished]);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+// Full analysis: returns (consistent, component id per node). Nodes with the
+// same component id are forced equal.
+std::pair<bool, std::vector<int>> Analyze(
+    const std::vector<Comparison>& conjuncts) {
+  System sys = BuildSystem(conjuncts);
+  const int n = static_cast<int>(sys.node_term.size());
+  std::vector<int> comp_of_rep = CondenseSccs(&sys);
+  std::vector<int> comp(n);
+  for (int i = 0; i < n; ++i) comp[i] = comp_of_rep[sys.uf.Find(i)];
+
+  // A strict edge inside one component contradicts forced equality.
+  for (auto [u, v] : sys.lt) {
+    if (comp[u] == comp[v]) return {false, comp};
+  }
+  // Two distinct constants cannot be forced equal (they are distinct points
+  // of the order). Distinct constants always have distinct nodes.
+  std::map<int, int> const_comp;  // component -> node of a constant in it
+  for (int i = 0; i < n; ++i) {
+    if (!sys.node_term[i].is_const()) continue;
+    auto [it, inserted] = const_comp.emplace(comp[i], i);
+    if (!inserted && it->second != i) return {false, comp};
+  }
+  // A != between members of one component is a contradiction.
+  for (auto [u, v] : sys.ne) {
+    if (comp[u] == comp[v]) return {false, comp};
+  }
+  return {true, comp};
+}
+
+}  // namespace
+
+bool OrderSolver::Consistent() const { return Analyze(conjuncts_).first; }
+
+bool OrderSolver::Entails(const Comparison& c) const {
+  // Fast path: the negated literal alone may be unsatisfiable (e.g. 3 < 2).
+  std::vector<Comparison> with_negation = conjuncts_;
+  with_negation.push_back(c.Negated());
+  return !Analyze(with_negation).first;
+}
+
+std::vector<std::pair<VarId, Term>> OrderSolver::ForcedEqualities() const {
+  std::vector<std::pair<VarId, Term>> out;
+  System sys = BuildSystem(conjuncts_);
+  const int n = static_cast<int>(sys.node_term.size());
+  std::vector<int> comp_of_rep = CondenseSccs(&sys);
+  std::vector<int> comp(n);
+  for (int i = 0; i < n; ++i) comp[i] = comp_of_rep[sys.uf.Find(i)];
+
+  // Pick a representative per component: a constant if present, otherwise
+  // the smallest term.
+  std::map<int, Term> rep;
+  for (int i = 0; i < n; ++i) {
+    const Term& t = sys.node_term[i];
+    auto it = rep.find(comp[i]);
+    if (it == rep.end()) {
+      rep.emplace(comp[i], t);
+    } else if (t.is_const() && !it->second.is_const()) {
+      it->second = t;
+    } else if (t.is_const() == it->second.is_const() && t < it->second) {
+      it->second = t;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    const Term& t = sys.node_term[i];
+    if (!t.is_var()) continue;
+    const Term& r = rep.at(comp[i]);
+    if (t != r) out.emplace_back(t.var(), r);
+  }
+  return out;
+}
+
+bool ComparisonsConsistent(const std::vector<Comparison>& conjuncts) {
+  return OrderSolver(conjuncts).Consistent();
+}
+
+bool ComparisonsEntail(const std::vector<Comparison>& conjuncts,
+                       const Comparison& c) {
+  return OrderSolver(conjuncts).Entails(c);
+}
+
+}  // namespace sqod

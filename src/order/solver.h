@@ -1,0 +1,61 @@
+#ifndef SQOD_ORDER_SOLVER_H_
+#define SQOD_ORDER_SOLVER_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/ast/comparison.h"
+
+namespace sqod {
+
+// Decision procedure for conjunctions of order atoms over a *dense* total
+// order without endpoints (Section 2 of the paper). Terms are variables or
+// constants; the constants are sample points of the dense order, so strict
+// room always exists between distinct constants and beyond any constant.
+//
+// The procedure: merge `=` classes (union-find), add the true order between
+// the mentioned constants, collapse strongly connected components of the
+// `<=`/`<` digraph (an SCC forces equality of its members), and reject if a
+// strict edge lies inside an SCC, two distinct constants fall into one class,
+// or a `!=` connects members of one class. A conjunction passing these tests
+// is always realizable over a dense order.
+class OrderSolver {
+ public:
+  OrderSolver() = default;
+  explicit OrderSolver(std::vector<Comparison> conjuncts)
+      : conjuncts_(std::move(conjuncts)) {}
+
+  void Add(const Comparison& c) { conjuncts_.push_back(c); }
+  void AddAll(const std::vector<Comparison>& cs) {
+    conjuncts_.insert(conjuncts_.end(), cs.begin(), cs.end());
+  }
+
+  const std::vector<Comparison>& conjuncts() const { return conjuncts_; }
+
+  // True iff the conjunction is satisfiable over a dense order.
+  bool Consistent() const;
+
+  // True iff the conjunction logically implies `c` over a dense order
+  // (i.e., conjunction AND NOT c is unsatisfiable). An inconsistent
+  // conjunction entails everything.
+  bool Entails(const Comparison& c) const;
+
+  // Variable equalities forced by the conjunction (e.g., X <= Y and Y <= X).
+  // Each pair is (variable, representative term to substitute for it), where
+  // the representative is a constant if the class contains one. Only
+  // meaningful when Consistent(). Pairs are returned for every non-
+  // representative variable of every class of size >= 2.
+  std::vector<std::pair<VarId, Term>> ForcedEqualities() const;
+
+ private:
+  std::vector<Comparison> conjuncts_;
+};
+
+// Convenience wrappers.
+bool ComparisonsConsistent(const std::vector<Comparison>& conjuncts);
+bool ComparisonsEntail(const std::vector<Comparison>& conjuncts,
+                       const Comparison& c);
+
+}  // namespace sqod
+
+#endif  // SQOD_ORDER_SOLVER_H_

@@ -1,0 +1,48 @@
+#ifndef SQOD_PARSER_LEXER_H_
+#define SQOD_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace sqod {
+
+enum class TokenKind {
+  kIdent,     // lowercase-leading identifier (predicate / symbol constant)
+  kVariable,  // uppercase- or underscore-leading identifier
+  kInteger,
+  kString,    // double-quoted
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kImplies,   // :-
+  kQuery,     // ?-
+  kBang,      // !
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,        // !=
+  kEof,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier / variable / string payload
+  int64_t number = 0; // for kInteger
+  int line = 0;
+  int column = 0;
+};
+
+// Tokenizes a datalog source text. `%` starts a comment running to end of
+// line. Returns an error with line/column info on the first bad character.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace sqod
+
+#endif  // SQOD_PARSER_LEXER_H_

@@ -1,0 +1,36 @@
+#ifndef SQOD_PARSER_PARSER_H_
+#define SQOD_PARSER_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/base/status.h"
+
+namespace sqod {
+
+// The result of parsing a datalog source unit. A unit may mix:
+//   * rules:             head :- body.
+//   * ground facts:      p(1, 2).        (collected into `facts`)
+//   * integrity constraints:  :- body.
+//   * query declaration: ?- pred.
+struct ParsedUnit {
+  Program program;
+  std::vector<Constraint> constraints;
+  std::vector<Atom> facts;
+};
+
+// Parses `source`; returns the unit or an error with source location. The
+// parsed program is validated (arity consistency, safety, EDB-only negation);
+// constraints are validated against the program.
+Result<ParsedUnit> ParseUnit(std::string_view source);
+
+// Convenience wrappers for tests and examples.
+Result<Program> ParseProgram(std::string_view source);
+Result<Rule> ParseRule(std::string_view source);
+Result<Constraint> ParseConstraint(std::string_view source);
+Result<Atom> ParseAtomText(std::string_view source);
+
+}  // namespace sqod
+
+#endif  // SQOD_PARSER_PARSER_H_

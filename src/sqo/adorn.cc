@@ -1,0 +1,620 @@
+#include "src/sqo/adorn.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/ast/unify.h"
+#include "src/order/solver.h"
+#include "src/base/check.h"
+#include "src/sqo/preprocess.h"
+
+namespace sqod {
+
+namespace {
+
+// All distinct variables appearing in the listed parts of constraint `ic`:
+// an index below `atoms.size()` names a positive atom; the index equal to
+// `atoms.size()` names the quasi-local pseudo-atom standing for the IC's
+// non-local order atoms (their indices in `nonlocal`).
+std::vector<VarId> VarsOfUnmapped(const Constraint& ic,
+                                  const std::vector<const Atom*>& atoms,
+                                  const std::vector<int>& nonlocal,
+                                  const std::vector<int>& indices) {
+  std::vector<VarId> vars;
+  for (int i : indices) {
+    if (i < static_cast<int>(atoms.size())) {
+      atoms[i]->CollectVars(&vars);
+    } else {
+      for (int c : nonlocal) ic.comparisons[c].CollectVars(&vars);
+    }
+  }
+  return vars;
+}
+
+// Restricts `sigma` to variables occurring in some unmapped part.
+void RestrictSigma(const Constraint& ic,
+                   const std::vector<const Atom*>& atoms,
+                   const std::vector<int>& nonlocal,
+                   const std::vector<int>& unmapped,
+                   std::map<VarId, Term>* sigma) {
+  std::vector<VarId> keep = VarsOfUnmapped(ic, atoms, nonlocal, unmapped);
+  for (auto it = sigma->begin(); it != sigma->end();) {
+    if (std::find(keep.begin(), keep.end(), it->first) == keep.end()) {
+      it = sigma->erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// Instantiates an order summary onto the arguments of `atom`.
+std::vector<Comparison> InstantiateSummary(
+    const std::vector<Comparison>& summary, const Atom& atom) {
+  Substitution subst;
+  for (int i = 0; i < atom.arity(); ++i) {
+    subst.Bind(SummaryPlaceholder(i).var(), atom.arg(i));
+  }
+  std::vector<Comparison> out;
+  out.reserve(summary.size());
+  for (const Comparison& c : summary) out.push_back(subst.Apply(c));
+  return out;
+}
+
+// Computes the head's order summary from the conjunction `total` that holds
+// whenever the rule fires: every candidate comparison over head positions
+// (and the constants mentioned in `total`) that is entailed.
+std::vector<Comparison> ComputeHeadSummary(
+    const std::vector<Comparison>& total, const Atom& head) {
+  OrderSolver solver(total);
+  std::vector<Value> constants;
+  for (const Comparison& c : total) {
+    for (const Term* t : {&c.lhs, &c.rhs}) {
+      if (t->is_const() &&
+          std::find(constants.begin(), constants.end(), t->value()) ==
+              constants.end()) {
+        constants.push_back(t->value());
+      }
+    }
+  }
+  std::sort(constants.begin(), constants.end());
+
+  std::vector<Comparison> summary;
+  auto consider = [&](const Term& concrete_a, const Term& placeholder_a,
+                      CmpOp op, const Term& concrete_b,
+                      const Term& placeholder_b) {
+    if (concrete_a.is_const() && concrete_b.is_const()) return;  // trivial
+    if (!solver.Entails(Comparison(concrete_a, op, concrete_b))) return;
+    Comparison c = Comparison(placeholder_a, op, placeholder_b).Canonical();
+    if (std::find(summary.begin(), summary.end(), c) == summary.end()) {
+      summary.push_back(c);
+    }
+  };
+  static constexpr CmpOp kOps[] = {CmpOp::kLt, CmpOp::kLe, CmpOp::kEq,
+                                   CmpOp::kNe};
+  for (int i = 0; i < head.arity(); ++i) {
+    for (int j = i + 1; j < head.arity(); ++j) {
+      for (CmpOp op : kOps) {
+        consider(head.arg(i), SummaryPlaceholder(i), op, head.arg(j),
+                 SummaryPlaceholder(j));
+        consider(head.arg(j), SummaryPlaceholder(j), op, head.arg(i),
+                 SummaryPlaceholder(i));
+      }
+    }
+    for (const Value& v : constants) {
+      Term c = Term::Const(v);
+      for (CmpOp op : kOps) {
+        consider(head.arg(i), SummaryPlaceholder(i), op, c, c);
+        consider(c, c, op, head.arg(i), SummaryPlaceholder(i));
+      }
+    }
+  }
+  std::sort(summary.begin(), summary.end(),
+            [](const Comparison& a, const Comparison& b) {
+              return a.ToString() < b.ToString();
+            });
+  return summary;
+}
+
+}  // namespace
+
+Term SummaryPlaceholder(int i) {
+  return Term::Var("P#" + std::to_string(i));
+}
+
+AdornmentEngine::AdornmentEngine(const Program& program,
+                                 std::vector<Constraint> ics,
+                                 LocalAtomInfo local, AdornOptions options)
+    : program_(program),
+      ics_(std::move(ics)),
+      local_(std::move(local)),
+      options_(options),
+      idb_(program.IdbPreds()) {}
+
+std::vector<RuleTriplet> AdornmentEngine::EdbBaseTriplets(
+    const Rule& rule, const Atom& atom) const {
+  std::vector<RuleTriplet> out;
+  for (int ic_index = 0; ic_index < static_cast<int>(ics_.size());
+       ++ic_index) {
+    const Constraint& ic = ics_[ic_index];
+    std::vector<const Atom*> positives = ic.PositiveAtoms();
+    const int n = static_cast<int>(positives.size());
+    const std::vector<int>& nonlocal = local_.NonlocalOrder(ic_index);
+
+    // Enumerate subsets M of the IC's positive atoms all mapping into
+    // `atom` under one consistent homomorphism.
+    std::vector<int> mapped;
+    std::function<void(int, const Substitution&)> recurse =
+        [&](int next, const Substitution& h) {
+          if (next == n) {
+            if (mapped.empty()) return;  // the trivial triplet is implicit
+            // Section 4.2 retention: each mapped carrier atom must have its
+            // local atoms asserted by the rule with the right polarity.
+            for (int a : mapped) {
+              if (!RetentionHolds(rule, ics_, local_, ic_index, a, h)) return;
+            }
+            RuleTriplet t;
+            t.ic_index = ic_index;
+            for (int i = 0; i < n; ++i) {
+              if (std::find(mapped.begin(), mapped.end(), i) ==
+                  mapped.end()) {
+                t.unmapped.push_back(i);
+              }
+            }
+            // The quasi-local pseudo-atom is never mapped at a leaf.
+            if (!nonlocal.empty()) t.unmapped.push_back(n);
+            // sigma: shared variables, with their images (rule terms).
+            std::vector<VarId> shared =
+                VarsOfUnmapped(ic, positives, nonlocal, t.unmapped);
+            for (VarId z : shared) {
+              const Term* image = h.Lookup(z);
+              if (image != nullptr) t.sigma.emplace(z, *image);
+            }
+            for (const RuleTriplet& existing : out) {
+              if (existing.SameAs(t)) return;
+            }
+            out.push_back(std::move(t));
+            return;
+          }
+          recurse(next + 1, h);  // leave atom `next` unmapped
+          Substitution extended = h;
+          if (MatchInto(*positives[next], atom, &extended)) {
+            mapped.push_back(next);
+            recurse(next + 1, extended);
+            mapped.pop_back();
+          }
+        };
+    recurse(0, Substitution());
+  }
+  return out;
+}
+
+int AdornmentEngine::InternApred(PredId pred, Adornment adornment,
+                                 std::vector<Comparison> summary) {
+  std::string key = std::to_string(pred) + "/" + AdornmentKey(adornment) + "~";
+  for (const Comparison& c : summary) key += c.ToString() + ";";
+  auto it = apred_registry_.find(key);
+  if (it != apred_registry_.end()) return it->second;
+  int index = static_cast<int>(apreds_.size());
+  AdornedPred ap;
+  ap.original = pred;
+  ap.adornment = std::move(adornment);
+  ap.summary = std::move(summary);
+  ap.name = InternPred(PredName(pred) + "@" + std::to_string(index));
+  apreds_.push_back(std::move(ap));
+  apred_registry_.emplace(std::move(key), index);
+  if (static_cast<int>(apreds_.size()) > options_.max_adorned_preds) {
+    overflow_ = true;
+  }
+  return index;
+}
+
+bool AdornmentEngine::ProcessCombination(int rule_index,
+                                         const std::vector<int>& idb_subgoals,
+                                         const std::vector<int>& choice) {
+  // Registry key for this (rule, subgoal adornments) combination.
+  std::string key = std::to_string(rule_index);
+  for (int c : choice) key += "," + std::to_string(c);
+  if (arule_registry_.count(key) > 0) return false;
+  arule_registry_.emplace(key, -1);  // mark processed (maybe inconsistent)
+
+  Rule rule = program_.rules()[rule_index];
+
+  // Pattern specialization (the paper's footnote 1): a triplet of a chosen
+  // subgoal adornment whose variable image spans several argument positions
+  // guarantees that every fact of that adorned predicate carries equal
+  // values at those positions, so the rule is specialized by unifying the
+  // subgoal's arguments there. If unification fails (two distinct
+  // constants), the adorned subgoal can never match and the combination is
+  // dropped altogether.
+  {
+    Substitution specialize;
+    int idb_seen = 0;
+    for (int b = 0; b < static_cast<int>(rule.body.size()); ++b) {
+      const Literal& lit = rule.body[b];
+      if (lit.negated || idb_.count(lit.atom.pred()) == 0) continue;
+      int apred = choice[idb_seen++];
+      for (const Triplet& t : apreds_[apred].adornment) {
+        for (const auto& [z, img] : t.sigma) {
+          if (img.is_constant || img.positions.size() < 2) continue;
+          for (size_t i = 1; i < img.positions.size(); ++i) {
+            if (!UnifyTermsInto(lit.atom.arg(img.positions[0]),
+                                lit.atom.arg(img.positions[i]),
+                                &specialize)) {
+              return false;  // subgoal can never match this adornment
+            }
+          }
+        }
+      }
+    }
+    if (!specialize.empty()) {
+      specialize.ResolveChains();
+      rule = specialize.Apply(rule);
+      // Equating variables can contradict the rule's own order atoms.
+      if (!NormalizeRule(&rule)) return false;
+    }
+  }
+
+  // Positive subgoals in body order; candidate triplets per subgoal.
+  std::vector<int> positive_subgoals;
+  std::vector<int> subgoal_apred(rule.body.size(), -1);
+  std::vector<std::vector<RuleTriplet>> candidates;
+  {
+    int idb_seen = 0;
+    for (int b = 0; b < static_cast<int>(rule.body.size()); ++b) {
+      const Literal& lit = rule.body[b];
+      if (lit.negated) continue;
+      positive_subgoals.push_back(b);
+      if (idb_.count(lit.atom.pred()) > 0) {
+        SQOD_CHECK(idb_subgoals[idb_seen] == b);
+        int apred = choice[idb_seen++];
+        subgoal_apred[b] = apred;
+        // Translate the adorned predicate's goal-level triplets into rule
+        // terms; candidate order mirrors the adornment order so that
+        // RuleTriplet::sources indexes the adornment directly.
+        std::vector<RuleTriplet> list;
+        for (const Triplet& t : apreds_[apred].adornment) {
+          RuleTriplet rt;
+          rt.ic_index = t.ic_index;
+          rt.unmapped = t.unmapped;
+          for (const auto& [z, img] : t.sigma) {
+            if (img.is_constant) {
+              rt.sigma.emplace(z, Term::Const(img.constant));
+            } else {
+              rt.sigma.emplace(z, lit.atom.arg(img.positions[0]));
+            }
+          }
+          list.push_back(std::move(rt));
+        }
+        candidates.push_back(std::move(list));
+      } else {
+        candidates.push_back(EdbBaseTriplets(rule, lit.atom));
+      }
+    }
+    SQOD_CHECK(idb_seen == static_cast<int>(idb_subgoals.size()));
+  }
+
+  // Order propagation ([LMSS93], folded into the bottom-up phase): the
+  // conjunction of the rule's own order atoms and the chosen subgoals'
+  // summaries must be satisfiable, or the rule can never fire with these
+  // children.
+  std::vector<Comparison> total = rule.comparisons;
+  for (int b = 0; b < static_cast<int>(rule.body.size()); ++b) {
+    if (subgoal_apred[b] == -1) continue;
+    std::vector<Comparison> inst = InstantiateSummary(
+        apreds_[subgoal_apred[b]].summary, rule.body[b].atom);
+    total.insert(total.end(), inst.begin(), inst.end());
+  }
+  if (!ComparisonsConsistent(total)) return false;
+  std::vector<Comparison> head_summary = ComputeHeadSummary(total, rule.head);
+
+  const int m = static_cast<int>(positive_subgoals.size());
+
+  // Combine triplets per IC: each subgoal contributes one candidate of that
+  // IC or the implicit trivial triplet.
+  std::vector<RuleTriplet> rule_adornment;
+  bool inconsistent = false;
+  for (int ic_index = 0;
+       ic_index < static_cast<int>(ics_.size()) && !inconsistent;
+       ++ic_index) {
+    const Constraint& ic = ics_[ic_index];
+    std::vector<const Atom*> positives = ic.PositiveAtoms();
+    const std::vector<int>& nonlocal = local_.NonlocalOrder(ic_index);
+    std::vector<int> all_atoms;
+    for (int i = 0; i < static_cast<int>(positives.size()); ++i) {
+      all_atoms.push_back(i);
+    }
+    // The quasi-local pseudo-atom participates as an extra unmapped index.
+    if (!nonlocal.empty()) {
+      all_atoms.push_back(static_cast<int>(positives.size()));
+    }
+    // Per-subgoal candidate indices for this IC.
+    std::vector<std::vector<int>> per_subgoal(m);
+    for (int s = 0; s < m; ++s) {
+      for (int c = 0; c < static_cast<int>(candidates[s].size()); ++c) {
+        if (candidates[s][c].ic_index == ic_index) {
+          per_subgoal[s].push_back(c);
+        }
+      }
+    }
+
+    RuleTriplet current;
+    current.ic_index = ic_index;
+    current.unmapped = all_atoms;
+    current.sources.assign(m, -1);
+    int combos = 0;
+
+    std::function<void(int)> combine = [&](int s) {
+      if (inconsistent || ++combos > 2000000) {
+        overflow_ = overflow_ || combos > 2000000;
+        return;
+      }
+      if (s == m) {
+        bool all_trivial = std::all_of(current.sources.begin(),
+                                       current.sources.end(),
+                                       [](int x) { return x == -1; });
+        if (all_trivial) return;
+        RuleTriplet t = current;
+        RestrictSigma(ic, positives, nonlocal, t.unmapped, &t.sigma);
+        if (t.unmapped.empty()) {
+          // Empty residue: every instantiation through this adorned rule
+          // violates the IC (the *inconsistent adornment* of the paper).
+          inconsistent = true;
+          return;
+        }
+        if (!nonlocal.empty() && t.unmapped.size() == 1 &&
+            t.unmapped[0] == static_cast<int>(positives.size())) {
+          // Only the quasi-local pseudo-atom is left: all EDB atoms of the
+          // IC are mapped. If the mapped variables are all visible at this
+          // rule node and the rule's own order atoms entail the mapped
+          // non-local comparisons, every instantiation violates the IC.
+          Substitution h;
+          bool all_visible = true;
+          for (const auto& [z, term] : t.sigma) h.Bind(z, term);
+          std::vector<VarId> needed;
+          for (int c : nonlocal) ic.comparisons[c].CollectVars(&needed);
+          for (VarId z : needed) {
+            if (h.Lookup(z) == nullptr) all_visible = false;
+          }
+          if (all_visible) {
+            OrderSolver solver(rule.comparisons);
+            bool entails_all = true;
+            for (int c : nonlocal) {
+              if (!solver.Entails(h.Apply(ic.comparisons[c]))) {
+                entails_all = false;
+                break;
+              }
+            }
+            if (entails_all) {
+              inconsistent = true;
+              return;
+            }
+          }
+        }
+        for (const RuleTriplet& existing : rule_adornment) {
+          if (existing.SameAs(t)) return;  // sources provenance: keep first
+        }
+        rule_adornment.push_back(std::move(t));
+        return;
+      }
+      // Trivial contribution from subgoal s.
+      combine(s + 1);
+      if (inconsistent) return;
+      // Each real candidate of subgoal s for this IC.
+      for (int c : per_subgoal[s]) {
+        const RuleTriplet& cand = candidates[s][c];
+        // Merge sigma with compatibility check.
+        std::map<VarId, Term> saved_sigma = current.sigma;
+        std::vector<int> saved_unmapped = current.unmapped;
+        bool ok = true;
+        for (const auto& [z, term] : cand.sigma) {
+          auto [it, inserted] = current.sigma.emplace(z, term);
+          if (!inserted && !(it->second == term)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          std::vector<int> merged;
+          std::set_intersection(current.unmapped.begin(),
+                                current.unmapped.end(),
+                                cand.unmapped.begin(), cand.unmapped.end(),
+                                std::back_inserter(merged));
+          current.unmapped = std::move(merged);
+          current.sources[s] = c;
+          combine(s + 1);
+          current.sources[s] = -1;
+        }
+        current.sigma = std::move(saved_sigma);
+        current.unmapped = std::move(saved_unmapped);
+        if (inconsistent) return;
+      }
+    };
+    combine(0);
+  }
+
+  if (inconsistent) return false;  // the adorned rule is dropped entirely
+
+  // Head projection.
+  std::vector<std::pair<Triplet, int>> head_triplets;
+  for (int k = 0; k < static_cast<int>(rule_adornment.size()); ++k) {
+    const RuleTriplet& rt = rule_adornment[k];
+    Triplet ht;
+    ht.ic_index = rt.ic_index;
+    ht.unmapped = rt.unmapped;
+    bool ok = true;
+    for (const auto& [z, term] : rt.sigma) {
+      if (term.is_const()) {
+        ht.sigma.emplace(z, VarImage::Constant(term.value()));
+        continue;
+      }
+      std::vector<int> positions;
+      for (int i = 0; i < rule.head.arity(); ++i) {
+        if (rule.head.arg(i) == term) positions.push_back(i);
+      }
+      if (positions.empty()) {
+        // The shared variable does not survive to the head; the guarantee
+        // cannot be tracked upward, so the triplet is not projected.
+        ok = false;
+        break;
+      }
+      ht.sigma.emplace(z, VarImage::AtPositions(std::move(positions)));
+    }
+    if (ok) head_triplets.emplace_back(std::move(ht), k);
+  }
+  std::sort(head_triplets.begin(), head_triplets.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  head_triplets.erase(
+      std::unique(head_triplets.begin(), head_triplets.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.first == b.first;
+                  }),
+      head_triplets.end());
+
+  Adornment head_adornment;
+  std::vector<int> head_sources;
+  for (auto& [t, k] : head_triplets) {
+    head_adornment.push_back(std::move(t));
+    head_sources.push_back(k);
+  }
+
+  int head_apred = InternApred(rule.head.pred(), std::move(head_adornment),
+                               std::move(head_summary));
+
+  AdornedRule ar;
+  ar.original_rule = rule_index;
+  ar.rule = rule;
+  ar.head_apred = head_apred;
+  ar.subgoal_apred = std::move(subgoal_apred);
+  ar.rule_adornment = std::move(rule_adornment);
+  ar.positive_subgoals = std::move(positive_subgoals);
+  ar.head_sources = std::move(head_sources);
+  arule_registry_[key] = static_cast<int>(arules_.size());
+  arules_.push_back(std::move(ar));
+  if (static_cast<int>(arules_.size()) > options_.max_adorned_rules) {
+    overflow_ = true;
+  }
+  return true;
+}
+
+std::vector<int> AdornmentEngine::AdornmentsOf(PredId p) const {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(apreds_.size()); ++i) {
+    if (apreds_[i].original == p) out.push_back(i);
+  }
+  return out;
+}
+
+Status AdornmentEngine::Run() {
+  bool changed = true;
+  while (changed && !overflow_) {
+    changed = false;
+    for (int r = 0; r < static_cast<int>(program_.rules().size()); ++r) {
+      const Rule& rule = program_.rules()[r];
+      std::vector<int> idb_subgoals;
+      for (int b = 0; b < static_cast<int>(rule.body.size()); ++b) {
+        const Literal& lit = rule.body[b];
+        if (!lit.negated && idb_.count(lit.atom.pred()) > 0) {
+          idb_subgoals.push_back(b);
+        }
+      }
+      // Enumerate all current adornment choices for the IDB subgoals.
+      std::vector<std::vector<int>> options;
+      bool feasible = true;
+      for (int b : idb_subgoals) {
+        options.push_back(AdornmentsOf(rule.body[b].atom.pred()));
+        if (options.back().empty()) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+
+      std::vector<int> choice(idb_subgoals.size());
+      std::function<void(size_t)> enumerate = [&](size_t i) {
+        if (overflow_) return;
+        if (i == idb_subgoals.size()) {
+          if (ProcessCombination(r, idb_subgoals, choice)) changed = true;
+          return;
+        }
+        for (int opt : options[i]) {
+          choice[i] = opt;
+          enumerate(i + 1);
+        }
+      };
+      enumerate(0);
+    }
+  }
+  if (overflow_) {
+    return Status::Error(
+        "adornment fixpoint exceeded its safety limits (the construction is "
+        "doubly exponential in the worst case; raise AdornOptions to "
+        "continue)");
+  }
+  return Status::Ok();
+}
+
+Program AdornmentEngine::AdornedProgram() const {
+  Program out;
+  for (const AdornedRule& ar : arules_) {
+    Rule r;
+    r.head = Atom(apreds_[ar.head_apred].name, ar.rule.head.args());
+    for (int b = 0; b < static_cast<int>(ar.rule.body.size()); ++b) {
+      const Literal& lit = ar.rule.body[b];
+      if (!lit.negated && ar.subgoal_apred[b] != -1) {
+        r.body.push_back(Literal::Pos(
+            Atom(apreds_[ar.subgoal_apred[b]].name, lit.atom.args())));
+      } else {
+        r.body.push_back(lit);
+      }
+    }
+    r.comparisons = ar.rule.comparisons;
+    out.AddRule(std::move(r));
+  }
+  // Wrapper rules restore the original query predicate over the union of
+  // its adorned versions.
+  if (program_.query() != -1) {
+    int arity = program_.Arity(program_.query());
+    std::vector<Term> args;
+    for (int i = 0; i < arity; ++i) {
+      args.push_back(Term::Var("W" + std::to_string(i)));
+    }
+    for (int ap : AdornmentsOf(program_.query())) {
+      Rule wrapper;
+      wrapper.head = Atom(program_.query(), args);
+      wrapper.body.push_back(Literal::Pos(Atom(apreds_[ap].name, args)));
+      out.AddRule(std::move(wrapper));
+    }
+    out.SetQuery(program_.query());
+  }
+  return out;
+}
+
+std::string AdornmentEngine::ToString() const {
+  std::string s;
+  for (int i = 0; i < static_cast<int>(apreds_.size()); ++i) {
+    const AdornedPred& ap = apreds_[i];
+    s += PredName(ap.name) + " : " + PredName(ap.original) + " " +
+         AdornmentToString(ap.adornment, ics_);
+    if (!ap.summary.empty()) {
+      s += " where {";
+      for (size_t c = 0; c < ap.summary.size(); ++c) {
+        if (c > 0) s += ", ";
+        s += ap.summary[c].ToString();
+      }
+      s += "}";
+    }
+    s += "\n";
+  }
+  for (const AdornedRule& ar : arules_) {
+    s += "rule " + std::to_string(ar.original_rule) + " -> head " +
+         PredName(apreds_[ar.head_apred].name) + " | A_r = {";
+    for (size_t k = 0; k < ar.rule_adornment.size(); ++k) {
+      if (k > 0) s += ", ";
+      s += ar.rule_adornment[k].ToString(ics_);
+    }
+    s += "}\n";
+  }
+  return s;
+}
+
+}  // namespace sqod

@@ -1,0 +1,118 @@
+#ifndef SQOD_SQO_ADORN_H_
+#define SQOD_SQO_ADORN_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/base/status.h"
+#include "src/sqo/local.h"
+#include "src/sqo/triplet.h"
+
+namespace sqod {
+
+// An adorned IDB predicate p^A: the original predicate plus the adornment
+// (set of triplets guaranteed for every derivation of a p^A fact) and the
+// *order summary* — the conjunction of order atoms over the head argument
+// positions (placeholder variables P#0, P#1, ...) that holds for every fact
+// derivable through this adorned predicate. The summary is the [LMSS93]
+// order-propagation that the paper assumes as preprocessing, incorporated
+// into the bottom-up phase as the proof of Theorem 5.1 suggests: a rule
+// whose own order atoms contradict a chosen subgoal's summary can never
+// fire and is dropped.
+struct AdornedPred {
+  PredId original = -1;
+  Adornment adornment;
+  std::vector<Comparison> summary;  // canonical, sorted
+  PredId name = -1;                 // generated name "p@<k>"
+};
+
+// The placeholder variable for head argument position `i` in summaries.
+Term SummaryPlaceholder(int i);
+
+// An adorned rule of the program P1 built by the bottom-up phase.
+struct AdornedRule {
+  int original_rule = -1;          // index into the input program's rules
+  Rule rule;                       // the original rule (original variables)
+  int head_apred = -1;             // index into AdornmentEngine::apreds()
+  // Per body literal: the adorned predicate index for positive IDB
+  // subgoals, -1 for EDB or negated literals.
+  std::vector<int> subgoal_apred;
+  // A_r: every combined triplet, with provenance in RuleTriplet::sources
+  // (aligned with the positive subgoals, see positive_subgoals).
+  std::vector<RuleTriplet> rule_adornment;
+  // Body indices of the positive subgoals, in body order (the coordinate
+  // system of RuleTriplet::sources).
+  std::vector<int> positive_subgoals;
+  // For each triplet of the head adornment (canonical order): the index of
+  // the rule triplet it was projected from.
+  std::vector<int> head_sources;
+};
+
+struct AdornOptions {
+  // Fixpoint safety valves; the construction is doubly exponential in the
+  // worst case (Theorem 5.1).
+  int max_adorned_preds = 4000;
+  int max_adorned_rules = 40000;
+};
+
+// The bottom-up phase of the Section 4.1 algorithm. Expects the program to
+// be normalized (NormalizeProgram) and, when the ICs have local atoms,
+// already rewritten by RewriteForLocalAtoms. ICs must be EDB-only, with all
+// order atoms and negated atoms local (carried by `local`).
+class AdornmentEngine {
+ public:
+  AdornmentEngine(const Program& program, std::vector<Constraint> ics,
+                  LocalAtomInfo local, AdornOptions options = {});
+
+  // Runs the fixpoint. Returns an error only when a safety valve triggers.
+  Status Run();
+
+  const Program& program() const { return program_; }
+  const std::vector<Constraint>& ics() const { return ics_; }
+  const std::vector<AdornedPred>& apreds() const { return apreds_; }
+  const std::vector<AdornedRule>& arules() const { return arules_; }
+
+  // Adorned predicate indices whose original predicate is `p`.
+  std::vector<int> AdornmentsOf(PredId p) const;
+
+  // P1 as a plain datalog program over the generated predicate names, with
+  // wrapper rules restoring the original query predicate.
+  Program AdornedProgram() const;
+
+  std::string ToString() const;
+
+ private:
+  // Registers (or finds) the adorned predicate for (pred, adornment,
+  // summary).
+  int InternApred(PredId pred, Adornment adornment,
+                  std::vector<Comparison> summary);
+
+  // Processes one rule under one choice of subgoal adornments. Returns true
+  // if a new adorned predicate or rule was created.
+  bool ProcessCombination(int rule_index, const std::vector<int>& idb_subgoals,
+                          const std::vector<int>& choice);
+
+  // Base triplets for the EDB occurrence `atom` of `rule` (Section 4.1's
+  // per-pattern EDB adornments, computed per occurrence so the Section 4.2
+  // retention condition can consult the rule context).
+  std::vector<RuleTriplet> EdbBaseTriplets(const Rule& rule,
+                                           const Atom& atom) const;
+
+  Program program_;
+  std::vector<Constraint> ics_;
+  LocalAtomInfo local_;
+  AdornOptions options_;
+  std::set<PredId> idb_;
+
+  std::vector<AdornedPred> apreds_;
+  std::unordered_map<std::string, int> apred_registry_;  // key -> index
+  std::vector<AdornedRule> arules_;
+  std::unordered_map<std::string, int> arule_registry_;  // combination key
+  bool overflow_ = false;
+};
+
+}  // namespace sqod
+
+#endif  // SQOD_SQO_ADORN_H_

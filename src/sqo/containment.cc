@@ -1,0 +1,109 @@
+#include "src/sqo/containment.h"
+
+#include <algorithm>
+
+#include "src/ast/unify.h"
+#include "src/eval/evaluator.h"
+
+namespace sqod {
+
+Result<bool> DatalogContainedInUcq(const Program& program,
+                                   const UnionOfCqs& ucq,
+                                   const SqoOptions& options) {
+  return DatalogContainedInUcqUnderIcs(program, ucq, {}, options);
+}
+
+Result<bool> DatalogContainedInUcqUnderIcs(const Program& program,
+                                           const UnionOfCqs& ucq,
+                                           const std::vector<Constraint>& ics,
+                                           const SqoOptions& options) {
+  if (program.query() == -1) {
+    return Status::Error("containment requires a query predicate");
+  }
+  const int arity = program.Arity(program.query());
+  for (const ConjunctiveQuery& q : ucq) {
+    if (q.head.arity() != arity) {
+      return Status::Error("UCQ disjunct " + q.ToString() +
+                           " does not match the query arity");
+    }
+    for (const Literal& l : q.body) {
+      if (program.IsIdb(l.atom.pred())) {
+        return Status::Error("UCQ disjunct " + q.ToString() +
+                             " mentions IDB predicate " +
+                             PredName(l.atom.pred()));
+      }
+    }
+  }
+
+  // Build the marked program.
+  Program marked = program;
+  PredId ans = InternPred("__ans");
+  PredId qtest = InternPred("__qtest");
+  std::vector<Term> args;
+  for (int i = 0; i < arity; ++i) {
+    args.push_back(Term::Var("W" + std::to_string(i)));
+  }
+  Rule test;
+  test.head = Atom(qtest, args);
+  test.body.push_back(Literal::Pos(Atom(program.query(), args)));
+  test.body.push_back(Literal::Pos(Atom(ans, args)));
+  marked.AddRule(std::move(test));
+  marked.SetQuery(qtest);
+
+  // One IC per disjunct (no __ans-marked tuple may be produced by Qj),
+  // plus the ambient integrity constraints of the relative version.
+  std::vector<Constraint> all_ics = ics;
+  FreshVarGen gen;
+  for (const ConjunctiveQuery& raw : ucq) {
+    ConjunctiveQuery q = RenameApart(raw, &gen);
+    Constraint ic;
+    ic.body.push_back(Literal::Pos(Atom(ans, q.head.args())));
+    for (const Literal& l : q.body) ic.body.push_back(l);
+    ic.comparisons = q.comparisons;
+    all_ics.push_back(std::move(ic));
+  }
+
+  Result<bool> satisfiable = QuerySatisfiable(marked, all_ics, options);
+  if (!satisfiable.ok()) return satisfiable;
+  return !satisfiable.value();
+}
+
+Result<bool> UcqContainedInDatalog(const UnionOfCqs& ucq,
+                                   const Program& program) {
+  if (program.query() == -1) {
+    return Status::Error("containment requires a query predicate");
+  }
+  for (const ConjunctiveQuery& raw : ucq) {
+    if (!raw.comparisons.empty()) {
+      return Status::Error("UcqContainedInDatalog: disjunct " +
+                           raw.ToString() + " has order atoms");
+    }
+    for (const Literal& l : raw.body) {
+      if (l.negated) {
+        return Status::Error("UcqContainedInDatalog: disjunct " +
+                             raw.ToString() + " has negation");
+      }
+    }
+    // Canonical database: freeze the disjunct's variables.
+    Substitution freeze;
+    for (VarId v : raw.Vars()) {
+      freeze.Bind(v, Term::Symbol("__frozen_" + GlobalStrings().Name(v)));
+    }
+    Database canonical;
+    for (const Literal& l : raw.body) {
+      canonical.InsertAtom(freeze.Apply(l.atom));
+    }
+    Atom head = freeze.Apply(raw.head);
+    Tuple head_tuple;
+    for (const Term& t : head.args()) head_tuple.push_back(t.value());
+
+    Result<std::vector<Tuple>> answers = EvaluateQuery(program, canonical);
+    if (!answers.ok()) return answers.status();
+    bool found = std::find(answers.value().begin(), answers.value().end(),
+                           head_tuple) != answers.value().end();
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace sqod

@@ -1,0 +1,51 @@
+#ifndef SQOD_SQO_CONTAINMENT_H_
+#define SQOD_SQO_CONTAINMENT_H_
+
+#include "src/cq/containment.h"
+#include "src/sqo/optimizer.h"
+
+namespace sqod {
+
+// Containment of a recursive datalog program in a union of conjunctive
+// queries, via the Proposition 5.1 reduction to satisfiability:
+//
+//   P is NOT contained in (Q1 u ... u Qk) iff the program
+//       __qtest(Xs) :- q(Xs), __ans(Xs).
+//   (with fresh EDB predicate __ans) is satisfiable w.r.t. the ICs
+//       :- __ans(head(Qj)), body(Qj).        for every j.
+//
+// A database witnessing satisfiability provides an answer of P marked by
+// __ans that no Qj produces — i.e., a counterexample to containment — and
+// vice versa. Satisfiability is decided by the query-tree construction, so
+// the decidable fragments match Section 4: plain UCQs always work (the
+// [CV92] case, doubly exponential); UCQs with order atoms or negated atoms
+// work when the induced ICs are local (otherwise an error cites the
+// relevant undecidability theorem).
+//
+// The UCQ's disjuncts must share the query predicate's arity and use only
+// EDB predicates of P in their bodies.
+Result<bool> DatalogContainedInUcq(const Program& program,
+                                   const UnionOfCqs& ucq,
+                                   const SqoOptions& options = {});
+
+// Containment *relative to* integrity constraints: P(D) subseteq UCQ(D)
+// for every database D satisfying `ics`. (The paper's Proposition 5.1
+// footnote treats the IC-free case; relativizing just adds the given ICs to
+// the reduction's induced constraints.) Containment relative to ICs is
+// weaker than absolute containment: databases violating the ICs do not
+// count as counterexamples.
+Result<bool> DatalogContainedInUcqUnderIcs(const Program& program,
+                                           const UnionOfCqs& ucq,
+                                           const std::vector<Constraint>& ics,
+                                           const SqoOptions& options = {});
+
+// The converse direction (UCQ contained in a datalog program), decided by
+// evaluating the program over each disjunct's canonical database. Plain
+// (comparison-free, negation-free) disjuncts only; the program itself may
+// use order atoms and negation.
+Result<bool> UcqContainedInDatalog(const UnionOfCqs& ucq,
+                                   const Program& program);
+
+}  // namespace sqod
+
+#endif  // SQOD_SQO_CONTAINMENT_H_

@@ -1,0 +1,154 @@
+#include "src/sqo/optimizer.h"
+
+#include "src/ast/unify.h"
+#include "src/sqo/fd.h"
+#include "src/sqo/local.h"
+#include "src/sqo/preprocess.h"
+#include "src/sqo/residue.h"
+
+namespace sqod {
+
+namespace {
+
+struct Pipeline {
+  Program normalized;
+  std::vector<Constraint> ics;
+  LocalAtomInfo local;
+};
+
+Result<Pipeline> Prepare(const Program& program,
+                         const std::vector<Constraint>& ics,
+                         const SqoOptions& options) {
+  Status s = program.Validate();
+  if (!s.ok()) return s;
+  if (!program.NegationOnEdbOnly()) {
+    return Status::Error(
+        "semantic query optimization requires negation on EDB predicates "
+        "only (the paper's Section 2 setting); stratified IDB negation is "
+        "supported by the evaluator but not by the rewriting");
+  }
+  for (const Constraint& ic : ics) {
+    s = program.ValidateConstraint(ic);
+    if (!s.ok()) return s;
+  }
+
+  Pipeline p;
+  p.ics = NormalizeConstraints(ics);
+  Result<LocalAtomInfo> local = AnalyzeLocalAtoms(p.ics);
+  if (!local.ok()) return local.status();
+  p.local = local.take();
+
+  Program normalized = NormalizeProgram(program);
+  if (options.apply_fd_rewriting) {
+    normalized = ApplyFdRewriting(normalized, ExtractFds(p.ics));
+  }
+  Result<Program> rewritten = RewriteForLocalAtoms(
+      normalized, p.ics, p.local, options.max_local_rewrite_rules);
+  if (!rewritten.ok()) return rewritten.status();
+  p.normalized = rewritten.take();
+  return p;
+}
+
+}  // namespace
+
+Result<SqoReport> OptimizeProgram(const Program& program,
+                                  const std::vector<Constraint>& ics,
+                                  const SqoOptions& options) {
+  Result<Pipeline> prepared = Prepare(program, ics, options);
+  if (!prepared.ok()) return prepared.status();
+  Pipeline& p = prepared.value();
+
+  SqoReport report;
+  report.normalized = p.normalized;
+  report.ics = p.ics;
+
+  AdornmentEngine engine(p.normalized, p.ics, p.local, options.adorn);
+  Status s = engine.Run();
+  if (!s.ok()) return s;
+  report.adorned = engine.AdornedProgram();
+  report.adorned_predicates = static_cast<int>(engine.apreds().size());
+  report.adorned_rules = static_cast<int>(engine.arules().size());
+  report.adornment_dump = engine.ToString();
+
+  if (options.build_query_tree && p.normalized.query() != -1) {
+    QueryTree tree(engine, options.tree);
+    s = tree.Build();
+    if (!s.ok()) return s;
+    report.tree_classes = static_cast<int>(tree.classes().size());
+    for (size_t c = 0; c < tree.classes().size(); ++c) {
+      if (tree.productive()[c] && tree.reachable()[c]) {
+        ++report.surviving_classes;
+      }
+    }
+    report.query_satisfiable = tree.QuerySatisfiable();
+    report.tree_dump = tree.ToString();
+    report.tree_dot = tree.ToDot();
+    report.rewritten = tree.RewrittenProgram();
+  } else {
+    report.rewritten = report.adorned;
+    report.query_satisfiable = true;  // not decided in this mode
+  }
+
+  if (options.attach_residues) {
+    report.rewritten = ApplyClassicSqo(report.rewritten, p.ics);
+  }
+  report.rewritten = PruneUnreachable(report.rewritten);
+  return report;
+}
+
+Result<bool> QuerySatisfiable(const Program& program,
+                              const std::vector<Constraint>& ics,
+                              const SqoOptions& options) {
+  SqoOptions opts = options;
+  opts.build_query_tree = true;
+  opts.attach_residues = false;
+  Result<SqoReport> report = OptimizeProgram(program, ics, opts);
+  if (!report.ok()) return report.status();
+  return report.value().query_satisfiable;
+}
+
+Result<bool> QueryReachableAtom(const Program& program,
+                                const std::vector<Constraint>& ics,
+                                const Atom& atom,
+                                const SqoOptions& options) {
+  Result<Pipeline> prepared = Prepare(program, ics, options);
+  if (!prepared.ok()) return prepared.status();
+  Pipeline& p = prepared.value();
+
+  AdornmentEngine engine(p.normalized, p.ics, p.local, options.adorn);
+  Status s = engine.Run();
+  if (!s.ok()) return s;
+  QueryTree tree(engine, options.tree);
+  s = tree.Build();
+  if (!s.ok()) return s;
+
+  FreshVarGen gen;
+  for (size_t c = 0; c < tree.classes().size(); ++c) {
+    if (!tree.productive()[c] || !tree.reachable()[c]) continue;
+    const GoalClass& gc = tree.classes()[c];
+    if (engine.apreds()[gc.apred].original != atom.pred()) continue;
+    // Rename the class atom apart so shared variable names do not block
+    // unification, then test compatibility.
+    Rule wrapper(gc.atom, {});
+    Atom renamed = RenameApart(wrapper, &gen).head;
+    if (Unify(renamed, atom).has_value()) return true;
+  }
+  // EDB atoms: reachable iff they unify with an EDB subgoal of a surviving
+  // rule node.
+  for (size_t c = 0; c < tree.classes().size(); ++c) {
+    if (!tree.productive()[c] || !tree.reachable()[c]) continue;
+    for (const GoalClass::RuleChild& child : tree.classes()[c].children) {
+      for (size_t b = 0; b < child.instantiated.body.size(); ++b) {
+        if (child.subgoal_class[b] != -1) continue;
+        const Literal& lit = child.instantiated.body[b];
+        if (lit.negated || lit.atom.pred() != atom.pred()) continue;
+        Rule wrapper(lit.atom, {});
+        Atom renamed = RenameApart(wrapper, &gen).head;
+        if (Unify(renamed, atom).has_value()) return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace sqod

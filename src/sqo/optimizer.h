@@ -1,0 +1,84 @@
+#ifndef SQOD_SQO_OPTIMIZER_H_
+#define SQOD_SQO_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/base/status.h"
+#include "src/sqo/adorn.h"
+#include "src/sqo/query_tree.h"
+
+namespace sqod {
+
+// The end-to-end pipeline of the paper:
+//
+//   normalize (LMSS93 contract)
+//     -> local-atom rewriting               (Section 4.2)
+//     -> bottom-up adornments, P1           (Section 4.1, phase 1)
+//     -> top-down labeled query tree, P'    (Section 4.1, phase 2)
+//     -> residue attachment on P'           (classic SQO per specialized
+//                                            rule; Example 3.1's Y > X)
+//
+// The result completely incorporates the ICs (Definition 3.1): for every
+// database satisfying the ICs, P' computes the same query relation as P,
+// and no rule chain guaranteed empty by the ICs is ever evaluated.
+
+struct SqoOptions {
+  // Stop after the bottom-up phase and return P1 as the rewriting.
+  bool build_query_tree = true;
+  // Attach expressible residue negations to the rewritten rules.
+  bool attach_residues = true;
+  // Apply FD-based join elimination (ICs of the Theorem 5.5 shape) before
+  // the main pipeline.
+  bool apply_fd_rewriting = true;
+  AdornOptions adorn;
+  QueryTreeOptions tree;
+  int max_local_rewrite_rules = 100000;
+};
+
+struct SqoReport {
+  Program normalized;   // after NormalizeProgram + local-atom rewriting
+  Program adorned;      // P1
+  Program rewritten;    // P' (the drop-in replacement program)
+  std::vector<Constraint> ics;  // normalized ICs
+
+  int adorned_predicates = 0;
+  int adorned_rules = 0;
+  int tree_classes = 0;
+  int surviving_classes = 0;
+  bool query_satisfiable = true;
+
+  std::string adornment_dump;  // AdornmentEngine::ToString()
+  std::string tree_dump;       // QueryTree::ToString()
+  std::string tree_dot;        // QueryTree::ToDot() (Graphviz)
+};
+
+// Runs the pipeline. Requirements: `program` validates; every IC validates
+// against it (EDB-only bodies); all order atoms and negated atoms of ICs
+// are local (Section 4.2; an error cites the theorem otherwise). If the
+// program has no query predicate, the query-tree phase is skipped and P1 is
+// returned as the rewriting.
+Result<SqoReport> OptimizeProgram(const Program& program,
+                                  const std::vector<Constraint>& ics,
+                                  const SqoOptions& options = {});
+
+// Is the query predicate satisfiable w.r.t. the ICs? (Theorem 4.1/4.2: the
+// query tree has a productive root iff some consistent database yields an
+// answer.)
+Result<bool> QuerySatisfiable(const Program& program,
+                              const std::vector<Constraint>& ics,
+                              const SqoOptions& options = {});
+
+// Is `atom` (an IDB goal, possibly with variables) query-reachable w.r.t.
+// the ICs — i.e., can an instantiation of it take part in a derivation of
+// some answer over a consistent database? Decided at the precision of the
+// query tree's goal classes.
+Result<bool> QueryReachableAtom(const Program& program,
+                                const std::vector<Constraint>& ics,
+                                const Atom& atom,
+                                const SqoOptions& options = {});
+
+}  // namespace sqod
+
+#endif  // SQOD_SQO_OPTIMIZER_H_

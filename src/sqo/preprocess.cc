@@ -1,0 +1,168 @@
+#include "src/sqo/preprocess.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/ast/substitution.h"
+#include "src/order/solver.h"
+
+namespace sqod {
+
+namespace {
+
+// Removes duplicate and tautological comparisons (after canonicalization)
+// from `comparisons`.
+void TidyComparisons(std::vector<Comparison>* comparisons) {
+  std::vector<Comparison> out;
+  for (const Comparison& raw : *comparisons) {
+    Comparison c = raw.Canonical();
+    // Ground comparisons that are true are tautologies; X = X and X <= X
+    // likewise. (False ground comparisons were caught by the consistency
+    // check before this runs.)
+    if (c.lhs.is_const() && c.rhs.is_const()) continue;
+    if (c.lhs == c.rhs && (c.op == CmpOp::kEq || c.op == CmpOp::kLe)) continue;
+    if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  }
+  *comparisons = std::move(out);
+}
+
+// Substitutes forced equalities and tidies; returns false if the comparison
+// set is unsatisfiable. Applies to both rules and constraints via the two
+// wrappers below.
+template <typename Clause>
+bool NormalizeClause(Clause* clause) {
+  for (int round = 0; round < 1000; ++round) {
+    OrderSolver solver(clause->comparisons);
+    if (!solver.Consistent()) return false;
+    std::vector<std::pair<VarId, Term>> eqs = solver.ForcedEqualities();
+    if (eqs.empty()) break;
+    Substitution subst;
+    for (const auto& [var, term] : eqs) subst.Bind(var, term);
+    *clause = subst.Apply(*clause);
+  }
+  TidyComparisons(&clause->comparisons);
+  return true;
+}
+
+}  // namespace
+
+bool NormalizeRule(Rule* rule) { return NormalizeClause(rule); }
+
+Program NormalizeProgram(const Program& program) {
+  Program out;
+  out.SetQuery(program.query());
+  for (const Rule& r : program.rules()) {
+    Rule copy = r;
+    if (NormalizeRule(&copy)) out.AddRule(std::move(copy));
+  }
+  // Dropping a predicate's last rule must not silently reclassify it as an
+  // EDB predicate: rules that positively use an originally-IDB predicate
+  // with no remaining rules can never fire and are dropped too (cascade).
+  const std::set<PredId> original_idb = program.IdbPreds();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::set<PredId> defined = out.IdbPreds();
+    Program next;
+    next.SetQuery(out.query());
+    for (const Rule& r : out.rules()) {
+      bool dead = false;
+      for (const Literal& l : r.body) {
+        if (!l.negated && original_idb.count(l.atom.pred()) > 0 &&
+            defined.count(l.atom.pred()) == 0) {
+          dead = true;
+          break;
+        }
+      }
+      if (dead) {
+        changed = true;
+      } else {
+        next.AddRule(r);
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+std::vector<Constraint> NormalizeConstraints(
+    const std::vector<Constraint>& ics) {
+  std::vector<Constraint> out;
+  for (const Constraint& ic : ics) {
+    Constraint copy = ic;
+    if (NormalizeClause(&copy)) out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+Program PruneUnreachable(const Program& program) {
+  const std::set<PredId> idb = program.IdbPreds();
+
+  // Productive IDB predicates: fixpoint from rules whose IDB subgoals are
+  // all already productive.
+  std::set<PredId> productive;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& r : program.rules()) {
+      if (productive.count(r.head.pred()) > 0) continue;
+      bool ok = true;
+      for (const Literal& l : r.body) {
+        if (idb.count(l.atom.pred()) > 0 &&
+            productive.count(l.atom.pred()) == 0) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        productive.insert(r.head.pred());
+        changed = true;
+      }
+    }
+  }
+
+  // Reachable from the query predicate (or all IDB predicates if no query
+  // is set) through rules of productive predicates.
+  std::set<PredId> reachable;
+  std::vector<PredId> frontier;
+  if (program.query() != -1) {
+    frontier.push_back(program.query());
+  } else {
+    for (PredId p : idb) frontier.push_back(p);
+  }
+  while (!frontier.empty()) {
+    PredId p = frontier.back();
+    frontier.pop_back();
+    if (!reachable.insert(p).second) continue;
+    for (const Rule& r : program.rules()) {
+      if (r.head.pred() != p || productive.count(p) == 0) continue;
+      for (const Literal& l : r.body) {
+        if (idb.count(l.atom.pred()) > 0 &&
+            reachable.count(l.atom.pred()) == 0) {
+          frontier.push_back(l.atom.pred());
+        }
+      }
+    }
+  }
+
+  Program out;
+  out.SetQuery(program.query());
+  for (const Rule& r : program.rules()) {
+    if (reachable.count(r.head.pred()) == 0 ||
+        productive.count(r.head.pred()) == 0) {
+      continue;
+    }
+    bool body_ok = true;
+    for (const Literal& l : r.body) {
+      if (idb.count(l.atom.pred()) > 0 &&
+          productive.count(l.atom.pred()) == 0) {
+        body_ok = false;
+        break;
+      }
+    }
+    if (body_ok) out.AddRule(r);
+  }
+  return out;
+}
+
+}  // namespace sqod

@@ -1,0 +1,46 @@
+#ifndef SQOD_SQO_PREPROCESS_H_
+#define SQOD_SQO_PREPROCESS_H_
+
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/base/status.h"
+
+namespace sqod {
+
+// The preprocessing contract the paper's Section 4.1 inherits from [LMSS93]:
+// before the adornment algorithm runs, the program must satisfy
+//   (1) every rule's order atoms are satisfiable (unsatisfiable rules are
+//       removed),
+//   (2) whenever a rule's order atoms imply X = Y, one variable has been
+//       substituted for the other (and X = c substitutes the constant), and
+//   (3) the comparison set of each rule is in a normal form (canonical
+//       orientation, duplicates and tautologies removed).
+// With (1)-(3), every symbolic derivation tree can be instantiated by
+// assigning distinct constants to distinct variables — the property the
+// proof of Theorem 4.1 relies on.
+//
+// NormalizeProgram applies (1)-(3). PruneUnreachable additionally removes
+// rules that can never contribute to the query predicate (unproductive or
+// unreachable predicates).
+
+// Applies steps (1)-(3) per rule; never changes program semantics.
+Program NormalizeProgram(const Program& program);
+
+// Same normal form for one rule. Returns nullopt-like behaviour via the
+// bool: false means the rule is unsatisfiable and should be dropped.
+bool NormalizeRule(Rule* rule);
+
+// Normalizes a set of ICs: an IC whose comparisons are inconsistent can
+// never be violated and is dropped; forced equalities are substituted.
+std::vector<Constraint> NormalizeConstraints(
+    const std::vector<Constraint>& ics);
+
+// Removes rules for predicates that are unproductive (cannot derive any
+// fact from any EDB) or unreachable from the query predicate. Keeps the
+// query predicate itself even if empty.
+Program PruneUnreachable(const Program& program);
+
+}  // namespace sqod
+
+#endif  // SQOD_SQO_PREPROCESS_H_

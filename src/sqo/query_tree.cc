@@ -1,0 +1,341 @@
+#include "src/sqo/query_tree.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/ast/pattern.h"
+#include "src/ast/unify.h"
+#include "src/base/check.h"
+
+namespace sqod {
+
+namespace {
+
+std::string LabelKey(const std::vector<std::vector<int>>& label) {
+  std::string key;
+  for (const std::vector<int>& s : label) {
+    for (int i : s) key += std::to_string(i) + ",";
+    key += "|";
+  }
+  return key;
+}
+
+}  // namespace
+
+QueryTree::QueryTree(const AdornmentEngine& engine, QueryTreeOptions options)
+    : engine_(engine), options_(options) {}
+
+int QueryTree::InternClass(int apred, const Atom& atom,
+                           std::vector<std::vector<int>> label,
+                           std::vector<int>* worklist) {
+  std::string key = std::to_string(apred) + "/" +
+                    EqualityPattern(atom).ToString() + "/" + LabelKey(label);
+  auto it = registry_.find(key);
+  if (it != registry_.end()) return it->second;
+  int id = static_cast<int>(classes_.size());
+  GoalClass gc;
+  gc.apred = apred;
+  gc.atom = atom;
+  gc.label = std::move(label);
+  classes_.push_back(std::move(gc));
+  registry_.emplace(std::move(key), id);
+  worklist->push_back(id);
+  return id;
+}
+
+void QueryTree::Expand(int class_id, std::vector<int>* worklist) {
+  // Note: classes_ may reallocate while we append children, so re-read
+  // classes_[class_id] after any InternClass call.
+  const int apred = classes_[class_id].apred;
+  const Adornment& head_adornment = engine_.apreds()[apred].adornment;
+
+  for (int ri = 0; ri < static_cast<int>(engine_.arules().size()); ++ri) {
+    const AdornedRule& ar = engine_.arules()[ri];
+    if (ar.head_apred != apred) continue;
+
+    // Standardize the rule apart and unify its head with the class atom.
+    Rule renamed = RenameApart(ar.rule, &gen_);
+    Substitution theta;
+    if (!UnifyInto(renamed.head, classes_[class_id].atom, &theta)) continue;
+    theta.ResolveChains();
+    Rule instantiated = theta.Apply(renamed);
+
+    // Rule label: for head-adornment triplet j (label s' = label[j]), the
+    // originating rule triplet k = head_sources[j] gets label s'.
+    std::map<int, const std::vector<int>*> rule_label;
+    for (size_t j = 0; j < head_adornment.size(); ++j) {
+      rule_label[ar.head_sources[j]] = &classes_[class_id].label[j];
+    }
+
+    GoalClass::RuleChild child;
+    child.arule = ri;
+    child.subgoal_class.assign(ar.rule.body.size(), -1);
+
+    // Push labels into the positive IDB subgoals.
+    for (int s = 0; s < static_cast<int>(ar.positive_subgoals.size()); ++s) {
+      int b = ar.positive_subgoals[s];
+      int sub_apred = ar.subgoal_apred[b];
+      if (sub_apred == -1) continue;  // EDB subgoal
+      const Adornment& sub_adornment = engine_.apreds()[sub_apred].adornment;
+
+      std::vector<std::vector<int>> sub_label;
+      sub_label.reserve(sub_adornment.size());
+      for (int m = 0; m < static_cast<int>(sub_adornment.size()); ++m) {
+        // Default: the adornment's own unmapped set.
+        const std::vector<int>* best = &sub_adornment[m].unmapped;
+        for (int k = 0; k < static_cast<int>(ar.rule_adornment.size()); ++k) {
+          if (ar.rule_adornment[k].sources[s] != m) continue;
+          auto it = rule_label.find(k);
+          if (it != rule_label.end() && it->second->size() < best->size()) {
+            best = it->second;
+          }
+        }
+        sub_label.push_back(*best);
+      }
+
+      const Atom& sub_atom = instantiated.body[b].atom;
+      int sub_class =
+          InternClass(sub_apred, sub_atom, std::move(sub_label), worklist);
+      child.subgoal_class[b] = sub_class;
+    }
+    child.instantiated = std::move(instantiated);
+    classes_[class_id].children.push_back(std::move(child));
+  }
+}
+
+Status QueryTree::Build() {
+  SQOD_CHECK(!built_);
+  built_ = true;
+
+  const Program& program = engine_.program();
+  if (program.query() == -1) {
+    return Status::Error("query tree requires a query predicate (?- q.)");
+  }
+  int arity = program.Arity(program.query());
+
+  std::vector<int> worklist;
+  for (int ap : engine_.AdornmentsOf(program.query())) {
+    std::vector<Term> args;
+    for (int i = 0; i < arity; ++i) {
+      args.push_back(gen_.NextLike("Q"));
+    }
+    Atom root_atom(program.query(), args);
+    // The root's label equals its adornment.
+    std::vector<std::vector<int>> label;
+    for (const Triplet& t : engine_.apreds()[ap].adornment) {
+      label.push_back(t.unmapped);
+    }
+    roots_.push_back(InternClass(ap, root_atom, std::move(label), &worklist));
+  }
+
+  while (!worklist.empty()) {
+    if (static_cast<int>(classes_.size()) > options_.max_classes) {
+      return Status::Error("query tree exceeded max_classes=" +
+                           std::to_string(options_.max_classes));
+    }
+    int id = worklist.back();
+    worklist.pop_back();
+    Expand(id, &worklist);
+  }
+  ComputeStatus();
+  return Status::Ok();
+}
+
+void QueryTree::ComputeStatus() {
+  const int n = static_cast<int>(classes_.size());
+  productive_.assign(n, false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int c = 0; c < n; ++c) {
+      if (productive_[c]) continue;
+      for (const GoalClass::RuleChild& child : classes_[c].children) {
+        bool ok = true;
+        for (int sc : child.subgoal_class) {
+          if (sc != -1 && !productive_[sc]) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          productive_[c] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  reachable_.assign(n, false);
+  std::vector<int> frontier;
+  for (int r : roots_) {
+    if (productive_[r]) frontier.push_back(r);
+  }
+  while (!frontier.empty()) {
+    int c = frontier.back();
+    frontier.pop_back();
+    if (reachable_[c]) continue;
+    reachable_[c] = true;
+    for (const GoalClass::RuleChild& child : classes_[c].children) {
+      bool all_productive = true;
+      for (int sc : child.subgoal_class) {
+        if (sc != -1 && !productive_[sc]) {
+          all_productive = false;
+          break;
+        }
+      }
+      if (!all_productive) continue;  // this rule node is pruned
+      for (int sc : child.subgoal_class) {
+        if (sc != -1 && !reachable_[sc]) frontier.push_back(sc);
+      }
+    }
+  }
+}
+
+PredId QueryTree::ClassPred(int c) const {
+  return InternPred(PredName(engine_.apreds()[classes_[c].apred].name) +
+                    "_n" + std::to_string(c));
+}
+
+Program QueryTree::RewrittenProgram() const {
+  Program out;
+  const int n = static_cast<int>(classes_.size());
+  for (int c = 0; c < n; ++c) {
+    if (!productive_[c] || !reachable_[c]) continue;
+    for (const GoalClass::RuleChild& child : classes_[c].children) {
+      bool all_ok = true;
+      for (int sc : child.subgoal_class) {
+        if (sc != -1 && (!productive_[sc] || !reachable_[sc])) {
+          all_ok = false;
+          break;
+        }
+      }
+      if (!all_ok) continue;
+      Rule r;
+      r.head = Atom(ClassPred(c), child.instantiated.head.args());
+      for (int b = 0; b < static_cast<int>(child.instantiated.body.size());
+           ++b) {
+        const Literal& lit = child.instantiated.body[b];
+        if (child.subgoal_class[b] != -1) {
+          r.body.push_back(Literal::Pos(
+              Atom(ClassPred(child.subgoal_class[b]), lit.atom.args())));
+        } else {
+          r.body.push_back(lit);
+        }
+      }
+      r.comparisons = child.instantiated.comparisons;
+      out.AddRule(std::move(r));
+    }
+  }
+  // Wrapper rules for the query predicate.
+  const Program& program = engine_.program();
+  if (program.query() != -1) {
+    int arity = program.Arity(program.query());
+    std::vector<Term> args;
+    for (int i = 0; i < arity; ++i) {
+      args.push_back(Term::Var("W" + std::to_string(i)));
+    }
+    for (int root : roots_) {
+      if (!productive_[root]) continue;
+      Rule wrapper;
+      wrapper.head = Atom(program.query(), args);
+      wrapper.body.push_back(Literal::Pos(Atom(ClassPred(root), args)));
+      out.AddRule(std::move(wrapper));
+    }
+    out.SetQuery(program.query());
+  }
+  return out;
+}
+
+bool QueryTree::QuerySatisfiable() const {
+  for (int r : roots_) {
+    if (productive_[r]) return true;
+  }
+  return false;
+}
+
+std::string QueryTree::ToString() const {
+  std::string s;
+  const std::vector<Constraint>& ics = engine_.ics();
+  for (int c = 0; c < static_cast<int>(classes_.size()); ++c) {
+    const GoalClass& gc = classes_[c];
+    s += "node " + std::to_string(c) + ": " + gc.atom.ToString() + " [" +
+         PredName(engine_.apreds()[gc.apred].name) + "]";
+    if (!productive_.empty() && (!productive_[c] || !reachable_[c])) {
+      s += " (pruned)";
+    }
+    s += " label={";
+    const Adornment& adornment = engine_.apreds()[gc.apred].adornment;
+    for (size_t j = 0; j < gc.label.size(); ++j) {
+      if (j > 0) s += ", ";
+      Triplet t = adornment[j];
+      t.unmapped = gc.label[j];
+      s += t.ToString(ics);
+    }
+    s += "}\n";
+    for (const GoalClass::RuleChild& child : gc.children) {
+      s += "  rule: " + child.instantiated.ToString() + "  subgoals:";
+      for (int sc : child.subgoal_class) {
+        s += " " + std::to_string(sc);
+      }
+      s += "\n";
+    }
+  }
+  return s;
+}
+
+namespace {
+
+// Escapes a label for the dot format.
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string QueryTree::ToDot() const {
+  std::string dot = "digraph query_tree {\n  rankdir=TB;\n";
+  const std::vector<Constraint>& ics = engine_.ics();
+  for (int c = 0; c < static_cast<int>(classes_.size()); ++c) {
+    const GoalClass& gc = classes_[c];
+    bool pruned =
+        !productive_.empty() && (!productive_[c] || !reachable_[c]);
+    // Goal node with its label triplets.
+    std::string label = gc.atom.ToString();
+    const Adornment& adornment = engine_.apreds()[gc.apred].adornment;
+    for (size_t j = 0; j < gc.label.size(); ++j) {
+      Triplet t = adornment[j];
+      t.unmapped = gc.label[j];
+      label += "\\n" + t.ToString(ics);
+    }
+    dot += "  g" + std::to_string(c) + " [shape=ellipse, label=\"" +
+           DotEscape(label) + "\"" + (pruned ? ", style=dashed" : "") +
+           "];\n";
+    for (size_t k = 0; k < gc.children.size(); ++k) {
+      std::string rule_id =
+          "r" + std::to_string(c) + "_" + std::to_string(k);
+      dot += "  " + rule_id + " [shape=box, label=\"" +
+             DotEscape(gc.children[k].instantiated.ToString()) + "\"];\n";
+      dot += "  g" + std::to_string(c) + " -> " + rule_id + ";\n";
+      for (int sc : gc.children[k].subgoal_class) {
+        if (sc != -1) {
+          dot += "  " + rule_id + " -> g" + std::to_string(sc) + ";\n";
+        }
+      }
+    }
+  }
+  for (int r : roots_) {
+    dot += "  root_marker_" + std::to_string(r) +
+           " [shape=point]; root_marker_" + std::to_string(r) + " -> g" +
+           std::to_string(r) + ";\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace sqod

@@ -1,0 +1,186 @@
+#include "src/sqo/residue.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/ast/unify.h"
+#include "src/order/solver.h"
+#include "src/sqo/preprocess.h"
+
+namespace sqod {
+
+std::string Residue::ToString() const {
+  std::string s = "{";
+  bool first = true;
+  for (const Literal& l : literals) {
+    if (!first) s += ", ";
+    first = false;
+    s += l.ToString();
+  }
+  for (const Comparison& c : comparisons) {
+    if (!first) s += ", ";
+    first = false;
+    s += c.ToString();
+  }
+  return s + "}";
+}
+
+namespace {
+
+// Enumerates homomorphisms of a chosen subset of the IC's positive atoms
+// into the rule's positive EDB atoms. `assignment[i]` is the body-atom
+// index the i-th IC atom maps to, or -1 for "unmapped".
+void EnumerateMappings(const std::vector<Atom>& ic_atoms,
+                       const std::vector<Atom>& body_atoms, size_t next,
+                       Substitution* subst, std::vector<int>* assignment,
+                       const std::function<void(const Substitution&,
+                                                const std::vector<int>&)>& cb) {
+  if (next == ic_atoms.size()) {
+    cb(*subst, *assignment);
+    return;
+  }
+  // Option 1: leave the atom unmapped.
+  (*assignment)[next] = -1;
+  EnumerateMappings(ic_atoms, body_atoms, next + 1, subst, assignment, cb);
+  // Option 2: map it to each compatible body atom.
+  for (size_t b = 0; b < body_atoms.size(); ++b) {
+    Substitution attempt = *subst;
+    if (!MatchInto(ic_atoms[next], body_atoms[b], &attempt)) continue;
+    (*assignment)[next] = static_cast<int>(b);
+    EnumerateMappings(ic_atoms, body_atoms, next + 1, &attempt, assignment,
+                      cb);
+  }
+  (*assignment)[next] = -1;
+}
+
+// True if every variable of `t` is in the domain of `subst`.
+bool TermDetermined(const Term& t, const Substitution& subst) {
+  return t.is_const() || subst.Lookup(t.var()) != nullptr;
+}
+
+}  // namespace
+
+std::vector<Residue> ComputeResidues(const Rule& rule, const Constraint& ic,
+                                     int ic_index) {
+  FreshVarGen gen;
+  Constraint renamed = RenameApart(ic, &gen);
+
+  // Candidate targets: the rule's positive EDB-or-any atoms. ICs may only
+  // mention EDB predicates, so non-EDB body atoms simply never match.
+  std::vector<Atom> body_atoms;
+  for (const Literal& l : rule.body) {
+    if (!l.negated) body_atoms.push_back(l.atom);
+  }
+  std::vector<Atom> ic_atoms;
+  for (const Literal& l : renamed.body) {
+    if (!l.negated) ic_atoms.push_back(l.atom);
+  }
+
+  OrderSolver rule_solver(rule.comparisons);
+
+  std::vector<Residue> out;
+  std::set<std::string> seen;
+  Substitution empty;
+  std::vector<int> assignment(ic_atoms.size(), -1);
+  EnumerateMappings(
+      ic_atoms, body_atoms, 0, &empty, &assignment,
+      [&](const Substitution& h, const std::vector<int>& asg) {
+        Residue res;
+        res.ic_index = ic_index;
+        for (size_t i = 0; i < ic_atoms.size(); ++i) {
+          if (asg[i] == -1) {
+            res.literals.push_back(Literal::Pos(h.Apply(ic_atoms[i])));
+          }
+        }
+        // Negated IC atoms are never discharged by the mapping here; they
+        // stay in the residue (with the mapping applied).
+        for (const Literal& l : renamed.body) {
+          if (l.negated) res.literals.push_back(h.Apply(l));
+        }
+        // Comparisons fully determined by the mapping and entailed by the
+        // rule's own comparisons are discharged; the rest remain.
+        for (const Comparison& c : renamed.comparisons) {
+          Comparison mapped = h.Apply(c);
+          if (TermDetermined(c.lhs, h) && TermDetermined(c.rhs, h) &&
+              rule_solver.Entails(mapped)) {
+            continue;
+          }
+          res.comparisons.push_back(mapped);
+        }
+        std::string key = res.ToString();
+        if (seen.insert(key).second) out.push_back(std::move(res));
+      });
+  return out;
+}
+
+Program ApplyClassicSqo(const Program& program,
+                        const std::vector<Constraint>& ics,
+                        ClassicSqoReport* report) {
+  ClassicSqoReport local_report;
+  Program out;
+  out.SetQuery(program.query());
+
+  for (const Rule& original : program.rules()) {
+    Rule rule = original;
+    bool deleted = false;
+    for (int i = 0; i < static_cast<int>(ics.size()) && !deleted; ++i) {
+      for (const Residue& res : ComputeResidues(rule, ics[i], i)) {
+        if (res.empty()) {
+          // The whole IC maps into the rule: no instantiation over a
+          // consistent database satisfies the body.
+          deleted = true;
+          ++local_report.rules_deleted;
+          break;
+        }
+        // Attach the negation of expressible single-literal residues.
+        if (res.literals.empty() && res.comparisons.size() == 1) {
+          const Comparison& c = res.comparisons[0];
+          std::vector<VarId> cvars;
+          c.CollectVars(&cvars);
+          std::vector<VarId> rule_vars = rule.BodyVars();
+          bool bound = std::all_of(cvars.begin(), cvars.end(), [&](VarId v) {
+            return std::find(rule_vars.begin(), rule_vars.end(), v) !=
+                   rule_vars.end();
+          });
+          if (!bound) continue;
+          Comparison negated = c.Negated().Canonical();
+          OrderSolver solver(rule.comparisons);
+          if (solver.Entails(negated)) continue;  // already implied
+          rule.comparisons.push_back(negated);
+          ++local_report.comparisons_added;
+        } else if (res.comparisons.empty() && res.literals.size() == 1 &&
+                   !res.literals[0].negated) {
+          const Atom& a = res.literals[0].atom;
+          std::vector<VarId> avars;
+          a.CollectVars(&avars);
+          std::vector<VarId> rule_vars = rule.BodyVars();
+          bool bound = std::all_of(avars.begin(), avars.end(), [&](VarId v) {
+            return std::find(rule_vars.begin(), rule_vars.end(), v) !=
+                   rule_vars.end();
+          });
+          if (!bound) continue;
+          Literal neg = Literal::Neg(a);
+          if (std::find(rule.body.begin(), rule.body.end(), neg) !=
+              rule.body.end()) {
+            continue;
+          }
+          rule.body.push_back(neg);
+          ++local_report.negations_added;
+        }
+      }
+      // Attached comparisons can make the rule unsatisfiable outright.
+      if (!ComparisonsConsistent(rule.comparisons)) {
+        deleted = true;
+        ++local_report.rules_deleted;
+      }
+    }
+    if (!deleted) {
+      NormalizeRule(&rule);
+      out.AddRule(std::move(rule));
+    }
+  }
+  if (report != nullptr) *report = local_report;
+  return out;
+}
+
+}  // namespace sqod

@@ -1,0 +1,53 @@
+#ifndef SQOD_SQO_RESIDUE_H_
+#define SQOD_SQO_RESIDUE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ast/program.h"
+
+namespace sqod {
+
+// Classic single-rule semantic query optimization (Chakravarthy, Grant &
+// Minker 1988), the baseline the paper improves on. A *residue* of an IC I
+// w.r.t. a rule r is the unmapped portion of a partial homomorphism from the
+// positive atoms of I into the positive EDB atoms of r's body. Its negation
+// holds in every instantiation of r over a consistent database, so it can be
+// appended to r (when expressible) or, when the residue is empty, r can be
+// deleted.
+//
+// This analysis looks at each rule in isolation; Section 3 of the paper
+// shows why that misses interactions flowing through IDB subgoals (which is
+// what the query-tree algorithm of src/sqo/adorn.h + query_tree.h captures).
+
+struct Residue {
+  int ic_index = -1;
+  // Unmapped or unsatisfied parts, with the mapping applied where defined.
+  std::vector<Literal> literals;
+  std::vector<Comparison> comparisons;
+
+  bool empty() const { return literals.empty() && comparisons.empty(); }
+  std::string ToString() const;
+};
+
+// All residues of `ic` (index `ic_index`) w.r.t. `rule`. Duplicates are
+// removed. The IC is renamed apart from the rule internally.
+std::vector<Residue> ComputeResidues(const Rule& rule, const Constraint& ic,
+                                     int ic_index);
+
+struct ClassicSqoReport {
+  int rules_deleted = 0;       // rules with an empty residue
+  int comparisons_added = 0;   // negated single-comparison residues attached
+  int negations_added = 0;     // negated single-EDB-literal residues attached
+};
+
+// Applies classic SQO to every rule of `program` under `ics`: deletes
+// unsatisfiable rules and attaches the negations of expressible
+// single-literal residues.
+Program ApplyClassicSqo(const Program& program,
+                        const std::vector<Constraint>& ics,
+                        ClassicSqoReport* report = nullptr);
+
+}  // namespace sqod
+
+#endif  // SQOD_SQO_RESIDUE_H_

@@ -1,0 +1,237 @@
+#include "src/sqo/satisfiability.h"
+
+#include <algorithm>
+
+#include "src/ast/unify.h"
+#include "src/cq/homomorphism.h"
+#include "src/order/clause_solver.h"
+#include "src/order/solver.h"
+#include "src/sqo/preprocess.h"
+
+namespace sqod {
+
+namespace {
+
+bool AnyNegated(const std::vector<Constraint>& ics) {
+  for (const Constraint& ic : ics) {
+    for (const Literal& l : ic.body) {
+      if (l.negated) return true;
+    }
+  }
+  return false;
+}
+
+bool AnyOrder(const std::vector<Constraint>& ics) {
+  return std::any_of(ics.begin(), ics.end(), [](const Constraint& ic) {
+    return !ic.comparisons.empty();
+  });
+}
+
+// Satisfiability for plain / {theta}-ICs: pick a dense-order model of the
+// body's comparisons that (a) defeats every *potential* homomorphic IC
+// violation and (b) keeps every negated body atom distinct from every
+// positive one.
+//
+// For (a), plain syntactic homomorphism enumeration would be incomplete:
+// the chosen model may equate body variables, enabling homomorphisms that
+// do not exist on the frozen body. We therefore enumerate *relaxed*
+// homomorphisms — each IC atom maps to a body atom of the same predicate,
+// and argument mismatches between variables become equality REQUIREMENTS.
+// A relaxed homomorphism is an actual violation under a model alpha iff
+// alpha satisfies its requirements and the IC's order atoms; the emitted
+// clause forbids exactly that conjunction.
+Result<bool> SatisfiableOrderCase(const Rule& rule,
+                                  const std::vector<Constraint>& ics) {
+  std::vector<Atom> positives;
+  for (const Literal& l : rule.body) {
+    if (!l.negated) positives.push_back(l.atom);
+  }
+
+  std::vector<OrderClause> clauses;
+  bool impossible = false;  // an unconditional violation was found
+
+  for (const Constraint& ic : ics) {
+    FreshVarGen gen;
+    Constraint renamed = RenameApart(ic, &gen);
+    std::vector<Atom> ic_pos;
+    for (const Literal& l : renamed.body) {
+      if (!l.negated) ic_pos.push_back(l.atom);
+    }
+
+    // Recursive relaxed-homomorphism enumeration. `requirements` collects
+    // the equalities the model must satisfy for this mapping to exist.
+    std::vector<Comparison> requirements;
+    Substitution h;
+    std::function<bool(size_t)> recurse = [&](size_t next) -> bool {
+      if (next == ic_pos.size()) {
+        // Negated IC atoms: on the minimal database the image is present
+        // iff it coincides with some positive body atom. Being "absent" is
+        // the default; coinciding requires further equalities we do not
+        // model, so treating the violation as live is the conservative
+        // (sound for UNSAT, possibly pessimistic) choice only when the
+        // image CANNOT coincide. Since {theta}-ICs reaching this code path
+        // have no negated atoms (mixed ICs are rejected upstream), the
+        // loop below only guards the plain-IC-with-negation corner used by
+        // tests: skip the mapping when the image is syntactically present.
+        for (const Literal& l : renamed.body) {
+          if (!l.negated) continue;
+          Atom image = h.Apply(l.atom);
+          if (std::find(positives.begin(), positives.end(), image) !=
+              positives.end()) {
+            return false;  // not a violation; next mapping
+          }
+        }
+        OrderClause clause;
+        for (const Comparison& req : requirements) {
+          clause.push_back(req.Negated());
+        }
+        for (const Comparison& c : renamed.comparisons) {
+          clause.push_back(h.Apply(c).Negated());
+        }
+        if (clause.empty()) {
+          impossible = true;
+          return true;  // unavoidable violation; stop
+        }
+        clauses.push_back(std::move(clause));
+        return false;
+      }
+      const Atom& pattern = ic_pos[next];
+      for (const Atom& target : positives) {
+        if (target.pred() != pattern.pred() ||
+            target.arity() != pattern.arity()) {
+          continue;
+        }
+        // Try to map `pattern` onto `target`, collecting requirements.
+        size_t req_mark = requirements.size();
+        Substitution saved = h;
+        bool ok = true;
+        for (int i = 0; i < pattern.arity() && ok; ++i) {
+          const Term& parg = pattern.arg(i);
+          const Term& t = target.arg(i);
+          // IC variables are renamed apart from the body, so an identity
+          // Apply means an unbound IC variable: bind it outright.
+          if (parg.is_var() && h.Lookup(parg.var()) == nullptr) {
+            h.Bind(parg.var(), t);
+            continue;
+          }
+          Term image = h.Apply(parg);  // a body term or a constant
+          if (image == t) continue;
+          if (image.is_const() && t.is_const()) {
+            ok = false;  // two distinct constants can never be equated
+          } else {
+            // Equality requirement between body terms (or body variable
+            // and constant) the model must satisfy for this mapping.
+            requirements.push_back(Comparison(image, CmpOp::kEq, t));
+          }
+        }
+        if (ok && recurse(next + 1)) return true;
+        requirements.resize(req_mark);
+        h = saved;
+      }
+      return false;
+    };
+    if (recurse(0)) break;
+  }
+  if (impossible) return false;
+
+  // (b) A negated body atom must stay different from every positive atom of
+  // the same predicate under the chosen assignment.
+  for (const Literal& neg : rule.body) {
+    if (!neg.negated) continue;
+    for (const Atom& pos : positives) {
+      if (pos.pred() != neg.atom.pred()) continue;
+      OrderClause clause;
+      bool trivially_distinct = false;
+      for (int i = 0; i < pos.arity(); ++i) {
+        const Term& a = pos.arg(i);
+        const Term& b = neg.atom.arg(i);
+        if (a == b) continue;  // this position can never separate them
+        if (a.is_const() && b.is_const()) {
+          trivially_distinct = true;  // two distinct constants
+          break;
+        }
+        clause.push_back(Comparison(a, CmpOp::kNe, b));
+      }
+      if (trivially_distinct) continue;
+      if (clause.empty()) return false;  // identical atoms, one negated
+      clauses.push_back(std::move(clause));
+    }
+  }
+
+  return SatisfiableWithClauses(rule.comparisons, clauses);
+}
+
+// Satisfiability for {not}-ICs against a comparison-free body: freeze and
+// chase. Negated body atoms become ground denials so no branch may add them.
+Result<bool> SatisfiableChaseCase(const Rule& rule,
+                                  const std::vector<Constraint>& ics,
+                                  const SatOptions& options) {
+  Substitution freeze;
+  for (VarId v : rule.BodyVars()) {
+    freeze.Bind(v, Term::Symbol("__frozen_" + GlobalStrings().Name(v)));
+  }
+  Database frozen;
+  std::vector<Constraint> all_ics = ics;
+  for (const Literal& l : rule.body) {
+    Atom image = freeze.Apply(l.atom);
+    if (l.negated) {
+      Constraint denial;
+      denial.body.push_back(Literal::Pos(image));
+      all_ics.push_back(std::move(denial));
+    } else {
+      frozen.InsertAtom(image);
+    }
+  }
+  ChaseOutcome outcome = ChaseSatisfiable(frozen, all_ics, options.chase);
+  switch (outcome.result) {
+    case ChaseResult::kSatisfiable: return true;
+    case ChaseResult::kUnsatisfiable: return false;
+    case ChaseResult::kResourceLimit:
+      return Status::Error("chase exceeded its step budget");
+  }
+  return Status::Error("unreachable");
+}
+
+}  // namespace
+
+Result<bool> RuleBodySatisfiable(const Rule& rule,
+                                 const std::vector<Constraint>& ics,
+                                 const SatOptions& options) {
+  Rule normalized = rule;
+  if (!NormalizeRule(&normalized)) return false;
+
+  const bool ics_negated = AnyNegated(ics);
+  const bool ics_order = AnyOrder(ics);
+  if (ics_negated && ics_order) {
+    return Status::Error(
+        "ICs mixing order atoms and negation are not supported "
+        "(Theorem 5.2(4): EXPSPACE; out of scope)");
+  }
+  if (ics_negated) {
+    if (!normalized.comparisons.empty()) {
+      return Status::Error(
+          "a body with order atoms cannot be checked against {not}-ICs "
+          "(undecidable in general, Theorem 5.5)");
+    }
+    return SatisfiableChaseCase(normalized, ics, options);
+  }
+  return SatisfiableOrderCase(normalized, ics);
+}
+
+Result<bool> ProgramEmpty(const Program& program,
+                          const std::vector<Constraint>& ics,
+                          const SatOptions& options) {
+  Program normalized = NormalizeProgram(program);
+  std::vector<Constraint> nics = NormalizeConstraints(ics);
+  // Proposition 5.2: P is empty iff all initialization rules are
+  // unsatisfiable.
+  for (int i : normalized.InitializationRules()) {
+    Result<bool> sat =
+        RuleBodySatisfiable(normalized.rules()[i], nics, options);
+    if (!sat.ok()) return sat;
+    if (sat.value()) return false;
+  }
+  return true;
+}
+
+}  // namespace sqod

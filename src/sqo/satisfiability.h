@@ -1,0 +1,43 @@
+#ifndef SQOD_SQO_SATISFIABILITY_H_
+#define SQOD_SQO_SATISFIABILITY_H_
+
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/base/status.h"
+#include "src/chase/chase.h"
+
+namespace sqod {
+
+// Decision procedures around Section 5 of the paper.
+//
+// RuleBodySatisfiable decides whether a single EDB-only rule body has a
+// model among the databases satisfying the ICs. Supported fragments:
+//   * plain and {theta}-ICs (order atoms must be local is NOT required
+//     here; any order atoms work because the body is a single conjunction):
+//     reduced to dense-order clause satisfiability, the Pi2P-complete
+//     problem of Theorem 5.2(3);
+//   * {not}-ICs against a comparison-free body: decided by the branching
+//     chase, cf. Theorem 5.2(2);
+//   * ICs mixing order atoms and negation are rejected (Theorem 5.2(4) puts
+//     this in EXPSPACE; it is out of scope for this library).
+//
+// ProgramEmpty implements Proposition 5.2: a program is empty (no IDB
+// predicate satisfiable) iff all its initialization rules are unsatisfiable,
+// so only the initialization rules are examined.
+
+struct SatOptions {
+  ChaseOptions chase;
+};
+
+Result<bool> RuleBodySatisfiable(const Rule& rule,
+                                 const std::vector<Constraint>& ics,
+                                 const SatOptions& options = {});
+
+Result<bool> ProgramEmpty(const Program& program,
+                          const std::vector<Constraint>& ics,
+                          const SatOptions& options = {});
+
+}  // namespace sqod
+
+#endif  // SQOD_SQO_SATISFIABILITY_H_

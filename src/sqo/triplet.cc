@@ -1,0 +1,136 @@
+#include "src/sqo/triplet.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace sqod {
+
+VarImage VarImage::Constant(Value v) {
+  VarImage img;
+  img.is_constant = true;
+  img.constant = v;
+  return img;
+}
+
+VarImage VarImage::AtPositions(std::vector<int> pos) {
+  SQOD_CHECK(!pos.empty());
+  VarImage img;
+  img.is_constant = false;
+  std::sort(pos.begin(), pos.end());
+  pos.erase(std::unique(pos.begin(), pos.end()), pos.end());
+  img.positions = std::move(pos);
+  return img;
+}
+
+bool VarImage::operator==(const VarImage& other) const {
+  if (is_constant != other.is_constant) return false;
+  if (is_constant) return constant == other.constant;
+  return positions == other.positions;
+}
+
+bool VarImage::operator<(const VarImage& other) const {
+  if (is_constant != other.is_constant) return is_constant;
+  if (is_constant) return constant < other.constant;
+  return positions < other.positions;
+}
+
+std::string VarImage::ToString() const {
+  if (is_constant) return constant.ToString();
+  std::string s = "pos{";
+  for (size_t i = 0; i < positions.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(positions[i]);
+  }
+  return s + "}";
+}
+
+bool Triplet::operator==(const Triplet& other) const {
+  return ic_index == other.ic_index && unmapped == other.unmapped &&
+         sigma == other.sigma;
+}
+
+bool Triplet::operator<(const Triplet& other) const {
+  if (ic_index != other.ic_index) return ic_index < other.ic_index;
+  if (unmapped != other.unmapped) return unmapped < other.unmapped;
+  return sigma < other.sigma;
+}
+
+std::string Triplet::ToString(const std::vector<Constraint>& ics) const {
+  std::string s = "(ic" + std::to_string(ic_index) + ", s={";
+  const std::vector<const Atom*> atoms =
+      ic_index >= 0 && ic_index < static_cast<int>(ics.size())
+          ? ics[ic_index].PositiveAtoms()
+          : std::vector<const Atom*>();
+  for (size_t i = 0; i < unmapped.size(); ++i) {
+    if (i > 0) s += ", ";
+    if (unmapped[i] < static_cast<int>(atoms.size())) {
+      s += atoms[unmapped[i]]->ToString();
+    } else {
+      s += "#" + std::to_string(unmapped[i]);
+    }
+  }
+  s += "}";
+  for (const auto& [var, img] : sigma) {
+    s += ", " + GlobalStrings().Name(var) + "->" + img.ToString();
+  }
+  return s + ")";
+}
+
+void CanonicalizeAdornment(Adornment* adornment) {
+  std::sort(adornment->begin(), adornment->end());
+  adornment->erase(std::unique(adornment->begin(), adornment->end()),
+                   adornment->end());
+}
+
+std::string AdornmentKey(const Adornment& adornment) {
+  std::string key;
+  for (const Triplet& t : adornment) {
+    key += std::to_string(t.ic_index) + "|";
+    for (int u : t.unmapped) key += std::to_string(u) + ",";
+    key += "|";
+    for (const auto& [var, img] : t.sigma) {
+      key += std::to_string(var) + ":" + img.ToString() + ";";
+    }
+    key += "#";
+  }
+  return key;
+}
+
+std::string AdornmentToString(const Adornment& adornment,
+                              const std::vector<Constraint>& ics) {
+  std::string s = "{";
+  for (size_t i = 0; i < adornment.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += adornment[i].ToString(ics);
+  }
+  return s + "}";
+}
+
+bool RuleTriplet::SameAs(const RuleTriplet& other) const {
+  return ic_index == other.ic_index && unmapped == other.unmapped &&
+         sigma == other.sigma;
+}
+
+std::string RuleTriplet::ToString(const std::vector<Constraint>& ics) const {
+  std::string s = "(ic" + std::to_string(ic_index) + ", s={";
+  const std::vector<const Atom*> atoms =
+      ic_index >= 0 && ic_index < static_cast<int>(ics.size())
+          ? ics[ic_index].PositiveAtoms()
+          : std::vector<const Atom*>();
+  for (size_t i = 0; i < unmapped.size(); ++i) {
+    if (i > 0) s += ", ";
+    if (unmapped[i] < static_cast<int>(atoms.size())) {
+      s += atoms[unmapped[i]]->ToString();
+    } else {
+      s += "#" + std::to_string(unmapped[i]);
+    }
+  }
+  s += "}";
+  for (const auto& [var, term] : sigma) {
+    s += ", " + GlobalStrings().Name(var) + "->" + term.ToString();
+  }
+  return s + ")";
+}
+
+}  // namespace sqod

@@ -1,0 +1,76 @@
+#ifndef SQOD_SQO_TRIPLET_H_
+#define SQOD_SQO_TRIPLET_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/ast/program.h"
+
+namespace sqod {
+
+// Where an integrity-constraint variable is known to land, relative to a
+// goal node with predicate p: either a constant, or a (nonempty, sorted)
+// set of argument positions of p.
+struct VarImage {
+  bool is_constant = false;
+  Value constant;
+  std::vector<int> positions;  // sorted; meaningful iff !is_constant
+
+  static VarImage Constant(Value v);
+  static VarImage AtPositions(std::vector<int> pos);
+
+  bool operator==(const VarImage& other) const;
+  bool operator<(const VarImage& other) const;
+  std::string ToString() const;
+};
+
+// A goal-node triplet (I, sigma, s) of Section 4: `ic_index` identifies I,
+// `unmapped` is s (indices into the IC's positive atoms, sorted), and
+// `sigma` records where the variables shared between s and the mapped part
+// landed, in terms of the goal predicate's argument positions.
+struct Triplet {
+  int ic_index = -1;
+  std::vector<int> unmapped;
+  std::map<VarId, VarImage> sigma;
+
+  bool operator==(const Triplet& other) const;
+  bool operator<(const Triplet& other) const;
+
+  // Human-readable form: "(ic0, s={a(Z,X)}, X->pos1)".
+  std::string ToString(const std::vector<Constraint>& ics) const;
+};
+
+// An adornment: the canonical (sorted, duplicate-free) set of triplets of a
+// goal node or adorned predicate. The trivial triplet (everything unmapped,
+// empty sigma) is implicit and never stored.
+using Adornment = std::vector<Triplet>;
+
+// Sorts and dedupes.
+void CanonicalizeAdornment(Adornment* adornment);
+
+// Stable serialization used as a registry key.
+std::string AdornmentKey(const Adornment& adornment);
+
+std::string AdornmentToString(const Adornment& adornment,
+                              const std::vector<Constraint>& ics);
+
+// A rule-level triplet: sigma maps IC variables to *terms of the rule*
+// (variables or constants), and `sources` records, per positive body
+// subgoal, which triplet of that subgoal's adornment contributed (-1 for
+// the implicit trivial triplet). `sources` is provenance for the top-down
+// label pushdown and does not participate in identity.
+struct RuleTriplet {
+  int ic_index = -1;
+  std::vector<int> unmapped;
+  std::map<VarId, Term> sigma;
+  std::vector<int> sources;
+
+  // Identity ignoring provenance.
+  bool SameAs(const RuleTriplet& other) const;
+  std::string ToString(const std::vector<Constraint>& ics) const;
+};
+
+}  // namespace sqod
+
+#endif  // SQOD_SQO_TRIPLET_H_

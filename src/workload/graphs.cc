@@ -1,0 +1,97 @@
+#include "src/workload/graphs.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace sqod {
+
+Database MakeChain(int n, const char* pred) {
+  Database db;
+  PredId p = InternPred(pred);
+  for (int i = 0; i < n; ++i) {
+    db.Insert(p, {Value::Int(i), Value::Int(i + 1)});
+  }
+  return db;
+}
+
+Database MakeRandomGraph(int nodes, int edges, Rng* rng, const char* pred) {
+  SQOD_CHECK(nodes > 0);
+  Database db;
+  PredId p = InternPred(pred);
+  std::uniform_int_distribution<int> node(0, nodes - 1);
+  for (int i = 0; i < edges; ++i) {
+    db.Insert(p, {Value::Int(node(*rng)), Value::Int(node(*rng))});
+  }
+  return db;
+}
+
+Database MakeTwoColoredGraph(int nodes, int edges, double p_a, Rng* rng) {
+  SQOD_CHECK(nodes > 0);
+  Database db;
+  PredId a = InternPred("a");
+  PredId b = InternPred("b");
+  std::uniform_int_distribution<int> node(0, nodes - 1);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (int i = 0; i < edges; ++i) {
+    PredId pred = coin(*rng) < p_a ? a : b;
+    db.Insert(pred, {Value::Int(node(*rng)), Value::Int(node(*rng))});
+  }
+  return db;
+}
+
+Database MakeGoodPathWorkload(const GoodPathConfig& config, Rng* rng) {
+  SQOD_CHECK(config.nodes > 1);
+  SQOD_CHECK(config.threshold < config.nodes);
+  Database db;
+  PredId step = InternPred("step");
+  PredId start = InternPred("startPoint");
+  PredId end = InternPred("endPoint");
+  std::uniform_int_distribution<int> node(0, config.nodes - 1);
+
+  // Strictly increasing steps (IC 2). Sampling rejects u == v.
+  int made = 0;
+  while (made < config.edges) {
+    int u = node(*rng);
+    int v = node(*rng);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    db.Insert(step, {Value::Int(u), Value::Int(v)});
+    ++made;
+  }
+  // Start points at or above the threshold (IC 1).
+  std::uniform_int_distribution<int> high(config.threshold,
+                                          config.nodes - 1);
+  for (int i = 0; i < config.num_start; ++i) {
+    db.Insert(start, {Value::Int(high(*rng))});
+  }
+  for (int i = 0; i < config.num_end; ++i) {
+    db.Insert(end, {Value::Int(node(*rng))});
+  }
+  return db;
+}
+
+Database MakeStartBeforeEndWorkload(int nodes, int edges, int num_start,
+                                    int num_end, Rng* rng) {
+  SQOD_CHECK(nodes > 3);
+  Database db;
+  PredId step = InternPred("step");
+  PredId start = InternPred("startPoint");
+  PredId end = InternPred("endPoint");
+  const int split = nodes / 2;
+  std::uniform_int_distribution<int> node(0, nodes - 1);
+  std::uniform_int_distribution<int> low(0, split - 1);
+  std::uniform_int_distribution<int> high(split, nodes - 1);
+  for (int i = 0; i < edges; ++i) {
+    db.Insert(step, {Value::Int(node(*rng)), Value::Int(node(*rng))});
+  }
+  for (int i = 0; i < num_start; ++i) {
+    db.Insert(start, {Value::Int(low(*rng))});
+  }
+  for (int i = 0; i < num_end; ++i) {
+    db.Insert(end, {Value::Int(high(*rng))});
+  }
+  return db;
+}
+
+}  // namespace sqod

@@ -1,0 +1,56 @@
+#ifndef SQOD_WORKLOAD_GRAPHS_H_
+#define SQOD_WORKLOAD_GRAPHS_H_
+
+#include <cstdint>
+#include <random>
+
+#include "src/eval/database.h"
+
+namespace sqod {
+
+using Rng = std::mt19937_64;
+
+// Synthetic EDB generators for the benchmark experiments. All node ids are
+// integers, so order atoms (X < Y, X >= 100, ...) apply directly.
+
+// edge(0,1), edge(1,2), ..., a simple chain of `n` edges.
+Database MakeChain(int n, const char* pred = "edge");
+
+// `edges` uniform random directed edges over `nodes` nodes (self-loops
+// allowed, duplicates deduped by the relation).
+Database MakeRandomGraph(int nodes, int edges, Rng* rng,
+                         const char* pred = "edge");
+
+// Random edges colored a/b: each edge lands in relation `a` with
+// probability p_a, else in `b`. The workload of the paper's Section 4
+// running example (IC: an a-edge may not be followed by a b-edge).
+Database MakeTwoColoredGraph(int nodes, int edges, double p_a, Rng* rng);
+
+// The Section 3 workload (ICs (1) and (2)): step(X, Y) edges over integer
+// points 0..nodes-1, plus startPoint/endPoint unary relations, generated so
+// that the EDB satisfies both
+//     :- startPoint(X), step(X, Y), X < threshold.   (IC 1)
+//     :- step(X, Y), X >= Y.                          (IC 2)
+// Steps are strictly increasing (IC 2); start points are drawn from
+// [threshold, nodes) (IC 1); end points from anywhere. Nodes below the
+// threshold still carry many steps — the work the rewritten program gets to
+// skip. Sweep `threshold` to control the skippable fraction.
+struct GoodPathConfig {
+  int nodes = 1000;
+  int edges = 4000;
+  int num_start = 20;
+  int num_end = 20;
+  int threshold = 100;  // the "100" of the paper's ICs
+};
+
+Database MakeGoodPathWorkload(const GoodPathConfig& config, Rng* rng);
+
+// A workload for Example 3.1 where the EDB satisfies
+//     :- startPoint(X), endPoint(Y), Y <= X.
+// start points are drawn from [0, split), end points from [split, nodes).
+Database MakeStartBeforeEndWorkload(int nodes, int edges, int num_start,
+                                    int num_end, Rng* rng);
+
+}  // namespace sqod
+
+#endif  // SQOD_WORKLOAD_GRAPHS_H_

@@ -1,0 +1,233 @@
+#include "src/workload/programs.h"
+
+#include <set>
+
+#include "src/base/check.h"
+#include "src/cq/ic_check.h"
+
+namespace sqod {
+
+namespace {
+
+Term V(const char* name) { return Term::Var(name); }
+
+}  // namespace
+
+Program MakeGoodPathProgram() {
+  Program p;
+  {
+    Rule r;
+    r.head = Atom("path", {V("X"), V("Y")});
+    r.body.push_back(Literal::Pos(Atom("step", {V("X"), V("Y")})));
+    p.AddRule(std::move(r));
+  }
+  {
+    Rule r;
+    r.head = Atom("path", {V("X"), V("Y")});
+    r.body.push_back(Literal::Pos(Atom("step", {V("X"), V("Z")})));
+    r.body.push_back(Literal::Pos(Atom("path", {V("Z"), V("Y")})));
+    p.AddRule(std::move(r));
+  }
+  {
+    Rule r;
+    r.head = Atom("goodPath", {V("X"), V("Y")});
+    r.body.push_back(Literal::Pos(Atom("startPoint", {V("X")})));
+    r.body.push_back(Literal::Pos(Atom("path", {V("X"), V("Y")})));
+    r.body.push_back(Literal::Pos(Atom("endPoint", {V("Y")})));
+    p.AddRule(std::move(r));
+  }
+  p.SetQuery("goodPath");
+  return p;
+}
+
+Constraint MakeStartBeforeEndIc() {
+  Constraint ic;
+  ic.body.push_back(Literal::Pos(Atom("startPoint", {V("X")})));
+  ic.body.push_back(Literal::Pos(Atom("endPoint", {V("Y")})));
+  ic.comparisons.push_back(Comparison(V("Y"), CmpOp::kLe, V("X")));
+  return ic;
+}
+
+std::vector<Constraint> MakeMonotoneIcs(int threshold) {
+  std::vector<Constraint> ics;
+  {
+    Constraint ic;  // (1)
+    ic.body.push_back(Literal::Pos(Atom("startPoint", {V("X")})));
+    ic.body.push_back(Literal::Pos(Atom("step", {V("X"), V("Y")})));
+    ic.comparisons.push_back(
+        Comparison(V("X"), CmpOp::kLt, Term::Int(threshold)));
+    ics.push_back(std::move(ic));
+  }
+  {
+    Constraint ic;  // (2)
+    ic.body.push_back(Literal::Pos(Atom("step", {V("X"), V("Y")})));
+    ic.comparisons.push_back(Comparison(V("X"), CmpOp::kGe, V("Y")));
+    ics.push_back(std::move(ic));
+  }
+  return ics;
+}
+
+Program MakeAbClosureProgram() {
+  Program p;
+  for (const char* e : {"a", "b"}) {
+    Rule base;
+    base.head = Atom("p", {V("X"), V("Y")});
+    base.body.push_back(Literal::Pos(Atom(e, {V("X"), V("Y")})));
+    p.AddRule(std::move(base));
+  }
+  for (const char* e : {"a", "b"}) {
+    Rule rec;
+    rec.head = Atom("p", {V("X"), V("Y")});
+    rec.body.push_back(Literal::Pos(Atom(e, {V("X"), V("Z")})));
+    rec.body.push_back(Literal::Pos(Atom("p", {V("Z"), V("Y")})));
+    p.AddRule(std::move(rec));
+  }
+  p.SetQuery("p");
+  return p;
+}
+
+Constraint MakeAbIc() {
+  Constraint ic;
+  ic.body.push_back(Literal::Pos(Atom("a", {V("X"), V("Y")})));
+  ic.body.push_back(Literal::Pos(Atom("b", {V("Y"), V("Z")})));
+  return ic;
+}
+
+ColoredClosure MakeColoredClosure(int colors, int num_ics, Rng* rng) {
+  ColoredClosure out;
+  auto edge_name = [](int i) { return "e" + std::to_string(i); };
+  for (int i = 0; i < colors; ++i) {
+    Rule base;
+    base.head = Atom("p", {V("X"), V("Y")});
+    base.body.push_back(Literal::Pos(Atom(edge_name(i), {V("X"), V("Y")})));
+    out.program.AddRule(std::move(base));
+    Rule rec;
+    rec.head = Atom("p", {V("X"), V("Y")});
+    rec.body.push_back(Literal::Pos(Atom(edge_name(i), {V("X"), V("Z")})));
+    rec.body.push_back(Literal::Pos(Atom("p", {V("Z"), V("Y")})));
+    out.program.AddRule(std::move(rec));
+  }
+  out.program.SetQuery("p");
+
+  std::uniform_int_distribution<int> color(0, colors - 1);
+  std::set<std::pair<int, int>> used;
+  int guard = 0;
+  while (static_cast<int>(out.ics.size()) < num_ics &&
+         ++guard < num_ics * 100 + 100) {
+    int i = color(*rng);
+    int j = color(*rng);
+    if (!used.insert({i, j}).second) continue;
+    Constraint ic;
+    ic.body.push_back(Literal::Pos(Atom(edge_name(i), {V("X"), V("Y")})));
+    ic.body.push_back(Literal::Pos(Atom(edge_name(j), {V("Y"), V("Z")})));
+    out.ics.push_back(std::move(ic));
+  }
+  return out;
+}
+
+Database MakeColoredEdges(int colors, int nodes, int edges,
+                          const std::vector<Constraint>& ics, Rng* rng) {
+  // The ICs produced by MakeColoredClosure (and MakeAbIc) all have the
+  // composition shape  :- ei(X,Y), ej(Y,Z);  exploit that for an
+  // incremental consistency check instead of re-running the generic checker
+  // per candidate edge.
+  std::set<std::pair<PredId, PredId>> forbidden;
+  for (const Constraint& ic : ics) {
+    SQOD_CHECK_MSG(ic.body.size() == 2 && ic.comparisons.empty(),
+                   "MakeColoredEdges expects composition ICs");
+    forbidden.insert({ic.body[0].atom.pred(), ic.body[1].atom.pred()});
+  }
+
+  Database db;
+  std::vector<std::set<PredId>> out_colors(nodes), in_colors(nodes);
+  std::uniform_int_distribution<int> node(0, nodes - 1);
+  std::uniform_int_distribution<int> color(0, colors - 1);
+  int attempts = 0;
+  int made = 0;
+  while (made < edges && ++attempts < edges * 50 + 100) {
+    PredId pred = InternPred("e" + std::to_string(color(*rng)));
+    int u = node(*rng);
+    int v = node(*rng);
+    if (u == v && forbidden.count({pred, pred}) > 0) continue;
+    bool ok = true;
+    for (PredId j : out_colors[v]) {
+      if (forbidden.count({pred, j}) > 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (PredId i : in_colors[u]) {
+        if (forbidden.count({i, pred}) > 0) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) continue;
+    db.Insert(pred, {Value::Int(u), Value::Int(v)});
+    out_colors[u].insert(pred);
+    in_colors[v].insert(pred);
+    ++made;
+  }
+  SQOD_CHECK_MSG(SatisfiesAll(db, ics), "generator produced inconsistent db");
+  return db;
+}
+
+RandomProgram MakeRandomProgram(int colors, int idb_preds, int extra_rules,
+                                int num_ics, Rng* rng) {
+  SQOD_CHECK(colors > 0 && idb_preds > 0);
+  RandomProgram out;
+  auto edge = [](int i) { return "e" + std::to_string(i); };
+  auto idb = [](int i) { return "q" + std::to_string(i); };
+  std::uniform_int_distribution<int> color(0, colors - 1);
+
+  // Base rules keep every IDB predicate productive.
+  for (int i = 0; i < idb_preds; ++i) {
+    Rule base;
+    base.head = Atom(idb(i), {V("X"), V("Y")});
+    base.body.push_back(
+        Literal::Pos(Atom(edge(color(*rng)), {V("X"), V("Y")})));
+    out.program.AddRule(std::move(base));
+  }
+  // Random chain rules: head qi; body = edge, then edge / lower IDB / self.
+  std::uniform_int_distribution<int> head_pick(0, idb_preds - 1);
+  for (int r = 0; r < extra_rules; ++r) {
+    int h = head_pick(*rng);
+    Rule rule;
+    rule.head = Atom(idb(h), {V("X"), V("Y")});
+    rule.body.push_back(
+        Literal::Pos(Atom(edge(color(*rng)), {V("X"), V("Z")})));
+    // Second subgoal: 0 = edge, 1 = self (recursion), 2 = lower IDB.
+    std::uniform_int_distribution<int> kind_pick(0, h > 0 ? 2 : 1);
+    int kind = kind_pick(*rng);
+    std::string second;
+    if (kind == 0) {
+      second = edge(color(*rng));
+    } else if (kind == 1) {
+      second = idb(h);
+    } else {
+      std::uniform_int_distribution<int> lower(0, h - 1);
+      second = idb(lower(*rng));
+    }
+    rule.body.push_back(Literal::Pos(Atom(second, {V("Z"), V("Y")})));
+    out.program.AddRule(std::move(rule));
+  }
+  out.program.SetQuery(idb(idb_preds - 1));
+
+  std::set<std::pair<int, int>> used;
+  int guard = 0;
+  while (static_cast<int>(out.ics.size()) < num_ics &&
+         ++guard < num_ics * 100 + 100) {
+    int i = color(*rng);
+    int j = color(*rng);
+    if (!used.insert({i, j}).second) continue;
+    Constraint ic;
+    ic.body.push_back(Literal::Pos(Atom(edge(i), {V("X"), V("Y")})));
+    ic.body.push_back(Literal::Pos(Atom(edge(j), {V("Y"), V("Z")})));
+    out.ics.push_back(std::move(ic));
+  }
+  return out;
+}
+
+}  // namespace sqod

@@ -1,0 +1,72 @@
+#ifndef SQOD_WORKLOAD_PROGRAMS_H_
+#define SQOD_WORKLOAD_PROGRAMS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/workload/graphs.h"
+
+namespace sqod {
+
+// Program/IC generators for scaling benches (E4-E6) and the fixed programs
+// of the paper's worked examples.
+
+// Example 3.1 / Section 3 program:
+//   path(X, Y) :- step(X, Y).
+//   path(X, Y) :- step(X, Z), path(Z, Y).
+//   goodPath(X, Y) :- startPoint(X), path(X, Y), endPoint(Y).
+//   ?- goodPath.
+Program MakeGoodPathProgram();
+
+// Example 3.1's IC:   :- startPoint(X), endPoint(Y), Y <= X.
+Constraint MakeStartBeforeEndIc();
+
+// Section 3 ICs (1) and (2) with the given threshold:
+//   :- startPoint(X), step(X, Y), X < threshold.
+//   :- step(X, Y), X >= Y.
+std::vector<Constraint> MakeMonotoneIcs(int threshold);
+
+// The Section 4 running example (Figure 1):
+//   p(X, Y) :- a(X, Y).        p(X, Y) :- b(X, Y).
+//   p(X, Y) :- a(X, Z), p(Z, Y).   p(X, Y) :- b(X, Z), p(Z, Y).
+//   ?- p.
+Program MakeAbClosureProgram();
+
+// The Figure 1 IC:   :- a(X, Y), b(Y, Z).
+Constraint MakeAbIc();
+
+// A k-colored transitive closure over edge relations e0..e(k-1):
+//   p(X,Y) :- ei(X,Y).    p(X,Y) :- ei(X,Z), p(Z,Y).    for each i
+// with `num_ics` composition-forbidding ICs  :- ei(X,Y), ej(Y,Z)  sampled
+// by `rng`. The E4 scaling workload: adornment counts grow with num_ics.
+struct ColoredClosure {
+  Program program;
+  std::vector<Constraint> ics;
+};
+ColoredClosure MakeColoredClosure(int colors, int num_ics, Rng* rng);
+
+// A database of random colored edges e0..e(k-1) consistent with `ics`
+// (edges whose addition would violate an IC are skipped).
+Database MakeColoredEdges(int colors, int nodes, int edges,
+                          const std::vector<Constraint>& ics, Rng* rng);
+
+// A random safe datalog program over binary EDB predicates e0..e(colors-1)
+// and IDB predicates q0..q(idb_preds-1):
+//   * every IDB predicate gets an EDB base rule (productivity),
+//   * `extra_rules` random rules with bodies  ei(X, Z), pj(Z, Y)  where pj
+//     is an EDB predicate, a lower IDB predicate, or the head itself
+//     (linear recursion),
+//   * `num_ics` random composition ICs over the EDB predicates,
+//   * the query predicate is the last IDB predicate.
+// Used by the randomized pipeline-equivalence property sweeps.
+struct RandomProgram {
+  Program program;
+  std::vector<Constraint> ics;
+};
+RandomProgram MakeRandomProgram(int colors, int idb_preds, int extra_rules,
+                                int num_ics, Rng* rng);
+
+}  // namespace sqod
+
+#endif  // SQOD_WORKLOAD_PROGRAMS_H_

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "src/base/interner.h"
+#include "src/base/status.h"
+#include "src/base/value.h"
+
+namespace sqod {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status s = Status::Error("boom");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "boom");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::Error("boom").WithContext("parsing");
+  EXPECT_EQ(s.message(), "parsing: boom");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  Status s = Status::Ok().WithContext("parsing");
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Error("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, TakeMoves) {
+  Result<std::string> r = std::string("hello");
+  std::string s = r.take();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(InternerTest, InternIsIdempotent) {
+  StringInterner interner;
+  SymbolId a = interner.Intern("foo");
+  SymbolId b = interner.Intern("foo");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(interner.Name(a), "foo");
+}
+
+TEST(InternerTest, DistinctStringsGetDistinctIds) {
+  StringInterner interner;
+  EXPECT_NE(interner.Intern("foo"), interner.Intern("bar"));
+  EXPECT_EQ(interner.size(), 2);
+}
+
+TEST(InternerTest, FindWithoutIntern) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Find("nothere"), -1);
+  interner.Intern("here");
+  EXPECT_NE(interner.Find("here"), -1);
+}
+
+TEST(ValueTest, IntOrder) {
+  EXPECT_TRUE(Value::Int(1) < Value::Int(2));
+  EXPECT_TRUE(Value::Int(-5) < Value::Int(0));
+  EXPECT_EQ(Value::Int(7), Value::Int(7));
+}
+
+TEST(ValueTest, SymbolOrderIsLexicographic) {
+  EXPECT_TRUE(Value::Symbol("apple") < Value::Symbol("banana"));
+  EXPECT_EQ(Value::Symbol("x"), Value::Symbol("x"));
+}
+
+TEST(ValueTest, IntsPrecedeSymbols) {
+  EXPECT_TRUE(Value::Int(1000000) < Value::Symbol("a"));
+}
+
+TEST(ValueTest, HashDistinguishesKinds) {
+  // Int(0) and a symbol should not collide by construction of the salt.
+  EXPECT_NE(Value::Int(0).Hash(), Value::Symbol("zero").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Symbol("abc").ToString(), "abc");
+}
+
+}  // namespace
+}  // namespace sqod

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "src/chase/chase.h"
+#include "src/cq/ic_check.h"
+#include "src/parser/parser.h"
+
+namespace sqod {
+namespace {
+
+Constraint IC(const std::string& text) { return ParseConstraint(text).take(); }
+
+Database Facts(const std::string& text) {
+  ParsedUnit unit = ParseUnit(text).take();
+  Database db;
+  for (const Atom& fact : unit.facts) db.InsertAtom(fact);
+  return db;
+}
+
+TEST(ChaseTest, NoViolationsIsSatisfiable) {
+  Database db = Facts("e(1, 2).");
+  ChaseOutcome outcome = ChaseSatisfiable(db, {IC(":- e(X, X).")});
+  EXPECT_EQ(outcome.result, ChaseResult::kSatisfiable);
+  EXPECT_EQ(outcome.steps, 0);
+}
+
+TEST(ChaseTest, DenialViolationIsUnsatisfiable) {
+  Database db = Facts("e(1, 1).");
+  ChaseOutcome outcome = ChaseSatisfiable(db, {IC(":- e(X, X).")});
+  EXPECT_EQ(outcome.result, ChaseResult::kUnsatisfiable);
+}
+
+TEST(ChaseTest, UnitRepairAddsFacts) {
+  // Every edge endpoint must be in dom.
+  Database db = Facts("e(1, 2). e(2, 3).");
+  std::vector<Constraint> ics{IC(":- e(X, Y), !dom(X)."),
+                              IC(":- e(X, Y), !dom(Y).")};
+  ChaseOutcome outcome = ChaseSatisfiable(db, ics);
+  ASSERT_EQ(outcome.result, ChaseResult::kSatisfiable);
+  EXPECT_TRUE(outcome.model.Contains(InternPred("dom"), {Value::Int(1)}));
+  EXPECT_TRUE(outcome.model.Contains(InternPred("dom"), {Value::Int(3)}));
+  EXPECT_EQ(outcome.steps, 3);
+  EXPECT_TRUE(SatisfiesAll(outcome.model, ics));
+}
+
+TEST(ChaseTest, TransitiveClosureRepair) {
+  Database db = Facts("r(1, 2). r(2, 3). r(3, 4).");
+  std::vector<Constraint> ics{IC(":- r(X, Z), r(Z, Y), !r(X, Y).")};
+  ChaseOutcome outcome = ChaseSatisfiable(db, ics);
+  ASSERT_EQ(outcome.result, ChaseResult::kSatisfiable);
+  EXPECT_TRUE(outcome.model.Contains(InternPred("r"),
+                                     {Value::Int(1), Value::Int(4)}));
+}
+
+TEST(ChaseTest, DisjunctiveBranchFindsTheGoodSide) {
+  // Every node is red or green, and 1-2 adjacent nodes may not both be red.
+  Database db = Facts("node(1). node(2). edge(1, 2). red(1).");
+  std::vector<Constraint> ics{
+      IC(":- node(X), !red(X), !green(X)."),
+      IC(":- edge(X, Y), red(X), red(Y)."),
+  };
+  ChaseOutcome outcome = ChaseSatisfiable(db, ics);
+  ASSERT_EQ(outcome.result, ChaseResult::kSatisfiable);
+  EXPECT_TRUE(outcome.model.Contains(InternPred("green"), {Value::Int(2)}));
+}
+
+TEST(ChaseTest, DisjunctiveDeadEndBacktracks) {
+  // Both colors forbidden for node 2 -> unsatisfiable.
+  Database db = Facts("node(2). badr(2). badg(2).");
+  std::vector<Constraint> ics{
+      IC(":- node(X), !red(X), !green(X)."),
+      IC(":- red(X), badr(X)."),
+      IC(":- green(X), badg(X)."),
+  };
+  ChaseOutcome outcome = ChaseSatisfiable(db, ics);
+  EXPECT_EQ(outcome.result, ChaseResult::kUnsatisfiable);
+  EXPECT_GT(outcome.branches, 0);
+}
+
+TEST(ChaseTest, RepairCascadeIntoDenial) {
+  // Adding the repair triggers a denial: unsatisfiable.
+  Database db = Facts("p(1).");
+  std::vector<Constraint> ics{IC(":- p(X), !q(X)."), IC(":- q(X).")};
+  ChaseOutcome outcome = ChaseSatisfiable(db, ics);
+  EXPECT_EQ(outcome.result, ChaseResult::kUnsatisfiable);
+}
+
+TEST(ChaseTest, StepBudgetIsRespected) {
+  // dom grows pairwise: pair(X,Y) for all X,Y already in dom -> quadratic;
+  // give a tiny budget and expect kResourceLimit.
+  Database db = Facts("dom(1). dom(2). dom(3). dom(4). dom(5).");
+  std::vector<Constraint> ics{IC(":- dom(X), dom(Y), !pair(X, Y).")};
+  ChaseOptions options;
+  options.max_steps = 3;
+  ChaseOutcome outcome = ChaseSatisfiable(db, ics, options);
+  EXPECT_EQ(outcome.result, ChaseResult::kResourceLimit);
+}
+
+TEST(ChaseTest, CqSatisfiabilityFreezesBody) {
+  Rule cq = ParseRule("w() :- e(X, Y), e(Y, Z).").take();
+  // With the denial :- e(A, B), e(B, C): any 2-path is forbidden.
+  auto outcome =
+      CqSatisfiableWithChase(cq, {ParseConstraint(":- e(A, B), e(B, C).").take()});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().result, ChaseResult::kUnsatisfiable);
+
+  // Without shared endpoints the body is fine.
+  Rule cq2 = ParseRule("w() :- e(X, Y), e(Z, W).").take();
+  auto outcome2 = CqSatisfiableWithChase(
+      cq2, {ParseConstraint(":- e(A, B), e(B, C).").take()});
+  ASSERT_TRUE(outcome2.ok());
+  EXPECT_EQ(outcome2.value().result, ChaseResult::kSatisfiable);
+}
+
+TEST(ChaseTest, CqSatisfiabilityRejectsComparisons) {
+  Rule cq = ParseRule("w() :- e(X, Y), X < Y.").take();
+  EXPECT_FALSE(CqSatisfiableWithChase(cq, {}).ok());
+}
+
+TEST(ChaseTest, CqSatisfiabilityRejectsNegation) {
+  Rule cq = ParseRule("w() :- e(X, Y), !f(X).").take();
+  EXPECT_FALSE(CqSatisfiableWithChase(cq, {}).ok());
+}
+
+TEST(ChaseTest, ModelSatisfiesAllIcs) {
+  Database db = Facts("e(1, 2). e(2, 3).");
+  std::vector<Constraint> ics{
+      IC(":- e(X, Y), !dom(X)."),
+      IC(":- e(X, Y), !dom(Y)."),
+      IC(":- dom(X), !eq(X, X)."),
+      IC(":- eq(X, Y), !eq(Y, X)."),
+  };
+  ChaseOutcome outcome = ChaseSatisfiable(db, ics);
+  ASSERT_EQ(outcome.result, ChaseResult::kSatisfiable);
+  EXPECT_TRUE(SatisfiesAll(outcome.model, ics));
+}
+
+}  // namespace
+}  // namespace sqod

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "src/parser/parser.h"
+#include "src/sqo/containment.h"
+
+namespace sqod {
+namespace {
+
+Rule R(const std::string& text) { return ParseRule(text).take(); }
+
+Program TransitiveClosure() {
+  return ParseProgram(R"(
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- e(X, Z), tc(Z, Y).
+    ?- tc.
+  )").take();
+}
+
+TEST(DatalogInUcqTest, ClosureNotContainedInBoundedPaths) {
+  // tc produces paths of every length; the union of 1- and 2-step paths
+  // misses the 3-step ones.
+  UnionOfCqs ucq{R("tc(X, Y) :- e(X, Y)."),
+                 R("tc(X, Y) :- e(X, Z), e(Z, Y).")};
+  EXPECT_FALSE(DatalogContainedInUcq(TransitiveClosure(), ucq).take());
+}
+
+TEST(DatalogInUcqTest, BoundedProgramContained) {
+  // A program without real recursion: q = 1- or 2-step paths.
+  Program p = ParseProgram(R"(
+    q(X, Y) :- e(X, Y).
+    q(X, Y) :- e(X, Z), e(Z, Y).
+    ?- q.
+  )").take();
+  UnionOfCqs ucq{R("q(X, Y) :- e(X, Y)."),
+                 R("q(X, Y) :- e(X, Z), e(Z, Y).")};
+  EXPECT_TRUE(DatalogContainedInUcq(p, ucq).take());
+}
+
+TEST(DatalogInUcqTest, ContainmentInMoreGeneralCq) {
+  // Every tc answer is witnessed by a first edge out of X.
+  UnionOfCqs ucq{R("tc(X, Y) :- e(X, Z).")};
+  EXPECT_TRUE(DatalogContainedInUcq(TransitiveClosure(), ucq).take());
+}
+
+TEST(DatalogInUcqTest, RecursionCollapsedByShape) {
+  // Over self-loop shaped data the closure stays within one CQ: if every
+  // edge is a self-loop e(X, X), then tc(X, Y) implies e(X, X) with X = Y.
+  Program p = ParseProgram(R"(
+    tc(X, X) :- e(X, X).
+    tc(X, Y) :- e(X, X), tc(X, Y).
+    ?- tc.
+  )").take();
+  UnionOfCqs ucq{R("tc(X, X) :- e(X, X).")};
+  EXPECT_TRUE(DatalogContainedInUcq(p, ucq).take());
+}
+
+TEST(DatalogInUcqTest, ArityMismatchRejected) {
+  UnionOfCqs ucq{R("tc(X) :- e(X, Y).")};
+  EXPECT_FALSE(DatalogContainedInUcq(TransitiveClosure(), ucq).ok());
+}
+
+TEST(DatalogInUcqTest, IdbInUcqRejected) {
+  UnionOfCqs ucq{R("tc(X, Y) :- tc(X, Y).")};
+  EXPECT_FALSE(DatalogContainedInUcq(TransitiveClosure(), ucq).ok());
+}
+
+TEST(DatalogInUcqTest, EmptyUcqMeansProgramMustBeEmpty) {
+  EXPECT_FALSE(DatalogContainedInUcq(TransitiveClosure(), {}).take());
+  // A program that cannot derive anything is contained in the empty union.
+  Program dead = ParseProgram(R"(
+    q(X) :- e(X, Y), X < Y, Y < X.
+    ?- q.
+  )").take();
+  EXPECT_TRUE(DatalogContainedInUcq(dead, {}).take());
+}
+
+TEST(RelativeContainmentTest, IcsWeakenContainment) {
+  // tc over a two-colored graph is NOT contained in "a-edge paths only" —
+  // unless the ICs forbid b-edges altogether.
+  Program p = ParseProgram(R"(
+    tc(X, Y) :- a(X, Y).
+    tc(X, Y) :- b(X, Y).
+    tc(X, Y) :- a(X, Z), tc(Z, Y).
+    tc(X, Y) :- b(X, Z), tc(Z, Y).
+    ?- tc.
+  )").take();
+  UnionOfCqs a_only{R("tc(X, Y) :- a(X, Y)."),
+                    R("tc(X, Y) :- a(X, Z), a(Z, Y).")};
+  // Absolutely: not contained (b-paths and long a-paths exist).
+  EXPECT_FALSE(DatalogContainedInUcq(p, a_only).take());
+  // Under an IC forbidding any b-edge AND any 2-chain of a-edges, the only
+  // derivations left are single a-edges: contained.
+  std::vector<Constraint> ics{
+    ParseConstraint(":- b(X, Y).").take(),
+    ParseConstraint(":- a(X, Y), a(Y, Z).").take(),
+  };
+  EXPECT_TRUE(DatalogContainedInUcqUnderIcs(p, a_only, ics).take());
+}
+
+TEST(RelativeContainmentTest, EmptyIcsMatchAbsolute) {
+  Program p = TransitiveClosure();
+  UnionOfCqs ucq{R("tc(X, Y) :- e(X, Y).")};
+  EXPECT_EQ(DatalogContainedInUcq(p, ucq).take(),
+            DatalogContainedInUcqUnderIcs(p, ucq, {}).take());
+}
+
+TEST(UcqInDatalogTest, BoundedPathsInClosure) {
+  UnionOfCqs ucq{R("tc(X, Y) :- e(X, Y)."),
+                 R("tc(X, Y) :- e(X, Z), e(Z, Y).")};
+  EXPECT_TRUE(UcqContainedInDatalog(ucq, TransitiveClosure()).take());
+}
+
+TEST(UcqInDatalogTest, NonAnswerDetected) {
+  // q(Y, X) reverses the edge; the closure does not produce it.
+  UnionOfCqs ucq{R("tc(Y, X) :- e(X, Y).")};
+  EXPECT_FALSE(UcqContainedInDatalog(ucq, TransitiveClosure()).take());
+}
+
+TEST(UcqInDatalogTest, RejectsOrderAtoms) {
+  UnionOfCqs ucq{R("tc(X, Y) :- e(X, Y), X < Y.")};
+  EXPECT_FALSE(UcqContainedInDatalog(ucq, TransitiveClosure()).ok());
+}
+
+TEST(EquivalenceViaBothDirections, BoundedProgram) {
+  Program p = ParseProgram(R"(
+    q(X, Y) :- e(X, Y).
+    q(X, Y) :- e(X, Z), e(Z, Y).
+    ?- q.
+  )").take();
+  UnionOfCqs ucq{R("q(X, Y) :- e(X, Y)."),
+                 R("q(X, Y) :- e(X, Z), e(Z, Y).")};
+  EXPECT_TRUE(DatalogContainedInUcq(p, ucq).take());
+  EXPECT_TRUE(UcqContainedInDatalog(ucq, p).take());
+}
+
+}  // namespace
+}  // namespace sqod

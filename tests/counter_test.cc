@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "src/chase/chase.h"
+#include "src/counter/machine.h"
+#include "src/counter/reduction.h"
+#include "src/cq/ic_check.h"
+#include "src/eval/evaluator.h"
+#include "src/sqo/satisfiability.h"
+
+namespace sqod {
+namespace {
+
+TEST(MachineTest, BumpMachineHaltsInPredictedSteps) {
+  for (int n : {0, 1, 2, 3}) {
+    TwoCounterMachine m = MakeBumpMachine(n);
+    auto steps = m.RunsToHalt(100);
+    ASSERT_TRUE(steps.has_value()) << "n = " << n;
+    EXPECT_EQ(*steps, 2 * n + 1) << "n = " << n;
+  }
+}
+
+TEST(MachineTest, LoopMachineNeverHalts) {
+  TwoCounterMachine m = MakeLoopMachine();
+  EXPECT_FALSE(m.RunsToHalt(1000).has_value());
+}
+
+TEST(MachineTest, TraceMatchesSemantics) {
+  TwoCounterMachine m = MakeBumpMachine(2);
+  auto trace = m.Trace(100);
+  ASSERT_GE(trace.size(), 3u);
+  EXPECT_EQ(trace[0].state, 0);
+  EXPECT_EQ(trace[0].c1, 0);
+  EXPECT_EQ(trace[1].c1, 1);  // first inc
+  EXPECT_EQ(trace.back().state, m.halt_state());
+}
+
+TEST(MachineTest, TransitionValidation) {
+  TwoCounterMachine m(3, 2);
+  using Op = TwoCounterMachine::CounterOp;
+  // Decrement of a zero counter is rejected.
+  EXPECT_FALSE(m.AddTransition(0, true, true, {1, Op::kDec, Op::kNoop}).ok());
+  // Halt state cannot have outgoing transitions.
+  EXPECT_FALSE(m.AddTransition(2, true, true, {0, Op::kNoop, Op::kNoop}).ok());
+  // Unknown states are rejected.
+  EXPECT_FALSE(m.AddTransition(9, true, true, {0, Op::kNoop, Op::kNoop}).ok());
+  EXPECT_TRUE(m.AddTransition(0, true, true, {1, Op::kInc, Op::kNoop}).ok());
+}
+
+TEST(ReductionTest, ProgramShape) {
+  ReductionOutput red = BuildReduction(MakeBumpMachine(1));
+  EXPECT_TRUE(red.program.Validate().ok());
+  EXPECT_EQ(red.program.query(), InternPred("halt"));
+  for (const Constraint& ic : red.ics) {
+    EXPECT_TRUE(red.program.ValidateConstraint(ic).ok());
+    EXPECT_TRUE(ic.comparisons.empty());  // {not}-ICs only (Theorem 5.4)
+  }
+}
+
+TEST(ReductionTest, CanonicalRunSatisfiesIcs) {
+  TwoCounterMachine m = MakeBumpMachine(1);
+  ReductionOutput red = BuildReduction(m);
+  Database db = CanonicalRunDatabase(m, 10);
+  auto violated = FirstViolated(db, red.ics);
+  EXPECT_FALSE(violated.has_value())
+      << "violated IC: " << red.ics[*violated].ToString();
+}
+
+TEST(ReductionTest, HaltDerivableOnHaltingRun) {
+  TwoCounterMachine m = MakeBumpMachine(1);  // halts in 3 steps
+  ReductionOutput red = BuildReduction(m);
+  Database db = CanonicalRunDatabase(m, 10);
+  auto answers = EvaluateQuery(red.program, db).take();
+  EXPECT_EQ(answers.size(), 1u);  // halt is derivable
+}
+
+TEST(ReductionTest, HaltNotDerivableOnLoopingRun) {
+  TwoCounterMachine m = MakeLoopMachine();
+  ReductionOutput red = BuildReduction(m);
+  Database db = CanonicalRunDatabase(m, 8);
+  auto violated = FirstViolated(db, red.ics);
+  EXPECT_FALSE(violated.has_value())
+      << "violated IC: " << red.ics[*violated].ToString();
+  auto answers = EvaluateQuery(red.program, db).take();
+  EXPECT_TRUE(answers.empty());
+}
+
+TEST(ReductionTest, CorruptedRunViolatesIcs) {
+  TwoCounterMachine m = MakeBumpMachine(1);
+  ReductionOutput red = BuildReduction(m);
+  Database db = CanonicalRunDatabase(m, 10);
+  // Inject a configuration that contradicts the transition relation: at
+  // time 1 the machine must be in state 1 with c1 = 1; claim state 0.
+  db.Insert(InternPred("cnfg"), {Value::Int(1), Value::Int(9), Value::Int(0),
+                                 Value::Int(0)});
+  EXPECT_TRUE(FirstViolated(db, red.ics).has_value());
+}
+
+TEST(ReductionTest, UnrolledQueryShape) {
+  TwoCounterMachine m = MakeBumpMachine(1);
+  Rule q = UnrolledHaltQuery(m, 3);
+  // zero(T0) + 4 cnfg + 3 succ + halt-state chain.
+  EXPECT_GE(q.body.size(), 8u);
+  for (const Literal& l : q.body) EXPECT_FALSE(l.negated);
+}
+
+// --- The Theorem 5.3 ({!=}-IC) variant ---
+
+TEST(OrderReductionTest, ProgramAndIcsShape) {
+  ReductionOutput red = BuildOrderReduction(MakeBumpMachine(1));
+  EXPECT_TRUE(red.program.Validate().ok());
+  for (const Constraint& ic : red.ics) {
+    EXPECT_TRUE(red.program.ValidateConstraint(ic).ok());
+    for (const Literal& l : ic.body) {
+      EXPECT_FALSE(l.negated);  // order atoms only, no negation (Thm 5.3)
+    }
+  }
+}
+
+TEST(OrderReductionTest, CanonicalRunConsistentAndHalts) {
+  TwoCounterMachine m = MakeBumpMachine(1);
+  ReductionOutput red = BuildOrderReduction(m);
+  Database db = CanonicalOrderRunDatabase(m, 10);
+  auto violated = FirstViolated(db, red.ics);
+  EXPECT_FALSE(violated.has_value())
+      << "violated IC: " << red.ics[*violated].ToString();
+  EXPECT_EQ(EvaluateQuery(red.program, db).take().size(), 1u);
+}
+
+TEST(OrderReductionTest, LoopingRunNeverHalts) {
+  TwoCounterMachine m = MakeLoopMachine();
+  ReductionOutput red = BuildOrderReduction(m);
+  Database db = CanonicalOrderRunDatabase(m, 8);
+  EXPECT_FALSE(FirstViolated(db, red.ics).has_value());
+  EXPECT_TRUE(EvaluateQuery(red.program, db).take().empty());
+}
+
+TEST(OrderReductionTest, CorruptedRunViolates) {
+  TwoCounterMachine m = MakeBumpMachine(1);
+  ReductionOutput red = BuildOrderReduction(m);
+  Database db = CanonicalOrderRunDatabase(m, 10);
+  // A second, different configuration at time 1 breaks functionality.
+  db.Insert(InternPred("cnfg"), {Value::Int(1), Value::Int(7), Value::Int(0),
+                                 Value::Int(0)});
+  EXPECT_TRUE(FirstViolated(db, red.ics).has_value());
+}
+
+TEST(OrderReductionTest, BoundedWitnessViaOrderSolver) {
+  // The {!=}-IC bounded search runs through RuleBodySatisfiable's clause
+  // machinery instead of the chase.
+  TwoCounterMachine m = MakeBumpMachine(0);  // halts in 1 step
+  ReductionOutput red = BuildOrderReduction(m);
+  Result<bool> sat1 =
+      RuleBodySatisfiable(UnrolledHaltQuery(m, 1), red.ics);
+  ASSERT_TRUE(sat1.ok()) << sat1.status().message();
+  EXPECT_TRUE(sat1.value());
+  Result<bool> sat0 =
+      RuleBodySatisfiable(UnrolledHaltQuery(m, 0), red.ics);
+  ASSERT_TRUE(sat0.ok());
+  EXPECT_FALSE(sat0.value());
+}
+
+TEST(ReductionTest, BoundedWitnessSearchFindsHaltingRun) {
+  // MakeBumpMachine(0) halts in exactly 1 step; the depth-1 unrolling must
+  // be satisfiable w.r.t. the reduction ICs, and depth 0 must not.
+  TwoCounterMachine m = MakeBumpMachine(0);
+  ReductionOutput red = BuildReduction(m);
+  ChaseOptions options;
+  options.max_steps = 200000;
+
+  auto sat1 = CqSatisfiableWithChase(UnrolledHaltQuery(m, 1), red.ics,
+                                     options);
+  ASSERT_TRUE(sat1.ok());
+  EXPECT_EQ(sat1.value().result, ChaseResult::kSatisfiable);
+
+  auto sat0 = CqSatisfiableWithChase(UnrolledHaltQuery(m, 0), red.ics,
+                                     options);
+  ASSERT_TRUE(sat0.ok());
+  EXPECT_EQ(sat0.value().result, ChaseResult::kUnsatisfiable);
+}
+
+}  // namespace
+}  // namespace sqod

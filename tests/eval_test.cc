@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "src/eval/evaluator.h"
+#include "src/parser/parser.h"
+#include "src/workload/graphs.h"
+
+namespace sqod {
+namespace {
+
+// Parses a unit, loads its facts into a database, evaluates the query.
+std::vector<Tuple> RunQuery(const std::string& source, EvalOptions options = {},
+                       EvalStats* stats = nullptr) {
+  ParsedUnit unit = ParseUnit(source).take();
+  Database edb;
+  for (const Atom& fact : unit.facts) edb.InsertAtom(fact);
+  return EvaluateQuery(unit.program, edb, options, stats).take();
+}
+
+Tuple Ints(std::vector<int64_t> vals) {
+  Tuple t;
+  for (int64_t v : vals) t.push_back(Value::Int(v));
+  return t;
+}
+
+TEST(RelationTest, InsertDedupes) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert(Ints({1, 2})));
+  EXPECT_FALSE(r.Insert(Ints({1, 2})));
+  EXPECT_EQ(r.size(), 1);
+}
+
+TEST(RelationTest, ProbeByMask) {
+  Relation r(2);
+  r.Insert(Ints({1, 2}));
+  r.Insert(Ints({1, 3}));
+  r.Insert(Ints({2, 3}));
+  const std::vector<int>* rows = r.Probe(0b01, {Value::Int(1)});
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->size(), 2u);
+  EXPECT_EQ(r.Probe(0b01, {Value::Int(9)}), nullptr);
+}
+
+TEST(RelationTest, IndexMaintainedAcrossInserts) {
+  Relation r(2);
+  r.Insert(Ints({1, 2}));
+  r.Probe(0b10, {Value::Int(2)});  // build index
+  r.Insert(Ints({5, 2}));
+  const std::vector<int>* rows = r.Probe(0b10, {Value::Int(2)});
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(DatabaseTest, InsertAtomAndContains) {
+  Database db;
+  db.InsertAtom(Atom("e", {Term::Int(1), Term::Int(2)}));
+  EXPECT_TRUE(db.Contains(InternPred("e"), Ints({1, 2})));
+  EXPECT_FALSE(db.Contains(InternPred("e"), Ints({2, 1})));
+  EXPECT_EQ(db.TotalTuples(), 1);
+}
+
+TEST(EvalTest, TransitiveClosureChain) {
+  auto result = RunQuery(R"(
+    path(X, Y) :- e(X, Y).
+    path(X, Y) :- e(X, Z), path(Z, Y).
+    e(1, 2). e(2, 3). e(3, 4).
+    ?- path.
+  )");
+  EXPECT_EQ(result.size(), 6u);  // all i<j pairs in 1..4
+}
+
+TEST(EvalTest, NaiveAndSemiNaiveAgree) {
+  const char* source = R"(
+    path(X, Y) :- e(X, Y).
+    path(X, Y) :- path(X, Z), path(Z, Y).
+    e(1, 2). e(2, 3). e(3, 1). e(3, 4).
+    ?- path.
+  )";
+  EvalOptions naive;
+  naive.semi_naive = false;
+  EXPECT_EQ(RunQuery(source), RunQuery(source, naive));
+}
+
+TEST(EvalTest, ComparisonsFilter) {
+  auto result = RunQuery(R"(
+    up(X, Y) :- e(X, Y), X < Y.
+    e(1, 2). e(2, 1). e(3, 3). e(2, 5).
+    ?- up.
+  )");
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], Ints({1, 2}));
+  EXPECT_EQ(result[1], Ints({2, 5}));
+}
+
+TEST(EvalTest, NegationOnEdb) {
+  auto result = RunQuery(R"(
+    ok(X) :- node(X), !blocked(X).
+    node(1). node(2). node(3). blocked(2).
+    ?- ok.
+  )");
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], Ints({1}));
+  EXPECT_EQ(result[1], Ints({3}));
+}
+
+TEST(EvalTest, NegationOnMissingRelation) {
+  auto result = RunQuery(R"(
+    ok(X) :- node(X), !blocked(X).
+    node(1).
+    ?- ok.
+  )");
+  EXPECT_EQ(result.size(), 1u);
+}
+
+TEST(EvalTest, ConstantsInRules) {
+  auto result = RunQuery(R"(
+    special(Y) :- e(7, Y).
+    e(7, 1). e(8, 2). e(7, 3).
+    ?- special.
+  )");
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST(EvalTest, RepeatedVariablesInSubgoal) {
+  auto result = RunQuery(R"(
+    loop(X) :- e(X, X).
+    e(1, 1). e(1, 2). e(3, 3).
+    ?- loop.
+  )");
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST(EvalTest, MutualRecursion) {
+  auto result = RunQuery(R"(
+    even(X) :- zero(X).
+    even(Y) :- odd(X), succ(X, Y).
+    odd(Y) :- even(X), succ(X, Y).
+    zero(0). succ(0, 1). succ(1, 2). succ(2, 3). succ(3, 4).
+    ?- even.
+  )");
+  ASSERT_EQ(result.size(), 3u);  // 0, 2, 4
+  EXPECT_EQ(result[2], Ints({4}));
+}
+
+TEST(EvalTest, ZeroArityQuery) {
+  auto result = RunQuery(R"(
+    reach(X) :- start(X).
+    reach(Y) :- reach(X), e(X, Y).
+    found :- reach(X), target(X).
+    start(1). e(1, 2). e(2, 3). target(3).
+    ?- found.
+  )");
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_TRUE(result[0].empty());
+}
+
+TEST(EvalTest, ZeroArityQueryEmpty) {
+  auto result = RunQuery(R"(
+    reach(X) :- start(X).
+    reach(Y) :- reach(X), e(X, Y).
+    found :- reach(X), target(X).
+    start(1). e(1, 2). target(9).
+    ?- found.
+  )");
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(EvalTest, MaxDerivedGuard) {
+  ParsedUnit unit = ParseUnit(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Y) :- p(X, Z), p(Z, Y).
+    e(1, 2). e(2, 3). e(3, 4). e(4, 1).
+    ?- p.
+  )").take();
+  Database edb;
+  for (const Atom& fact : unit.facts) edb.InsertAtom(fact);
+  EvalOptions options;
+  options.max_derived = 2;
+  Evaluator evaluator(unit.program, options);
+  EXPECT_FALSE(evaluator.Evaluate(edb).ok());
+}
+
+TEST(EvalTest, StatsCountWork) {
+  EvalStats stats;
+  RunQuery(R"(
+    path(X, Y) :- e(X, Y).
+    path(X, Y) :- e(X, Z), path(Z, Y).
+    e(1, 2). e(2, 3).
+    ?- path.
+  )", EvalOptions{}, &stats);
+  EXPECT_EQ(stats.tuples_derived, 3);
+  EXPECT_GT(stats.rule_firings, 0);
+  EXPECT_GT(stats.join_probes, 0);
+  EXPECT_GT(stats.iterations, 1);
+}
+
+TEST(EvalTest, SemiNaiveMatchesNaiveOnRandomGraphs) {
+  Program p = ParseProgram(R"(
+    path(X, Y) :- e(X, Y).
+    path(X, Y) :- e(X, Z), path(Z, Y).
+    ?- path.
+  )").take();
+  Rng rng(42);
+  for (int trial = 0; trial < 5; ++trial) {
+    Database edb = MakeRandomGraph(20, 40, &rng, "e");
+    EvalOptions naive;
+    naive.semi_naive = false;
+    auto a = EvaluateQuery(p, edb).take();
+    auto b = EvaluateQuery(p, edb, naive).take();
+    EXPECT_EQ(a, b) << "trial " << trial;
+  }
+}
+
+TEST(EvalTest, IndexedMatchesUnindexed) {
+  Program p = ParseProgram(R"(
+    path(X, Y) :- e(X, Y).
+    path(X, Y) :- e(X, Z), path(Z, Y).
+    ?- path.
+  )").take();
+  Rng rng(7);
+  Database edb = MakeRandomGraph(15, 30, &rng, "e");
+  EvalOptions scan;
+  scan.use_indexes = false;
+  EXPECT_EQ(EvaluateQuery(p, edb).take(), EvaluateQuery(p, edb, scan).take());
+}
+
+TEST(EvalTest, BodyOnlyComparisonRule) {
+  // Ground comparisons in an initialization rule.
+  auto result = RunQuery(R"(
+    flag :- marker(X), 1 < 2.
+    marker(0).
+    ?- flag.
+  )");
+  EXPECT_EQ(result.size(), 1u);
+}
+
+TEST(EvalTest, SymbolsAndIntsCoexist) {
+  auto result = RunQuery(R"(
+    mixed(X, Y) :- e(X, Y), X < Y.
+    e(1, apple). e(apple, 1). e(apple, banana).
+    ?- mixed.
+  )");
+  // ints precede symbols: 1 < apple, apple < banana.
+  EXPECT_EQ(result.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sqod

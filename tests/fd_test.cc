@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "src/cq/ic_check.h"
+#include "src/eval/evaluator.h"
+#include "src/parser/parser.h"
+#include "src/sqo/fd.h"
+#include "src/sqo/optimizer.h"
+
+namespace sqod {
+namespace {
+
+FunctionalDependency Fd(const char* pred, std::vector<int> determinants,
+                        int determined) {
+  FunctionalDependency fd;
+  fd.pred = InternPred(pred);
+  fd.determinants = std::move(determinants);
+  fd.determined = determined;
+  return fd;
+}
+
+TEST(FdTest, ConstraintRoundTrip) {
+  FunctionalDependency fd = Fd("emp", {0}, 2);
+  Constraint ic = MakeFdConstraint(fd, 3);
+  std::vector<FunctionalDependency> extracted = ExtractFds({ic});
+  ASSERT_EQ(extracted.size(), 1u);
+  EXPECT_EQ(extracted[0].pred, fd.pred);
+  EXPECT_EQ(extracted[0].determinants, fd.determinants);
+  EXPECT_EQ(extracted[0].determined, fd.determined);
+}
+
+TEST(FdTest, ExtractionFromParsedIc) {
+  // emp(Id, Dept, Salary): Id -> Salary.
+  Constraint ic = ParseConstraint(
+      ":- emp(I, D1, S1), emp(I, D2, S2), S1 != S2.").take();
+  std::vector<FunctionalDependency> fds = ExtractFds({ic});
+  ASSERT_EQ(fds.size(), 1u);
+  EXPECT_EQ(fds[0].determinants, std::vector<int>{0});
+  EXPECT_EQ(fds[0].determined, 2);
+}
+
+TEST(FdTest, NonFdIcsIgnored) {
+  std::vector<Constraint> ics{
+      ParseConstraint(":- a(X, Y), b(Y, Z).").take(),
+      ParseConstraint(":- e(X, Y), X >= Y.").take(),
+      // Wrong op:
+      ParseConstraint(":- emp(I, S1), emp(I, S2), S1 < S2.").take(),
+  };
+  EXPECT_TRUE(ExtractFds(ics).empty());
+}
+
+TEST(FdTest, JoinElimination) {
+  // Two emp atoms agreeing on the key: the salary variables merge and the
+  // atoms collapse into one.
+  Program p = ParseProgram(R"(
+    rich(I) :- emp(I, S1), emp(I, S2), S1 >= 100, S2 >= 100.
+    ?- rich.
+  )").take();
+  FdRewriteReport report;
+  Program rewritten =
+      ApplyFdRewriting(p, {Fd("emp", {0}, 1)}, &report);
+  EXPECT_EQ(report.unifications, 1);
+  EXPECT_EQ(report.atoms_removed, 1);
+  ASSERT_EQ(rewritten.rules().size(), 1u);
+  EXPECT_EQ(rewritten.rules()[0].body.size(), 1u);
+  // The duplicate comparison also collapsed.
+  EXPECT_EQ(rewritten.rules()[0].comparisons.size(), 1u);
+}
+
+TEST(FdTest, ChainOfUnifications) {
+  // Three atoms with one key: two unification steps, two atoms removed.
+  Program p = ParseProgram(R"(
+    q(I, A, B, C) :- r(I, A), r(I, B), r(I, C).
+    ?- q.
+  )").take();
+  FdRewriteReport report;
+  Program rewritten = ApplyFdRewriting(p, {Fd("r", {0}, 1)}, &report);
+  EXPECT_EQ(report.unifications, 2);
+  ASSERT_EQ(rewritten.rules().size(), 1u);
+  EXPECT_EQ(rewritten.rules()[0].body.size(), 1u);
+  // All head salary variables collapsed to one.
+  const Atom& head = rewritten.rules()[0].head;
+  EXPECT_EQ(head.arg(1), head.arg(2));
+  EXPECT_EQ(head.arg(2), head.arg(3));
+}
+
+TEST(FdTest, ConflictingConstantsKillRule) {
+  Program p = ParseProgram(R"(
+    odd(I) :- r(I, 1), r(I, 2).
+    odd(I) :- r(I, 1).
+    ?- odd.
+  )").take();
+  Program rewritten = ApplyFdRewriting(p, {Fd("r", {0}, 1)});
+  // The first rule can never match an FD-consistent database.
+  ASSERT_EQ(rewritten.rules().size(), 1u);
+  EXPECT_EQ(rewritten.rules()[0].body.size(), 1u);
+}
+
+TEST(FdTest, EquivalenceOnFdConsistentDatabase) {
+  Program p = ParseProgram(R"(
+    pair(A, B) :- emp(I, A), emp(I, B).
+    ?- pair.
+  )").take();
+  FunctionalDependency fd = Fd("emp", {0}, 1);
+  Program rewritten = ApplyFdRewriting(p, {fd});
+
+  Database db;
+  db.InsertAtom(Atom("emp", {Term::Int(1), Term::Int(10)}));
+  db.InsertAtom(Atom("emp", {Term::Int(2), Term::Int(20)}));
+  db.InsertAtom(Atom("emp", {Term::Int(3), Term::Int(10)}));
+  ASSERT_TRUE(SatisfiesAll(db, {MakeFdConstraint(fd, 2)}));
+  EXPECT_EQ(EvaluateQuery(p, db).take(), EvaluateQuery(rewritten, db).take());
+}
+
+TEST(FdTest, MultiAttributeKey) {
+  Constraint ic = ParseConstraint(
+      ":- sched(D, H, R1, T1), sched(D, H, R2, T2), R1 != R2.").take();
+  std::vector<FunctionalDependency> fds = ExtractFds({ic});
+  ASSERT_EQ(fds.size(), 1u);
+  EXPECT_EQ(fds[0].determinants, (std::vector<int>{0, 1}));
+  EXPECT_EQ(fds[0].determined, 2);
+}
+
+TEST(FdTest, OptimizerPipelineAppliesFds) {
+  // End to end: the FD removes the redundant self-join before the
+  // adornment machinery runs.
+  Program p = ParseProgram(R"(
+    q(A) :- emp(I, A), emp(I, B), boss(I).
+    ?- q.
+  )").take();
+  Constraint fd_ic = ParseConstraint(
+      ":- emp(I, S1), emp(I, S2), S1 != S2.").take();
+  SqoReport report = OptimizeProgram(p, {fd_ic}).take();
+  // The rewritten rule joins only emp and boss once each.
+  bool found = false;
+  for (const Rule& r : report.rewritten.rules()) {
+    int emp_count = 0;
+    for (const Literal& l : r.body) {
+      if (l.atom.pred() == InternPred("emp")) ++emp_count;
+    }
+    if (emp_count > 0) {
+      EXPECT_EQ(emp_count, 1);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FdTest, ToStringReadable) {
+  EXPECT_EQ(Fd("emp", {0, 1}, 3).ToString(), "emp: {0, 1} -> 3");
+}
+
+}  // namespace
+}  // namespace sqod

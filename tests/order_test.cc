@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "src/order/clause_solver.h"
+#include "src/order/solver.h"
+#include "src/parser/parser.h"
+
+namespace sqod {
+namespace {
+
+Term V(const char* name) { return Term::Var(name); }
+Comparison C(Term a, CmpOp op, Term b) { return Comparison(a, op, b); }
+
+TEST(OrderSolverTest, EmptyIsConsistent) {
+  EXPECT_TRUE(OrderSolver().Consistent());
+}
+
+TEST(OrderSolverTest, SimpleChainConsistent) {
+  OrderSolver s({C(V("X"), CmpOp::kLt, V("Y")), C(V("Y"), CmpOp::kLt, V("Z"))});
+  EXPECT_TRUE(s.Consistent());
+}
+
+TEST(OrderSolverTest, StrictCycleInconsistent) {
+  OrderSolver s({C(V("X"), CmpOp::kLt, V("Y")), C(V("Y"), CmpOp::kLt, V("X"))});
+  EXPECT_FALSE(s.Consistent());
+}
+
+TEST(OrderSolverTest, MixedCycleWithStrictEdgeInconsistent) {
+  OrderSolver s({C(V("X"), CmpOp::kLe, V("Y")), C(V("Y"), CmpOp::kLt, V("X"))});
+  EXPECT_FALSE(s.Consistent());
+}
+
+TEST(OrderSolverTest, LeCycleForcesEquality) {
+  OrderSolver s({C(V("X"), CmpOp::kLe, V("Y")), C(V("Y"), CmpOp::kLe, V("X")),
+                 C(V("X"), CmpOp::kNe, V("Y"))});
+  EXPECT_FALSE(s.Consistent());
+}
+
+TEST(OrderSolverTest, EqualityMergesWithNe) {
+  OrderSolver s({C(V("X"), CmpOp::kEq, V("Y")), C(V("X"), CmpOp::kNe, V("Y"))});
+  EXPECT_FALSE(s.Consistent());
+}
+
+TEST(OrderSolverTest, SelfNeInconsistent) {
+  OrderSolver s({C(V("X"), CmpOp::kNe, V("X"))});
+  EXPECT_FALSE(s.Consistent());
+}
+
+TEST(OrderSolverTest, ConstantsAreOrdered) {
+  // X <= 1 and X >= 2 is inconsistent.
+  OrderSolver s({C(V("X"), CmpOp::kLe, Term::Int(1)),
+                 C(V("X"), CmpOp::kGe, Term::Int(2))});
+  EXPECT_FALSE(s.Consistent());
+}
+
+TEST(OrderSolverTest, DenseOrderBetweenConstants) {
+  // Over a dense order there is room strictly between 1 and 2.
+  OrderSolver s({C(V("X"), CmpOp::kGt, Term::Int(1)),
+                 C(V("X"), CmpOp::kLt, Term::Int(2))});
+  EXPECT_TRUE(s.Consistent());
+}
+
+TEST(OrderSolverTest, ConstantsForcedEqualInconsistent) {
+  OrderSolver s({C(Term::Int(1), CmpOp::kEq, Term::Int(2))});
+  EXPECT_FALSE(s.Consistent());
+}
+
+TEST(OrderSolverTest, GroundFalseComparison) {
+  OrderSolver s({C(Term::Int(3), CmpOp::kLt, Term::Int(2))});
+  EXPECT_FALSE(s.Consistent());
+}
+
+TEST(OrderSolverTest, SymbolsUseLexicographicOrder) {
+  OrderSolver s({C(Term::Symbol("b"), CmpOp::kLt, Term::Symbol("a"))});
+  EXPECT_FALSE(s.Consistent());
+}
+
+TEST(OrderSolverTest, EntailsTransitive) {
+  OrderSolver s({C(V("X"), CmpOp::kLt, V("Y")), C(V("Y"), CmpOp::kLt, V("Z"))});
+  EXPECT_TRUE(s.Entails(C(V("X"), CmpOp::kLt, V("Z"))));
+  EXPECT_TRUE(s.Entails(C(V("X"), CmpOp::kNe, V("Z"))));
+  EXPECT_FALSE(s.Entails(C(V("Z"), CmpOp::kLt, V("X"))));
+}
+
+TEST(OrderSolverTest, EntailsThroughConstants) {
+  OrderSolver s({C(V("X"), CmpOp::kGe, Term::Int(100))});
+  EXPECT_TRUE(s.Entails(C(V("X"), CmpOp::kGt, Term::Int(99))));
+  EXPECT_FALSE(s.Entails(C(V("X"), CmpOp::kGt, Term::Int(100))));
+}
+
+TEST(OrderSolverTest, InconsistentEntailsEverything) {
+  OrderSolver s({C(V("X"), CmpOp::kLt, V("X"))});
+  EXPECT_TRUE(s.Entails(C(V("A"), CmpOp::kEq, V("B"))));
+}
+
+TEST(OrderSolverTest, ForcedEqualitiesFromLeCycle) {
+  OrderSolver s({C(V("X"), CmpOp::kLe, V("Y")), C(V("Y"), CmpOp::kLe, V("X"))});
+  auto eqs = s.ForcedEqualities();
+  ASSERT_EQ(eqs.size(), 1u);
+}
+
+TEST(OrderSolverTest, ForcedEqualityPrefersConstantRepresentative) {
+  OrderSolver s({C(V("X"), CmpOp::kEq, Term::Int(7))});
+  auto eqs = s.ForcedEqualities();
+  ASSERT_EQ(eqs.size(), 1u);
+  EXPECT_EQ(eqs[0].second, Term::Int(7));
+}
+
+TEST(OrderSolverTest, NoForcedEqualitiesWhenFree) {
+  OrderSolver s({C(V("X"), CmpOp::kLe, V("Y"))});
+  EXPECT_TRUE(s.ForcedEqualities().empty());
+}
+
+TEST(ClauseSolverTest, EmptyClausesIsBaseConsistency) {
+  EXPECT_TRUE(SatisfiableWithClauses({C(V("X"), CmpOp::kLt, V("Y"))}, {}));
+  EXPECT_FALSE(SatisfiableWithClauses({C(V("X"), CmpOp::kLt, V("X"))}, {}));
+}
+
+TEST(ClauseSolverTest, EmptyClauseIsFalse) {
+  EXPECT_FALSE(SatisfiableWithClauses({}, {{}}));
+}
+
+TEST(ClauseSolverTest, PicksSatisfiableBranch) {
+  // base: X < Y. clause: (Y < X) or (X != Z). Satisfiable via the second.
+  std::vector<OrderClause> clauses{{C(V("Y"), CmpOp::kLt, V("X")),
+                                    C(V("X"), CmpOp::kNe, V("Z"))}};
+  EXPECT_TRUE(SatisfiableWithClauses({C(V("X"), CmpOp::kLt, V("Y"))}, clauses));
+}
+
+TEST(ClauseSolverTest, ConflictingClausesUnsat) {
+  // base: X < Y; clauses force Y < X in every branch.
+  std::vector<OrderClause> clauses{{C(V("Y"), CmpOp::kLt, V("X"))}};
+  EXPECT_FALSE(
+      SatisfiableWithClauses({C(V("X"), CmpOp::kLt, V("Y"))}, clauses));
+}
+
+TEST(ClauseSolverTest, InteractionAcrossClauses) {
+  // clauses: (X < Y) ; (Y < Z) ; (Z < X): pairwise fine, and jointly fine
+  // too (choose all three? that is a cycle) — solver must find e.g. picking
+  // all three fails but there is only one literal per clause, so UNSAT.
+  std::vector<OrderClause> clauses{{C(V("X"), CmpOp::kLt, V("Y"))},
+                                   {C(V("Y"), CmpOp::kLt, V("Z"))},
+                                   {C(V("Z"), CmpOp::kLt, V("X"))}};
+  EXPECT_FALSE(SatisfiableWithClauses({}, clauses));
+}
+
+TEST(ClauseSolverTest, TwoLiteralEscape) {
+  // Same cycle, but the last clause offers an escape literal.
+  std::vector<OrderClause> clauses{{C(V("X"), CmpOp::kLt, V("Y"))},
+                                   {C(V("Y"), CmpOp::kLt, V("Z"))},
+                                   {C(V("Z"), CmpOp::kLt, V("X")),
+                                    C(V("A"), CmpOp::kEq, V("B"))}};
+  EXPECT_TRUE(SatisfiableWithClauses({}, clauses));
+}
+
+}  // namespace
+}  // namespace sqod

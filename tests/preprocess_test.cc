@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "src/parser/parser.h"
+#include "src/sqo/preprocess.h"
+
+namespace sqod {
+namespace {
+
+TEST(NormalizeRuleTest, DropsUnsatisfiableRule) {
+  Rule r = ParseRule("p(X) :- e(X, Y), X < Y, Y < X.").take();
+  EXPECT_FALSE(NormalizeRule(&r));
+}
+
+TEST(NormalizeRuleTest, SubstitutesForcedEquality) {
+  Rule r = ParseRule("p(X, Y) :- e(X, Y), X <= Y, Y <= X.").take();
+  ASSERT_TRUE(NormalizeRule(&r));
+  // X and Y collapse to one variable; the comparisons become tautologies.
+  EXPECT_EQ(r.head.arg(0), r.head.arg(1));
+  EXPECT_TRUE(r.comparisons.empty());
+}
+
+TEST(NormalizeRuleTest, SubstitutesConstantEquality) {
+  Rule r = ParseRule("p(X) :- e(X, Y), Y = 5.").take();
+  ASSERT_TRUE(NormalizeRule(&r));
+  EXPECT_EQ(r.body[0].atom.arg(1), Term::Int(5));
+  EXPECT_TRUE(r.comparisons.empty());
+}
+
+TEST(NormalizeRuleTest, RemovesTautologiesAndDuplicates) {
+  Rule r = ParseRule("p(X) :- e(X, Y), X < Y, Y > X, 1 < 2, X <= X.").take();
+  ASSERT_TRUE(NormalizeRule(&r));
+  EXPECT_EQ(r.comparisons.size(), 1u);  // X < Y kept once (canonical)
+}
+
+TEST(NormalizeRuleTest, KeepsMeaningfulComparisons) {
+  Rule r = ParseRule("p(X) :- e(X, Y), X >= 100.").take();
+  ASSERT_TRUE(NormalizeRule(&r));
+  EXPECT_EQ(r.comparisons.size(), 1u);
+}
+
+TEST(NormalizeProgramTest, DropsOnlyBadRules) {
+  Program p = ParseProgram(R"(
+    p(X) :- e(X, Y), X < Y.
+    p(X) :- e(X, Y), X < Y, Y < X.
+    ?- p.
+  )").take();
+  Program n = NormalizeProgram(p);
+  EXPECT_EQ(n.rules().size(), 1u);
+  EXPECT_EQ(n.query(), InternPred("p"));
+}
+
+TEST(NormalizeConstraintsTest, DropsVacuousIcs) {
+  std::vector<Constraint> ics{
+      ParseConstraint(":- e(X, Y), X < Y, Y < X.").take(),
+      ParseConstraint(":- e(X, Y), X < Y.").take(),
+  };
+  std::vector<Constraint> n = NormalizeConstraints(ics);
+  EXPECT_EQ(n.size(), 1u);
+}
+
+TEST(NormalizeProgramTest, DeadIdbCascade) {
+  // The only rule for `mid` is unsatisfiable; after dropping it, `mid`
+  // must not silently become an EDB predicate: the rule using it must
+  // cascade-drop too.
+  Program p = ParseProgram(R"(
+    mid(X) :- e(X, Y), X < Y, Y < X.
+    top(X) :- mid(X).
+    top(X) :- f(X).
+    ?- top.
+  )").take();
+  Program n = NormalizeProgram(p);
+  ASSERT_EQ(n.rules().size(), 1u);
+  EXPECT_EQ(n.rules()[0].body[0].atom.pred(), InternPred("f"));
+}
+
+TEST(NormalizeProgramTest, DeadIdbCascadeIsTransitive) {
+  Program p = ParseProgram(R"(
+    a1(X) :- e(X), 1 > 2.
+    a2(X) :- a1(X).
+    a3(X) :- a2(X).
+    top(X) :- a3(X).
+    top(X) :- g(X).
+    ?- top.
+  )").take();
+  Program n = NormalizeProgram(p);
+  EXPECT_EQ(n.rules().size(), 1u);
+}
+
+TEST(PruneUnreachableTest, DropsUnproductivePredicates) {
+  // `ghost` has no base case: unproductive; `q` depends on it.
+  Program p = ParseProgram(R"(
+    ghost(X) :- ghost(X).
+    q(X) :- ghost(X).
+    good(X) :- e(X).
+    top(X) :- good(X).
+    top(X) :- q(X).
+    ?- top.
+  )").take();
+  Program pruned = PruneUnreachable(p);
+  // ghost and q disappear; top keeps only the good branch.
+  EXPECT_FALSE(pruned.ToString().find("ghost") != std::string::npos);
+  EXPECT_EQ(pruned.rules().size(), 2u);
+}
+
+TEST(PruneUnreachableTest, DropsUnreachablePredicates) {
+  Program p = ParseProgram(R"(
+    main(X) :- e(X).
+    orphan(X) :- e(X).
+    ?- main.
+  )").take();
+  Program pruned = PruneUnreachable(p);
+  EXPECT_EQ(pruned.rules().size(), 1u);
+  EXPECT_EQ(pruned.rules()[0].head.pred(), InternPred("main"));
+}
+
+TEST(PruneUnreachableTest, KeepsMutualRecursionWithBase) {
+  Program p = ParseProgram(R"(
+    even(X) :- zero(X).
+    even(Y) :- odd(X), succ(X, Y).
+    odd(Y) :- even(X), succ(X, Y).
+    ?- even.
+  )").take();
+  Program pruned = PruneUnreachable(p);
+  EXPECT_EQ(pruned.rules().size(), 3u);
+}
+
+}  // namespace
+}  // namespace sqod

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "src/parser/parser.h"
+#include "src/sqo/residue.h"
+
+namespace sqod {
+namespace {
+
+Rule R(const std::string& text) { return ParseRule(text).take(); }
+Constraint IC(const std::string& text) { return ParseConstraint(text).take(); }
+
+bool HasEmptyResidue(const std::vector<Residue>& residues) {
+  for (const Residue& r : residues) {
+    if (r.empty()) return true;
+  }
+  return false;
+}
+
+TEST(ResidueTest, Example31Residue) {
+  // The paper's Example 3.1: mapping startPoint and endPoint into r3 leaves
+  // the residue {Y <= X}.
+  Rule r3 = R("goodPath(X, Y) :- startPoint(X), path(X, Y), endPoint(Y).");
+  Constraint ic = IC(":- startPoint(X), endPoint(Y), Y <= X.");
+  std::vector<Residue> residues = ComputeResidues(r3, ic, 0);
+  bool found = false;
+  for (const Residue& res : residues) {
+    if (res.literals.empty() && res.comparisons.size() == 1) {
+      // The residue comparison is (rule Y) <= (rule X) up to renaming.
+      EXPECT_EQ(res.comparisons[0].op, CmpOp::kLe);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(HasEmptyResidue(residues));
+}
+
+TEST(ResidueTest, FullMappingGivesEmptyResidue) {
+  Rule r = R("bad(X) :- a(X, Y), b(Y, Z).");
+  Constraint ic = IC(":- a(X, Y), b(Y, Z).");
+  EXPECT_TRUE(HasEmptyResidue(ComputeResidues(r, ic, 0)));
+}
+
+TEST(ResidueTest, NoMappingWithoutSharedJoin) {
+  // a and b in the rule do not join as the IC requires.
+  Rule r = R("ok(X) :- a(X, Y), b(X, Z).");
+  Constraint ic = IC(":- a(X, Y), b(Y, Z).");
+  EXPECT_FALSE(HasEmptyResidue(ComputeResidues(r, ic, 0)));
+}
+
+TEST(ResidueTest, OrderAtomDischargedByRule) {
+  // The rule already asserts X < 50, which entails X < 100 after mapping.
+  Rule r = R("p(X) :- startPoint(X), step(X, Y), X < 50.");
+  Constraint ic = IC(":- startPoint(X), step(X, Y), X < 100.");
+  EXPECT_TRUE(HasEmptyResidue(ComputeResidues(r, ic, 0)));
+}
+
+TEST(ResidueTest, OrderAtomNotDischargedStays) {
+  Rule r = R("p(X) :- startPoint(X), step(X, Y).");
+  Constraint ic = IC(":- startPoint(X), step(X, Y), X < 100.");
+  std::vector<Residue> residues = ComputeResidues(r, ic, 0);
+  EXPECT_FALSE(HasEmptyResidue(residues));
+  bool found = false;
+  for (const Residue& res : residues) {
+    if (res.literals.empty() && res.comparisons.size() == 1) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ResidueTest, MultipleIcAtomsToOneBodyAtom) {
+  // Both IC atoms map into the single body atom e(X, X).
+  Rule r = R("p(X) :- e(X, X).");
+  Constraint ic = IC(":- e(A, B), e(B, A).");
+  EXPECT_TRUE(HasEmptyResidue(ComputeResidues(r, ic, 0)));
+}
+
+TEST(ClassicSqoTest, Example31AddsComparison) {
+  Program p = ParseProgram(R"(
+    path(X, Y) :- step(X, Y).
+    path(X, Y) :- step(X, Z), path(Z, Y).
+    goodPath(X, Y) :- startPoint(X), path(X, Y), endPoint(Y).
+    ?- goodPath.
+  )").take();
+  std::vector<Constraint> ics{IC(":- startPoint(X), endPoint(Y), Y <= X.")};
+  ClassicSqoReport report;
+  Program rewritten = ApplyClassicSqo(p, ics, &report);
+  EXPECT_EQ(report.comparisons_added, 1);
+  EXPECT_EQ(report.rules_deleted, 0);
+  // r3 now carries X < Y (the canonical form of Y > X).
+  bool found = false;
+  for (const Rule& r : rewritten.rules()) {
+    if (r.head.pred() == InternPred("goodPath")) {
+      ASSERT_EQ(r.comparisons.size(), 1u);
+      EXPECT_EQ(r.comparisons[0].op, CmpOp::kLt);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ClassicSqoTest, DeletesUnsatisfiableRule) {
+  Program p = ParseProgram(R"(
+    q(X) :- a(X, Y), b(Y, Z).
+    q(X) :- a(X, Y).
+    ?- q.
+  )").take();
+  ClassicSqoReport report;
+  Program rewritten = ApplyClassicSqo(p, {IC(":- a(X, Y), b(Y, Z).")}, &report);
+  EXPECT_EQ(report.rules_deleted, 1);
+  EXPECT_EQ(rewritten.rules().size(), 1u);
+}
+
+TEST(ClassicSqoTest, AddsNegatedEdbLiteral) {
+  // IC :- member(X), banned(X): from a rule with member(X), the residue
+  // {banned(X)} is a single positive literal; its negation is attached.
+  Program p = ParseProgram(R"(
+    q(X) :- member(X).
+    ?- q.
+  )").take();
+  ClassicSqoReport report;
+  Program rewritten =
+      ApplyClassicSqo(p, {IC(":- member(X), banned(X).")}, &report);
+  EXPECT_EQ(report.negations_added, 1);
+  ASSERT_EQ(rewritten.rules()[0].body.size(), 2u);
+  EXPECT_TRUE(rewritten.rules()[0].body[1].negated);
+}
+
+TEST(ClassicSqoTest, MissesCrossRuleInteraction) {
+  // Section 3's point: per-rule analysis cannot push X >= 100 into the
+  // recursion; no rule alone contains both startPoint and step.
+  Program p = ParseProgram(R"(
+    path(X, Y) :- step(X, Y).
+    path(X, Y) :- step(X, Z), path(Z, Y).
+    goodPath(X, Y) :- startPoint(X), path(X, Y), endPoint(Y).
+    ?- goodPath.
+  )").take();
+  std::vector<Constraint> ics{
+      IC(":- startPoint(X), step(X, Y), X < 100."),
+      IC(":- step(X, Y), X >= Y."),
+  };
+  ClassicSqoReport report;
+  Program rewritten = ApplyClassicSqo(p, ics, &report);
+  EXPECT_EQ(report.rules_deleted, 0);
+  // The path rules stay untouched: classic SQO finds no complete mapping and
+  // no expressible single-literal residue for them.
+  for (const Rule& r : rewritten.rules()) {
+    if (r.head.pred() == InternPred("path")) {
+      bool has_100 = false;
+      for (const Comparison& c : r.comparisons) {
+        if (c.lhs == Term::Int(100) || c.rhs == Term::Int(100)) {
+          has_100 = true;
+        }
+      }
+      EXPECT_FALSE(has_100);
+    }
+  }
+}
+
+TEST(ResidueToStringTest, Readable) {
+  Rule r = R("p(X) :- a(X, Y).");
+  Constraint ic = IC(":- a(X, Y), b(Y, Z).");
+  std::vector<Residue> residues = ComputeResidues(r, ic, 3);
+  ASSERT_FALSE(residues.empty());
+  for (const Residue& res : residues) {
+    EXPECT_EQ(res.ic_index, 3);
+    EXPECT_FALSE(res.ToString().empty());
+  }
+}
+
+}  // namespace
+}  // namespace sqod

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "src/parser/parser.h"
+#include "src/sqo/satisfiability.h"
+
+namespace sqod {
+namespace {
+
+Rule R(const std::string& text) { return ParseRule(text).take(); }
+Constraint IC(const std::string& text) { return ParseConstraint(text).take(); }
+
+TEST(RuleBodySatisfiableTest, NoIcsMeansBodyConsistency) {
+  EXPECT_TRUE(RuleBodySatisfiable(R("q(X) :- e(X, Y)."), {}).take());
+  EXPECT_FALSE(
+      RuleBodySatisfiable(R("q(X) :- e(X, Y), X < Y, Y < X."), {}).take());
+}
+
+TEST(RuleBodySatisfiableTest, PlainIcKillsFullJoin) {
+  Rule r = R("q(X) :- a(X, Y), b(Y, Z).");
+  EXPECT_FALSE(RuleBodySatisfiable(r, {IC(":- a(X, Y), b(Y, Z).")}).take());
+  // Without the join the body survives.
+  Rule r2 = R("q(X) :- a(X, Y), b(X, Z).");
+  EXPECT_TRUE(RuleBodySatisfiable(r2, {IC(":- a(X, Y), b(Y, Z).")}).take());
+}
+
+TEST(RuleBodySatisfiableTest, OrderIcEscapableByModelChoice) {
+  // IC: no a-fact with first < second. Body leaves the order free, so a
+  // model with X >= Y escapes.
+  Rule r = R("q(X) :- a(X, Y).");
+  EXPECT_TRUE(RuleBodySatisfiable(r, {IC(":- a(X, Y), X < Y.")}).take());
+  // Forcing the rule's own comparison removes the escape.
+  Rule r2 = R("q(X) :- a(X, Y), X < Y.");
+  EXPECT_FALSE(RuleBodySatisfiable(r2, {IC(":- a(X, Y), X < Y.")}).take());
+}
+
+TEST(RuleBodySatisfiableTest, TwoOrderIcsCornerTheModel) {
+  // ICs forbid both X < Y and X > Y; with X != Y in the body, unsat.
+  std::vector<Constraint> ics{IC(":- a(X, Y), X < Y."),
+                              IC(":- a(X, Y), X > Y.")};
+  EXPECT_FALSE(
+      RuleBodySatisfiable(R("q(X) :- a(X, Y), X != Y."), ics).take());
+  EXPECT_TRUE(RuleBodySatisfiable(R("q(X) :- a(X, Y)."), ics).take());
+}
+
+TEST(RuleBodySatisfiableTest, NegatedBodyAtomConflicts) {
+  // e(X, Y) and !e(X, Y) in one body: unsatisfiable regardless of ICs.
+  EXPECT_FALSE(
+      RuleBodySatisfiable(R("q(X) :- e(X, Y), !e(X, Y)."), {}).take());
+  // Distinct variables can be separated.
+  EXPECT_TRUE(
+      RuleBodySatisfiable(R("q(X) :- e(X, Y), !e(Y, X)."), {}).take());
+}
+
+TEST(RuleBodySatisfiableTest, NegatedBodyAtomWithZeroArity) {
+  EXPECT_FALSE(RuleBodySatisfiable(R("q(X) :- e(X), flag, !flag."), {}).take());
+}
+
+TEST(RuleBodySatisfiableTest, NegIcsViaChase) {
+  // IC: every e-endpoint needs dom; IC: dom is forbidden => unsat.
+  std::vector<Constraint> ics{IC(":- e(X, Y), !dom(X)."),
+                              IC(":- dom(X).")};
+  EXPECT_FALSE(RuleBodySatisfiable(R("q(X) :- e(X, Y)."), ics).take());
+  std::vector<Constraint> fine{IC(":- e(X, Y), !dom(X).")};
+  EXPECT_TRUE(RuleBodySatisfiable(R("q(X) :- e(X, Y)."), fine).take());
+}
+
+TEST(RuleBodySatisfiableTest, NegIcsRepairBlockedByBodyNegation) {
+  // The repair would add dom(X), but the body asserts !dom(X).
+  std::vector<Constraint> ics{IC(":- e(X, Y), !dom(X).")};
+  EXPECT_FALSE(
+      RuleBodySatisfiable(R("q(X) :- e(X, Y), !dom(X)."), ics).take());
+}
+
+TEST(RuleBodySatisfiableTest, MixedIcsRejected) {
+  std::vector<Constraint> ics{IC(":- e(X, Y), !dom(X), X < Y.")};
+  EXPECT_FALSE(RuleBodySatisfiable(R("q(X) :- e(X, Y)."), ics).ok());
+}
+
+TEST(RuleBodySatisfiableTest, OrderBodyWithNegIcsRejected) {
+  std::vector<Constraint> ics{IC(":- e(X, Y), !dom(X).")};
+  EXPECT_FALSE(
+      RuleBodySatisfiable(R("q(X) :- e(X, Y), X < Y."), ics).ok());
+}
+
+TEST(RuleBodySatisfiableTest, EqualityEnabledHomomorphismsAreGuarded) {
+  // The IC fires only when the two body edges share their middle node —
+  // which the model is FORCED into here: the body demands B = C via the
+  // comparisons, and then the 2-path X < Y constraint is violated.
+  std::vector<Constraint> ics{
+      IC(":- e(X, Z), e(Z, Y), X < Y.")};
+  Rule forced = R("q(A) :- e(A, B), e(C, D), B <= C, C <= B, A < D.");
+  EXPECT_FALSE(RuleBodySatisfiable(forced, ics).take());
+  // Without forcing B = C the model keeps the edges apart: satisfiable.
+  Rule free = R("q(A) :- e(A, B), e(C, D), A < D.");
+  EXPECT_TRUE(RuleBodySatisfiable(free, ics).take());
+}
+
+TEST(RuleBodySatisfiableTest, EqualityEscapeAlsoWorks) {
+  // Dual case: the ICs force the model to equate variables, and the only
+  // escape from a second IC goes through that equality.
+  std::vector<Constraint> ics{
+      IC(":- e(X, Y), X < Y."),
+      IC(":- e(X, Y), X > Y."),
+      IC(":- e(X, X), f(X).")};
+  // e(A, B) forces A = B by the first two ICs; then f(A) fires the third.
+  Rule r = R("q(A) :- e(A, B), f(A).");
+  EXPECT_FALSE(RuleBodySatisfiable(r, ics).take());
+  Rule r2 = R("q(A) :- e(A, B), g(A).");
+  EXPECT_TRUE(RuleBodySatisfiable(r2, ics).take());
+}
+
+TEST(ProgramEmptyTest, Proposition52OnlyInitRulesMatter) {
+  // The recursive rule would join a with b, but emptiness is decided by
+  // the initialization rules alone (Proposition 5.2) — and the init rule
+  // is fine, so the program is not empty.
+  Program p = ParseProgram(R"(
+    q(X) :- a(X, Y).
+    q(X) :- a(X, Y), b(Y, Z), q(Z).
+    ?- q.
+  )").take();
+  EXPECT_FALSE(ProgramEmpty(p, {IC(":- a(X, Y), b(Y, Z).")}).take());
+}
+
+TEST(ProgramEmptyTest, EmptyWhenAllInitRulesDie) {
+  Program p = ParseProgram(R"(
+    q(X) :- a(X, Y), b(Y, Z).
+    q(X) :- a(X, Y), b(Y, W), q(W).
+    ?- q.
+  )").take();
+  EXPECT_TRUE(ProgramEmpty(p, {IC(":- a(X, Y), b(Y, Z).")}).take());
+}
+
+TEST(ProgramEmptyTest, OrderIcEmptiness) {
+  Program p = ParseProgram(R"(
+    q(X) :- step(X, Y), X < Y.
+    q(X) :- step(X, Y), q(Y), X < Y.
+    ?- q.
+  )").take();
+  EXPECT_TRUE(ProgramEmpty(p, {IC(":- step(X, Y), X < Y.")}).take());
+  EXPECT_FALSE(ProgramEmpty(p, {IC(":- step(X, Y), X > Y.")}).take());
+}
+
+TEST(ProgramEmptyTest, UnsatisfiableRuleBodiesDropInNormalization) {
+  Program p = ParseProgram(R"(
+    q(X) :- e(X, Y), X < Y, Y < X.
+    ?- q.
+  )").take();
+  EXPECT_TRUE(ProgramEmpty(p, {}).take());
+}
+
+}  // namespace
+}  // namespace sqod

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "src/parser/parser.h"
+#include "src/sqo/triplet.h"
+
+namespace sqod {
+namespace {
+
+TEST(VarImageTest, ConstantIdentity) {
+  VarImage a = VarImage::Constant(Value::Int(5));
+  VarImage b = VarImage::Constant(Value::Int(5));
+  VarImage c = VarImage::Constant(Value::Int(6));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(VarImageTest, PositionsSortedAndDeduped) {
+  VarImage a = VarImage::AtPositions({2, 0, 2});
+  VarImage b = VarImage::AtPositions({0, 2});
+  EXPECT_EQ(a, b);
+}
+
+TEST(VarImageTest, OrderingIsTotal) {
+  VarImage constant = VarImage::Constant(Value::Int(1));
+  VarImage positions = VarImage::AtPositions({0});
+  // Constants sort before positions (by the is_constant flag).
+  EXPECT_TRUE(constant < positions);
+  EXPECT_FALSE(positions < constant);
+  EXPECT_TRUE(VarImage::AtPositions({0}) < VarImage::AtPositions({1}));
+}
+
+TEST(TripletTest, IdentityAndOrdering) {
+  Triplet a;
+  a.ic_index = 0;
+  a.unmapped = {1};
+  a.sigma.emplace(Term::Var("X").var(), VarImage::AtPositions({0}));
+  Triplet b = a;
+  EXPECT_EQ(a, b);
+  b.unmapped = {0};
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(b < a);  // unmapped {0} < {1}
+}
+
+TEST(TripletTest, ToStringNamesIcAtoms) {
+  std::vector<Constraint> ics{
+      ParseConstraint(":- a(X, Y), b(Y, Z).").take()};
+  Triplet t;
+  t.ic_index = 0;
+  t.unmapped = {1};  // the b atom
+  t.sigma.emplace(Term::Var("Y").var(), VarImage::AtPositions({1}));
+  std::string s = t.ToString(ics);
+  EXPECT_NE(s.find("b(Y, Z)"), std::string::npos);
+  EXPECT_NE(s.find("pos{1}"), std::string::npos);
+}
+
+TEST(AdornmentTest, CanonicalizationSortsAndDedupes) {
+  Triplet t1;
+  t1.ic_index = 0;
+  t1.unmapped = {1};
+  Triplet t2;
+  t2.ic_index = 0;
+  t2.unmapped = {0};
+  Adornment a{t1, t2, t1};
+  CanonicalizeAdornment(&a);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_TRUE(a[0] < a[1]);
+}
+
+TEST(AdornmentTest, KeyIsStable) {
+  Triplet t1;
+  t1.ic_index = 2;
+  t1.unmapped = {0, 3};
+  t1.sigma.emplace(Term::Var("Z").var(), VarImage::Constant(Value::Int(7)));
+  Adornment a{t1};
+  Adornment b{t1};
+  EXPECT_EQ(AdornmentKey(a), AdornmentKey(b));
+  b[0].ic_index = 3;
+  EXPECT_NE(AdornmentKey(a), AdornmentKey(b));
+}
+
+TEST(AdornmentTest, EmptyAdornmentHasEmptyKey) {
+  EXPECT_EQ(AdornmentKey({}), "");
+  EXPECT_EQ(AdornmentToString({}, {}), "{}");
+}
+
+TEST(RuleTripletTest, SameAsIgnoresProvenance) {
+  RuleTriplet a;
+  a.ic_index = 1;
+  a.unmapped = {0};
+  a.sigma.emplace(Term::Var("X").var(), Term::Var("W"));
+  a.sources = {0, -1};
+  RuleTriplet b = a;
+  b.sources = {-1, 2};
+  EXPECT_TRUE(a.SameAs(b));
+  b.sigma[Term::Var("X").var()] = Term::Var("U");
+  EXPECT_FALSE(a.SameAs(b));
+}
+
+}  // namespace
+}  // namespace sqod

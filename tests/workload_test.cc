@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "src/cq/ic_check.h"
+#include "src/parser/parser.h"
+#include "src/workload/graphs.h"
+#include "src/workload/programs.h"
+
+namespace sqod {
+namespace {
+
+TEST(GraphGenTest, ChainShape) {
+  Database db = MakeChain(5, "edge");
+  EXPECT_EQ(db.TotalTuples(), 5);
+  EXPECT_TRUE(db.Contains(InternPred("edge"), {Value::Int(0), Value::Int(1)}));
+  EXPECT_TRUE(db.Contains(InternPred("edge"), {Value::Int(4), Value::Int(5)}));
+}
+
+TEST(GraphGenTest, RandomGraphDeterministicPerSeed) {
+  Rng a(9), b(9);
+  Database da = MakeRandomGraph(10, 20, &a);
+  Database dbs = MakeRandomGraph(10, 20, &b);
+  EXPECT_EQ(da.ToString(), dbs.ToString());
+}
+
+TEST(GraphGenTest, TwoColoredSplitsEdges) {
+  Rng rng(1);
+  Database db = MakeTwoColoredGraph(50, 200, 0.5, &rng);
+  const Relation* a = db.Find(InternPred("a"));
+  const Relation* b = db.Find(InternPred("b"));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_GT(a->size(), 0);
+  EXPECT_GT(b->size(), 0);
+}
+
+TEST(GraphGenTest, GoodPathWorkloadSatisfiesMonotoneIcs) {
+  Rng rng(2);
+  GoodPathConfig config;
+  config.nodes = 200;
+  config.edges = 500;
+  config.threshold = 80;
+  Database db = MakeGoodPathWorkload(config, &rng);
+  EXPECT_TRUE(SatisfiesAll(db, MakeMonotoneIcs(80)));
+}
+
+TEST(GraphGenTest, StartBeforeEndSatisfiesExample31Ic) {
+  Rng rng(3);
+  Database db = MakeStartBeforeEndWorkload(60, 150, 8, 8, &rng);
+  EXPECT_TRUE(SatisfiesAll(db, {MakeStartBeforeEndIc()}));
+}
+
+TEST(ProgramGenTest, FixedProgramsValidate) {
+  EXPECT_TRUE(MakeGoodPathProgram().Validate().ok());
+  EXPECT_TRUE(MakeAbClosureProgram().Validate().ok());
+  Program gp = MakeGoodPathProgram();
+  EXPECT_TRUE(gp.ValidateConstraint(MakeStartBeforeEndIc()).ok());
+  for (const Constraint& ic : MakeMonotoneIcs(100)) {
+    EXPECT_TRUE(gp.ValidateConstraint(ic).ok());
+  }
+  Program ab = MakeAbClosureProgram();
+  EXPECT_TRUE(ab.ValidateConstraint(MakeAbIc()).ok());
+}
+
+TEST(ProgramGenTest, ColoredClosureShape) {
+  Rng rng(4);
+  ColoredClosure cc = MakeColoredClosure(3, 4, &rng);
+  EXPECT_TRUE(cc.program.Validate().ok());
+  EXPECT_EQ(cc.program.rules().size(), 6u);  // base + recursive per color
+  EXPECT_EQ(cc.ics.size(), 4u);
+  for (const Constraint& ic : cc.ics) {
+    EXPECT_TRUE(cc.program.ValidateConstraint(ic).ok());
+  }
+}
+
+TEST(ProgramGenTest, ColoredEdgesRespectIcs) {
+  Rng rng(5);
+  ColoredClosure cc = MakeColoredClosure(3, 3, &rng);
+  Database db = MakeColoredEdges(3, 20, 60, cc.ics, &rng);
+  EXPECT_TRUE(SatisfiesAll(db, cc.ics));
+  EXPECT_GT(db.TotalTuples(), 0);
+}
+
+}  // namespace
+}  // namespace sqod
