@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e10_fd.cc" "bench/CMakeFiles/bench_e10_fd.dir/bench_e10_fd.cc.o" "gcc" "bench/CMakeFiles/bench_e10_fd.dir/bench_e10_fd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sqo/CMakeFiles/sqod_sqo.dir/DependInfo.cmake"
+  "/root/repo/build/src/counter/CMakeFiles/sqod_counter.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sqod_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/sqod_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/chase/CMakeFiles/sqod_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/cq/CMakeFiles/sqod_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sqod_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/sqod_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/sqod_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sqod_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

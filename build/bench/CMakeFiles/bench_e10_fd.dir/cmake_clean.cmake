@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_fd.dir/bench_e10_fd.cc.o"
+  "CMakeFiles/bench_e10_fd.dir/bench_e10_fd.cc.o.d"
+  "bench_e10_fd"
+  "bench_e10_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

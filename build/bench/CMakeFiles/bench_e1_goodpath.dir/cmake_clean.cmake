@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_goodpath.dir/bench_e1_goodpath.cc.o"
+  "CMakeFiles/bench_e1_goodpath.dir/bench_e1_goodpath.cc.o.d"
+  "bench_e1_goodpath"
+  "bench_e1_goodpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_goodpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

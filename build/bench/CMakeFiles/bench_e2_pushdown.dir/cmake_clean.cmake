@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_pushdown.dir/bench_e2_pushdown.cc.o"
+  "CMakeFiles/bench_e2_pushdown.dir/bench_e2_pushdown.cc.o.d"
+  "bench_e2_pushdown"
+  "bench_e2_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

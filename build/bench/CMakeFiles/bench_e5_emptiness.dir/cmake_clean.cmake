@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_emptiness.dir/bench_e5_emptiness.cc.o"
+  "CMakeFiles/bench_e5_emptiness.dir/bench_e5_emptiness.cc.o.d"
+  "bench_e5_emptiness"
+  "bench_e5_emptiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_emptiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_containment.dir/bench_e6_containment.cc.o"
+  "CMakeFiles/bench_e6_containment.dir/bench_e6_containment.cc.o.d"
+  "bench_e6_containment"
+  "bench_e6_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_counter.dir/bench_e7_counter.cc.o"
+  "CMakeFiles/bench_e7_counter.dir/bench_e7_counter.cc.o.d"
+  "bench_e7_counter"
+  "bench_e7_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

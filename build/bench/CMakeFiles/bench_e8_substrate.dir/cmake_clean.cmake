@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_substrate.dir/bench_e8_substrate.cc.o"
+  "CMakeFiles/bench_e8_substrate.dir/bench_e8_substrate.cc.o.d"
+  "bench_e8_substrate"
+  "bench_e8_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_machine_demo.dir/counter_machine_demo.cpp.o"
+  "CMakeFiles/counter_machine_demo.dir/counter_machine_demo.cpp.o.d"
+  "counter_machine_demo"
+  "counter_machine_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_machine_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqo_cli.dir/sqo_cli.cpp.o"
+  "CMakeFiles/sqo_cli.dir/sqo_cli.cpp.o.d"
+  "sqo_cli"
+  "sqo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

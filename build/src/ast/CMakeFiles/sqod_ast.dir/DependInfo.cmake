@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/atom.cc" "src/ast/CMakeFiles/sqod_ast.dir/atom.cc.o" "gcc" "src/ast/CMakeFiles/sqod_ast.dir/atom.cc.o.d"
+  "/root/repo/src/ast/comparison.cc" "src/ast/CMakeFiles/sqod_ast.dir/comparison.cc.o" "gcc" "src/ast/CMakeFiles/sqod_ast.dir/comparison.cc.o.d"
+  "/root/repo/src/ast/pattern.cc" "src/ast/CMakeFiles/sqod_ast.dir/pattern.cc.o" "gcc" "src/ast/CMakeFiles/sqod_ast.dir/pattern.cc.o.d"
+  "/root/repo/src/ast/program.cc" "src/ast/CMakeFiles/sqod_ast.dir/program.cc.o" "gcc" "src/ast/CMakeFiles/sqod_ast.dir/program.cc.o.d"
+  "/root/repo/src/ast/rule.cc" "src/ast/CMakeFiles/sqod_ast.dir/rule.cc.o" "gcc" "src/ast/CMakeFiles/sqod_ast.dir/rule.cc.o.d"
+  "/root/repo/src/ast/substitution.cc" "src/ast/CMakeFiles/sqod_ast.dir/substitution.cc.o" "gcc" "src/ast/CMakeFiles/sqod_ast.dir/substitution.cc.o.d"
+  "/root/repo/src/ast/term.cc" "src/ast/CMakeFiles/sqod_ast.dir/term.cc.o" "gcc" "src/ast/CMakeFiles/sqod_ast.dir/term.cc.o.d"
+  "/root/repo/src/ast/unify.cc" "src/ast/CMakeFiles/sqod_ast.dir/unify.cc.o" "gcc" "src/ast/CMakeFiles/sqod_ast.dir/unify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sqod_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqod_ast.dir/atom.cc.o"
+  "CMakeFiles/sqod_ast.dir/atom.cc.o.d"
+  "CMakeFiles/sqod_ast.dir/comparison.cc.o"
+  "CMakeFiles/sqod_ast.dir/comparison.cc.o.d"
+  "CMakeFiles/sqod_ast.dir/pattern.cc.o"
+  "CMakeFiles/sqod_ast.dir/pattern.cc.o.d"
+  "CMakeFiles/sqod_ast.dir/program.cc.o"
+  "CMakeFiles/sqod_ast.dir/program.cc.o.d"
+  "CMakeFiles/sqod_ast.dir/rule.cc.o"
+  "CMakeFiles/sqod_ast.dir/rule.cc.o.d"
+  "CMakeFiles/sqod_ast.dir/substitution.cc.o"
+  "CMakeFiles/sqod_ast.dir/substitution.cc.o.d"
+  "CMakeFiles/sqod_ast.dir/term.cc.o"
+  "CMakeFiles/sqod_ast.dir/term.cc.o.d"
+  "CMakeFiles/sqod_ast.dir/unify.cc.o"
+  "CMakeFiles/sqod_ast.dir/unify.cc.o.d"
+  "libsqod_ast.a"
+  "libsqod_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqod_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

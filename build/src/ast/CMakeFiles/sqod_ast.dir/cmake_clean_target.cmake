@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsqod_ast.a"
+)

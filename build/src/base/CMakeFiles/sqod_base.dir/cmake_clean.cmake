@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqod_base.dir/interner.cc.o"
+  "CMakeFiles/sqod_base.dir/interner.cc.o.d"
+  "CMakeFiles/sqod_base.dir/status.cc.o"
+  "CMakeFiles/sqod_base.dir/status.cc.o.d"
+  "CMakeFiles/sqod_base.dir/value.cc.o"
+  "CMakeFiles/sqod_base.dir/value.cc.o.d"
+  "libsqod_base.a"
+  "libsqod_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqod_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqod_chase.dir/chase.cc.o"
+  "CMakeFiles/sqod_chase.dir/chase.cc.o.d"
+  "libsqod_chase.a"
+  "libsqod_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqod_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

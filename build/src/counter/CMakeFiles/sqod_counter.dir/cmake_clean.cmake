@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqod_counter.dir/machine.cc.o"
+  "CMakeFiles/sqod_counter.dir/machine.cc.o.d"
+  "CMakeFiles/sqod_counter.dir/reduction.cc.o"
+  "CMakeFiles/sqod_counter.dir/reduction.cc.o.d"
+  "libsqod_counter.a"
+  "libsqod_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqod_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

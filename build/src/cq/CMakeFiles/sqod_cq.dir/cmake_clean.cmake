@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqod_cq.dir/containment.cc.o"
+  "CMakeFiles/sqod_cq.dir/containment.cc.o.d"
+  "CMakeFiles/sqod_cq.dir/homomorphism.cc.o"
+  "CMakeFiles/sqod_cq.dir/homomorphism.cc.o.d"
+  "CMakeFiles/sqod_cq.dir/ic_check.cc.o"
+  "CMakeFiles/sqod_cq.dir/ic_check.cc.o.d"
+  "CMakeFiles/sqod_cq.dir/linearize.cc.o"
+  "CMakeFiles/sqod_cq.dir/linearize.cc.o.d"
+  "CMakeFiles/sqod_cq.dir/minimize.cc.o"
+  "CMakeFiles/sqod_cq.dir/minimize.cc.o.d"
+  "libsqod_cq.a"
+  "libsqod_cq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqod_cq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

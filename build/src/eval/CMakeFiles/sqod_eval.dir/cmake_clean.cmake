@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqod_eval.dir/database.cc.o"
+  "CMakeFiles/sqod_eval.dir/database.cc.o.d"
+  "CMakeFiles/sqod_eval.dir/evaluator.cc.o"
+  "CMakeFiles/sqod_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/sqod_eval.dir/relation.cc.o"
+  "CMakeFiles/sqod_eval.dir/relation.cc.o.d"
+  "libsqod_eval.a"
+  "libsqod_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqod_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sqod_eval.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/order/clause_solver.cc" "src/order/CMakeFiles/sqod_order.dir/clause_solver.cc.o" "gcc" "src/order/CMakeFiles/sqod_order.dir/clause_solver.cc.o.d"
+  "/root/repo/src/order/solver.cc" "src/order/CMakeFiles/sqod_order.dir/solver.cc.o" "gcc" "src/order/CMakeFiles/sqod_order.dir/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/sqod_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sqod_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

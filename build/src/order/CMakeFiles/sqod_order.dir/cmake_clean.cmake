@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqod_order.dir/clause_solver.cc.o"
+  "CMakeFiles/sqod_order.dir/clause_solver.cc.o.d"
+  "CMakeFiles/sqod_order.dir/solver.cc.o"
+  "CMakeFiles/sqod_order.dir/solver.cc.o.d"
+  "libsqod_order.a"
+  "libsqod_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqod_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqod_parser.dir/lexer.cc.o"
+  "CMakeFiles/sqod_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/sqod_parser.dir/parser.cc.o"
+  "CMakeFiles/sqod_parser.dir/parser.cc.o.d"
+  "libsqod_parser.a"
+  "libsqod_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqod_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqo/adorn.cc" "src/sqo/CMakeFiles/sqod_sqo.dir/adorn.cc.o" "gcc" "src/sqo/CMakeFiles/sqod_sqo.dir/adorn.cc.o.d"
+  "/root/repo/src/sqo/containment.cc" "src/sqo/CMakeFiles/sqod_sqo.dir/containment.cc.o" "gcc" "src/sqo/CMakeFiles/sqod_sqo.dir/containment.cc.o.d"
+  "/root/repo/src/sqo/fd.cc" "src/sqo/CMakeFiles/sqod_sqo.dir/fd.cc.o" "gcc" "src/sqo/CMakeFiles/sqod_sqo.dir/fd.cc.o.d"
+  "/root/repo/src/sqo/local.cc" "src/sqo/CMakeFiles/sqod_sqo.dir/local.cc.o" "gcc" "src/sqo/CMakeFiles/sqod_sqo.dir/local.cc.o.d"
+  "/root/repo/src/sqo/optimizer.cc" "src/sqo/CMakeFiles/sqod_sqo.dir/optimizer.cc.o" "gcc" "src/sqo/CMakeFiles/sqod_sqo.dir/optimizer.cc.o.d"
+  "/root/repo/src/sqo/preprocess.cc" "src/sqo/CMakeFiles/sqod_sqo.dir/preprocess.cc.o" "gcc" "src/sqo/CMakeFiles/sqod_sqo.dir/preprocess.cc.o.d"
+  "/root/repo/src/sqo/query_tree.cc" "src/sqo/CMakeFiles/sqod_sqo.dir/query_tree.cc.o" "gcc" "src/sqo/CMakeFiles/sqod_sqo.dir/query_tree.cc.o.d"
+  "/root/repo/src/sqo/residue.cc" "src/sqo/CMakeFiles/sqod_sqo.dir/residue.cc.o" "gcc" "src/sqo/CMakeFiles/sqod_sqo.dir/residue.cc.o.d"
+  "/root/repo/src/sqo/satisfiability.cc" "src/sqo/CMakeFiles/sqod_sqo.dir/satisfiability.cc.o" "gcc" "src/sqo/CMakeFiles/sqod_sqo.dir/satisfiability.cc.o.d"
+  "/root/repo/src/sqo/triplet.cc" "src/sqo/CMakeFiles/sqod_sqo.dir/triplet.cc.o" "gcc" "src/sqo/CMakeFiles/sqod_sqo.dir/triplet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/sqod_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/sqod_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/cq/CMakeFiles/sqod_cq.dir/DependInfo.cmake"
+  "/root/repo/build/src/chase/CMakeFiles/sqod_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sqod_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sqod_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqod_sqo.dir/adorn.cc.o"
+  "CMakeFiles/sqod_sqo.dir/adorn.cc.o.d"
+  "CMakeFiles/sqod_sqo.dir/containment.cc.o"
+  "CMakeFiles/sqod_sqo.dir/containment.cc.o.d"
+  "CMakeFiles/sqod_sqo.dir/fd.cc.o"
+  "CMakeFiles/sqod_sqo.dir/fd.cc.o.d"
+  "CMakeFiles/sqod_sqo.dir/local.cc.o"
+  "CMakeFiles/sqod_sqo.dir/local.cc.o.d"
+  "CMakeFiles/sqod_sqo.dir/optimizer.cc.o"
+  "CMakeFiles/sqod_sqo.dir/optimizer.cc.o.d"
+  "CMakeFiles/sqod_sqo.dir/preprocess.cc.o"
+  "CMakeFiles/sqod_sqo.dir/preprocess.cc.o.d"
+  "CMakeFiles/sqod_sqo.dir/query_tree.cc.o"
+  "CMakeFiles/sqod_sqo.dir/query_tree.cc.o.d"
+  "CMakeFiles/sqod_sqo.dir/residue.cc.o"
+  "CMakeFiles/sqod_sqo.dir/residue.cc.o.d"
+  "CMakeFiles/sqod_sqo.dir/satisfiability.cc.o"
+  "CMakeFiles/sqod_sqo.dir/satisfiability.cc.o.d"
+  "CMakeFiles/sqod_sqo.dir/triplet.cc.o"
+  "CMakeFiles/sqod_sqo.dir/triplet.cc.o.d"
+  "libsqod_sqo.a"
+  "libsqod_sqo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqod_sqo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

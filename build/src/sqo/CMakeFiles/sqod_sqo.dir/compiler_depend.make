@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sqod_sqo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqod_workload.dir/graphs.cc.o"
+  "CMakeFiles/sqod_workload.dir/graphs.cc.o.d"
+  "CMakeFiles/sqod_workload.dir/programs.cc.o"
+  "CMakeFiles/sqod_workload.dir/programs.cc.o.d"
+  "libsqod_workload.a"
+  "libsqod_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqod_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

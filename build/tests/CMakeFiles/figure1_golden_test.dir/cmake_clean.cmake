@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_golden_test.dir/figure1_golden_test.cc.o"
+  "CMakeFiles/figure1_golden_test.dir/figure1_golden_test.cc.o.d"
+  "figure1_golden_test"
+  "figure1_golden_test.pdb"
+  "figure1_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_tree_test.dir/query_tree_test.cc.o"
+  "CMakeFiles/query_tree_test.dir/query_tree_test.cc.o.d"
+  "query_tree_test"
+  "query_tree_test.pdb"
+  "query_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/ast_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/order_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/cq_test[1]_include.cmake")
+include("/root/repo/build/tests/chase_test[1]_include.cmake")
+include("/root/repo/build/tests/preprocess_test[1]_include.cmake")
+include("/root/repo/build/tests/residue_test[1]_include.cmake")
+include("/root/repo/build/tests/local_test[1]_include.cmake")
+include("/root/repo/build/tests/adorn_test[1]_include.cmake")
+include("/root/repo/build/tests/query_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/satisfiability_test[1]_include.cmake")
+include("/root/repo/build/tests/containment_test[1]_include.cmake")
+include("/root/repo/build/tests/counter_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/triplet_test[1]_include.cmake")
+include("/root/repo/build/tests/fd_test[1]_include.cmake")
+include("/root/repo/build/tests/stratified_test[1]_include.cmake")
+include("/root/repo/build/tests/figure1_golden_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
