@@ -3,8 +3,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "src/base/check.h"
 #include "src/eval/evaluator.h"
+#include "src/obs/metrics.h"
 #include "src/sqo/optimizer.h"
 #include "src/workload/graphs.h"
 #include "src/workload/programs.h"
@@ -12,27 +15,50 @@
 namespace sqod {
 
 // Evaluates `program` on `edb`, reports work counters on `state`, and
-// returns the query answers (to keep the optimizer honest).
+// returns the query answers (to keep the optimizer honest). Counters are
+// sourced from a MetricsRegistry attached to the evaluator, so they match
+// the CLI's --stats-json output key for key.
 inline std::vector<Tuple> RunAndReport(const Program& program,
                                        const Database& edb,
                                        benchmark::State& state,
                                        EvalOptions options = {}) {
-  EvalStats stats;
-  Result<std::vector<Tuple>> answers =
-      EvaluateQuery(program, edb, options, &stats);
+  MetricsRegistry metrics;
+  options.metrics = &metrics;
+  options.metrics_prefix = "eval";
+  Result<std::vector<Tuple>> answers = EvaluateQuery(program, edb, options);
   SQOD_CHECK_MSG(answers.ok(), answers.status().message().c_str());
-  state.counters["derived"] = static_cast<double>(stats.tuples_derived);
-  state.counters["probes"] = static_cast<double>(stats.join_probes);
+  auto counter = [&](const char* name) {
+    return static_cast<double>(metrics.GetCounter(name)->value());
+  };
+  state.counters["iterations"] = counter("eval/iterations");
+  state.counters["derived"] = counter("eval/tuples_derived");
+  state.counters["duplicates"] = counter("eval/duplicate_derivations");
+  state.counters["probes"] = counter("eval/join_probes");
   state.counters["answers"] = static_cast<double>(answers.value().size());
   return answers.take();
 }
 
-// Runs the full SQO pipeline; CHECK-fails on error.
+// Runs the full SQO pipeline; CHECK-fails on error. With `state`, attaches
+// a MetricsRegistry and reports per-phase wall time ("opt_<phase>_ns") and
+// pipeline size gauges alongside the benchmark's own timings.
 inline SqoReport MustOptimize(const Program& program,
                               const std::vector<Constraint>& ics,
-                              SqoOptions options = {}) {
+                              SqoOptions options = {},
+                              benchmark::State* state = nullptr) {
+  MetricsRegistry metrics;
+  if (state != nullptr) options.metrics = &metrics;
   Result<SqoReport> report = OptimizeProgram(program, ics, options);
   SQOD_CHECK_MSG(report.ok(), report.status().message().c_str());
+  if (state != nullptr) {
+    for (const auto& [name, gauge] : metrics.gauges()) {
+      // "sqo/phase/adorn_ns" -> counter "opt_adorn_ns".
+      constexpr const char* kPhasePrefix = "sqo/phase/";
+      if (name.rfind(kPhasePrefix, 0) == 0) {
+        state->counters["opt_" + name.substr(std::strlen(kPhasePrefix))] =
+            static_cast<double>(gauge->value());
+      }
+    }
+  }
   return report.take();
 }
 

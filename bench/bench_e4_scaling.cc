@@ -22,7 +22,7 @@ void BM_E4_AdornmentGrowthWithIcs(benchmark::State& state) {
   options.tree.max_classes = 200000;
   SqoReport last;
   for (auto _ : state) {
-    last = MustOptimize(cc.program, cc.ics, options);
+    last = MustOptimize(cc.program, cc.ics, options, &state);
     benchmark::DoNotOptimize(last);
   }
   state.counters["adorned_preds"] = last.adorned_predicates;

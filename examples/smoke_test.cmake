@@ -1,0 +1,70 @@
+# CTest smoke test for the sqo_cli observability surface. Invoked as:
+#
+#   cmake -DSQO_CLI=<binary> -DINPUT=<figure1.dl> -DWORK_DIR=<dir>
+#         -P smoke_test.cmake
+#
+# Runs the CLI with --eval --profile --stats-json --trace on the Figure-1
+# example, then validates both JSON artifacts with the CLI's built-in
+# minimal JSON parser (--check-json) and greps for the expected keys.
+
+set(STATS "${WORK_DIR}/smoke_stats.json")
+set(TRACE "${WORK_DIR}/smoke_trace.json")
+
+execute_process(
+  COMMAND "${SQO_CLI}" --eval --profile
+          "--stats-json=${STATS}" "--trace=${TRACE}" "${INPUT}"
+  OUTPUT_VARIABLE STDOUT
+  ERROR_VARIABLE STDERR
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "sqo_cli failed (rc=${RC}):\n${STDOUT}\n${STDERR}")
+endif()
+
+# The eval report must show matching answers and both profile tables.
+foreach(needle
+    "match: yes"
+    "per-rule profile, original program P:"
+    "per-rule profile, rewritten program P':"
+    "span tree:")
+  string(FIND "${STDOUT}" "${needle}" POS)
+  if(POS EQUAL -1)
+    message(FATAL_ERROR "missing '${needle}' in sqo_cli output:\n${STDOUT}")
+  endif()
+endforeach()
+
+# Both artifacts parse with the built-in minimal JSON parser.
+foreach(artifact "${STATS}" "${TRACE}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "${artifact} was not written")
+  endif()
+  execute_process(
+    COMMAND "${SQO_CLI}" "--check-json=${artifact}"
+    ERROR_VARIABLE CHECK_ERR
+    RESULT_VARIABLE CHECK_RC)
+  if(NOT CHECK_RC EQUAL 0)
+    message(FATAL_ERROR "invalid JSON in ${artifact}: ${CHECK_ERR}")
+  endif()
+endforeach()
+
+# Spot-check the expected metric and span names.
+file(READ "${STATS}" STATS_TEXT)
+foreach(needle
+    "eval/original/tuples_derived"
+    "eval/rewritten/tuples_derived"
+    "sqo/phase/adorn_ns"
+    "cli/answers_match\":1")
+  string(FIND "${STATS_TEXT}" "${needle}" POS)
+  if(POS EQUAL -1)
+    message(FATAL_ERROR "missing '${needle}' in ${STATS}:\n${STATS_TEXT}")
+  endif()
+endforeach()
+
+file(READ "${TRACE}" TRACE_TEXT)
+foreach(needle "traceEvents" "sqo.optimize" "sqo.adorn" "eval.iteration")
+  string(FIND "${TRACE_TEXT}" "${needle}" POS)
+  if(POS EQUAL -1)
+    message(FATAL_ERROR "missing '${needle}' in ${TRACE}")
+  endif()
+endforeach()
+
+message(STATUS "sqo_cli smoke test passed")

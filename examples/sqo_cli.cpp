@@ -3,9 +3,11 @@
 // Reads a datalog unit (rules, ICs, optional facts, a `?- q.` query
 // declaration) from a file or stdin, runs the full semantic query
 // optimization pipeline, and prints the rewritten program. Options expose
-// the intermediate artifacts.
+// the intermediate artifacts and the observability layer.
 //
-//   usage: sqo_cli [--p1] [--tree] [--dot] [--adornments] [--eval] <file|->
+//   usage: sqo_cli [--p1] [--tree] [--dot] [--adornments] [--eval]
+//                  [--profile] [--trace=FILE] [--stats-json=FILE] <file|->
+//          sqo_cli --check-json=FILE
 //
 //     --p1          print the bottom-up adorned program P1 instead of P'
 //     --tree        print the query tree (the Figure 1 artifact)
@@ -13,6 +15,14 @@
 //     --adornments  print the adorned predicates and their triplets
 //     --eval        if the unit contains facts, evaluate both programs and
 //                   report answers + work counters
+//     --profile     per-rule profile tables (with --eval, for both the
+//                   original and rewritten program) and a span-tree summary
+//     --trace=FILE  write a Chrome trace-event JSON file covering the
+//                   optimizer phases and (with --eval) both evaluations;
+//                   load it in chrome://tracing or Perfetto
+//     --stats-json=FILE  write all collected metrics as JSON
+//     --check-json=FILE  validate FILE with the built-in minimal JSON
+//                   parser and exit (0 = valid); used by the smoke test
 
 #include <cstdio>
 #include <cstring>
@@ -23,6 +33,10 @@
 
 #include "src/cq/ic_check.h"
 #include "src/eval/evaluator.h"
+#include "src/obs/export.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/parser/parser.h"
 #include "src/sqo/optimizer.h"
 
@@ -43,13 +57,24 @@ std::string ReadAll(const char* path) {
   return buffer.str();
 }
 
+bool WriteAll(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return out.good();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace sqod;
 
   bool show_p1 = false, show_tree = false, show_dot = false,
-       show_adornments = false, do_eval = false;
+       show_adornments = false, do_eval = false, do_profile = false;
+  std::string trace_path, stats_json_path;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--p1") == 0) {
@@ -62,6 +87,20 @@ int main(int argc, char** argv) {
       show_adornments = true;
     } else if (std::strcmp(argv[i], "--eval") == 0) {
       do_eval = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      do_profile = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--stats-json=", 13) == 0) {
+      stats_json_path = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--check-json=", 13) == 0) {
+      std::string text = ReadAll(argv[i] + 13);
+      Status s = ValidateJson(text);
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s: %s\n", argv[i] + 13, s.message().c_str());
+        return 1;
+      }
+      return 0;
     } else {
       path = argv[i];
     }
@@ -69,8 +108,9 @@ int main(int argc, char** argv) {
   if (path == nullptr) {
     std::fprintf(stderr,
                  "usage: %s [--p1] [--tree] [--dot] [--adornments] [--eval] "
-                 "<file|->\n",
-                 argv[0]);
+                 "[--profile] [--trace=FILE] [--stats-json=FILE] <file|->\n"
+                 "       %s --check-json=FILE\n",
+                 argv[0], argv[0]);
     return 2;
   }
 
@@ -82,8 +122,17 @@ int main(int argc, char** argv) {
   }
   ParsedUnit& unit = parsed.value();
 
+  // The observability layer: spans when tracing or profiling was requested,
+  // metrics whenever any report needs them.
+  Tracer tracer(!trace_path.empty() || do_profile);
+  MetricsRegistry metrics;
+
+  SqoOptions sqo_options;
+  sqo_options.tracer = &tracer;
+  sqo_options.metrics = &metrics;
+
   Result<SqoReport> optimized =
-      OptimizeProgram(unit.program, unit.constraints);
+      OptimizeProgram(unit.program, unit.constraints, sqo_options);
   if (!optimized.ok()) {
     std::fprintf(stderr, "optimizer error: %s\n",
                  optimized.status().message().c_str());
@@ -108,6 +157,7 @@ int main(int argc, char** argv) {
     std::printf("%% note: the query is unsatisfiable w.r.t. the ICs\n");
   }
 
+  int exit_code = 0;
   if (do_eval && !unit.facts.empty()) {
     Database edb;
     for (const Atom& fact : unit.facts) edb.InsertAtom(fact);
@@ -117,16 +167,47 @@ int main(int argc, char** argv) {
                    "equivalence is not guaranteed\n");
     }
     EvalStats original_stats, rewritten_stats;
-    auto original =
-        EvaluateQuery(unit.program, edb, {}, &original_stats).take();
-    auto rewritten =
-        EvaluateQuery(report.rewritten, edb, {}, &rewritten_stats).take();
+    std::vector<RuleProfile> original_profiles, rewritten_profiles;
+    EvalOptions eval_options;
+    eval_options.tracer = &tracer;
+    eval_options.metrics = &metrics;
+    eval_options.profile_rules = do_profile;
+
+    eval_options.metrics_prefix = "eval/original";
+    auto original = EvaluateQuery(unit.program, edb, eval_options,
+                                  &original_stats, &original_profiles)
+                        .take();
+    eval_options.metrics_prefix = "eval/rewritten";
+    auto rewritten = EvaluateQuery(report.rewritten, edb, eval_options,
+                                   &rewritten_stats, &rewritten_profiles)
+                         .take();
     std::printf("%% answers: %zu (match: %s)\n", original.size(),
                 original == rewritten ? "yes" : "NO");
     std::printf("%% original:  %s\n%% rewritten: %s\n",
                 original_stats.ToString().c_str(),
                 rewritten_stats.ToString().c_str());
-    return original == rewritten ? 0 : 1;
+    metrics.GetGauge("cli/answers")
+        ->Set(static_cast<int64_t>(original.size()));
+    metrics.GetGauge("cli/answers_match")->Set(original == rewritten ? 1 : 0);
+    if (do_profile) {
+      std::printf("%% per-rule profile, original program P:\n%s",
+                  RenderRuleProfileTable(original_profiles).c_str());
+      std::printf("%% per-rule profile, rewritten program P':\n%s",
+                  RenderRuleProfileTable(rewritten_profiles).c_str());
+    }
+    exit_code = original == rewritten ? 0 : 1;
   }
-  return 0;
+
+  if (do_profile) {
+    std::printf("%% span tree:\n%s", RenderSpanTree(tracer.spans()).c_str());
+  }
+  if (!trace_path.empty() &&
+      !WriteAll(trace_path, ExportChromeTrace(tracer.spans()))) {
+    return 2;
+  }
+  if (!stats_json_path.empty() &&
+      !WriteAll(stats_json_path, ExportMetricsJson(metrics))) {
+    return 2;
+  }
+  return exit_code;
 }

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Runs the Google-Benchmark suite and collects the JSON reports into a
+# single dated file, BENCH_<date>.json, shaped as one object keyed by
+# benchmark binary name (each value is that binary's native
+# --benchmark_format=json output, context + benchmarks array).
+#
+#   usage: scripts/bench_report.sh [build-dir] [benchmark-filter]
+#
+#     build-dir          where the bench_* binaries live (default: build)
+#     benchmark-filter   forwarded as --benchmark_filter=... (default: all)
+#
+# Extra knobs via environment:
+#     OUT=path.json      override the output file name
+#     BENCH_ARGS="..."   extra flags for every binary (e.g. repetitions)
+set -euo pipefail
+
+build_dir="${1:-build}"
+filter="${2:-}"
+out="${OUT:-BENCH_$(date +%Y%m%d).json}"
+
+if [[ ! -d "${build_dir}/bench" ]]; then
+  echo "error: ${build_dir}/bench not found; build first:" >&2
+  echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+  exit 2
+fi
+
+benches=()
+for bin in "${build_dir}"/bench/bench_*; do
+  [[ -x "${bin}" && ! -d "${bin}" ]] && benches+=("${bin}")
+done
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "error: no bench_* binaries under ${build_dir}/bench" >&2
+  exit 2
+fi
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+args=(--benchmark_format=json)
+[[ -n "${filter}" ]] && args+=("--benchmark_filter=${filter}")
+# shellcheck disable=SC2206
+[[ -n "${BENCH_ARGS:-}" ]] && args+=(${BENCH_ARGS})
+
+{
+  printf '{\n'
+  first=1
+  for bin in "${benches[@]}"; do
+    name="$(basename "${bin}")"
+    echo "running ${name}..." >&2
+    # bench_e3_fig1 prints reproduced figures on stdout before the JSON;
+    # benchmark JSON goes to --benchmark_out so prose never pollutes it.
+    if ! "${bin}" "${args[@]}" "--benchmark_out=${tmp_dir}/${name}.json" \
+        --benchmark_out_format=json > "${tmp_dir}/${name}.stdout" 2>&2; then
+      echo "warning: ${name} failed, skipping" >&2
+      continue
+    fi
+    # A filter matching nothing leaves an empty report; skip it.
+    if [[ ! -s "${tmp_dir}/${name}.json" ]]; then
+      echo "note: ${name} produced no report (filter matched nothing?)" >&2
+      continue
+    fi
+    [[ ${first} -eq 0 ]] && printf ',\n'
+    first=0
+    printf '"%s": ' "${name}"
+    cat "${tmp_dir}/${name}.json"
+  done
+  printf '\n}\n'
+} > "${out}"
+
+echo "wrote ${out}" >&2

@@ -1,12 +1,28 @@
 #include "src/eval/evaluator.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 #include <unordered_map>
 
 #include "src/base/check.h"
+#include "src/obs/export.h"
 
 namespace sqod {
+
+EvalStats EvalStats::FromProfiles(int64_t iterations,
+                                  const std::vector<RuleProfile>& profiles) {
+  EvalStats stats;
+  stats.iterations = iterations;
+  for (const RuleProfile& p : profiles) {
+    stats.rule_firings += p.firings;
+    stats.tuples_derived += p.derived;
+    stats.duplicate_derivations += p.duplicates;
+    stats.join_probes += p.probes;
+    stats.comparison_checks += p.cmp_checks;
+  }
+  return stats;
+}
 
 std::string EvalStats::ToString() const {
   return "iterations=" + std::to_string(iterations) +
@@ -15,6 +31,41 @@ std::string EvalStats::ToString() const {
          " duplicates=" + std::to_string(duplicate_derivations) +
          " probes=" + std::to_string(join_probes) +
          " cmp_checks=" + std::to_string(comparison_checks);
+}
+
+std::string RenderRuleProfileTable(const std::vector<RuleProfile>& profiles) {
+  std::vector<const RuleProfile*> active;
+  for (const RuleProfile& p : profiles) {
+    if (p.firings > 0 || p.probes > 0 || p.cmp_checks > 0) {
+      active.push_back(&p);
+    }
+  }
+  std::sort(active.begin(), active.end(),
+            [](const RuleProfile* a, const RuleProfile* b) {
+              if (a->time_ns != b->time_ns) return a->time_ns > b->time_ns;
+              if (a->firings != b->firings) return a->firings > b->firings;
+              return a->rule_index < b->rule_index;
+            });
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%5s  %-28s %10s %10s %8s %12s %10s\n",
+                "rule", "head", "firings", "derived", "dup%", "probes",
+                "time");
+  out += line;
+  for (const RuleProfile* p : active) {
+    std::string head = p->head.size() > 28 ? p->head.substr(0, 25) + "..."
+                                           : p->head;
+    std::snprintf(line, sizeof(line),
+                  "%5d  %-28s %10lld %10lld %7.1f%% %12lld %10s\n",
+                  p->rule_index, head.c_str(),
+                  static_cast<long long>(p->firings),
+                  static_cast<long long>(p->derived),
+                  100.0 * p->duplicate_rate(),
+                  static_cast<long long>(p->probes),
+                  p->time_ns > 0 ? FormatDurationNs(p->time_ns).c_str() : "-");
+    out += line;
+  }
+  return out;
 }
 
 namespace {
@@ -176,7 +227,7 @@ struct Context {
   const Database* idb_delta;  // last iteration's new tuples (may be null)
   Database* out_new;          // staging area for this iteration's new tuples
   EvalOptions options;
-  EvalStats* stats;
+  RuleProfile* rule_stats;    // profile slot of the rule being evaluated
   std::set<PredId> idb_preds;
   int64_t* derived_count;
   bool* overflow;
@@ -192,7 +243,7 @@ const Relation* RelationFor(const Context& ctx, const RulePlan& plan,
 }
 
 void DeriveHead(const Rule& rule, const Bindings& bindings, Context* ctx) {
-  ++ctx->stats->rule_firings;
+  ++ctx->rule_stats->firings;
   Tuple head;
   head.reserve(rule.head.args().size());
   for (const Term& t : rule.head.args()) {
@@ -201,11 +252,11 @@ void DeriveHead(const Rule& rule, const Bindings& bindings, Context* ctx) {
   PredId pred = rule.head.pred();
   if (ctx->idb_total->Contains(pred, head) ||
       ctx->out_new->Contains(pred, head)) {
-    ++ctx->stats->duplicate_derivations;
+    ++ctx->rule_stats->duplicates;
     return;
   }
   ctx->out_new->Insert(pred, std::move(head));
-  ++ctx->stats->tuples_derived;
+  ++ctx->rule_stats->derived;
   ++*ctx->derived_count;
   if (ctx->options.max_derived >= 0 &&
       *ctx->derived_count > ctx->options.max_derived) {
@@ -225,7 +276,7 @@ void RunSteps(const Rule& rule, const RulePlan& plan, size_t step_index,
   switch (step.kind) {
     case PlanStep::Kind::kComparison: {
       const Comparison& c = rule.comparisons[step.index];
-      ++ctx->stats->comparison_checks;
+      ++ctx->rule_stats->cmp_checks;
       if (EvalCmp(TermValue(c.lhs, *bindings), c.op,
                   TermValue(c.rhs, *bindings))) {
         RunSteps(rule, plan, step_index + 1, bindings, ctx);
@@ -263,7 +314,7 @@ void RunSteps(const Rule& rule, const RulePlan& plan, size_t step_index,
       }
 
       auto try_row = [&](const Tuple& row) {
-        ++ctx->stats->join_probes;
+        ++ctx->rule_stats->probes;
         size_t mark = bindings->Mark();
         bool ok = true;
         for (int i = 0; i < a.arity() && ok; ++i) {
@@ -296,11 +347,6 @@ void RunSteps(const Rule& rule, const RulePlan& plan, size_t step_index,
   }
 }
 
-void RunPlan(const Rule& rule, const RulePlan& plan, Context* ctx) {
-  Bindings bindings;
-  RunSteps(rule, plan, 0, &bindings, ctx);
-}
-
 // Merges `src` into `dst`; returns the number of new tuples.
 int64_t MergeInto(const Database& src, Database* dst) {
   int64_t added = 0;
@@ -319,6 +365,51 @@ Evaluator::Evaluator(const Program& program, EvalOptions options)
 
 Result<Database> Evaluator::Evaluate(const Database& edb) {
   stats_ = EvalStats();
+  const std::vector<Rule>& rules = program_.rules();
+  profiles_.assign(rules.size(), RuleProfile());
+  for (size_t r = 0; r < rules.size(); ++r) {
+    profiles_[r].rule_index = static_cast<int>(r);
+    profiles_[r].head = PredName(rules[r].head.pred());
+  }
+  int64_t iterations = 0;
+
+  Tracer* tracer = options_.tracer;
+  const bool tracing = tracer != nullptr && tracer->enabled();
+  // Counters are always kept (they redirect existing increments); only the
+  // wall-clock reads are gated, so the disabled path stays branch-cheap.
+  const bool timed =
+      options_.profile_rules || tracing || options_.metrics != nullptr;
+
+  auto start_span = [&](const char* name) {
+    return tracing ? tracer->StartSpan(name) : Span();
+  };
+
+  // Runs one plan with per-rule time attribution and an optional span.
+  auto run_plan = [&](const RulePlan& plan, Context* ctx) {
+    RuleProfile* profile = &profiles_[plan.rule_index];
+    ctx->rule_stats = profile;
+    Span span;
+    if (tracing) {
+      span = tracer->StartSpan("eval.rule");
+      span.SetAttr("rule", plan.rule_index);
+      if (plan.delta_subgoal >= 0) {
+        span.SetAttr("delta_subgoal", plan.delta_subgoal);
+      }
+    }
+    int64_t before_firings = profile->firings;
+    int64_t before_derived = profile->derived;
+    int64_t t0 = timed ? NowNs() : 0;
+    Bindings bindings;
+    RunSteps(rules[plan.rule_index], plan, 0, &bindings, ctx);
+    if (timed) profile->time_ns += NowNs() - t0;
+    if (tracing) {
+      span.SetAttr("firings", profile->firings - before_firings);
+      span.SetAttr("derived", profile->derived - before_derived);
+    }
+  };
+
+  Span eval_span = start_span("eval");
+
   Result<std::map<PredId, int>> strata = program_.Stratify();
   if (!strata.ok()) return strata.status();
   int max_stratum = 0;
@@ -336,12 +427,10 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
   ctx.idb_total = &total;
   ctx.idb_delta = nullptr;
   ctx.options = options_;
-  ctx.stats = &stats_;
+  ctx.rule_stats = nullptr;
   ctx.idb_preds = program_.IdbPreds();
   ctx.derived_count = &derived_count;
   ctx.overflow = &overflow;
-
-  const std::vector<Rule>& rules = program_.rules();
 
   auto fail_if_overflow = [&]() -> Status {
     if (overflow) {
@@ -349,6 +438,33 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
                            std::to_string(options_.max_derived));
     }
     return Status::Ok();
+  };
+
+  // Publishes counters and (when attached) registry metrics before any
+  // return path, so stats are valid even on overflow errors.
+  auto finish = [&] {
+    stats_ = EvalStats::FromProfiles(iterations, profiles_);
+    if (options_.metrics == nullptr) return;
+    MetricsRegistry* m = options_.metrics;
+    const std::string& p = options_.metrics_prefix;
+    m->GetCounter(p + "/iterations")->Add(stats_.iterations);
+    m->GetCounter(p + "/rule_firings")->Add(stats_.rule_firings);
+    m->GetCounter(p + "/tuples_derived")->Add(stats_.tuples_derived);
+    m->GetCounter(p + "/duplicate_derivations")
+        ->Add(stats_.duplicate_derivations);
+    m->GetCounter(p + "/join_probes")->Add(stats_.join_probes);
+    m->GetCounter(p + "/comparison_checks")->Add(stats_.comparison_checks);
+    for (const RuleProfile& profile : profiles_) {
+      if (profile.firings == 0 && profile.probes == 0) continue;
+      std::string base = p + "/rule/" +
+                         std::to_string(profile.rule_index) + ":" +
+                         profile.head;
+      m->GetCounter(base + "/firings")->Add(profile.firings);
+      m->GetCounter(base + "/derived")->Add(profile.derived);
+      m->GetCounter(base + "/duplicates")->Add(profile.duplicates);
+      m->GetCounter(base + "/probes")->Add(profile.probes);
+      m->GetCounter(base + "/time_ns")->Add(profile.time_ns);
+    }
   };
 
   // Evaluate stratum by stratum: negated IDB subgoals point strictly below
@@ -363,6 +479,20 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
       }
     }
     if (stratum_rules.empty()) continue;
+
+    Span stratum_span = start_span("eval.stratum");
+    stratum_span.SetAttr("stratum", stratum);
+    stratum_span.SetAttr("rules", static_cast<int64_t>(stratum_rules.size()));
+
+    Histogram* iteration_hist =
+        options_.metrics == nullptr
+            ? nullptr
+            : options_.metrics->GetHistogram(options_.metrics_prefix +
+                                             "/iteration_ns");
+    auto observe_iteration = [&](Span* span, int64_t t0, int64_t added) {
+      span->SetAttr("new_tuples", added);
+      if (iteration_hist != nullptr) iteration_hist->Record(NowNs() - t0);
+    };
 
     // Same-stratum positive IDB subgoal body indices, per rule.
     std::map<int, std::vector<int>> recursive_subgoals;
@@ -381,16 +511,24 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
       std::vector<RulePlan> plans;
       for (int r : stratum_rules) plans.push_back(BuildPlan(rules[r], r, -1));
       for (;;) {
-        ++stats_.iterations;
+        ++iterations;
+        Span iter_span = start_span("eval.iteration");
+        iter_span.SetAttr("iteration", iterations);
+        int64_t t0 = timed ? NowNs() : 0;
         Database fresh;
         ctx.out_new = &fresh;
         ctx.idb_delta = nullptr;
         for (const RulePlan& plan : plans) {
-          RunPlan(rules[plan.rule_index], plan, &ctx);
+          run_plan(plan, &ctx);
         }
         Status s = fail_if_overflow();
-        if (!s.ok()) return s;
-        if (MergeInto(fresh, &total) == 0) break;
+        if (!s.ok()) {
+          finish();
+          return s;
+        }
+        int64_t added = MergeInto(fresh, &total);
+        observe_iteration(&iter_span, t0, added);
+        if (added == 0) break;
       }
       continue;
     }
@@ -398,18 +536,25 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
     // Semi-naive. Iteration 0: rules with no same-stratum IDB subgoal.
     Database delta;
     {
-      ++stats_.iterations;
+      ++iterations;
+      Span iter_span = start_span("eval.iteration");
+      iter_span.SetAttr("iteration", iterations);
+      int64_t t0 = timed ? NowNs() : 0;
       Database fresh;
       ctx.out_new = &fresh;
       ctx.idb_delta = nullptr;
       for (int r : stratum_rules) {
         if (recursive_subgoals.count(r) > 0) continue;
         RulePlan plan = BuildPlan(rules[r], r, -1);
-        RunPlan(rules[r], plan, &ctx);
+        run_plan(plan, &ctx);
       }
       Status s = fail_if_overflow();
-      if (!s.ok()) return s;
-      MergeInto(fresh, &total);
+      if (!s.ok()) {
+        finish();
+        return s;
+      }
+      int64_t added = MergeInto(fresh, &total);
+      observe_iteration(&iter_span, t0, added);
       delta = std::move(fresh);
     }
 
@@ -422,18 +567,30 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
     }
 
     while (delta.TotalTuples() > 0) {
-      ++stats_.iterations;
+      ++iterations;
+      Span iter_span = start_span("eval.iteration");
+      iter_span.SetAttr("iteration", iterations);
+      int64_t t0 = timed ? NowNs() : 0;
       Database fresh;
       ctx.out_new = &fresh;
       ctx.idb_delta = &delta;
       for (const RulePlan& plan : delta_plans) {
-        RunPlan(rules[plan.rule_index], plan, &ctx);
+        run_plan(plan, &ctx);
       }
       Status s = fail_if_overflow();
-      if (!s.ok()) return s;
-      MergeInto(fresh, &total);
+      if (!s.ok()) {
+        finish();
+        return s;
+      }
+      int64_t added = MergeInto(fresh, &total);
+      observe_iteration(&iter_span, t0, added);
       delta = std::move(fresh);
     }
+  }
+  finish();
+  if (tracing) {
+    eval_span.SetAttr("iterations", stats_.iterations);
+    eval_span.SetAttr("tuples_derived", stats_.tuples_derived);
   }
   return total;
 }
@@ -441,11 +598,13 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
 Result<std::vector<Tuple>> EvaluateQuery(const Program& program,
                                          const Database& edb,
                                          EvalOptions options,
-                                         EvalStats* stats) {
+                                         EvalStats* stats,
+                                         std::vector<RuleProfile>* profiles) {
   SQOD_CHECK_MSG(program.query() != -1, "program has no query predicate");
   Evaluator evaluator(program, options);
   Result<Database> idb = evaluator.Evaluate(edb);
   if (stats != nullptr) *stats = evaluator.stats();
+  if (profiles != nullptr) *profiles = evaluator.rule_profiles();
   if (!idb.ok()) return idb.status();
   std::vector<Tuple> out;
   const Relation* rel = idb.value().Find(program.query());

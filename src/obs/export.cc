@@ -1,0 +1,163 @@
+#include "src/obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "src/obs/json.h"
+
+namespace sqod {
+
+std::string FormatDurationNs(int64_t ns) {
+  char buf[64];
+  if (ns < 10 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(ns));
+  } else if (ns < 10 * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", ns / 1e3);
+  } else if (ns < int64_t{10} * 1000 * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ns / 1e9);
+  }
+  return buf;
+}
+
+namespace {
+
+void RenderNode(const SpanRecord& span,
+                const std::multimap<int, const SpanRecord*>& children,
+                int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += span.name;
+  size_t pad = static_cast<size_t>(depth) * 2 + span.name.size();
+  if (pad < 40) out->append(40 - pad, ' ');
+  *out += "  ";
+  *out += FormatDurationNs(span.duration_ns);
+  if (!span.attrs.empty()) {
+    *out += "  [";
+    for (size_t i = 0; i < span.attrs.size(); ++i) {
+      if (i > 0) *out += ' ';
+      *out += span.attrs[i].first;
+      *out += '=';
+      *out += std::to_string(span.attrs[i].second);
+    }
+    *out += ']';
+  }
+  *out += '\n';
+  auto [begin, end] = children.equal_range(span.id);
+  for (auto it = begin; it != end; ++it) {
+    RenderNode(*it->second, children, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderSpanTree(const std::vector<SpanRecord>& spans) {
+  std::vector<const SpanRecord*> ordered;
+  ordered.reserve(spans.size());
+  for (const SpanRecord& s : spans) ordered.push_back(&s);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const SpanRecord* a, const SpanRecord* b) {
+              return a->id < b->id;
+            });
+  std::multimap<int, const SpanRecord*> children;
+  for (const SpanRecord* s : ordered) {
+    if (s->parent_id != -1) children.emplace(s->parent_id, s);
+  }
+  std::string out;
+  for (const SpanRecord* s : ordered) {
+    if (s->parent_id == -1) RenderNode(*s, children, 0, &out);
+  }
+  return out;
+}
+
+std::string ExportChromeTrace(const std::vector<SpanRecord>& spans) {
+  std::vector<const SpanRecord*> ordered;
+  ordered.reserve(spans.size());
+  for (const SpanRecord& s : spans) ordered.push_back(&s);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const SpanRecord* a, const SpanRecord* b) {
+              return a->id < b->id;
+            });
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (const SpanRecord* s : ordered) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += JsonEscape(s->name);
+    out += "\",\"cat\":\"sqod\",\"ph\":\"X\",\"pid\":1,\"tid\":1";
+    // Microsecond timestamps with ns precision (Chrome expects us).
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f", s->start_ns / 1e3);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", s->duration_ns / 1e3);
+    out += buf;
+    out += ",\"args\":{\"id\":";
+    out += std::to_string(s->id);
+    out += ",\"parent\":";
+    out += std::to_string(s->parent_id);
+    for (const auto& [key, value] : s->attrs) {
+      out += ",\"";
+      out += JsonEscape(key);
+      out += "\":";
+      out += std::to_string(value);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ExportMetricsJson(const MetricsRegistry& registry) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : registry.counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += JsonEscape(name);
+    out += "\":";
+    out += std::to_string(counter->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : registry.gauges()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += JsonEscape(name);
+    out += "\":";
+    out += std::to_string(gauge->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : registry.histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += JsonEscape(name);
+    out += "\":{\"count\":";
+    out += std::to_string(histogram->count());
+    out += ",\"sum\":";
+    out += std::to_string(histogram->sum());
+    out += ",\"min\":";
+    out += std::to_string(histogram->min());
+    out += ",\"max\":";
+    out += std::to_string(histogram->max());
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ",\"mean\":%.3f", histogram->mean());
+    out += buf;
+    out += ",\"p50\":";
+    out += std::to_string(histogram->Percentile(0.5));
+    out += ",\"p90\":";
+    out += std::to_string(histogram->Percentile(0.9));
+    out += ",\"p99\":";
+    out += std::to_string(histogram->Percentile(0.99));
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace sqod

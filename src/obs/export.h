@@ -1,0 +1,35 @@
+#ifndef SQOD_OBS_EXPORT_H_
+#define SQOD_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace sqod {
+
+// Human-readable indented tree of the recorded spans, e.g.
+//
+//   optimize                          1.234 ms
+//     normalize                      12.3 us
+//     adorn                         456.7 us  [iterations=3 apreds=5]
+//
+// Children are ordered by start time. Durations pick a readable unit.
+std::string RenderSpanTree(const std::vector<SpanRecord>& spans);
+
+// Chrome trace-event JSON (the `chrome://tracing` / Perfetto format): one
+// complete ("ph":"X") event per span with microsecond timestamps, span
+// attributes under "args". Loadable as-is.
+std::string ExportChromeTrace(const std::vector<SpanRecord>& spans);
+
+// Machine-readable dump of a registry: {"counters": {...}, "gauges": {...},
+// "histograms": {name: {count,sum,min,max,mean,p50,p90,p99}}}.
+std::string ExportMetricsJson(const MetricsRegistry& registry);
+
+// Formats a nanosecond duration with a readable unit ("1.234 ms").
+std::string FormatDurationNs(int64_t ns);
+
+}  // namespace sqod
+
+#endif  // SQOD_OBS_EXPORT_H_

@@ -1,0 +1,51 @@
+#ifndef SQOD_OBS_JSON_H_
+#define SQOD_OBS_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace sqod {
+
+// A deliberately minimal JSON layer: enough to emit the exporters' output
+// and to parse it back for validation (tests, the CLI --check-json flag,
+// the CTest smoke test). Zero dependencies; not a general-purpose library.
+
+// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view s);
+
+// A parsed JSON value. Numbers are kept as doubles (sufficient for the
+// exporters, which emit at most ns-scale integers < 2^53).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  // Object member access; returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+// Parses a complete JSON document (trailing whitespace allowed, trailing
+// garbage is an error). Errors carry a byte offset.
+Result<JsonValue> ParseJson(std::string_view text);
+
+// Syntax-only check built on ParseJson.
+Status ValidateJson(std::string_view text);
+
+}  // namespace sqod
+
+#endif  // SQOD_OBS_JSON_H_

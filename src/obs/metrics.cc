@@ -1,0 +1,92 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+namespace sqod {
+
+namespace {
+
+// Bucket index for a sample: 0 for 0, otherwise 1 + floor(log2(sample)).
+int BucketOf(int64_t sample) {
+  if (sample <= 0) return 0;
+  int b = 0;
+  uint64_t v = static_cast<uint64_t>(sample);
+  while (v != 0) {
+    v >>= 1;
+    ++b;
+  }
+  return std::min(b, Histogram::kBuckets - 1);
+}
+
+// Inclusive sample range covered by bucket `b`.
+std::pair<int64_t, int64_t> BucketRange(int b) {
+  if (b == 0) return {0, 0};
+  int64_t lo = int64_t{1} << (b - 1);
+  int64_t hi = (b >= 63) ? INT64_MAX : (int64_t{1} << b) - 1;
+  return {lo, hi};
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t sample) {
+  if (sample < 0) sample = 0;
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+  ++buckets_[BucketOf(sample)];
+}
+
+int64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample, 1-based (nearest-rank definition).
+  int64_t rank = static_cast<int64_t>(q * count_);
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    if (seen + buckets_[b] >= rank) {
+      auto [lo, hi] = BucketRange(b);
+      lo = std::max(lo, min_);
+      hi = std::min(hi, max_);
+      if (hi <= lo || buckets_[b] == 1) return lo;
+      // Interpolate the rank position within the bucket.
+      double frac = double(rank - seen - 1) / double(buckets_[b] - 1);
+      return lo + static_cast<int64_t>(frac * double(hi - lo));
+    }
+    seen += buckets_[b];
+  }
+  return max_;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace sqod

@@ -1,0 +1,96 @@
+#ifndef SQOD_OBS_METRICS_H_
+#define SQOD_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sqod {
+
+// A monotonically increasing int64 counter.
+class Counter {
+ public:
+  void Add(int64_t delta) { value_ += delta; }
+  void Increment() { ++value_; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// A last-write-wins int64 gauge.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_ = value; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// A histogram of non-negative int64 samples over power-of-two buckets:
+// bucket b holds samples in [2^(b-1), 2^b) (bucket 0 holds {0}). Tracks
+// exact count/sum/min/max; percentiles are estimated by linear
+// interpolation within the containing bucket, so they are exact for
+// count/sum-style questions and within a factor-of-2 bucket for tails —
+// plenty for profiling.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(int64_t sample);
+
+  int64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : double(sum_) / count_; }
+
+  // Estimated value at quantile q in [0, 1]. Returns 0 on an empty
+  // histogram; q=0 returns min(), q=1 returns max().
+  int64_t Percentile(double q) const;
+
+  const std::vector<int64_t>& buckets() const { return buckets_; }
+
+ private:
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  std::vector<int64_t> buckets_ = std::vector<int64_t>(kBuckets, 0);
+};
+
+// A registry of named instruments. Lookup interns the instrument on first
+// use; returned pointers stay valid for the registry's lifetime, so hot
+// loops should look up once and increment through the pointer. Names are
+// slash-separated paths, e.g. "eval/rewritten/rule_firings".
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Read-only views, sorted by name (std::map order).
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const {
+    return histograms_;
+  }
+
+  void Clear();
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace sqod
+
+#endif  // SQOD_OBS_METRICS_H_

@@ -505,9 +505,18 @@ std::vector<int> AdornmentEngine::AdornmentsOf(PredId p) const {
 }
 
 Status AdornmentEngine::Run() {
+  const bool tracing =
+      options_.tracer != nullptr && options_.tracer->enabled();
+  fixpoint_passes_ = 0;
   bool changed = true;
   while (changed && !overflow_) {
     changed = false;
+    Span pass_span;
+    if (tracing) {
+      pass_span = options_.tracer->StartSpan("sqo.adorn.iteration");
+      pass_span.SetAttr("pass", fixpoint_passes_);
+    }
+    ++fixpoint_passes_;
     for (int r = 0; r < static_cast<int>(program_.rules().size()); ++r) {
       const Rule& rule = program_.rules()[r];
       std::vector<int> idb_subgoals;
@@ -543,6 +552,8 @@ Status AdornmentEngine::Run() {
       };
       enumerate(0);
     }
+    pass_span.SetAttr("apreds", static_cast<int64_t>(apreds_.size()));
+    pass_span.SetAttr("arules", static_cast<int64_t>(arules_.size()));
   }
   if (overflow_) {
     return Status::Error(

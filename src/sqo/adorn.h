@@ -7,6 +7,7 @@
 
 #include "src/ast/program.h"
 #include "src/base/status.h"
+#include "src/obs/trace.h"
 #include "src/sqo/local.h"
 #include "src/sqo/triplet.h"
 
@@ -55,6 +56,9 @@ struct AdornOptions {
   // worst case (Theorem 5.1).
   int max_adorned_preds = 4000;
   int max_adorned_rules = 40000;
+  // Optional span collector: each fixpoint pass of Run() becomes a
+  // "sqo.adorn.iteration" span with apred/arule counts.
+  Tracer* tracer = nullptr;
 };
 
 // The bottom-up phase of the Section 4.1 algorithm. Expects the program to
@@ -76,6 +80,9 @@ class AdornmentEngine {
 
   // Adorned predicate indices whose original predicate is `p`.
   std::vector<int> AdornmentsOf(PredId p) const;
+
+  // Number of passes the Run() fixpoint took (0 before Run).
+  int fixpoint_passes() const { return fixpoint_passes_; }
 
   // P1 as a plain datalog program over the generated predicate names, with
   // wrapper rules restoring the original query predicate.
@@ -111,6 +118,7 @@ class AdornmentEngine {
   std::vector<AdornedRule> arules_;
   std::unordered_map<std::string, int> arule_registry_;  // combination key
   bool overflow_ = false;
+  int fixpoint_passes_ = 0;
 };
 
 }  // namespace sqod

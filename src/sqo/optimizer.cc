@@ -10,6 +10,38 @@ namespace sqod {
 
 namespace {
 
+// RAII scope for one pipeline phase: opens a span (when tracing) and, on
+// exit, records the phase's wall time into the "sqo/phase/<name>_ns" gauge
+// (when a registry is attached).
+class PhaseScope {
+ public:
+  PhaseScope(const char* phase, const SqoOptions& options)
+      : phase_(phase), metrics_(options.metrics) {
+    if (options.tracer != nullptr && options.tracer->enabled()) {
+      span_ = options.tracer->StartSpan(std::string("sqo.") + phase);
+    }
+    if (metrics_ != nullptr) t0_ = NowNs();
+  }
+
+  ~PhaseScope() {
+    if (metrics_ != nullptr) {
+      metrics_->GetGauge(std::string("sqo/phase/") + phase_ + "_ns")
+          ->Set(NowNs() - t0_);
+    }
+  }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+  Span& span() { return span_; }
+
+ private:
+  const char* phase_;
+  MetricsRegistry* metrics_;
+  Span span_;
+  int64_t t0_ = 0;
+};
+
 struct Pipeline {
   Program normalized;
   std::vector<Constraint> ics;
@@ -19,34 +51,62 @@ struct Pipeline {
 Result<Pipeline> Prepare(const Program& program,
                          const std::vector<Constraint>& ics,
                          const SqoOptions& options) {
-  Status s = program.Validate();
-  if (!s.ok()) return s;
-  if (!program.NegationOnEdbOnly()) {
-    return Status::Error(
-        "semantic query optimization requires negation on EDB predicates "
-        "only (the paper's Section 2 setting); stratified IDB negation is "
-        "supported by the evaluator but not by the rewriting");
-  }
-  for (const Constraint& ic : ics) {
-    s = program.ValidateConstraint(ic);
+  {
+    PhaseScope phase("validate", options);
+    Status s = program.Validate();
     if (!s.ok()) return s;
+    if (!program.NegationOnEdbOnly()) {
+      return Status::Error(
+          "semantic query optimization requires negation on EDB predicates "
+          "only (the paper's Section 2 setting); stratified IDB negation is "
+          "supported by the evaluator but not by the rewriting");
+    }
+    for (const Constraint& ic : ics) {
+      s = program.ValidateConstraint(ic);
+      if (!s.ok()) return s;
+    }
   }
 
   Pipeline p;
-  p.ics = NormalizeConstraints(ics);
-  Result<LocalAtomInfo> local = AnalyzeLocalAtoms(p.ics);
-  if (!local.ok()) return local.status();
-  p.local = local.take();
+  Program normalized;
+  {
+    PhaseScope phase("normalize", options);
+    phase.span().SetAttr("rules_in",
+                         static_cast<int64_t>(program.rules().size()));
+    phase.span().SetAttr("ics", static_cast<int64_t>(ics.size()));
+    p.ics = NormalizeConstraints(ics);
+    Result<LocalAtomInfo> local = AnalyzeLocalAtoms(p.ics);
+    if (!local.ok()) return local.status();
+    p.local = local.take();
 
-  Program normalized = NormalizeProgram(program);
-  if (options.apply_fd_rewriting) {
-    normalized = ApplyFdRewriting(normalized, ExtractFds(p.ics));
+    normalized = NormalizeProgram(program);
+    if (options.apply_fd_rewriting) {
+      normalized = ApplyFdRewriting(normalized, ExtractFds(p.ics));
+    }
+    phase.span().SetAttr("rules_out",
+                         static_cast<int64_t>(normalized.rules().size()));
   }
-  Result<Program> rewritten = RewriteForLocalAtoms(
-      normalized, p.ics, p.local, options.max_local_rewrite_rules);
-  if (!rewritten.ok()) return rewritten.status();
-  p.normalized = rewritten.take();
+  {
+    PhaseScope phase("local_rewrite", options);
+    Result<Program> rewritten = RewriteForLocalAtoms(
+        normalized, p.ics, p.local, options.max_local_rewrite_rules);
+    if (!rewritten.ok()) return rewritten.status();
+    p.normalized = rewritten.take();
+    phase.span().SetAttr("rules_out",
+                         static_cast<int64_t>(p.normalized.rules().size()));
+  }
   return p;
+}
+
+void RecordPipelineGauges(const SqoReport& report, const SqoOptions& options) {
+  if (options.metrics == nullptr) return;
+  MetricsRegistry* m = options.metrics;
+  m->GetGauge("sqo/adorned_preds")->Set(report.adorned_predicates);
+  m->GetGauge("sqo/adorned_rules")->Set(report.adorned_rules);
+  m->GetGauge("sqo/tree_classes")->Set(report.tree_classes);
+  m->GetGauge("sqo/surviving_classes")->Set(report.surviving_classes);
+  m->GetGauge("sqo/rewritten_rules")
+      ->Set(static_cast<int64_t>(report.rewritten.rules().size()));
 }
 
 }  // namespace
@@ -54,6 +114,8 @@ Result<Pipeline> Prepare(const Program& program,
 Result<SqoReport> OptimizeProgram(const Program& program,
                                   const std::vector<Constraint>& ics,
                                   const SqoOptions& options) {
+  PhaseScope root("optimize", options);
+
   Result<Pipeline> prepared = Prepare(program, ics, options);
   if (!prepared.ok()) return prepared.status();
   Pipeline& p = prepared.value();
@@ -62,9 +124,17 @@ Result<SqoReport> OptimizeProgram(const Program& program,
   report.normalized = p.normalized;
   report.ics = p.ics;
 
-  AdornmentEngine engine(p.normalized, p.ics, p.local, options.adorn);
-  Status s = engine.Run();
-  if (!s.ok()) return s;
+  AdornOptions adorn_options = options.adorn;
+  adorn_options.tracer = options.tracer;
+  AdornmentEngine engine(p.normalized, p.ics, p.local, adorn_options);
+  {
+    PhaseScope phase("adorn", options);
+    Status s = engine.Run();
+    if (!s.ok()) return s;
+    phase.span().SetAttr("passes", engine.fixpoint_passes());
+    phase.span().SetAttr("apreds", static_cast<int64_t>(engine.apreds().size()));
+    phase.span().SetAttr("arules", static_cast<int64_t>(engine.arules().size()));
+  }
   report.adorned = engine.AdornedProgram();
   report.adorned_predicates = static_cast<int>(engine.apreds().size());
   report.adorned_rules = static_cast<int>(engine.arules().size());
@@ -72,13 +142,19 @@ Result<SqoReport> OptimizeProgram(const Program& program,
 
   if (options.build_query_tree && p.normalized.query() != -1) {
     QueryTree tree(engine, options.tree);
-    s = tree.Build();
-    if (!s.ok()) return s;
-    report.tree_classes = static_cast<int>(tree.classes().size());
-    for (size_t c = 0; c < tree.classes().size(); ++c) {
-      if (tree.productive()[c] && tree.reachable()[c]) {
-        ++report.surviving_classes;
+    {
+      PhaseScope phase("tree", options);
+      Status s = tree.Build();
+      if (!s.ok()) return s;
+      report.tree_classes = static_cast<int>(tree.classes().size());
+      for (size_t c = 0; c < tree.classes().size(); ++c) {
+        if (tree.productive()[c] && tree.reachable()[c]) {
+          ++report.surviving_classes;
+        }
       }
+      phase.span().SetAttr("goal_classes", report.tree_classes);
+      phase.span().SetAttr("surviving_classes", report.surviving_classes);
+      phase.span().SetAttr("satisfiable", tree.QuerySatisfiable() ? 1 : 0);
     }
     report.query_satisfiable = tree.QuerySatisfiable();
     report.tree_dump = tree.ToString();
@@ -90,9 +166,20 @@ Result<SqoReport> OptimizeProgram(const Program& program,
   }
 
   if (options.attach_residues) {
+    PhaseScope phase("residues", options);
     report.rewritten = ApplyClassicSqo(report.rewritten, p.ics);
+    phase.span().SetAttr("rules_out",
+                         static_cast<int64_t>(report.rewritten.rules().size()));
   }
-  report.rewritten = PruneUnreachable(report.rewritten);
+  {
+    PhaseScope phase("prune", options);
+    int64_t before = static_cast<int64_t>(report.rewritten.rules().size());
+    report.rewritten = PruneUnreachable(report.rewritten);
+    phase.span().SetAttr("rules_in", before);
+    phase.span().SetAttr("rules_out",
+                         static_cast<int64_t>(report.rewritten.rules().size()));
+  }
+  RecordPipelineGauges(report, options);
   return report;
 }
 

@@ -6,6 +6,8 @@
 
 #include "src/ast/program.h"
 #include "src/base/status.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sqo/adorn.h"
 #include "src/sqo/query_tree.h"
 
@@ -35,6 +37,15 @@ struct SqoOptions {
   AdornOptions adorn;
   QueryTreeOptions tree;
   int max_local_rewrite_rules = 100000;
+
+  // Observability hooks, optional and off by default. With an enabled
+  // tracer the pipeline emits one span per phase under a "sqo.optimize"
+  // root (sqo.validate, sqo.normalize, sqo.local_rewrite, sqo.adorn with
+  // per-pass children, sqo.tree, sqo.residues, sqo.prune; see
+  // docs/observability.md). With a registry, per-phase wall time lands in
+  // "sqo/phase/<name>_ns" gauges and pipeline sizes in "sqo/..." gauges.
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct SqoReport {

@@ -1,0 +1,372 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/eval/evaluator.h"
+#include "src/obs/export.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sqo/optimizer.h"
+#include "src/workload/programs.h"
+
+namespace sqod {
+namespace {
+
+// ---------------------------------------------------------------- tracer
+
+TEST(TracerTest, DisabledTracerIsInert) {
+  Tracer tracer;  // disabled by default
+  EXPECT_FALSE(tracer.enabled());
+  {
+    Span span = tracer.StartSpan("root");
+    EXPECT_FALSE(span.active());
+    span.SetAttr("k", 1);  // all no-ops
+    Span child = tracer.StartSpan("child");
+    EXPECT_FALSE(child.active());
+  }
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(TracerTest, RecordsNestingAndOrdering) {
+  Tracer tracer(true);
+  {
+    Span root = tracer.StartSpan("root");
+    {
+      Span a = tracer.StartSpan("a");
+      Span a1 = tracer.StartSpan("a1");
+    }
+    Span b = tracer.StartSpan("b");
+    b.SetAttr("items", 7);
+  }
+  const auto& spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 4u);
+
+  // Closing order: a1, a, b, root. Ids are start-ordered.
+  EXPECT_EQ(spans[0].name, "a1");
+  EXPECT_EQ(spans[1].name, "a");
+  EXPECT_EQ(spans[2].name, "b");
+  EXPECT_EQ(spans[3].name, "root");
+
+  std::map<std::string, const SpanRecord*> by_name;
+  for (const SpanRecord& s : spans) by_name[s.name] = &s;
+  EXPECT_EQ(by_name["root"]->parent_id, -1);
+  EXPECT_EQ(by_name["a"]->parent_id, by_name["root"]->id);
+  EXPECT_EQ(by_name["a1"]->parent_id, by_name["a"]->id);
+  EXPECT_EQ(by_name["b"]->parent_id, by_name["root"]->id);
+
+  // Start order by id: root < a < a1 < b.
+  EXPECT_LT(by_name["root"]->id, by_name["a"]->id);
+  EXPECT_LT(by_name["a"]->id, by_name["a1"]->id);
+  EXPECT_LT(by_name["a1"]->id, by_name["b"]->id);
+
+  ASSERT_EQ(by_name["b"]->attrs.size(), 1u);
+  EXPECT_EQ(by_name["b"]->attrs[0].first, "items");
+  EXPECT_EQ(by_name["b"]->attrs[0].second, 7);
+
+  // Durations are sane: children fit inside their parent.
+  EXPECT_GE(by_name["root"]->duration_ns, by_name["a"]->duration_ns);
+  EXPECT_GE(by_name["a"]->duration_ns, by_name["a1"]->duration_ns);
+}
+
+TEST(TracerTest, SiblingsAfterReuseKeepDistinctIds) {
+  Tracer tracer(true);
+  { Span a = tracer.StartSpan("first"); }
+  { Span b = tracer.StartSpan("second"); }
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_NE(tracer.spans()[0].id, tracer.spans()[1].id);
+  EXPECT_EQ(tracer.spans()[0].parent_id, -1);
+  EXPECT_EQ(tracer.spans()[1].parent_id, -1);
+}
+
+TEST(TracerTest, ExplicitEndIsIdempotent) {
+  Tracer tracer(true);
+  Span span = tracer.StartSpan("s");
+  span.End();
+  span.End();  // no-op
+  EXPECT_EQ(tracer.spans().size(), 1u);
+}
+
+TEST(TracerTest, MoveTransfersOwnership) {
+  Tracer tracer(true);
+  {
+    Span outer;
+    {
+      Span inner = tracer.StartSpan("moved");
+      outer = std::move(inner);
+    }  // inner destroyed; the span must survive in `outer`
+    EXPECT_TRUE(outer.active());
+    EXPECT_TRUE(tracer.spans().empty());
+  }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].name, "moved");
+}
+
+// --------------------------------------------------------------- metrics
+
+TEST(MetricsTest, CountersAndGauges) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("x/count");
+  c->Increment();
+  c->Add(9);
+  EXPECT_EQ(registry.GetCounter("x/count")->value(), 10);
+  EXPECT_EQ(registry.GetCounter("x/count"), c);  // interned
+
+  registry.GetGauge("x/size")->Set(42);
+  registry.GetGauge("x/size")->Set(17);  // last write wins
+  EXPECT_EQ(registry.GetGauge("x/size")->value(), 17);
+}
+
+TEST(MetricsTest, HistogramBasics) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_EQ(h.sum(), 5050);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(MetricsTest, HistogramPercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  // Power-of-two buckets: estimates land within the containing bucket.
+  EXPECT_EQ(h.Percentile(0.0), 1);
+  EXPECT_EQ(h.Percentile(1.0), 100);
+  int64_t p50 = h.Percentile(0.5);
+  EXPECT_GE(p50, 32);  // rank 50 lives in bucket [32, 63]
+  EXPECT_LE(p50, 63);
+  int64_t p99 = h.Percentile(0.99);
+  EXPECT_GE(p99, 64);  // rank 99 lives in bucket [64, 100]
+  EXPECT_LE(p99, 100);
+  // Monotone in q.
+  EXPECT_LE(h.Percentile(0.25), h.Percentile(0.5));
+  EXPECT_LE(h.Percentile(0.5), h.Percentile(0.9));
+  EXPECT_LE(h.Percentile(0.9), h.Percentile(0.99));
+}
+
+TEST(MetricsTest, HistogramSingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.Percentile(0.5), 1000);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+}
+
+// -------------------------------------------------------------- exporters
+
+TEST(ExportTest, SpanTreeRendering) {
+  Tracer tracer(true);
+  {
+    Span root = tracer.StartSpan("optimize");
+    Span child = tracer.StartSpan("adorn");
+    child.SetAttr("apreds", 5);
+  }
+  std::string tree = RenderSpanTree(tracer.spans());
+  // Parent first, child indented, attributes rendered.
+  size_t root_pos = tree.find("optimize");
+  size_t child_pos = tree.find("  adorn");
+  ASSERT_NE(root_pos, std::string::npos);
+  ASSERT_NE(child_pos, std::string::npos);
+  EXPECT_LT(root_pos, child_pos);
+  EXPECT_NE(tree.find("apreds=5"), std::string::npos);
+}
+
+TEST(ExportTest, ChromeTraceRoundTripsThroughParser) {
+  Tracer tracer(true);
+  {
+    Span root = tracer.StartSpan("root");
+    Span child = tracer.StartSpan("child \"quoted\"\n");
+    child.SetAttr("k", -3);
+  }
+  std::string json = ExportChromeTrace(tracer.spans());
+  Result<JsonValue> parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+
+  const JsonValue* events = parsed.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 2u);
+
+  // Events are emitted in start order: root first.
+  const JsonValue& root_event = events->array[0];
+  EXPECT_EQ(root_event.Find("name")->string, "root");
+  EXPECT_EQ(root_event.Find("ph")->string, "X");
+  EXPECT_TRUE(root_event.Find("ts")->is_number());
+  EXPECT_TRUE(root_event.Find("dur")->is_number());
+
+  const JsonValue& child_event = events->array[1];
+  // The escaped name round-trips to the original string.
+  EXPECT_EQ(child_event.Find("name")->string, "child \"quoted\"\n");
+  EXPECT_EQ(child_event.Find("args")->Find("k")->number, -3);
+  // Parent linkage survives: child's args.parent == root's args.id.
+  EXPECT_EQ(child_event.Find("args")->Find("parent")->number,
+            root_event.Find("args")->Find("id")->number);
+  // Nesting invariant Chrome relies on: child's [ts, ts+dur] inside root's.
+  EXPECT_GE(child_event.Find("ts")->number, root_event.Find("ts")->number);
+  EXPECT_LE(child_event.Find("ts")->number + child_event.Find("dur")->number,
+            root_event.Find("ts")->number + root_event.Find("dur")->number +
+                1e-3);  // printed at 3 decimals
+}
+
+TEST(ExportTest, MetricsJsonRoundTripsThroughParser) {
+  MetricsRegistry registry;
+  registry.GetCounter("eval/firings")->Add(12);
+  registry.GetGauge("sqo/tree_classes")->Set(4);
+  Histogram* h = registry.GetHistogram("eval/iteration_ns");
+  h->Record(100);
+  h->Record(200);
+
+  std::string json = ExportMetricsJson(registry);
+  Result<JsonValue> parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().Find("counters")->Find("eval/firings")->number, 12);
+  EXPECT_EQ(parsed.value().Find("gauges")->Find("sqo/tree_classes")->number,
+            4);
+  const JsonValue* hist =
+      parsed.value().Find("histograms")->Find("eval/iteration_ns");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("count")->number, 2);
+  EXPECT_EQ(hist->Find("sum")->number, 300);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ValidateJson("{").ok());
+  EXPECT_FALSE(ValidateJson("{\"a\":}").ok());
+  EXPECT_FALSE(ValidateJson("[1,2,]").ok());
+  EXPECT_FALSE(ValidateJson("\"unterminated").ok());
+  EXPECT_FALSE(ValidateJson("{} trailing").ok());
+  EXPECT_FALSE(ValidateJson("nul").ok());
+  EXPECT_TRUE(ValidateJson("{\"a\": [1, 2.5, -3e2, \"s\", true, null]}").ok());
+}
+
+// ------------------------------------------------- pipeline integration
+
+TEST(ObsIntegrationTest, OptimizerEmitsPhaseSpans) {
+  Tracer tracer(true);
+  MetricsRegistry metrics;
+  SqoOptions options;
+  options.tracer = &tracer;
+  options.metrics = &metrics;
+  Result<SqoReport> report = OptimizeProgram(
+      MakeAbClosureProgram(), {MakeAbIc()}, options);
+  ASSERT_TRUE(report.ok());
+
+  std::map<std::string, int> names;
+  for (const SpanRecord& s : tracer.spans()) ++names[s.name];
+  EXPECT_EQ(names["sqo.optimize"], 1);
+  EXPECT_EQ(names["sqo.validate"], 1);
+  EXPECT_EQ(names["sqo.normalize"], 1);
+  EXPECT_EQ(names["sqo.local_rewrite"], 1);
+  EXPECT_EQ(names["sqo.adorn"], 1);
+  EXPECT_GE(names["sqo.adorn.iteration"], 1);
+  EXPECT_EQ(names["sqo.tree"], 1);
+  EXPECT_EQ(names["sqo.residues"], 1);
+  EXPECT_EQ(names["sqo.prune"], 1);
+
+  // Every phase span is a descendant of sqo.optimize.
+  int root_id = -1;
+  for (const SpanRecord& s : tracer.spans()) {
+    if (s.name == "sqo.optimize") root_id = s.id;
+  }
+  for (const SpanRecord& s : tracer.spans()) {
+    if (s.name == "sqo.adorn" || s.name == "sqo.tree") {
+      EXPECT_EQ(s.parent_id, root_id);
+    }
+  }
+
+  // Phase gauges and pipeline sizes landed in the registry.
+  EXPECT_GT(metrics.gauges().count("sqo/phase/adorn_ns"), 0u);
+  EXPECT_GT(metrics.gauges().count("sqo/phase/tree_ns"), 0u);
+  EXPECT_EQ(metrics.GetGauge("sqo/adorned_preds")->value(),
+            report.value().adorned_predicates);
+}
+
+TEST(ObsIntegrationTest, EvaluatorEmitsIterationSpansAndProfiles) {
+  Program p = MakeGoodPathProgram();
+  Database edb;
+  edb.InsertAtom(Atom("step", {Term::Int(1), Term::Int(2)}));
+  edb.InsertAtom(Atom("step", {Term::Int(2), Term::Int(3)}));
+  edb.InsertAtom(Atom("startPoint", {Term::Int(1)}));
+  edb.InsertAtom(Atom("endPoint", {Term::Int(3)}));
+
+  Tracer tracer(true);
+  MetricsRegistry metrics;
+  EvalOptions options;
+  options.tracer = &tracer;
+  options.metrics = &metrics;
+  options.profile_rules = true;
+
+  Evaluator evaluator(p, options);
+  Result<Database> idb = evaluator.Evaluate(edb);
+  ASSERT_TRUE(idb.ok());
+
+  int iteration_spans = 0, rule_spans = 0, eval_roots = 0;
+  for (const SpanRecord& s : tracer.spans()) {
+    if (s.name == "eval.iteration") ++iteration_spans;
+    if (s.name == "eval.rule") ++rule_spans;
+    if (s.name == "eval") ++eval_roots;
+  }
+  EXPECT_EQ(eval_roots, 1);
+  EXPECT_EQ(iteration_spans, evaluator.stats().iterations);
+  EXPECT_GT(rule_spans, 0);
+
+  // The facade invariant: stats() is exactly the sum of rule_profiles().
+  const EvalStats& stats = evaluator.stats();
+  EvalStats recomputed = EvalStats::FromProfiles(stats.iterations,
+                                                 evaluator.rule_profiles());
+  EXPECT_EQ(stats.rule_firings, recomputed.rule_firings);
+  EXPECT_EQ(stats.tuples_derived, recomputed.tuples_derived);
+  EXPECT_EQ(stats.duplicate_derivations, recomputed.duplicate_derivations);
+  EXPECT_EQ(stats.join_probes, recomputed.join_probes);
+  EXPECT_EQ(stats.comparison_checks, recomputed.comparison_checks);
+
+  // Registry mirrors the facade.
+  EXPECT_EQ(metrics.GetCounter("eval/tuples_derived")->value(),
+            stats.tuples_derived);
+  EXPECT_EQ(metrics.GetCounter("eval/iterations")->value(), stats.iterations);
+  EXPECT_EQ(metrics.GetHistogram("eval/iteration_ns")->count(),
+            stats.iterations);
+
+  // Per-rule timing was on, and some rule did attributable work.
+  bool some_rule_fired = false;
+  for (const RuleProfile& profile : evaluator.rule_profiles()) {
+    if (profile.firings > 0) some_rule_fired = true;
+  }
+  EXPECT_TRUE(some_rule_fired);
+
+  std::string table = RenderRuleProfileTable(evaluator.rule_profiles());
+  EXPECT_NE(table.find("path"), std::string::npos);
+  EXPECT_NE(table.find("firings"), std::string::npos);
+}
+
+TEST(ObsIntegrationTest, DisabledHooksLeaveNoTrace) {
+  Program p = MakeGoodPathProgram();
+  Database edb;
+  edb.InsertAtom(Atom("step", {Term::Int(1), Term::Int(2)}));
+  edb.InsertAtom(Atom("startPoint", {Term::Int(1)}));
+  edb.InsertAtom(Atom("endPoint", {Term::Int(2)}));
+
+  // Default options: no tracer, no metrics, no profiling — identical
+  // counters to the instrumented run, zero recorded state.
+  Evaluator plain(p, {});
+  ASSERT_TRUE(plain.Evaluate(edb).ok());
+  EXPECT_GT(plain.stats().rule_firings, 0);
+  for (const RuleProfile& profile : plain.rule_profiles()) {
+    EXPECT_EQ(profile.time_ns, 0);  // clock never read
+  }
+
+  Tracer disabled_tracer;  // constructed but not enabled
+  EvalOptions options;
+  options.tracer = &disabled_tracer;
+  Evaluator traced(p, options);
+  ASSERT_TRUE(traced.Evaluate(edb).ok());
+  EXPECT_TRUE(disabled_tracer.spans().empty());
+  EXPECT_EQ(plain.stats().rule_firings, traced.stats().rule_firings);
+  EXPECT_EQ(plain.stats().join_probes, traced.stats().join_probes);
+}
+
+}  // namespace
+}  // namespace sqod
