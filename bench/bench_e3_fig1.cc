@@ -26,7 +26,7 @@ Database MakeAbDb(int nodes, int edges, uint64_t seed) {
   Database ab;
   for (const auto& [pred, rel] : colored.relations()) {
     PredId target = PredName(pred) == "e0" ? InternPred("a") : InternPred("b");
-    for (const Tuple& t : rel.rows()) ab.Insert(target, t);
+    for (TupleRef t : rel.rows()) ab.Insert(target, t);
   }
   return ab;
 }

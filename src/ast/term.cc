@@ -1,6 +1,7 @@
 #include "src/ast/term.h"
 
 #include <string>
+#include <unordered_map>
 
 namespace sqod {
 
@@ -29,11 +30,18 @@ std::string Term::ToString() const {
 Term FreshVarGen::Next() { return NextLike("_G"); }
 
 Term FreshVarGen::NextLike(std::string_view base) {
-  // Loop until the generated name is genuinely unused as a variable name in
-  // this process (the global interner remembers every name ever seen, so a
-  // name is fresh iff it has never been interned).
+  // A name is fresh iff it has never been interned (the global interner
+  // remembers every name ever seen). Suffixes resume from a process-wide
+  // per-base high-water mark: every suffix below it is already interned, so
+  // probing from 0 would re-scan them all — cost that grows with each
+  // optimizer run in the process. The Find check still skips suffixes the
+  // input itself happens to use. Leaked, like GlobalStrings(), to dodge
+  // static destruction order.
+  static std::unordered_map<std::string, int>* next_suffix =
+      new std::unordered_map<std::string, int>();
+  int& counter = (*next_suffix)[std::string(base)];
   for (;;) {
-    std::string name = std::string(base) + "#" + std::to_string(counter_++);
+    std::string name = std::string(base) + "#" + std::to_string(counter++);
     if (GlobalStrings().Find(name) == -1) return Term::Var(name);
   }
 }

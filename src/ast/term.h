@@ -62,15 +62,16 @@ struct TermHash {
   size_t operator()(const Term& t) const { return t.Hash(); }
 };
 
-// Generates globally fresh variables (named "_G<n>").
+// Generates globally fresh variables. Suffix counters are process-wide and
+// per base name, so generation stays O(1) no matter how many fresh names
+// the process has already made (single-threaded, like the rest of the
+// library).
 class FreshVarGen {
  public:
+  // Returns a fresh variable named "_G#<n>".
   Term Next();
   // Returns a fresh variable whose name hints at `base` ("<base>#<n>").
   Term NextLike(std::string_view base);
-
- private:
-  int counter_ = 0;
 };
 
 }  // namespace sqod

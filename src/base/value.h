@@ -48,8 +48,13 @@ class Value {
   // Total order over all values; see class comment.
   int Compare(const Value& other) const;
 
-  bool operator==(const Value& other) const { return Compare(other) == 0; }
-  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  // Interning makes symbol equality an id comparison; only the *order* of
+  // two symbols needs their names (Compare).
+  bool operator==(const Value& other) const {
+    if (kind_ != other.kind_) return false;
+    return kind_ == Kind::kInt ? int_ == other.int_ : sym_ == other.sym_;
+  }
+  bool operator!=(const Value& other) const { return !(*this == other); }
   bool operator<(const Value& other) const { return Compare(other) < 0; }
   bool operator<=(const Value& other) const { return Compare(other) <= 0; }
   bool operator>(const Value& other) const { return Compare(other) > 0; }

@@ -86,7 +86,7 @@ RoundOutcome RunRound(Database* db, SearchState* state,
     if (entry.is_denial) return RoundOutcome::kDenial;
     if (entry.negated.size() == 1) {
       // Unit repairs are forced; apply the whole batch.
-      for (const Tuple& row : rel->rows()) {
+      for (TupleRef row : rel->rows()) {
         Substitution bind;
         for (size_t v = 0; v < entry.head_vars.size(); ++v) {
           bind.Bind(entry.head_vars[v], Term::Const(row[v]));
@@ -102,7 +102,7 @@ RoundOutcome RunRound(Database* db, SearchState* state,
         }
       }
     } else if (pending_branch == nullptr) {
-      first_branch = {i, rel->rows()[0]};
+      first_branch = {i, rel->row(0).Materialize()};
       pending_branch = &first_branch;
     }
   }

@@ -6,21 +6,22 @@
 
 namespace sqod {
 
-bool Database::Insert(PredId pred, Tuple t) {
-  return FindOrCreate(pred, static_cast<int>(t.size()))->Insert(t);
+bool Database::Insert(PredId pred, const Value* vals, int arity) {
+  return FindOrCreate(pred, arity)->Insert(vals, arity);
 }
 
 bool Database::InsertAtom(const Atom& fact) {
   SQOD_CHECK_MSG(fact.is_ground(), fact.ToString().c_str());
-  Tuple t;
-  t.reserve(fact.args().size());
-  for (const Term& term : fact.args()) t.push_back(term.value());
-  return Insert(fact.pred(), std::move(t));
+  Value vals[Relation::kMaxArity];
+  int n = fact.arity();
+  SQOD_CHECK_MSG(n <= Relation::kMaxArity, fact.ToString().c_str());
+  for (int i = 0; i < n; ++i) vals[i] = fact.arg(i).value();
+  return Insert(fact.pred(), vals, n);
 }
 
-bool Database::Contains(PredId pred, const Tuple& t) const {
+bool Database::Contains(PredId pred, const Value* vals, int arity) const {
   const Relation* rel = Find(pred);
-  return rel != nullptr && rel->Contains(t);
+  return rel != nullptr && rel->Contains(vals, arity);
 }
 
 const Relation* Database::Find(PredId pred) const {
@@ -53,7 +54,9 @@ std::string Database::ToString() const {
   std::string out;
   for (PredId pred : preds) {
     const Relation& rel = *Find(pred);
-    std::vector<Tuple> rows = rel.rows();
+    std::vector<Tuple> rows;
+    rows.reserve(rel.size());
+    for (TupleRef row : rel.rows()) rows.push_back(row.Materialize());
     std::sort(rows.begin(), rows.end(), [](const Tuple& a, const Tuple& b) {
       for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
         int c = a[i].Compare(b[i]);

@@ -17,12 +17,22 @@ class Database {
  public:
   Database() = default;
 
-  // Inserts a ground fact. Returns true if new.
-  bool Insert(PredId pred, Tuple t);
+  // Inserts a ground fact. Returns true if new. The span overload is the
+  // allocation-free hot path; the others delegate to it.
+  bool Insert(PredId pred, const Value* vals, int arity);
+  bool Insert(PredId pred, const Tuple& t) {
+    return Insert(pred, t.data(), static_cast<int>(t.size()));
+  }
+  bool Insert(PredId pred, TupleRef t) {
+    return Insert(pred, t.data(), t.size());
+  }
   // Inserts a ground atom; CHECK-fails if not ground.
   bool InsertAtom(const Atom& fact);
 
-  bool Contains(PredId pred, const Tuple& t) const;
+  bool Contains(PredId pred, const Value* vals, int arity) const;
+  bool Contains(PredId pred, const Tuple& t) const {
+    return Contains(pred, t.data(), static_cast<int>(t.size()));
+  }
 
   // The relation for `pred` (empty dummy with arity -1 lookups return
   // nullptr instead).

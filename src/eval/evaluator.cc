@@ -70,41 +70,65 @@ std::string RenderRuleProfileTable(const std::vector<RuleProfile>& profiles) {
 
 namespace {
 
-// Variable bindings with a trail for cheap backtracking.
+// Variable bindings as a dense slot array indexed by rule-local variable id
+// (rules renumber their variables 0..num_vars-1 at plan-compile time), with
+// a trail for cheap backtracking. Bind/Get/IsBound never hash or allocate.
 class Bindings {
  public:
+  void Reset(int num_vars) {
+    slots_.assign(num_vars, Value());
+    bound_.assign(num_vars, 0);
+    trail_.clear();
+  }
+
   size_t Mark() const { return trail_.size(); }
 
   void Restore(size_t mark) {
     while (trail_.size() > mark) {
-      map_.erase(trail_.back());
+      bound_[trail_.back()] = 0;
       trail_.pop_back();
     }
   }
 
   // Binds or checks; returns false on mismatch with an existing binding.
-  bool Bind(VarId var, const Value& value) {
-    auto [it, inserted] = map_.emplace(var, value);
-    if (!inserted) return it->second == value;
+  bool Bind(int32_t var, const Value& value) {
+    if (bound_[var]) return slots_[var] == value;
+    bound_[var] = 1;
+    slots_[var] = value;
     trail_.push_back(var);
     return true;
   }
 
-  const Value* Lookup(VarId var) const {
-    auto it = map_.find(var);
-    return it == map_.end() ? nullptr : &it->second;
-  }
+  bool IsBound(int32_t var) const { return bound_[var] != 0; }
+  const Value& Get(int32_t var) const { return slots_[var]; }
 
  private:
-  std::unordered_map<VarId, Value> map_;
-  std::vector<VarId> trail_;
+  std::vector<Value> slots_;
+  std::vector<uint8_t> bound_;
+  std::vector<int32_t> trail_;
 };
 
-// One step of a rule-evaluation plan.
+// A compiled atom argument: either an inline constant (var < 0) or a
+// rule-local variable slot.
+struct ArgRef {
+  Value const_val;
+  int32_t var = -1;
+};
+
+inline const Value& ArgValue(const ArgRef& a, const Bindings& b) {
+  return a.var < 0 ? a.const_val : b.Get(a.var);
+}
+
+// One compiled step of a rule-evaluation plan. Arguments are pre-resolved
+// to ArgRefs so the join inner loop touches no AST nodes.
 struct PlanStep {
   enum class Kind { kJoin, kNegation, kComparison };
   Kind kind;
   int index;  // into rule.body (kJoin / kNegation) or rule.comparisons
+  PredId pred = -1;          // kJoin / kNegation
+  std::vector<ArgRef> args;  // kJoin / kNegation
+  ArgRef lhs, rhs;           // kComparison
+  CmpOp op = CmpOp::kEq;     // kComparison
 };
 
 // The precompiled plan for one (rule, delta-subgoal) combination: the order
@@ -115,19 +139,11 @@ struct RulePlan {
   // Index (into rule.body) of the positive subgoal that reads the delta
   // relation, or -1 for "all subgoals read their full relation".
   int delta_subgoal;
+  int num_vars = 0;  // distinct variables of the rule, renumbered 0..n-1
+  PredId head_pred = -1;
+  std::vector<ArgRef> head;
   std::vector<PlanStep> steps;
 };
-
-bool TermBound(const Term& t, const Bindings& b) {
-  return t.is_const() || b.Lookup(t.var()) != nullptr;
-}
-
-Value TermValue(const Term& t, const Bindings& b) {
-  if (t.is_const()) return t.value();
-  const Value* v = b.Lookup(t.var());
-  SQOD_CHECK(v != nullptr);
-  return *v;
-}
 
 // Builds the evaluation order for a rule. `first` (if >= 0) is the body
 // index of the positive subgoal to evaluate first (the delta subgoal).
@@ -216,6 +232,46 @@ RulePlan BuildPlan(const Rule& rule, int rule_index, int first) {
   for (size_t i = 0; i < rule.comparisons.size(); ++i) {
     SQOD_CHECK_MSG(done_cmp[i], rule.ToString().c_str());
   }
+
+  // Compile: renumber the rule's variables densely (order of first
+  // appearance along the plan) and pre-resolve every argument to an ArgRef,
+  // so the join loops never walk AST terms or hash global VarIds.
+  std::unordered_map<VarId, int32_t> local;
+  auto compile_term = [&](const Term& t) {
+    ArgRef a;
+    if (t.is_const()) {
+      a.const_val = t.value();
+      return a;
+    }
+    auto [it, unused] =
+        local.emplace(t.var(), static_cast<int32_t>(local.size()));
+    a.var = it->second;
+    return a;
+  };
+  for (PlanStep& step : plan.steps) {
+    if (step.kind == PlanStep::Kind::kComparison) {
+      const Comparison& c = rule.comparisons[step.index];
+      step.lhs = compile_term(c.lhs);
+      step.rhs = compile_term(c.rhs);
+      step.op = c.op;
+    } else {
+      const Atom& a = rule.body[step.index].atom;
+      SQOD_CHECK_MSG(a.arity() <= Relation::kMaxArity, a.ToString().c_str());
+      step.pred = a.pred();
+      step.args.reserve(a.args().size());
+      for (const Term& t : a.args()) step.args.push_back(compile_term(t));
+    }
+  }
+  const size_t body_vars = local.size();
+  plan.head_pred = rule.head.pred();
+  SQOD_CHECK_MSG(rule.head.arity() <= Relation::kMaxArity,
+                 rule.head.ToString().c_str());
+  plan.head.reserve(rule.head.args().size());
+  for (const Term& t : rule.head.args()) plan.head.push_back(compile_term(t));
+  // Safety: every head variable occurs in the body, so compiling the head
+  // introduced no new slots (an unbound slot would leak garbage values).
+  SQOD_CHECK_MSG(local.size() == body_vars, rule.ToString().c_str());
+  plan.num_vars = static_cast<int>(local.size());
   return plan;
 }
 
@@ -242,20 +298,18 @@ const Relation* RelationFor(const Context& ctx, const RulePlan& plan,
   return ctx.idb_total->Find(pred);
 }
 
-void DeriveHead(const Rule& rule, const Bindings& bindings, Context* ctx) {
+void DeriveHead(const RulePlan& plan, const Bindings& bindings, Context* ctx) {
   ++ctx->rule_stats->firings;
-  Tuple head;
-  head.reserve(rule.head.args().size());
-  for (const Term& t : rule.head.args()) {
-    head.push_back(TermValue(t, bindings));
-  }
-  PredId pred = rule.head.pred();
-  if (ctx->idb_total->Contains(pred, head) ||
-      ctx->out_new->Contains(pred, head)) {
+  Value head[Relation::kMaxArity];
+  const int n = static_cast<int>(plan.head.size());
+  for (int i = 0; i < n; ++i) head[i] = ArgValue(plan.head[i], bindings);
+  PredId pred = plan.head_pred;
+  if (ctx->idb_total->Contains(pred, head, n) ||
+      ctx->out_new->Contains(pred, head, n)) {
     ++ctx->rule_stats->duplicates;
     return;
   }
-  ctx->out_new->Insert(pred, std::move(head));
+  ctx->out_new->Insert(pred, head, n);
   ++ctx->rule_stats->derived;
   ++*ctx->derived_count;
   if (ctx->options.max_derived >= 0 &&
@@ -265,80 +319,78 @@ void DeriveHead(const Rule& rule, const Bindings& bindings, Context* ctx) {
 }
 
 // Recursive join over the plan steps.
-void RunSteps(const Rule& rule, const RulePlan& plan, size_t step_index,
-              Bindings* bindings, Context* ctx) {
+void RunSteps(const RulePlan& plan, size_t step_index, Bindings* bindings,
+              Context* ctx) {
   if (*ctx->overflow) return;
   if (step_index == plan.steps.size()) {
-    DeriveHead(rule, *bindings, ctx);
+    DeriveHead(plan, *bindings, ctx);
     return;
   }
   const PlanStep& step = plan.steps[step_index];
   switch (step.kind) {
     case PlanStep::Kind::kComparison: {
-      const Comparison& c = rule.comparisons[step.index];
       ++ctx->rule_stats->cmp_checks;
-      if (EvalCmp(TermValue(c.lhs, *bindings), c.op,
-                  TermValue(c.rhs, *bindings))) {
-        RunSteps(rule, plan, step_index + 1, bindings, ctx);
+      if (EvalCmp(ArgValue(step.lhs, *bindings), step.op,
+                  ArgValue(step.rhs, *bindings))) {
+        RunSteps(plan, step_index + 1, bindings, ctx);
       }
       return;
     }
     case PlanStep::Kind::kNegation: {
-      const Atom& a = rule.body[step.index].atom;
-      Tuple t;
-      t.reserve(a.args().size());
-      for (const Term& term : a.args()) t.push_back(TermValue(term, *bindings));
+      Value key[Relation::kMaxArity];
+      const int n = static_cast<int>(step.args.size());
+      for (int i = 0; i < n; ++i) key[i] = ArgValue(step.args[i], *bindings);
       // Negated IDB predicates live in strictly lower strata, already
       // completed in idb_total; EDB predicates live in the input database.
-      const Relation* rel = ctx->idb_preds.count(a.pred()) > 0
-                                ? ctx->idb_total->Find(a.pred())
-                                : ctx->edb->Find(a.pred());
-      if (rel == nullptr || !rel->Contains(t)) {
-        RunSteps(rule, plan, step_index + 1, bindings, ctx);
+      const Relation* rel = ctx->idb_preds.count(step.pred) > 0
+                                ? ctx->idb_total->Find(step.pred)
+                                : ctx->edb->Find(step.pred);
+      if (rel == nullptr || !rel->Contains(key, n)) {
+        RunSteps(plan, step_index + 1, bindings, ctx);
       }
       return;
     }
     case PlanStep::Kind::kJoin: {
-      const Atom& a = rule.body[step.index].atom;
-      const Relation* rel = RelationFor(*ctx, plan, step.index, a.pred());
+      const Relation* rel = RelationFor(*ctx, plan, step.index, step.pred);
       if (rel == nullptr || rel->empty()) return;
 
-      // Determine bound positions and the probe key.
+      // Gather the probe key (bound positions) straight from the bindings.
       uint64_t mask = 0;
-      Tuple key;
-      for (int i = 0; i < a.arity(); ++i) {
-        if (TermBound(a.arg(i), *bindings)) {
+      Value key[Relation::kMaxArity];
+      int klen = 0;
+      const int n = static_cast<int>(step.args.size());
+      for (int i = 0; i < n; ++i) {
+        const ArgRef& a = step.args[i];
+        if (a.var < 0) {
           mask |= uint64_t{1} << i;
-          key.push_back(TermValue(a.arg(i), *bindings));
+          key[klen++] = a.const_val;
+        } else if (bindings->IsBound(a.var)) {
+          mask |= uint64_t{1} << i;
+          key[klen++] = bindings->Get(a.var);
         }
       }
 
-      auto try_row = [&](const Tuple& row) {
+      auto try_row = [&](TupleRef row) {
         ++ctx->rule_stats->probes;
         size_t mark = bindings->Mark();
         bool ok = true;
-        for (int i = 0; i < a.arity() && ok; ++i) {
-          const Term& t = a.arg(i);
-          if (t.is_const()) {
-            ok = t.value() == row[i];
-          } else {
-            ok = bindings->Bind(t.var(), row[i]);
-          }
+        for (int i = 0; i < n && ok; ++i) {
+          const ArgRef& a = step.args[i];
+          ok = a.var < 0 ? a.const_val == row[i] : bindings->Bind(a.var, row[i]);
         }
-        if (ok) RunSteps(rule, plan, step_index + 1, bindings, ctx);
+        if (ok) RunSteps(plan, step_index + 1, bindings, ctx);
         bindings->Restore(mark);
       };
 
       if (mask != 0 && ctx->options.use_indexes) {
-        const std::vector<int>* rows = rel->Probe(mask, key);
-        if (rows == nullptr) return;
-        for (int r : *rows) {
-          try_row(rel->rows()[r]);
+        Relation::Matches m = rel->Probe(mask, key);
+        for (int32_t r = m.row; r >= 0; r = m.next[r]) {
+          try_row(rel->row(r));
           if (*ctx->overflow) return;
         }
       } else {
-        for (const Tuple& row : rel->rows()) {
-          try_row(row);
+        for (int64_t r = 0, rows = rel->size(); r < rows; ++r) {
+          try_row(rel->row(r));
           if (*ctx->overflow) return;
         }
       }
@@ -351,7 +403,7 @@ void RunSteps(const Rule& rule, const RulePlan& plan, size_t step_index,
 int64_t MergeInto(const Database& src, Database* dst) {
   int64_t added = 0;
   for (const auto& [pred, rel] : src.relations()) {
-    for (const Tuple& t : rel.rows()) {
+    for (TupleRef t : rel.rows()) {
       if (dst->Insert(pred, t)) ++added;
     }
   }
@@ -384,6 +436,10 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
     return tracing ? tracer->StartSpan(name) : Span();
   };
 
+  // One bindings array reused across every rule activation: Reset is a
+  // cheap dense assign, and nothing below allocates per probe or per bind.
+  Bindings bindings;
+
   // Runs one plan with per-rule time attribution and an optional span.
   auto run_plan = [&](const RulePlan& plan, Context* ctx) {
     RuleProfile* profile = &profiles_[plan.rule_index];
@@ -399,8 +455,8 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
     int64_t before_firings = profile->firings;
     int64_t before_derived = profile->derived;
     int64_t t0 = timed ? NowNs() : 0;
-    Bindings bindings;
-    RunSteps(rules[plan.rule_index], plan, 0, &bindings, ctx);
+    bindings.Reset(plan.num_vars);
+    RunSteps(plan, 0, &bindings, ctx);
     if (timed) profile->time_ns += NowNs() - t0;
     if (tracing) {
       span.SetAttr("firings", profile->firings - before_firings);
@@ -608,7 +664,10 @@ Result<std::vector<Tuple>> EvaluateQuery(const Program& program,
   if (!idb.ok()) return idb.status();
   std::vector<Tuple> out;
   const Relation* rel = idb.value().Find(program.query());
-  if (rel != nullptr) out = rel->rows();
+  if (rel != nullptr) {
+    out.reserve(rel->size());
+    for (TupleRef t : rel->rows()) out.push_back(t.Materialize());
+  }
   std::sort(out.begin(), out.end(), [](const Tuple& a, const Tuple& b) {
     for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
       int c = a[i].Compare(b[i]);

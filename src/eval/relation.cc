@@ -1,45 +1,192 @@
 #include "src/eval/relation.h"
 
+#include <bit>
+
 #include "src/base/check.h"
 
 namespace sqod {
 
-bool Relation::Insert(const Tuple& t) {
-  SQOD_CHECK(static_cast<int>(t.size()) == arity_);
-  auto [it, inserted] = dedup_.insert(t);
-  if (!inserted) return false;
-  int row = static_cast<int>(rows_.size());
-  rows_.push_back(t);
-  for (auto& [mask, index] : indexes_) {
-    index[KeyFor(t, mask)].push_back(row);
+namespace {
+
+// Open-addressing tables grow at 3/4 load.
+inline bool NeedsGrow(int64_t occupied, size_t capacity) {
+  return capacity == 0 ||
+         (occupied + 1) * 4 > static_cast<int64_t>(capacity) * 3;
+}
+
+constexpr int32_t kEmptySlot = -1;
+
+}  // namespace
+
+Relation::Relation(int arity) : arity_(arity) {
+  SQOD_CHECK_MSG(arity >= 0 && arity <= kMaxArity,
+                 "relation arity must be in [0, 64]: uint64_t column masks "
+                 "cannot address more columns");
+}
+
+bool Relation::RowEquals(int32_t row, const Value* vals) const {
+  const Value* r = RowData(row);
+  for (int i = 0; i < arity_; ++i) {
+    if (r[i] != vals[i]) return false;
   }
   return true;
 }
 
-Tuple Relation::KeyFor(const Tuple& row, uint64_t mask) const {
-  Tuple key;
-  for (int i = 0; i < arity_; ++i) {
-    if (mask & (uint64_t{1} << i)) key.push_back(row[i]);
+uint64_t Relation::MaskedRowHash(int32_t row, uint64_t mask) const {
+  const Value* r = RowData(row);
+  uint64_t h = HashSeed(std::popcount(mask));
+  for (uint64_t m = mask; m != 0; m &= m - 1) {
+    int i = std::countr_zero(m);
+    h = Mix64(h ^ static_cast<uint64_t>(r[i].Hash()));
   }
-  return key;
+  return h;
 }
 
-const std::vector<int>* Relation::Probe(uint64_t mask, const Tuple& key) const {
+bool Relation::MaskedColsEqualKey(int32_t row, uint64_t mask,
+                                  const Value* key) const {
+  const Value* r = RowData(row);
+  int k = 0;
+  for (uint64_t m = mask; m != 0; m &= m - 1) {
+    if (r[std::countr_zero(m)] != key[k++]) return false;
+  }
+  return true;
+}
+
+bool Relation::MaskedColsEqualRows(int32_t a, int32_t b, uint64_t mask) const {
+  const Value* ra = RowData(a);
+  const Value* rb = RowData(b);
+  for (uint64_t m = mask; m != 0; m &= m - 1) {
+    int i = std::countr_zero(m);
+    if (ra[i] != rb[i]) return false;
+  }
+  return true;
+}
+
+void Relation::GrowDedup() {
+  size_t cap = dedup_slots_.empty() ? 16 : dedup_slots_.size() * 2;
+  dedup_slots_.assign(cap, kEmptySlot);
+  size_t m = cap - 1;
+  // All stored rows are distinct, so reinsertion never needs an equality
+  // check: first empty slot wins.
+  for (int32_t row = 0; row < static_cast<int32_t>(num_rows_); ++row) {
+    size_t s = row_hashes_[row] & m;
+    while (dedup_slots_[s] != kEmptySlot) s = (s + 1) & m;
+    dedup_slots_[s] = row;
+  }
+}
+
+bool Relation::Insert(const Value* vals, int n) {
+  SQOD_CHECK(n == arity_);
+  uint64_t h = HashValues(vals, n);
+  if (NeedsGrow(num_rows_, dedup_slots_.size())) GrowDedup();
+  size_t m = dedup_slots_.size() - 1;
+  size_t s = h & m;
+  while (true) {
+    int32_t r = dedup_slots_[s];
+    if (r == kEmptySlot) break;
+    if (row_hashes_[r] == h && RowEquals(r, vals)) return false;
+    s = (s + 1) & m;
+  }
+  int32_t row = static_cast<int32_t>(num_rows_);
+  dedup_slots_[s] = row;
+  arena_.insert(arena_.end(), vals, vals + n);
+  row_hashes_.push_back(h);
+  ++num_rows_;
+  for (auto& [mask, index] : indexes_) {
+    AddRowToIndex(mask, &index, row);
+  }
+  return true;
+}
+
+bool Relation::Contains(const Value* vals, int n) const {
+  SQOD_CHECK(n == arity_);
+  if (dedup_slots_.empty()) return false;
+  uint64_t h = HashValues(vals, n);
+  size_t m = dedup_slots_.size() - 1;
+  size_t s = h & m;
+  while (true) {
+    int32_t r = dedup_slots_[s];
+    if (r == kEmptySlot) return false;
+    if (row_hashes_[r] == h && RowEquals(r, vals)) return true;
+    s = (s + 1) & m;
+  }
+}
+
+void Relation::GrowIndex(Index* index) const {
+  size_t cap = index->slots.empty() ? 16 : index->slots.size() * 2;
+  std::vector<int32_t> old = std::move(index->slots);
+  index->slots.assign(cap, kEmptySlot);
+  size_t m = cap - 1;
+  // Chains move wholesale: rehash each head by its stored key hash; the
+  // heads of distinct keys are distinct, so first empty slot wins.
+  for (int32_t head : old) {
+    if (head == kEmptySlot) continue;
+    size_t s = index->key_hash[head] & m;
+    while (index->slots[s] != kEmptySlot) s = (s + 1) & m;
+    index->slots[s] = head;
+  }
+}
+
+void Relation::AddRowToIndex(uint64_t mask, Index* index, int32_t row) const {
+  if (NeedsGrow(index->distinct_keys, index->slots.size())) GrowIndex(index);
+  uint64_t h = MaskedRowHash(row, mask);
+  index->key_hash.push_back(h);
+  index->next.push_back(kEmptySlot);
+  size_t m = index->slots.size() - 1;
+  size_t s = h & m;
+  while (true) {
+    int32_t head = index->slots[s];
+    if (head == kEmptySlot) {
+      index->slots[s] = row;
+      ++index->distinct_keys;
+      return;
+    }
+    if (index->key_hash[head] == h && MaskedColsEqualRows(head, row, mask)) {
+      // Same key: prepend to the chain (O(1); enumeration order within a
+      // key does not affect evaluation results or counters).
+      index->next[row] = head;
+      index->slots[s] = row;
+      return;
+    }
+    s = (s + 1) & m;
+  }
+}
+
+Relation::Matches Relation::Probe(uint64_t mask, const Value* key) const {
   auto it = indexes_.find(mask);
   if (it == indexes_.end()) {
-    Index index;
-    for (int row = 0; row < static_cast<int>(rows_.size()); ++row) {
-      index[KeyFor(rows_[row], mask)].push_back(row);
+    it = indexes_.emplace(mask, Index()).first;
+    Index& index = it->second;
+    index.next.reserve(num_rows_);
+    index.key_hash.reserve(num_rows_);
+    for (int32_t row = 0; row < static_cast<int32_t>(num_rows_); ++row) {
+      AddRowToIndex(mask, &index, row);
     }
-    it = indexes_.emplace(mask, std::move(index)).first;
   }
-  auto hit = it->second.find(key);
-  return hit == it->second.end() ? nullptr : &hit->second;
+  const Index& index = it->second;
+  if (index.slots.empty()) return Matches();
+  const int n = std::popcount(mask);
+  uint64_t h = HashSeed(n);
+  for (int k = 0; k < n; ++k) {
+    h = Mix64(h ^ static_cast<uint64_t>(key[k].Hash()));
+  }
+  size_t m = index.slots.size() - 1;
+  size_t s = h & m;
+  while (true) {
+    int32_t head = index.slots[s];
+    if (head == kEmptySlot) return Matches();
+    if (index.key_hash[head] == h && MaskedColsEqualKey(head, mask, key)) {
+      return Matches{head, index.next.data()};
+    }
+    s = (s + 1) & m;
+  }
 }
 
 void Relation::Clear() {
-  rows_.clear();
-  dedup_.clear();
+  num_rows_ = 0;
+  arena_.clear();
+  row_hashes_.clear();
+  dedup_slots_.clear();
   indexes_.clear();
 }
 

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/eval/tuple.h"
@@ -13,37 +12,106 @@ namespace sqod {
 // A set of tuples of one arity, with duplicate elimination and lazily built
 // hash indexes on column subsets. Indexes are created on first probe for a
 // column mask and maintained incrementally on insert.
+//
+// Storage is flat: all rows live in one contiguous arena with stride
+// `arity`, addressed as TupleRef views. Dedup and the per-mask indexes are
+// open-addressing tables that store row ids and hash the arena in place, so
+// Insert / Contains / Probe never materialize a key tuple.
 class Relation {
  public:
-  explicit Relation(int arity = 0) : arity_(arity) {}
+  // Column masks are uint64_t bitsets, so probe keys cap the arity.
+  static constexpr int kMaxArity = 64;
+
+  explicit Relation(int arity = 0);
 
   int arity() const { return arity_; }
-  int64_t size() const { return static_cast<int64_t>(rows_.size()); }
-  bool empty() const { return rows_.empty(); }
+  int64_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
 
-  const std::vector<Tuple>& rows() const { return rows_; }
+  // The i-th row, in insertion order. The view is invalidated by Insert.
+  TupleRef row(int64_t i) const {
+    return TupleRef(arena_.data() + i * arity_, arity_);
+  }
 
-  // Inserts `t`; returns true if it was new.
-  bool Insert(const Tuple& t);
+  // Iterable range over all rows, in insertion order, yielding TupleRef.
+  class RowIterator {
+   public:
+    RowIterator(const Relation* rel, int64_t i) : rel_(rel), i_(i) {}
+    TupleRef operator*() const { return rel_->row(i_); }
+    RowIterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const RowIterator& o) const { return i_ != o.i_; }
 
-  bool Contains(const Tuple& t) const { return dedup_.count(t) > 0; }
+   private:
+    const Relation* rel_;
+    int64_t i_;
+  };
+  struct RowRange {
+    const Relation* rel;
+    RowIterator begin() const { return RowIterator(rel, 0); }
+    RowIterator end() const { return RowIterator(rel, rel->num_rows_); }
+  };
+  RowRange rows() const { return RowRange{this}; }
 
-  // Row indices whose values at the columns of `mask` (bit i => column i)
-  // equal `key` (the values at the masked columns, in column order).
-  // Builds the index for `mask` on first use. Returns nullptr when no row
-  // matches.
-  const std::vector<int>* Probe(uint64_t mask, const Tuple& key) const;
+  // Inserts the row `vals[0..n)`; returns true if it was new.
+  bool Insert(const Value* vals, int n);
+  bool Insert(const Tuple& t) {
+    return Insert(t.data(), static_cast<int>(t.size()));
+  }
+  bool Insert(TupleRef t) { return Insert(t.data(), t.size()); }
+
+  bool Contains(const Value* vals, int n) const;
+  bool Contains(const Tuple& t) const {
+    return Contains(t.data(), static_cast<int>(t.size()));
+  }
+
+  // The chain of rows whose values at the columns of `mask` (bit i =>
+  // column i) equal `key` (the values at the masked columns, in column
+  // order; popcount(mask) of them). Builds the index for `mask` on first
+  // use. Iterate as:
+  //   for (int32_t r = m.row; r >= 0; r = m.next[r]) ... rel.row(r) ...
+  // `next` stays valid until the next Insert/Clear.
+  struct Matches {
+    int32_t row = -1;           // head of the chain, -1 for no match
+    const int32_t* next = nullptr;  // per-row chain links
+  };
+  Matches Probe(uint64_t mask, const Value* key) const;
+  Matches Probe(uint64_t mask, const Tuple& key) const {
+    return Probe(mask, key.data());
+  }
 
   void Clear();
 
  private:
-  using Index = std::unordered_map<Tuple, std::vector<int>, TupleHash>;
+  // Per-mask index: an open-addressing table of distinct keys, each slot
+  // holding the head row of a chain of rows sharing that key. `next` and
+  // `key_hash` are parallel to the relation's rows.
+  struct Index {
+    std::vector<int32_t> slots;      // head row per bucket, -1 = empty
+    std::vector<int32_t> next;       // per row: next row with the same key
+    std::vector<uint64_t> key_hash;  // per row: hash of the masked columns
+    int32_t distinct_keys = 0;
+  };
 
-  Tuple KeyFor(const Tuple& row, uint64_t mask) const;
+  const Value* RowData(int32_t row) const {
+    return arena_.data() + static_cast<int64_t>(row) * arity_;
+  }
+  bool RowEquals(int32_t row, const Value* vals) const;
+  uint64_t MaskedRowHash(int32_t row, uint64_t mask) const;
+  bool MaskedColsEqualKey(int32_t row, uint64_t mask, const Value* key) const;
+  bool MaskedColsEqualRows(int32_t a, int32_t b, uint64_t mask) const;
+
+  void GrowDedup();
+  void GrowIndex(Index* index) const;
+  void AddRowToIndex(uint64_t mask, Index* index, int32_t row) const;
 
   int arity_;
-  std::vector<Tuple> rows_;
-  std::unordered_set<Tuple, TupleHash> dedup_;
+  int64_t num_rows_ = 0;
+  std::vector<Value> arena_;        // num_rows_ * arity_ values
+  std::vector<uint64_t> row_hashes_;  // per row: whole-row hash
+  std::vector<int32_t> dedup_slots_;  // open addressing, pow-2, -1 = empty
   mutable std::unordered_map<uint64_t, Index> indexes_;
 };
 

@@ -1,20 +1,73 @@
 #ifndef SQOD_EVAL_TUPLE_H_
 #define SQOD_EVAL_TUPLE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/base/value.h"
 
 namespace sqod {
 
-// A database tuple: a fixed-arity sequence of values.
+// A materialized database tuple: a fixed-arity sequence of values. The
+// storage engine keeps rows in flat arenas (see relation.h); Tuple is the
+// owning escape hatch for callers that need a detached copy (sorting,
+// branching search, test fixtures).
 using Tuple = std::vector<Value>;
+
+// splitmix64 finalizer. Full-avalanche: every input bit affects every
+// output bit, so masking the result down to any table size keeps buckets
+// balanced (the previous multiplicative combine leaked low-entropy low
+// bits straight into the bucket index).
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Seed for an n-value hash; exposed so incremental hashers (masked-column
+// probe keys) produce the same digest as HashValues over the gathered key.
+inline uint64_t HashSeed(int n) {
+  return 0x8f1bbcdcbfa53e0bull ^ static_cast<uint64_t>(n);
+}
+
+// Hash of `n` values. Length-seeded and re-mixed per element; used for both
+// whole rows and masked-column probe keys, so a gathered key hashes
+// identically to the matching columns of a stored row.
+inline uint64_t HashValues(const Value* vals, int n) {
+  uint64_t h = HashSeed(n);
+  for (int i = 0; i < n; ++i) {
+    h = Mix64(h ^ static_cast<uint64_t>(vals[i].Hash()));
+  }
+  return h;
+}
+
+// A non-owning view of one stored row: pointer + arity. Valid only while
+// the backing relation is alive and un-mutated (inserts may reallocate the
+// arena). Call Materialize() to detach an owning Tuple.
+class TupleRef {
+ public:
+  TupleRef() = default;
+  TupleRef(const Value* data, int arity) : data_(data), arity_(arity) {}
+
+  int size() const { return arity_; }
+  bool empty() const { return arity_ == 0; }
+  const Value& operator[](int i) const { return data_[i]; }
+  const Value* data() const { return data_; }
+  const Value* begin() const { return data_; }
+  const Value* end() const { return data_ + arity_; }
+
+  Tuple Materialize() const { return Tuple(data_, data_ + arity_); }
+
+ private:
+  const Value* data_ = nullptr;
+  int arity_ = 0;
+};
 
 struct TupleHash {
   size_t operator()(const Tuple& t) const {
-    size_t h = t.size();
-    for (const Value& v : t) h = h * 1000003 + v.Hash();
-    return h;
+    return static_cast<size_t>(
+        HashValues(t.data(), static_cast<int>(t.size())));
   }
 };
 

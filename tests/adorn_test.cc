@@ -81,7 +81,7 @@ TEST(AdornTest, Figure1AdornedProgramIsEquivalent) {
     for (const auto& [pred, rel] : edb.relations()) {
       PredId target = PredName(pred) == "e0" ? InternPred("a")
                                              : InternPred("b");
-      for (const Tuple& t : rel.rows()) ab.Insert(target, t);
+      for (TupleRef t : rel.rows()) ab.Insert(target, t);
     }
     ASSERT_TRUE(SatisfiesAll(ab, ics));
     EXPECT_EQ(EvaluateQuery(original, ab).take(),

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 #include "src/eval/evaluator.h"
 #include "src/parser/parser.h"
 #include "src/workload/graphs.h"
@@ -22,6 +25,15 @@ Tuple Ints(std::vector<int64_t> vals) {
   return t;
 }
 
+// Collects the row ids of a probe chain (any order).
+std::vector<int> MatchRows(const Relation& r, uint64_t mask,
+                           const Tuple& key) {
+  std::vector<int> rows;
+  Relation::Matches m = r.Probe(mask, key);
+  for (int32_t row = m.row; row >= 0; row = m.next[row]) rows.push_back(row);
+  return rows;
+}
+
 TEST(RelationTest, InsertDedupes) {
   Relation r(2);
   EXPECT_TRUE(r.Insert(Ints({1, 2})));
@@ -34,20 +46,74 @@ TEST(RelationTest, ProbeByMask) {
   r.Insert(Ints({1, 2}));
   r.Insert(Ints({1, 3}));
   r.Insert(Ints({2, 3}));
-  const std::vector<int>* rows = r.Probe(0b01, {Value::Int(1)});
-  ASSERT_NE(rows, nullptr);
-  EXPECT_EQ(rows->size(), 2u);
-  EXPECT_EQ(r.Probe(0b01, {Value::Int(9)}), nullptr);
+  EXPECT_EQ(MatchRows(r, 0b01, {Value::Int(1)}).size(), 2u);
+  EXPECT_TRUE(MatchRows(r, 0b01, {Value::Int(9)}).empty());
 }
 
 TEST(RelationTest, IndexMaintainedAcrossInserts) {
   Relation r(2);
   r.Insert(Ints({1, 2}));
-  r.Probe(0b10, {Value::Int(2)});  // build index
+  r.Probe(0b10, Tuple{Value::Int(2)});  // build index
   r.Insert(Ints({5, 2}));
-  const std::vector<int>* rows = r.Probe(0b10, {Value::Int(2)});
-  ASSERT_NE(rows, nullptr);
-  EXPECT_EQ(rows->size(), 2u);
+  EXPECT_EQ(MatchRows(r, 0b10, {Value::Int(2)}).size(), 2u);
+  // The chain enumerates exactly the matching rows, across many inserts
+  // and table growth.
+  for (int i = 0; i < 1000; ++i) r.Insert(Ints({i + 10, i % 7}));
+  std::vector<int> match = MatchRows(r, 0b10, {Value::Int(2)});
+  int expected = 2;  // (1,2), (5,2)
+  for (int i = 0; i < 1000; ++i) expected += (i % 7 == 2) ? 1 : 0;
+  EXPECT_EQ(match.size(), static_cast<size_t>(expected));
+  for (int row : match) EXPECT_EQ(r.row(row)[1], Value::Int(2));
+}
+
+TEST(RelationTest, RowsIterateInInsertionOrder) {
+  Relation r(2);
+  r.Insert(Ints({3, 4}));
+  r.Insert(Ints({1, 2}));
+  std::vector<Tuple> seen;
+  for (TupleRef t : r.rows()) seen.push_back(t.Materialize());
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], Ints({3, 4}));
+  EXPECT_EQ(seen[1], Ints({1, 2}));
+  EXPECT_EQ(r.row(1).Materialize(), Ints({1, 2}));
+}
+
+TEST(RelationTest, ZeroArityHoldsOneRow) {
+  Relation r(0);
+  EXPECT_TRUE(r.Insert(Tuple{}));
+  EXPECT_FALSE(r.Insert(Tuple{}));
+  EXPECT_EQ(r.size(), 1);
+  EXPECT_TRUE(r.Contains(Tuple{}));
+  int count = 0;
+  for (TupleRef t : r.rows()) count += t.empty() ? 1 : 0;
+  EXPECT_EQ(count, 1);
+}
+
+TEST(RelationTest, RejectsArityAbove64) {
+  EXPECT_DEATH(Relation r(65), "arity");
+}
+
+TEST(TupleHashTest, NoPathologicalBuckets) {
+  // 10k distinct tuples must spread evenly when the hash is masked down to
+  // a table size — the regression the old 31-bit-ish multiplicative combine
+  // failed (its low bits carried almost no entropy from early columns).
+  constexpr int kBuckets = 1 << 12;
+  std::vector<int> bucket(kBuckets, 0);
+  std::set<uint64_t> distinct;
+  TupleHash hasher;
+  for (int i = 0; i < 100; ++i) {
+    for (int j = 0; j < 100; ++j) {
+      uint64_t h = hasher(Ints({i, j}));
+      distinct.insert(h);
+      ++bucket[h & (kBuckets - 1)];
+    }
+  }
+  EXPECT_GE(distinct.size(), 9990u);  // essentially no full-hash collisions
+  int max_bucket = 0;
+  for (int b : bucket) max_bucket = std::max(max_bucket, b);
+  // Uniform expectation is ~2.4 per bucket; a pathological combine puts
+  // hundreds in one bucket.
+  EXPECT_LE(max_bucket, 16);
 }
 
 TEST(DatabaseTest, InsertAtomAndContains) {

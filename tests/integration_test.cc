@@ -109,7 +109,7 @@ TEST(IntegrationTest, CompleteIncorporationOnFigure1) {
   Database ab;
   for (const auto& [pred, rel] : edb.relations()) {
     PredId target = PredName(pred) == "e0" ? InternPred("a") : InternPred("b");
-    for (const Tuple& t : rel.rows()) ab.Insert(target, t);
+    for (TupleRef t : rel.rows()) ab.Insert(target, t);
   }
   EvalStats original_stats, rewritten_stats;
   auto a = EvaluateQuery(p, ab, {}, &original_stats).take();

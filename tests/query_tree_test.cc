@@ -74,7 +74,7 @@ TEST(QueryTreeTest, RewrittenProgramEquivalentOnConsistentDbs) {
     for (const auto& [pred, rel] : edb.relations()) {
       PredId target =
           PredName(pred) == "e0" ? InternPred("a") : InternPred("b");
-      for (const Tuple& t : rel.rows()) ab.Insert(target, t);
+      for (TupleRef t : rel.rows()) ab.Insert(target, t);
     }
     EXPECT_EQ(EvaluateQuery(original, ab).take(),
               EvaluateQuery(rewritten, ab).take())
