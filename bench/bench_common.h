@@ -6,26 +6,30 @@
 #include <cstring>
 
 #include "src/base/check.h"
-#include "src/eval/evaluator.h"
+#include "src/engine/engine.h"
 #include "src/obs/metrics.h"
-#include "src/sqo/optimizer.h"
 #include "src/workload/graphs.h"
 #include "src/workload/programs.h"
 
 namespace sqod {
 
-// Evaluates `program` on `edb`, reports work counters on `state`, and
-// returns the query answers (to keep the optimizer honest). Counters are
-// sourced from a MetricsRegistry attached to the evaluator, so they match
-// the CLI's --stats-json output key for key.
+// Evaluates `program` on `edb` through an engine session, reports work
+// counters on `state`, and returns the query answers (to keep the optimizer
+// honest). Counters are sourced from the engine's MetricsRegistry, so they
+// match the CLI's --stats-json output key for key.
 inline std::vector<Tuple> RunAndReport(const Program& program,
                                        const Database& edb,
                                        benchmark::State& state,
                                        EvalOptions options = {}) {
   MetricsRegistry metrics;
-  options.metrics = &metrics;
+  EngineOptions engine_options;
+  engine_options.metrics = &metrics;
+  Engine engine(engine_options);
+  Result<Session> session = engine.Open(program, {});
+  SQOD_CHECK_MSG(session.ok(), session.status().message().c_str());
   options.metrics_prefix = "eval";
-  Result<std::vector<Tuple>> answers = EvaluateQuery(program, edb, options);
+  Result<std::vector<Tuple>> answers =
+      session.value().ExecuteOriginal(edb, options);
   SQOD_CHECK_MSG(answers.ok(), answers.status().message().c_str());
   auto counter = [&](const char* name) {
     return static_cast<double>(metrics.GetCounter(name)->value());
@@ -38,17 +42,23 @@ inline std::vector<Tuple> RunAndReport(const Program& program,
   return answers.take();
 }
 
-// Runs the full SQO pipeline; CHECK-fails on error. With `state`, attaches
-// a MetricsRegistry and reports per-phase wall time ("opt_<phase>_ns") and
-// pipeline size gauges alongside the benchmark's own timings.
+// Prepares (optimizes) the program through an engine session; CHECK-fails
+// on error. With `state`, attaches a MetricsRegistry and reports per-phase
+// wall time ("opt_<phase>_ns") and pipeline size gauges alongside the
+// benchmark's own timings.
 inline SqoReport MustOptimize(const Program& program,
                               const std::vector<Constraint>& ics,
                               SqoOptions options = {},
                               benchmark::State* state = nullptr) {
   MetricsRegistry metrics;
-  if (state != nullptr) options.metrics = &metrics;
-  Result<SqoReport> report = OptimizeProgram(program, ics, options);
-  SQOD_CHECK_MSG(report.ok(), report.status().message().c_str());
+  EngineOptions engine_options;
+  if (state != nullptr) engine_options.metrics = &metrics;
+  Engine engine(engine_options);
+  Result<Session> session = engine.Open(program, ics);
+  SQOD_CHECK_MSG(session.ok(), session.status().message().c_str());
+  Result<const PreparedProgram*> prepared =
+      session.value().Prepare(options);
+  SQOD_CHECK_MSG(prepared.ok(), prepared.status().message().c_str());
   if (state != nullptr) {
     for (const auto& [name, gauge] : metrics.gauges()) {
       // "sqo/phase/adorn_ns" -> counter "opt_adorn_ns".
@@ -59,7 +69,7 @@ inline SqoReport MustOptimize(const Program& program,
       }
     }
   }
-  return report.take();
+  return prepared.value()->report;
 }
 
 }  // namespace sqod

@@ -14,9 +14,7 @@
 #include <cstdio>
 
 #include "src/cq/ic_check.h"
-#include "src/eval/evaluator.h"
-#include "src/parser/parser.h"
-#include "src/sqo/optimizer.h"
+#include "src/engine/engine.h"
 
 int main() {
   using namespace sqod;
@@ -46,27 +44,27 @@ int main() {
     ?- audit.
   )";
 
-  Result<ParsedUnit> parsed = ParseUnit(source);
-  if (!parsed.ok()) {
+  Engine engine;
+  Result<Session> opened = engine.Open(source);
+  if (!opened.ok()) {
     std::fprintf(stderr, "parse error: %s\n",
-                 parsed.status().message().c_str());
+                 opened.status().message().c_str());
     return 1;
   }
-  ParsedUnit& unit = parsed.value();
+  Session& session = opened.value();
 
-  Database edb;
-  for (const Atom& fact : unit.facts) edb.InsertAtom(fact);
+  Database edb = session.MakeEdb();
   std::printf("Feeds are consistent with the source guarantees: %s\n\n",
-              SatisfiesAll(edb, unit.constraints) ? "yes" : "no");
+              SatisfiesAll(edb, session.ics()) ? "yes" : "no");
 
-  Result<SqoReport> optimized =
-      OptimizeProgram(unit.program, unit.constraints);
-  if (!optimized.ok()) {
-    std::fprintf(stderr, "optimizer error: %s\n",
-                 optimized.status().message().c_str());
+  Result<const PreparedProgram*> prepared = session.Prepare();
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "optimizer error [%s]: %s\n",
+                 StatusCodeName(prepared.status().code()),
+                 prepared.status().message().c_str());
     return 1;
   }
-  const SqoReport& report = optimized.value();
+  const SqoReport& report = prepared.value()->report;
 
   // The audit rule needs an intercontinental->budget hop, which the second
   // constraint forbids: the optimizer proves `audit` unsatisfiable and the
@@ -79,24 +77,35 @@ int main() {
                   : report.rewritten.ToString().c_str());
 
   EvalStats stats;
-  auto answers = EvaluateQuery(unit.program, edb, {}, &stats).take();
+  auto answers = session.ExecuteOriginal(edb, {}, &stats).take();
   std::printf("Evaluating the original anyway: %zu answers, %s\n",
               answers.size(), stats.ToString().c_str());
 
   // Flip the query to plain reachability and show the optimizer keeps it.
-  Program reach_program = unit.program;
+  // A different query predicate is a different program, so it gets its own
+  // session (and its own prepared-program cache entry).
+  Program reach_program = session.program();
   reach_program.SetQuery("reachable");
-  Result<SqoReport> reach = OptimizeProgram(reach_program, unit.constraints);
+  Result<Session> reach_opened =
+      engine.Open(reach_program, session.ics(), session.facts());
+  if (!reach_opened.ok()) {
+    std::fprintf(stderr, "open error: %s\n",
+                 reach_opened.status().message().c_str());
+    return 1;
+  }
+  Session& reach_session = reach_opened.value();
+  Result<const PreparedProgram*> reach = reach_session.Prepare();
   if (!reach.ok()) {
-    std::fprintf(stderr, "optimizer error: %s\n",
+    std::fprintf(stderr, "optimizer error [%s]: %s\n",
+                 StatusCodeName(reach.status().code()),
                  reach.status().message().c_str());
     return 1;
   }
-  auto a = EvaluateQuery(reach_program, edb).take();
-  auto b = EvaluateQuery(reach.value().rewritten, edb).take();
+  auto a = reach_session.ExecuteOriginal(edb).take();
+  auto b = reach_session.Execute(*reach.value(), edb).take();
   std::printf("\n`reachable` stays satisfiable: %s; %zu answers; rewritten "
               "agrees: %s\n",
-              reach.value().query_satisfiable ? "yes" : "no", a.size(),
+              reach.value()->report.query_satisfiable ? "yes" : "no", a.size(),
               a == b ? "yes" : "NO");
   return a == b ? 0 : 1;
 }

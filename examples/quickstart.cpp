@@ -1,5 +1,5 @@
-// Quickstart: parse a datalog program with integrity constraints, run the
-// semantic query optimizer, and evaluate both versions.
+// Quickstart: open a datalog program with integrity constraints as an
+// engine session, prepare (optimize) it, and execute both versions.
 //
 //   $ ./quickstart
 //
@@ -8,14 +8,12 @@
 #include <cstdio>
 
 #include "src/cq/ic_check.h"
-#include "src/eval/evaluator.h"
-#include "src/parser/parser.h"
-#include "src/sqo/optimizer.h"
+#include "src/engine/engine.h"
 
 int main() {
   using namespace sqod;
 
-  // 1. Parse a unit: rules, an integrity constraint, facts, and the query.
+  // 1. Open a session: rules, an integrity constraint, facts, and the query.
   const char* source = R"(
     % p is the transitive closure over two edge colors.
     p(X, Y) :- a(X, Y).
@@ -31,42 +29,41 @@ int main() {
 
     ?- p.
   )";
-  Result<ParsedUnit> parsed = ParseUnit(source);
-  if (!parsed.ok()) {
+  Engine engine;
+  Result<Session> opened = engine.Open(source);
+  if (!opened.ok()) {
     std::fprintf(stderr, "parse error: %s\n",
-                 parsed.status().message().c_str());
+                 opened.status().message().c_str());
     return 1;
   }
-  ParsedUnit& unit = parsed.value();
+  Session& session = opened.value();
 
-  Database edb;
-  for (const Atom& fact : unit.facts) edb.InsertAtom(fact);
-  if (!SatisfiesAll(edb, unit.constraints)) {
+  Database edb = session.MakeEdb();
+  if (!SatisfiesAll(edb, session.ics())) {
     std::fprintf(stderr, "the facts violate the integrity constraints\n");
     return 1;
   }
 
-  // 2. Optimize: the full pipeline of the paper (adornments, query tree,
-  //    residue attachment).
-  Result<SqoReport> optimized =
-      OptimizeProgram(unit.program, unit.constraints);
-  if (!optimized.ok()) {
-    std::fprintf(stderr, "optimizer error: %s\n",
-                 optimized.status().message().c_str());
+  // 2. Prepare: the full pipeline of the paper (adornments, query tree,
+  //    residue attachment), cached in the session for repeated use.
+  Result<const PreparedProgram*> prepared = session.Prepare();
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "optimizer error [%s]: %s\n",
+                 StatusCodeName(prepared.status().code()),
+                 prepared.status().message().c_str());
     return 1;
   }
-  const SqoReport& report = optimized.value();
+  const SqoReport& report = prepared.value()->report;
 
-  std::printf("Original program:\n%s\n", unit.program.ToString().c_str());
+  std::printf("Original program:\n%s\n", session.program().ToString().c_str());
   std::printf("Rewritten program (completely incorporates the ICs):\n%s\n",
               report.rewritten.ToString().c_str());
 
-  // 3. Evaluate both; they agree on every consistent database.
+  // 3. Execute both; they agree on every consistent database.
   EvalStats original_stats, rewritten_stats;
-  auto original =
-      EvaluateQuery(unit.program, edb, {}, &original_stats).take();
+  auto original = session.ExecuteOriginal(edb, {}, &original_stats).take();
   auto rewritten =
-      EvaluateQuery(report.rewritten, edb, {}, &rewritten_stats).take();
+      session.Execute(*prepared.value(), edb, {}, &rewritten_stats).take();
 
   std::printf("Answers (%zu tuples):\n", original.size());
   for (const Tuple& t : original) {

@@ -17,8 +17,7 @@
 #include <cstdlib>
 
 #include "src/cq/ic_check.h"
-#include "src/eval/evaluator.h"
-#include "src/sqo/optimizer.h"
+#include "src/engine/engine.h"
 #include "src/workload/graphs.h"
 #include "src/workload/programs.h"
 
@@ -39,14 +38,23 @@ int main(int argc, char** argv) {
     std::printf("%s\n", ic.ToString().c_str());
   }
 
-  Result<SqoReport> optimized = OptimizeProgram(program, ics);
-  if (!optimized.ok()) {
-    std::fprintf(stderr, "optimizer error: %s\n",
-                 optimized.status().message().c_str());
+  Engine engine;
+  Result<Session> opened = engine.Open(program, ics);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open error: %s\n", opened.status().message().c_str());
+    return 1;
+  }
+  Session& session = opened.value();
+
+  Result<const PreparedProgram*> prepared = session.Prepare();
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "optimizer error [%s]: %s\n",
+                 StatusCodeName(prepared.status().code()),
+                 prepared.status().message().c_str());
     return 1;
   }
   std::printf("\nRewritten program (the paper's r1'/r2'/r3'):\n%s\n",
-              optimized.value().rewritten.ToString().c_str());
+              prepared.value()->program().ToString().c_str());
 
   Rng rng(2026);
   GoodPathConfig config;
@@ -62,10 +70,9 @@ int main(int argc, char** argv) {
   }
 
   EvalStats original_stats, rewritten_stats;
-  auto original = EvaluateQuery(program, edb, {}, &original_stats).take();
+  auto original = session.ExecuteOriginal(edb, {}, &original_stats).take();
   auto rewritten =
-      EvaluateQuery(optimized.value().rewritten, edb, {}, &rewritten_stats)
-          .take();
+      session.Execute(*prepared.value(), edb, {}, &rewritten_stats).take();
 
   std::printf("Routes found: %zu (identical answers: %s)\n", original.size(),
               original == rewritten ? "yes" : "NO");

@@ -67,4 +67,64 @@ foreach(needle "traceEvents" "sqo.optimize" "sqo.adorn" "eval.iteration")
   endif()
 endforeach()
 
+# --list-passes prints the pipeline in order and exits cleanly.
+execute_process(
+  COMMAND "${SQO_CLI}" --list-passes
+  OUTPUT_VARIABLE PASS_LIST
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "sqo_cli --list-passes failed (rc=${RC})")
+endif()
+string(STRIP "${PASS_LIST}" PASS_LIST)
+string(REPLACE "\n" ";" PASS_LIST "${PASS_LIST}")
+set(EXPECTED_PASSES
+    validate normalize fd_rewrite local_rewrite adorn tree residues prune)
+if(NOT PASS_LIST STREQUAL EXPECTED_PASSES)
+  message(FATAL_ERROR
+      "--list-passes mismatch: got '${PASS_LIST}', want '${EXPECTED_PASSES}'")
+endif()
+
+# --disable-pass=NAME ablates one pass; --reprepare demonstrates that the
+# second Prepare of the same program is a pure cache hit (one pipeline run).
+set(ABLATE_STATS "${WORK_DIR}/smoke_ablate_stats.json")
+execute_process(
+  COMMAND "${SQO_CLI}" --passes --disable-pass=residues --reprepare
+          "--stats-json=${ABLATE_STATS}" "${INPUT}"
+  OUTPUT_VARIABLE STDOUT
+  ERROR_VARIABLE STDERR
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR
+      "sqo_cli --disable-pass run failed (rc=${RC}):\n${STDOUT}\n${STDERR}")
+endif()
+string(REGEX MATCH "residues[ ]+disabled" DISABLED_LINE "${STDOUT}")
+if(DISABLED_LINE STREQUAL "")
+  message(FATAL_ERROR
+      "pass table does not mark residues as disabled:\n${STDOUT}")
+endif()
+file(READ "${ABLATE_STATS}" ABLATE_TEXT)
+foreach(needle
+    "engine/prepare_cache_hits\":1"
+    "engine/prepare_cache_misses\":1"
+    "engine/pipeline_runs\":1")
+  string(FIND "${ABLATE_TEXT}" "${needle}" POS)
+  if(POS EQUAL -1)
+    message(FATAL_ERROR "missing '${needle}' in ${ABLATE_STATS}:\n${ABLATE_TEXT}")
+  endif()
+endforeach()
+
+# An unknown pass name is rejected with a helpful error.
+execute_process(
+  COMMAND "${SQO_CLI}" --disable-pass=typo "${INPUT}"
+  OUTPUT_VARIABLE STDOUT
+  ERROR_VARIABLE STDERR
+  RESULT_VARIABLE RC)
+if(RC EQUAL 0)
+  message(FATAL_ERROR "--disable-pass=typo unexpectedly succeeded")
+endif()
+string(FIND "${STDERR}" "INVALID_ARGUMENT" POS)
+if(POS EQUAL -1)
+  message(FATAL_ERROR "expected INVALID_ARGUMENT in stderr:\n${STDERR}")
+endif()
+
 message(STATUS "sqo_cli smoke test passed")

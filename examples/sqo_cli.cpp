@@ -1,12 +1,15 @@
 // sqo_cli — the optimizer as a command-line filter.
 //
 // Reads a datalog unit (rules, ICs, optional facts, a `?- q.` query
-// declaration) from a file or stdin, runs the full semantic query
-// optimization pipeline, and prints the rewritten program. Options expose
-// the intermediate artifacts and the observability layer.
+// declaration) from a file or stdin, opens it as an engine session, runs
+// the semantic query optimization pass pipeline, and prints the rewritten
+// program. Options expose the intermediate artifacts, the pass manager,
+// and the observability layer.
 //
 //   usage: sqo_cli [--p1] [--tree] [--dot] [--adornments] [--eval]
-//                  [--profile] [--trace=FILE] [--stats-json=FILE] <file|->
+//                  [--profile] [--passes] [--disable-pass=NAME ...]
+//                  [--reprepare] [--trace=FILE] [--stats-json=FILE] <file|->
+//          sqo_cli --list-passes
 //          sqo_cli --check-json=FILE
 //
 //     --p1          print the bottom-up adorned program P1 instead of P'
@@ -17,6 +20,14 @@
 //                   report answers + work counters
 //     --profile     per-rule profile tables (with --eval, for both the
 //                   original and rewritten program) and a span-tree summary
+//     --passes      print the per-pass report (ran/disabled/skipped, wall
+//                   time, rules after) for this run
+//     --list-passes print the pipeline's pass names, in order, and exit
+//     --disable-pass=NAME  switch off one pass (repeatable); NAME is any
+//                   entry of --list-passes
+//     --reprepare   prepare the same program a second time to demonstrate
+//                   the session's prepared-program cache (hit counters land
+//                   in --stats-json under engine/prepare_cache_*)
 //     --trace=FILE  write a Chrome trace-event JSON file covering the
 //                   optimizer phases and (with --eval) both evaluations;
 //                   load it in chrome://tracing or Perfetto
@@ -30,15 +41,15 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/cq/ic_check.h"
-#include "src/eval/evaluator.h"
+#include "src/engine/engine.h"
 #include "src/obs/export.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
-#include "src/parser/parser.h"
-#include "src/sqo/optimizer.h"
+#include "src/sqo/pass_manager.h"
 
 namespace {
 
@@ -73,8 +84,10 @@ int main(int argc, char** argv) {
   using namespace sqod;
 
   bool show_p1 = false, show_tree = false, show_dot = false,
-       show_adornments = false, do_eval = false, do_profile = false;
+       show_adornments = false, do_eval = false, do_profile = false,
+       show_passes = false, reprepare = false;
   std::string trace_path, stats_json_path;
+  std::vector<std::string> disabled_passes;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--p1") == 0) {
@@ -89,6 +102,17 @@ int main(int argc, char** argv) {
       do_eval = true;
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       do_profile = true;
+    } else if (std::strcmp(argv[i], "--passes") == 0) {
+      show_passes = true;
+    } else if (std::strcmp(argv[i], "--list-passes") == 0) {
+      for (const std::string& name : PassManager::PassNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (std::strncmp(argv[i], "--disable-pass=", 15) == 0) {
+      disabled_passes.push_back(argv[i] + 15);
+    } else if (std::strcmp(argv[i], "--reprepare") == 0) {
+      reprepare = true;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--stats-json=", 13) == 0) {
@@ -108,37 +132,48 @@ int main(int argc, char** argv) {
   if (path == nullptr) {
     std::fprintf(stderr,
                  "usage: %s [--p1] [--tree] [--dot] [--adornments] [--eval] "
-                 "[--profile] [--trace=FILE] [--stats-json=FILE] <file|->\n"
+                 "[--profile] [--passes] [--disable-pass=NAME ...] "
+                 "[--reprepare] [--trace=FILE] [--stats-json=FILE] <file|->\n"
+                 "       %s --list-passes\n"
                  "       %s --check-json=FILE\n",
-                 argv[0], argv[0]);
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
-
-  Result<ParsedUnit> parsed = ParseUnit(ReadAll(path));
-  if (!parsed.ok()) {
-    std::fprintf(stderr, "parse error: %s\n",
-                 parsed.status().message().c_str());
-    return 2;
-  }
-  ParsedUnit& unit = parsed.value();
 
   // The observability layer: spans when tracing or profiling was requested,
-  // metrics whenever any report needs them.
+  // metrics whenever any report needs them. Both are handed to the engine,
+  // so engine counters (cache hits, executions) land in the same export.
   Tracer tracer(!trace_path.empty() || do_profile);
   MetricsRegistry metrics;
+  EngineOptions engine_options;
+  engine_options.tracer = &tracer;
+  engine_options.metrics = &metrics;
+  Engine engine(engine_options);
 
-  SqoOptions sqo_options;
-  sqo_options.tracer = &tracer;
-  sqo_options.metrics = &metrics;
-
-  Result<SqoReport> optimized =
-      OptimizeProgram(unit.program, unit.constraints, sqo_options);
-  if (!optimized.ok()) {
-    std::fprintf(stderr, "optimizer error: %s\n",
-                 optimized.status().message().c_str());
+  Result<Session> opened = engine.Open(ReadAll(path));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 opened.status().message().c_str());
     return 2;
   }
-  const SqoReport& report = optimized.value();
+  Session& session = opened.value();
+
+  SqoOptions sqo_options;
+  sqo_options.disabled_passes = disabled_passes;
+
+  Result<const PreparedProgram*> prepared = session.Prepare(sqo_options);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "optimizer error [%s]: %s\n",
+                 StatusCodeName(prepared.status().code()),
+                 prepared.status().message().c_str());
+    return 2;
+  }
+  if (reprepare) {
+    // Same program, ICs, and options: served from the session cache with
+    // zero re-optimization (see engine/prepare_cache_hits in --stats-json).
+    prepared = session.Prepare(sqo_options);
+  }
+  const SqoReport& report = prepared.value()->report;
 
   if (show_adornments) {
     std::printf("%% adorned predicates\n%s\n",
@@ -151,6 +186,15 @@ int main(int argc, char** argv) {
     std::printf("%s", report.tree_dot.c_str());
     return 0;
   }
+  if (show_passes) {
+    std::printf("%% pass pipeline\n");
+    for (const PassRunInfo& info : report.pass_runs) {
+      std::printf("%%   %-14s %-8s %8lld ns  rules=%d\n", info.name.c_str(),
+                  info.disabled ? "disabled"
+                                : (info.skipped ? "skipped" : "ran"),
+                  static_cast<long long>(info.wall_ns), info.rules_after);
+    }
+  }
   std::printf("%s", show_p1 ? report.adorned.ToString().c_str()
                             : report.rewritten.ToString().c_str());
   if (!report.query_satisfiable) {
@@ -158,10 +202,9 @@ int main(int argc, char** argv) {
   }
 
   int exit_code = 0;
-  if (do_eval && !unit.facts.empty()) {
-    Database edb;
-    for (const Atom& fact : unit.facts) edb.InsertAtom(fact);
-    if (!SatisfiesAll(edb, unit.constraints)) {
+  if (do_eval && !session.facts().empty()) {
+    Database edb = session.MakeEdb();
+    if (!SatisfiesAll(edb, session.ics())) {
       std::fprintf(stderr,
                    "warning: the facts violate the integrity constraints; "
                    "equivalence is not guaranteed\n");
@@ -169,17 +212,17 @@ int main(int argc, char** argv) {
     EvalStats original_stats, rewritten_stats;
     std::vector<RuleProfile> original_profiles, rewritten_profiles;
     EvalOptions eval_options;
-    eval_options.tracer = &tracer;
-    eval_options.metrics = &metrics;
     eval_options.profile_rules = do_profile;
 
     eval_options.metrics_prefix = "eval/original";
-    auto original = EvaluateQuery(unit.program, edb, eval_options,
-                                  &original_stats, &original_profiles)
+    auto original = session
+                        .ExecuteOriginal(edb, eval_options, &original_stats,
+                                         &original_profiles)
                         .take();
     eval_options.metrics_prefix = "eval/rewritten";
-    auto rewritten = EvaluateQuery(report.rewritten, edb, eval_options,
-                                   &rewritten_stats, &rewritten_profiles)
+    auto rewritten = session
+                         .Execute(*prepared.value(), edb, eval_options,
+                                  &rewritten_stats, &rewritten_profiles)
                          .take();
     std::printf("%% answers: %zu (match: %s)\n", original.size(),
                 original == rewritten ? "yes" : "NO");

@@ -81,7 +81,7 @@ Status CheckSafety(const std::vector<Literal>& body,
   for (VarId v : must_be_bound) {
     if (std::find(positive_vars.begin(), positive_vars.end(), v) ==
         positive_vars.end()) {
-      return Status::Error("unsafe " + what + ": variable " +
+      return Status::InvalidArgument("unsafe " + what + ": variable " +
                            GlobalStrings().Name(v) +
                            " does not occur in a positive body literal");
     }
@@ -94,7 +94,7 @@ Status CheckArities(const std::vector<Literal>& body, const Atom* head,
   auto check = [&](const Atom& a) -> Status {
     auto [it, inserted] = arities->emplace(a.pred(), a.arity());
     if (!inserted && it->second != a.arity()) {
-      return Status::Error("predicate " + PredName(a.pred()) +
+      return Status::InvalidArgument("predicate " + PredName(a.pred()) +
                            " used with arities " + std::to_string(it->second) +
                            " and " + std::to_string(a.arity()));
     }
@@ -132,7 +132,7 @@ Status Program::Validate() const {
 
   }
   if (query_ != -1 && idb.count(query_) == 0) {
-    return Status::Error("query predicate " + PredName(query_) +
+    return Status::InvalidArgument("query predicate " + PredName(query_) +
                          " is not an IDB predicate");
   }
   // Negation on IDB predicates must be stratified.
@@ -174,7 +174,7 @@ Result<std::map<PredId, int>> Program::Stratify() const {
           h = need;
           changed = true;
           if (h > limit) {
-            return Status::Error(
+            return Status::InvalidArgument(
                 "program is not stratified: negation through the recursive "
                 "cycle of " + PredName(r.head.pred()));
           }
@@ -189,7 +189,7 @@ Status Program::ValidateConstraint(const Constraint& ic) const {
   std::set<PredId> idb = IdbPreds();
   for (const Literal& l : ic.body) {
     if (idb.count(l.atom.pred()) > 0) {
-      return Status::Error("IDB predicate " + PredName(l.atom.pred()) +
+      return Status::InvalidArgument("IDB predicate " + PredName(l.atom.pred()) +
                            " in integrity constraint " + ic.ToString());
     }
   }

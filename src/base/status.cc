@@ -2,6 +2,24 @@
 
 namespace sqod {
 
-// Status is header-only today; this translation unit anchors the library.
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kUnsupported:
+      return "UNSUPPORTED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kUnknown:
+      return "UNKNOWN";
+  }
+  return "UNKNOWN";
+}
 
 }  // namespace sqod

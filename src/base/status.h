@@ -9,32 +9,84 @@
 
 namespace sqod {
 
+// Machine-checkable error classes. Clients (the engine layer, the CLI, and
+// servers built on top) branch on the code; the message stays human-facing
+// and is never a stable API.
+enum class StatusCode {
+  kOk = 0,
+  // The input itself is malformed: parse errors, arity mismatches, unsafe
+  // rules, ICs that do not validate against the program.
+  kInvalidArgument = 1,
+  // The input is well-formed but outside the theory this library implements
+  // (e.g. IDB negation in the SQO pipeline, non-local negated IC atoms —
+  // the undecidable territory of Theorems 5.3-5.5).
+  kUnsupported = 2,
+  // A safety valve triggered: adornment/tree/rewriting growth limits,
+  // max_derived, chase step budgets.
+  kResourceExhausted = 3,
+  // A precondition on the call sequence or configuration was violated
+  // (e.g. a query predicate is required but not set).
+  kFailedPrecondition = 4,
+  // An invariant the library promised to maintain does not hold; indicates
+  // a bug in the library rather than in the input.
+  kInternal = 5,
+  // Errors created before codes existed or with no better class.
+  kUnknown = 6,
+};
+
+// Short stable name for a code, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
 // Lightweight error type used instead of exceptions across the public API.
-// A Status is either OK or carries a human-readable error message.
+// A Status is either OK or carries an error code plus a human-readable
+// message.
 class Status {
  public:
   // Constructs an OK status.
   Status() = default;
 
   static Status Ok() { return Status(); }
-  static Status Error(std::string message) {
+  static Status Error(StatusCode code, std::string message) {
     Status s;
+    s.code_ = code;
     s.message_ = std::move(message);
-    s.ok_ = false;
     return s;
   }
+  // Legacy constructor: an error of unknown class. Prefer the named
+  // constructors below so callers can branch on code().
+  static Status Error(std::string message) {
+    return Error(StatusCode::kUnknown, std::move(message));
+  }
 
-  bool ok() const { return ok_; }
+  static Status InvalidArgument(std::string message) {
+    return Error(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status Unsupported(std::string message) {
+    return Error(StatusCode::kUnsupported, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Error(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Error(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Error(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  // Returns a copy of this status with `context` prepended to the message.
+  // Returns a copy of this status with `context` prepended to the message;
+  // the code is preserved.
   Status WithContext(const std::string& context) const {
-    if (ok_) return *this;
-    return Error(context + ": " + message_);
+    if (ok()) return *this;
+    return Error(code_, context + ": " + message_);
   }
 
  private:
-  bool ok_ = true;
+  StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
 
@@ -53,13 +105,19 @@ class Result {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
-  const T& value() const {
+  // Accessors are ref-qualified so a temporary Result moves its value out
+  // instead of copying: `ParseUnit(src).value()` is as cheap as `.take()`.
+  const T& value() const& {
     SQOD_CHECK_MSG(ok(), status_.message().c_str());
     return *value_;
   }
-  T& value() {
+  T& value() & {
     SQOD_CHECK_MSG(ok(), status_.message().c_str());
     return *value_;
+  }
+  T&& value() && {
+    SQOD_CHECK_MSG(ok(), status_.message().c_str());
+    return std::move(*value_);
   }
   T&& take() {
     SQOD_CHECK_MSG(ok(), status_.message().c_str());
@@ -70,6 +128,43 @@ class Result {
   std::optional<T> value_;
   Status status_;
 };
+
+// Propagates errors without the repetitive `if (!x.ok()) return x.status()`
+// block. Works on anything with ok() + status() (Result<T>) and on Status
+// itself (via an overloaded extractor).
+//
+//   SQOD_RETURN_IF_ERROR(program.Validate());
+//   SQOD_ASSIGN_OR_RETURN(Program p, ParseProgram(src));
+//
+// SQOD_ASSIGN_OR_RETURN moves the value out of the intermediate Result, so
+// `lhs` may be a declaration or any assignable expression.
+namespace status_internal {
+inline const Status& GetStatus(const Status& s) { return s; }
+template <typename T>
+const Status& GetStatus(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace status_internal
+
+#define SQOD_STATUS_CONCAT_INNER_(a, b) a##b
+#define SQOD_STATUS_CONCAT_(a, b) SQOD_STATUS_CONCAT_INNER_(a, b)
+
+#define SQOD_RETURN_IF_ERROR(expr)                                     \
+  do {                                                                 \
+    auto&& sqod_status_or_ = (expr);                                   \
+    if (!sqod_status_or_.ok()) {                                       \
+      return ::sqod::status_internal::GetStatus(sqod_status_or_);      \
+    }                                                                  \
+  } while (0)
+
+#define SQOD_ASSIGN_OR_RETURN(lhs, expr)                               \
+  SQOD_ASSIGN_OR_RETURN_IMPL_(                                         \
+      SQOD_STATUS_CONCAT_(sqod_result_, __LINE__), lhs, expr)
+
+#define SQOD_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr)                 \
+  auto result = (expr);                                                \
+  if (!result.ok()) return result.status();                            \
+  lhs = std::move(result).value()
 
 }  // namespace sqod
 

@@ -185,7 +185,7 @@ Result<ChaseOutcome> CqSatisfiableWithChase(const Rule& cq,
                                             const std::vector<Constraint>& ics,
                                             const ChaseOptions& options) {
   if (!cq.comparisons.empty()) {
-    return Status::Error(
+    return Status::Unsupported(
         "CqSatisfiableWithChase: comparisons are not supported (the chase "
         "decides {not}-IC satisfiability; see Theorem 5.2(2))");
   }
@@ -193,7 +193,7 @@ Result<ChaseOutcome> CqSatisfiableWithChase(const Rule& cq,
   Substitution freeze;
   for (const Literal& l : cq.body) {
     if (l.negated) {
-      return Status::Error(
+      return Status::Unsupported(
           "CqSatisfiableWithChase: the query body must be positive");
     }
     std::vector<VarId> vars;

@@ -8,16 +8,16 @@ Status TwoCounterMachine::AddTransition(int state, bool c1_zero, bool c2_zero,
                                         Transition t) {
   if (state < 0 || state >= num_states_ || t.next_state < 0 ||
       t.next_state >= num_states_) {
-    return Status::Error("transition references an unknown state");
+    return Status::InvalidArgument("transition references an unknown state");
   }
   if (state == halt_state_) {
-    return Status::Error("the halt state has no outgoing transitions");
+    return Status::InvalidArgument("the halt state has no outgoing transitions");
   }
   if (t.op1 == CounterOp::kDec && c1_zero) {
-    return Status::Error("cannot decrement counter 1 when it is zero");
+    return Status::InvalidArgument("cannot decrement counter 1 when it is zero");
   }
   if (t.op2 == CounterOp::kDec && c2_zero) {
-    return Status::Error("cannot decrement counter 2 when it is zero");
+    return Status::InvalidArgument("cannot decrement counter 2 when it is zero");
   }
   transitions_[{state, c1_zero, c2_zero}] = t;
   return Status::Ok();

@@ -15,7 +15,7 @@ namespace {
 Status CheckSupported(const ConjunctiveQuery& q) {
   for (const Literal& l : q.body) {
     if (l.negated) {
-      return Status::Error(
+      return Status::Unsupported(
           "negated atoms are not supported by CQ containment; use "
           "sqo::DatalogContainedInUcq for programs with negation");
     }

@@ -5,11 +5,11 @@ namespace sqod {
 Result<ConjunctiveQuery> MinimizeCq(const ConjunctiveQuery& q) {
   for (const Literal& l : q.body) {
     if (l.negated) {
-      return Status::Error("MinimizeCq supports positive bodies only");
+      return Status::Unsupported("MinimizeCq supports positive bodies only");
     }
   }
   if (!q.comparisons.empty()) {
-    return Status::Error("MinimizeCq does not support order atoms");
+    return Status::Unsupported("MinimizeCq does not support order atoms");
   }
   ConjunctiveQuery current = q;
   bool changed = true;

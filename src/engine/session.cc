@@ -1,0 +1,116 @@
+#include "src/engine/session.h"
+
+#include <algorithm>
+
+#include "src/engine/engine.h"
+#include "src/sqo/pass_manager.h"
+
+namespace sqod {
+
+namespace {
+
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Session::Session(Engine* engine, ParsedUnit unit)
+    : engine_(engine), unit_(std::move(unit)) {}
+
+Database Session::MakeEdb() const {
+  Database edb;
+  for (const Atom& fact : unit_.facts) edb.InsertAtom(fact);
+  return edb;
+}
+
+std::string Session::Fingerprint(const SqoOptions& options) const {
+  // Canonical, semantically complete rendering of (program, ICs, options).
+  // Observability pointers are deliberately excluded: they change where
+  // diagnostics go, never what plan comes out.
+  std::string fp = unit_.program.ToString();
+  fp += "\n--ics--\n";
+  for (const Constraint& ic : unit_.constraints) {
+    fp += ic.ToString();
+    fp += '\n';
+  }
+  fp += "--options--\n";
+  fp += "tree=" + std::to_string(options.build_query_tree) + ";";
+  fp += "residues=" + std::to_string(options.attach_residues) + ";";
+  fp += "fd=" + std::to_string(options.apply_fd_rewriting) + ";";
+  fp += "max_apreds=" + std::to_string(options.adorn.max_adorned_preds) + ";";
+  fp += "max_arules=" + std::to_string(options.adorn.max_adorned_rules) + ";";
+  fp += "max_classes=" + std::to_string(options.tree.max_classes) + ";";
+  fp += "max_local=" + std::to_string(options.max_local_rewrite_rules) + ";";
+  std::vector<std::string> disabled = options.disabled_passes;
+  std::sort(disabled.begin(), disabled.end());
+  disabled.erase(std::unique(disabled.begin(), disabled.end()),
+                 disabled.end());
+  fp += "disabled=";
+  for (const std::string& name : disabled) {
+    fp += name;
+    fp += ',';
+  }
+  return fp;
+}
+
+Result<const PreparedProgram*> Session::Prepare(const SqoOptions& options) {
+  MetricsRegistry& metrics = engine_->metrics();
+  std::string fp = Fingerprint(options);
+  auto it = cache_.find(fp);
+  if (it != cache_.end()) {
+    metrics.GetCounter("engine/prepare_cache_hits")->Increment();
+    return const_cast<const PreparedProgram*>(it->second.get());
+  }
+  metrics.GetCounter("engine/prepare_cache_misses")->Increment();
+
+  SqoOptions run_options = options;
+  if (run_options.tracer == nullptr) run_options.tracer = engine_->tracer();
+  if (run_options.metrics == nullptr) run_options.metrics = &metrics;
+  metrics.GetCounter("engine/pipeline_runs")->Increment();
+  PassManager manager(run_options);
+  SQOD_ASSIGN_OR_RETURN(SqoReport report,
+                        manager.Run(unit_.program, unit_.constraints));
+
+  auto prepared = std::make_unique<PreparedProgram>();
+  prepared->cache_key = Fnv1a64(fp);
+  prepared->options = options;
+  prepared->options.tracer = nullptr;
+  prepared->options.metrics = nullptr;
+  prepared->options.adorn.tracer = nullptr;
+  prepared->report = std::move(report);
+  const PreparedProgram* result = prepared.get();
+  cache_.emplace(std::move(fp), std::move(prepared));
+  metrics.GetGauge("engine/prepared_programs")
+      ->Set(static_cast<int64_t>(cache_.size()));
+  return result;
+}
+
+Result<std::vector<Tuple>> Session::Run(const Program& program,
+                                        const Database& edb,
+                                        EvalOptions options, EvalStats* stats,
+                                        std::vector<RuleProfile>* profiles) {
+  if (options.tracer == nullptr) options.tracer = engine_->tracer();
+  if (options.metrics == nullptr) options.metrics = &engine_->metrics();
+  engine_->metrics().GetCounter("engine/executions")->Increment();
+  return EvaluateQuery(program, edb, options, stats, profiles);
+}
+
+Result<std::vector<Tuple>> Session::Execute(
+    const PreparedProgram& prepared, const Database& edb, EvalOptions options,
+    EvalStats* stats, std::vector<RuleProfile>* profiles) {
+  return Run(prepared.program(), edb, std::move(options), stats, profiles);
+}
+
+Result<std::vector<Tuple>> Session::ExecuteOriginal(
+    const Database& edb, EvalOptions options, EvalStats* stats,
+    std::vector<RuleProfile>* profiles) {
+  return Run(unit_.program, edb, std::move(options), stats, profiles);
+}
+
+}  // namespace sqod

@@ -1,0 +1,99 @@
+#ifndef SQOD_ENGINE_SESSION_H_
+#define SQOD_ENGINE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/eval/evaluator.h"
+#include "src/parser/parser.h"
+#include "src/sqo/optimizer.h"
+
+namespace sqod {
+
+class Engine;
+
+// An optimized program, ready for repeated execution. Owned by the session
+// that prepared it; pointers returned by Session::Prepare stay valid for
+// the session's lifetime (or until ClearCache).
+struct PreparedProgram {
+  // FNV-1a hash of the canonical fingerprint (program text + ICs + the
+  // semantically relevant SqoOptions fields); the cache key.
+  uint64_t cache_key = 0;
+  // The options the program was prepared under (observability pointers
+  // cleared — they are per-run, not part of the plan).
+  SqoOptions options;
+  // The full optimizer report, including the rewritten program.
+  SqoReport report;
+
+  // The drop-in replacement program P' to execute.
+  const Program& program() const { return report.rewritten; }
+};
+
+// One loaded datalog unit (program + ICs + optional facts) with a cache of
+// prepared (optimized) programs. Sessions are movable but not copyable,
+// and must not outlive the Engine that opened them.
+class Session {
+ public:
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  const Program& program() const { return unit_.program; }
+  const std::vector<Constraint>& ics() const { return unit_.constraints; }
+  const std::vector<Atom>& facts() const { return unit_.facts; }
+
+  // Materializes the unit's facts as an EDB.
+  Database MakeEdb() const;
+
+  // Runs the optimizer pipeline once per distinct (program, ICs, options)
+  // fingerprint and caches the result: preparing the same query twice is a
+  // cache hit that performs zero re-optimization. Hit/miss counts land in
+  // the engine's MetricsRegistry ("engine/prepare_cache_{hits,misses}").
+  // The returned pointer is owned by the session.
+  Result<const PreparedProgram*> Prepare(const SqoOptions& options = {});
+
+  // Evaluates the prepared (rewritten) program against `edb` and returns
+  // the query predicate's tuples, sorted. The engine's tracer/metrics are
+  // threaded into the evaluation unless `options` already carries its own.
+  Result<std::vector<Tuple>> Execute(
+      const PreparedProgram& prepared, const Database& edb,
+      EvalOptions options = {}, EvalStats* stats = nullptr,
+      std::vector<RuleProfile>* profiles = nullptr);
+
+  // Same, but evaluates the session's original (unoptimized) program —
+  // the baseline side of every "does the rewriting pay off" comparison.
+  Result<std::vector<Tuple>> ExecuteOriginal(
+      const Database& edb, EvalOptions options = {},
+      EvalStats* stats = nullptr,
+      std::vector<RuleProfile>* profiles = nullptr);
+
+  // Number of distinct prepared programs cached.
+  size_t cache_size() const { return cache_.size(); }
+
+  // Drops all cached prepared programs (invalidates Prepare pointers).
+  void ClearCache() { cache_.clear(); }
+
+ private:
+  friend class Engine;
+  Session(Engine* engine, ParsedUnit unit);
+
+  // The canonical fingerprint string hashed into the cache key.
+  std::string Fingerprint(const SqoOptions& options) const;
+
+  Result<std::vector<Tuple>> Run(const Program& program, const Database& edb,
+                                 EvalOptions options, EvalStats* stats,
+                                 std::vector<RuleProfile>* profiles);
+
+  Engine* engine_;
+  ParsedUnit unit_;
+  // Keyed by the full fingerprint (not its hash), so colliding hashes can
+  // never alias two plans.
+  std::unordered_map<std::string, std::unique_ptr<PreparedProgram>> cache_;
+};
+
+}  // namespace sqod
+
+#endif  // SQOD_ENGINE_SESSION_H_

@@ -490,7 +490,7 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
 
   auto fail_if_overflow = [&]() -> Status {
     if (overflow) {
-      return Status::Error("evaluation exceeded max_derived=" +
+      return Status::ResourceExhausted("evaluation exceeded max_derived=" +
                            std::to_string(options_.max_derived));
     }
     return Status::Ok();

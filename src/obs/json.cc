@@ -64,7 +64,7 @@ class Parser {
   static constexpr int kMaxDepth = 200;
 
   Status Fail(const std::string& what) const {
-    return Status::Error("json: " + what + " at offset " +
+    return Status::InvalidArgument("json: " + what + " at offset " +
                          std::to_string(pos_));
   }
 

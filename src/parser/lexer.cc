@@ -84,7 +84,7 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
       size_t j = i + 1;
       while (j < n && source[j] != '"' && source[j] != '\n') ++j;
       if (j >= n || source[j] != '"') {
-        return Status::Error("unterminated string at " +
+        return Status::InvalidArgument("unterminated string at " +
                              Where(line, start_col));
       }
       Token t{TokenKind::kString, std::string(source.substr(i + 1, j - i - 1)),
@@ -104,14 +104,14 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
           advance(2);
           continue;
         }
-        return Status::Error("expected ':-' at " + Where(line, start_col));
+        return Status::InvalidArgument("expected ':-' at " + Where(line, start_col));
       case '?':
         if (i + 1 < n && source[i + 1] == '-') {
           push(TokenKind::kQuery);
           advance(2);
           continue;
         }
-        return Status::Error("expected '?-' at " + Where(line, start_col));
+        return Status::InvalidArgument("expected '?-' at " + Where(line, start_col));
       case '!':
         if (i + 1 < n && source[i + 1] == '=') {
           push(TokenKind::kNe);
@@ -144,7 +144,7 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
         advance(1);
         continue;
       default:
-        return Status::Error(std::string("unexpected character '") + c +
+        return Status::InvalidArgument(std::string("unexpected character '") + c +
                              "' at " + Where(line, start_col));
     }
   }

@@ -30,13 +30,13 @@ class Parser {
     for (const Atom& fact : unit.facts) {
       int used = unit.program.Arity(fact.pred());
       if (used != -1 && used != fact.arity()) {
-        return Status::Error("fact " + fact.ToString() + " has arity " +
+        return Status::InvalidArgument("fact " + fact.ToString() + " has arity " +
                              std::to_string(fact.arity()) +
                              " but the program uses " + PredName(fact.pred()) +
                              "/" + std::to_string(used));
       }
       if (unit.program.IsIdb(fact.pred())) {
-        return Status::Error("fact " + fact.ToString() +
+        return Status::InvalidArgument("fact " + fact.ToString() +
                              " asserts an IDB predicate; use a rule with an "
                              "empty body instead");
       }
@@ -50,7 +50,7 @@ class Parser {
     if (!s.ok()) return s;
     if (unit.program.rules().size() == 1) return unit.program.rules()[0];
     if (unit.facts.size() == 1) return Rule(unit.facts[0], {});
-    return Status::Error("expected a single rule");
+    return Status::InvalidArgument("expected a single rule");
   }
 
   Result<Constraint> ParseSingleConstraint() {
@@ -58,7 +58,7 @@ class Parser {
     Status s = ParseClause(&unit);
     if (!s.ok()) return s;
     if (unit.constraints.size() != 1) {
-      return Status::Error("expected a single integrity constraint");
+      return Status::InvalidArgument("expected a single integrity constraint");
     }
     return unit.constraints[0];
   }
@@ -67,7 +67,7 @@ class Parser {
     Result<Atom> atom = ParseAtom();
     if (!atom.ok()) return atom;
     if (!AtEof() && !Check(TokenKind::kDot)) {
-      return Status::Error("trailing input after atom");
+      return Status::InvalidArgument("trailing input after atom");
     }
     return atom;
   }
@@ -85,7 +85,7 @@ class Parser {
 
   Status ErrorHere(const std::string& msg) const {
     const Token& t = Peek();
-    return Status::Error(msg + " at line " + std::to_string(t.line) +
+    return Status::InvalidArgument(msg + " at line " + std::to_string(t.line) +
                          ", column " + std::to_string(t.column));
   }
 
@@ -201,7 +201,7 @@ class Parser {
     if (Eat(TokenKind::kDot)) {
       // A fact (must be ground).
       if (!head.value().is_ground()) {
-        return Status::Error("fact " + head.value().ToString() +
+        return Status::InvalidArgument("fact " + head.value().ToString() +
                              " is not ground");
       }
       unit->facts.push_back(head.take());

@@ -556,7 +556,7 @@ Status AdornmentEngine::Run() {
     pass_span.SetAttr("arules", static_cast<int64_t>(arules_.size()));
   }
   if (overflow_) {
-    return Status::Error(
+    return Status::ResourceExhausted(
         "adornment fixpoint exceeded its safety limits (the construction is "
         "doubly exponential in the worst case; raise AdornOptions to "
         "continue)");

@@ -18,17 +18,17 @@ Result<bool> DatalogContainedInUcqUnderIcs(const Program& program,
                                            const std::vector<Constraint>& ics,
                                            const SqoOptions& options) {
   if (program.query() == -1) {
-    return Status::Error("containment requires a query predicate");
+    return Status::FailedPrecondition("containment requires a query predicate");
   }
   const int arity = program.Arity(program.query());
   for (const ConjunctiveQuery& q : ucq) {
     if (q.head.arity() != arity) {
-      return Status::Error("UCQ disjunct " + q.ToString() +
+      return Status::InvalidArgument("UCQ disjunct " + q.ToString() +
                            " does not match the query arity");
     }
     for (const Literal& l : q.body) {
       if (program.IsIdb(l.atom.pred())) {
-        return Status::Error("UCQ disjunct " + q.ToString() +
+        return Status::InvalidArgument("UCQ disjunct " + q.ToString() +
                              " mentions IDB predicate " +
                              PredName(l.atom.pred()));
       }
@@ -71,16 +71,16 @@ Result<bool> DatalogContainedInUcqUnderIcs(const Program& program,
 Result<bool> UcqContainedInDatalog(const UnionOfCqs& ucq,
                                    const Program& program) {
   if (program.query() == -1) {
-    return Status::Error("containment requires a query predicate");
+    return Status::FailedPrecondition("containment requires a query predicate");
   }
   for (const ConjunctiveQuery& raw : ucq) {
     if (!raw.comparisons.empty()) {
-      return Status::Error("UcqContainedInDatalog: disjunct " +
+      return Status::InvalidArgument("UcqContainedInDatalog: disjunct " +
                            raw.ToString() + " has order atoms");
     }
     for (const Literal& l : raw.body) {
       if (l.negated) {
-        return Status::Error("UcqContainedInDatalog: disjunct " +
+        return Status::InvalidArgument("UcqContainedInDatalog: disjunct " +
                              raw.ToString() + " has negation");
       }
     }

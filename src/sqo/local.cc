@@ -95,7 +95,7 @@ Result<LocalAtomInfo> AnalyzeLocalAtoms(const std::vector<Constraint>& ics) {
       ic.body[b].atom.CollectVars(&vars);
       int carrier = FindCarrier(positives, vars);
       if (carrier == -1) {
-        return Status::Error("negated atom " + ic.body[b].ToString() +
+        return Status::Unsupported("negated atom " + ic.body[b].ToString() +
                              " of IC " + ic.ToString() +
                              " is not local (Theorem 5.4 territory: "
                              "satisfiability would be undecidable)");
@@ -118,7 +118,7 @@ Result<Program> RewriteForLocalAtoms(const Program& program,
 
   while (!queue.empty()) {
     if (static_cast<int>(queue.size() + done.size()) > max_rules) {
-      return Status::Error("local-atom rewriting exceeded max_rules=" +
+      return Status::ResourceExhausted("local-atom rewriting exceeded max_rules=" +
                            std::to_string(max_rules));
     }
     Rule rule = std::move(queue.front());

@@ -1,186 +1,18 @@
 #include "src/sqo/optimizer.h"
 
 #include "src/ast/unify.h"
-#include "src/sqo/fd.h"
-#include "src/sqo/local.h"
-#include "src/sqo/preprocess.h"
-#include "src/sqo/residue.h"
+#include "src/sqo/pass_manager.h"
 
 namespace sqod {
 
-namespace {
-
-// RAII scope for one pipeline phase: opens a span (when tracing) and, on
-// exit, records the phase's wall time into the "sqo/phase/<name>_ns" gauge
-// (when a registry is attached).
-class PhaseScope {
- public:
-  PhaseScope(const char* phase, const SqoOptions& options)
-      : phase_(phase), metrics_(options.metrics) {
-    if (options.tracer != nullptr && options.tracer->enabled()) {
-      span_ = options.tracer->StartSpan(std::string("sqo.") + phase);
-    }
-    if (metrics_ != nullptr) t0_ = NowNs();
-  }
-
-  ~PhaseScope() {
-    if (metrics_ != nullptr) {
-      metrics_->GetGauge(std::string("sqo/phase/") + phase_ + "_ns")
-          ->Set(NowNs() - t0_);
-    }
-  }
-
-  PhaseScope(const PhaseScope&) = delete;
-  PhaseScope& operator=(const PhaseScope&) = delete;
-
-  Span& span() { return span_; }
-
- private:
-  const char* phase_;
-  MetricsRegistry* metrics_;
-  Span span_;
-  int64_t t0_ = 0;
-};
-
-struct Pipeline {
-  Program normalized;
-  std::vector<Constraint> ics;
-  LocalAtomInfo local;
-};
-
-Result<Pipeline> Prepare(const Program& program,
-                         const std::vector<Constraint>& ics,
-                         const SqoOptions& options) {
-  {
-    PhaseScope phase("validate", options);
-    Status s = program.Validate();
-    if (!s.ok()) return s;
-    if (!program.NegationOnEdbOnly()) {
-      return Status::Error(
-          "semantic query optimization requires negation on EDB predicates "
-          "only (the paper's Section 2 setting); stratified IDB negation is "
-          "supported by the evaluator but not by the rewriting");
-    }
-    for (const Constraint& ic : ics) {
-      s = program.ValidateConstraint(ic);
-      if (!s.ok()) return s;
-    }
-  }
-
-  Pipeline p;
-  Program normalized;
-  {
-    PhaseScope phase("normalize", options);
-    phase.span().SetAttr("rules_in",
-                         static_cast<int64_t>(program.rules().size()));
-    phase.span().SetAttr("ics", static_cast<int64_t>(ics.size()));
-    p.ics = NormalizeConstraints(ics);
-    Result<LocalAtomInfo> local = AnalyzeLocalAtoms(p.ics);
-    if (!local.ok()) return local.status();
-    p.local = local.take();
-
-    normalized = NormalizeProgram(program);
-    if (options.apply_fd_rewriting) {
-      normalized = ApplyFdRewriting(normalized, ExtractFds(p.ics));
-    }
-    phase.span().SetAttr("rules_out",
-                         static_cast<int64_t>(normalized.rules().size()));
-  }
-  {
-    PhaseScope phase("local_rewrite", options);
-    Result<Program> rewritten = RewriteForLocalAtoms(
-        normalized, p.ics, p.local, options.max_local_rewrite_rules);
-    if (!rewritten.ok()) return rewritten.status();
-    p.normalized = rewritten.take();
-    phase.span().SetAttr("rules_out",
-                         static_cast<int64_t>(p.normalized.rules().size()));
-  }
-  return p;
-}
-
-void RecordPipelineGauges(const SqoReport& report, const SqoOptions& options) {
-  if (options.metrics == nullptr) return;
-  MetricsRegistry* m = options.metrics;
-  m->GetGauge("sqo/adorned_preds")->Set(report.adorned_predicates);
-  m->GetGauge("sqo/adorned_rules")->Set(report.adorned_rules);
-  m->GetGauge("sqo/tree_classes")->Set(report.tree_classes);
-  m->GetGauge("sqo/surviving_classes")->Set(report.surviving_classes);
-  m->GetGauge("sqo/rewritten_rules")
-      ->Set(static_cast<int64_t>(report.rewritten.rules().size()));
-}
-
-}  // namespace
+// The monolithic pipeline became the pass manager (pass_manager.cc); the
+// entry points here are thin wrappers kept for API compatibility.
 
 Result<SqoReport> OptimizeProgram(const Program& program,
                                   const std::vector<Constraint>& ics,
                                   const SqoOptions& options) {
-  PhaseScope root("optimize", options);
-
-  Result<Pipeline> prepared = Prepare(program, ics, options);
-  if (!prepared.ok()) return prepared.status();
-  Pipeline& p = prepared.value();
-
-  SqoReport report;
-  report.normalized = p.normalized;
-  report.ics = p.ics;
-
-  AdornOptions adorn_options = options.adorn;
-  adorn_options.tracer = options.tracer;
-  AdornmentEngine engine(p.normalized, p.ics, p.local, adorn_options);
-  {
-    PhaseScope phase("adorn", options);
-    Status s = engine.Run();
-    if (!s.ok()) return s;
-    phase.span().SetAttr("passes", engine.fixpoint_passes());
-    phase.span().SetAttr("apreds", static_cast<int64_t>(engine.apreds().size()));
-    phase.span().SetAttr("arules", static_cast<int64_t>(engine.arules().size()));
-  }
-  report.adorned = engine.AdornedProgram();
-  report.adorned_predicates = static_cast<int>(engine.apreds().size());
-  report.adorned_rules = static_cast<int>(engine.arules().size());
-  report.adornment_dump = engine.ToString();
-
-  if (options.build_query_tree && p.normalized.query() != -1) {
-    QueryTree tree(engine, options.tree);
-    {
-      PhaseScope phase("tree", options);
-      Status s = tree.Build();
-      if (!s.ok()) return s;
-      report.tree_classes = static_cast<int>(tree.classes().size());
-      for (size_t c = 0; c < tree.classes().size(); ++c) {
-        if (tree.productive()[c] && tree.reachable()[c]) {
-          ++report.surviving_classes;
-        }
-      }
-      phase.span().SetAttr("goal_classes", report.tree_classes);
-      phase.span().SetAttr("surviving_classes", report.surviving_classes);
-      phase.span().SetAttr("satisfiable", tree.QuerySatisfiable() ? 1 : 0);
-    }
-    report.query_satisfiable = tree.QuerySatisfiable();
-    report.tree_dump = tree.ToString();
-    report.tree_dot = tree.ToDot();
-    report.rewritten = tree.RewrittenProgram();
-  } else {
-    report.rewritten = report.adorned;
-    report.query_satisfiable = true;  // not decided in this mode
-  }
-
-  if (options.attach_residues) {
-    PhaseScope phase("residues", options);
-    report.rewritten = ApplyClassicSqo(report.rewritten, p.ics);
-    phase.span().SetAttr("rules_out",
-                         static_cast<int64_t>(report.rewritten.rules().size()));
-  }
-  {
-    PhaseScope phase("prune", options);
-    int64_t before = static_cast<int64_t>(report.rewritten.rules().size());
-    report.rewritten = PruneUnreachable(report.rewritten);
-    phase.span().SetAttr("rules_in", before);
-    phase.span().SetAttr("rules_out",
-                         static_cast<int64_t>(report.rewritten.rules().size()));
-  }
-  RecordPipelineGauges(report, options);
-  return report;
+  PassManager manager(options);
+  return manager.Run(program, ics);
 }
 
 Result<bool> QuerySatisfiable(const Program& program,
@@ -189,25 +21,31 @@ Result<bool> QuerySatisfiable(const Program& program,
   SqoOptions opts = options;
   opts.build_query_tree = true;
   opts.attach_residues = false;
-  Result<SqoReport> report = OptimizeProgram(program, ics, opts);
-  if (!report.ok()) return report.status();
-  return report.value().query_satisfiable;
+  SQOD_ASSIGN_OR_RETURN(SqoReport report,
+                        PassManager(opts).Run(program, ics));
+  return report.query_satisfiable;
 }
 
 Result<bool> QueryReachableAtom(const Program& program,
                                 const std::vector<Constraint>& ics,
                                 const Atom& atom,
                                 const SqoOptions& options) {
-  Result<Pipeline> prepared = Prepare(program, ics, options);
-  if (!prepared.ok()) return prepared.status();
-  Pipeline& p = prepared.value();
-
-  AdornmentEngine engine(p.normalized, p.ics, p.local, options.adorn);
-  Status s = engine.Run();
-  if (!s.ok()) return s;
-  QueryTree tree(engine, options.tree);
-  s = tree.Build();
-  if (!s.ok()) return s;
+  // Reachability is decided on the query tree itself, so run the pipeline
+  // up to the tree pass and inspect the surviving classes.
+  SqoOptions opts = options;
+  opts.build_query_tree = true;
+  opts.attach_residues = false;
+  opts.disabled_passes.push_back("prune");
+  PassManager manager(opts);
+  PassContext ctx;
+  SQOD_RETURN_IF_ERROR(manager.RunInto(program, ics, &ctx));
+  if (ctx.engine == nullptr || ctx.tree == nullptr) {
+    return Status::FailedPrecondition(
+        "QueryReachableAtom requires the adorn and tree passes "
+        "(a query predicate must be set and the passes not disabled)");
+  }
+  const AdornmentEngine& engine = *ctx.engine;
+  const QueryTree& tree = *ctx.tree;
 
   FreshVarGen gen;
   for (size_t c = 0; c < tree.classes().size(); ++c) {

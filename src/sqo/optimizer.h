@@ -28,15 +28,24 @@ namespace sqod {
 
 struct SqoOptions {
   // Stop after the bottom-up phase and return P1 as the rewriting.
+  // Equivalent to disabling the "tree" pass.
   bool build_query_tree = true;
   // Attach expressible residue negations to the rewritten rules.
+  // Equivalent to disabling the "residues" pass.
   bool attach_residues = true;
   // Apply FD-based join elimination (ICs of the Theorem 5.5 shape) before
-  // the main pipeline.
+  // the main pipeline. Equivalent to disabling the "fd_rewrite" pass.
   bool apply_fd_rewriting = true;
   AdornOptions adorn;
   QueryTreeOptions tree;
   int max_local_rewrite_rules = 100000;
+
+  // Pass-pipeline configuration: names of passes to skip, on top of the
+  // legacy flags above (see PassManager::PassNames for the vocabulary).
+  // Unknown names are an error at Run time. Disabling a pass other passes
+  // depend on degrades gracefully: e.g. with "adorn" disabled the tree pass
+  // is structurally skipped and the normalized program is the rewriting.
+  std::vector<std::string> disabled_passes;
 
   // Observability hooks, optional and off by default. With an enabled
   // tracer the pipeline emits one span per phase under a "sqo.optimize"
@@ -48,11 +57,26 @@ struct SqoOptions {
   MetricsRegistry* metrics = nullptr;
 };
 
+// One entry per pipeline pass, in execution order, recording what the pass
+// manager did with it.
+struct PassRunInfo {
+  std::string name;
+  bool disabled = false;  // switched off by options / --disable-pass
+  bool skipped = false;   // structurally inapplicable (e.g. no query pred)
+  int64_t wall_ns = 0;    // 0 unless the pass ran
+  int rules_after = 0;    // size of the current program after the pass
+
+  bool ran() const { return !disabled && !skipped; }
+};
+
 struct SqoReport {
   Program normalized;   // after NormalizeProgram + local-atom rewriting
   Program adorned;      // P1
   Program rewritten;    // P' (the drop-in replacement program)
   std::vector<Constraint> ics;  // normalized ICs
+
+  // Per-pass diagnostics, one entry per pass in pipeline order.
+  std::vector<PassRunInfo> pass_runs;
 
   int adorned_predicates = 0;
   int adorned_rules = 0;
@@ -70,6 +94,12 @@ struct SqoReport {
 // are local (Section 4.2; an error cites the theorem otherwise). If the
 // program has no query predicate, the query-tree phase is skipped and P1 is
 // returned as the rewriting.
+//
+// This is a thin wrapper over the pass manager (src/sqo/pass_manager.h):
+// it runs the standard pipeline (validate, normalize, fd_rewrite,
+// local_rewrite, adorn, tree, residues, prune) honoring the option flags.
+// New code that needs per-pass control, prepared-program caching, or
+// repeated execution should use the engine layer (src/engine/engine.h).
 Result<SqoReport> OptimizeProgram(const Program& program,
                                   const std::vector<Constraint>& ics,
                                   const SqoOptions& options = {});

@@ -1,0 +1,310 @@
+#include "src/sqo/pass_manager.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/obs/trace.h"
+#include "src/sqo/fd.h"
+#include "src/sqo/preprocess.h"
+#include "src/sqo/residue.h"
+
+namespace sqod {
+
+namespace {
+
+// ------------------------------------------------------------- the passes
+
+class ValidatePass : public Pass {
+ public:
+  const char* name() const override { return "validate"; }
+
+  Status Run(PassContext& ctx) override {
+    SQOD_RETURN_IF_ERROR(ctx.program.Validate());
+    if (!ctx.program.NegationOnEdbOnly()) {
+      return Status::Unsupported(
+          "semantic query optimization requires negation on EDB predicates "
+          "only (the paper's Section 2 setting); stratified IDB negation is "
+          "supported by the evaluator but not by the rewriting");
+    }
+    for (const Constraint& ic : *ctx.input_ics) {
+      SQOD_RETURN_IF_ERROR(ctx.program.ValidateConstraint(ic));
+    }
+    return Status::Ok();
+  }
+};
+
+class NormalizePass : public Pass {
+ public:
+  const char* name() const override { return "normalize"; }
+
+  Status Run(PassContext& ctx) override {
+    ctx.span().SetAttr("rules_in",
+                       static_cast<int64_t>(ctx.program.rules().size()));
+    ctx.span().SetAttr("ics", static_cast<int64_t>(ctx.input_ics->size()));
+    ctx.ics = NormalizeConstraints(*ctx.input_ics);
+    ctx.program = NormalizeProgram(ctx.program);
+    ctx.span().SetAttr("rules_out",
+                       static_cast<int64_t>(ctx.program.rules().size()));
+    return Status::Ok();
+  }
+};
+
+class FdRewritePass : public Pass {
+ public:
+  const char* name() const override { return "fd_rewrite"; }
+
+  Status Run(PassContext& ctx) override {
+    FdRewriteReport fd_report;
+    ctx.program = ApplyFdRewriting(ctx.program, ExtractFds(ctx.ics),
+                                   &fd_report);
+    ctx.span().SetAttr("unifications", fd_report.unifications);
+    ctx.span().SetAttr("atoms_removed", fd_report.atoms_removed);
+    return Status::Ok();
+  }
+};
+
+class LocalRewritePass : public Pass {
+ public:
+  const char* name() const override { return "local_rewrite"; }
+
+  Status Run(PassContext& ctx) override {
+    SQOD_ASSIGN_OR_RETURN(ctx.local, AnalyzeLocalAtoms(ctx.ics));
+    SQOD_ASSIGN_OR_RETURN(
+        ctx.program,
+        RewriteForLocalAtoms(ctx.program, ctx.ics, ctx.local,
+                             ctx.options.max_local_rewrite_rules));
+    ctx.span().SetAttr("rules_out",
+                       static_cast<int64_t>(ctx.program.rules().size()));
+    return Status::Ok();
+  }
+};
+
+class AdornPass : public Pass {
+ public:
+  const char* name() const override { return "adorn"; }
+
+  Status Run(PassContext& ctx) override {
+    AdornOptions adorn_options = ctx.options.adorn;
+    adorn_options.tracer = ctx.options.tracer;
+    ctx.engine = std::make_unique<AdornmentEngine>(ctx.program, ctx.ics,
+                                                   ctx.local, adorn_options);
+    SQOD_RETURN_IF_ERROR(ctx.engine->Run());
+    ctx.span().SetAttr("passes", ctx.engine->fixpoint_passes());
+    ctx.span().SetAttr("apreds",
+                       static_cast<int64_t>(ctx.engine->apreds().size()));
+    ctx.span().SetAttr("arules",
+                       static_cast<int64_t>(ctx.engine->arules().size()));
+
+    SqoReport& report = ctx.report;
+    report.adorned = ctx.engine->AdornedProgram();
+    report.adorned_predicates = static_cast<int>(ctx.engine->apreds().size());
+    report.adorned_rules = static_cast<int>(ctx.engine->arules().size());
+    report.adornment_dump = ctx.engine->ToString();
+    // Default rewriting until (and unless) the tree pass refines it.
+    report.rewritten = report.adorned;
+    report.query_satisfiable = true;  // not decided without the tree
+    return Status::Ok();
+  }
+
+  const Program* Current(const PassContext& ctx) const override {
+    return &ctx.report.adorned;
+  }
+};
+
+class TreePass : public Pass {
+ public:
+  const char* name() const override { return "tree"; }
+
+  bool Applicable(const PassContext& ctx) const override {
+    return ctx.engine != nullptr && ctx.program.query() != -1;
+  }
+
+  Status Run(PassContext& ctx) override {
+    ctx.tree = std::make_unique<QueryTree>(*ctx.engine, ctx.options.tree);
+    SQOD_RETURN_IF_ERROR(ctx.tree->Build());
+
+    SqoReport& report = ctx.report;
+    report.tree_classes = static_cast<int>(ctx.tree->classes().size());
+    report.surviving_classes = 0;
+    for (size_t c = 0; c < ctx.tree->classes().size(); ++c) {
+      if (ctx.tree->productive()[c] && ctx.tree->reachable()[c]) {
+        ++report.surviving_classes;
+      }
+    }
+    ctx.span().SetAttr("goal_classes", report.tree_classes);
+    ctx.span().SetAttr("surviving_classes", report.surviving_classes);
+    ctx.span().SetAttr("satisfiable", ctx.tree->QuerySatisfiable() ? 1 : 0);
+
+    report.query_satisfiable = ctx.tree->QuerySatisfiable();
+    report.tree_dump = ctx.tree->ToString();
+    report.tree_dot = ctx.tree->ToDot();
+    report.rewritten = ctx.tree->RewrittenProgram();
+    return Status::Ok();
+  }
+
+  const Program* Current(const PassContext& ctx) const override {
+    return &ctx.report.rewritten;
+  }
+};
+
+class ResiduesPass : public Pass {
+ public:
+  const char* name() const override { return "residues"; }
+
+  Status Run(PassContext& ctx) override {
+    ctx.report.rewritten = ApplyClassicSqo(ctx.report.rewritten, ctx.ics);
+    ctx.span().SetAttr(
+        "rules_out",
+        static_cast<int64_t>(ctx.report.rewritten.rules().size()));
+    return Status::Ok();
+  }
+
+  const Program* Current(const PassContext& ctx) const override {
+    return &ctx.report.rewritten;
+  }
+};
+
+class PrunePass : public Pass {
+ public:
+  const char* name() const override { return "prune"; }
+
+  Status Run(PassContext& ctx) override {
+    ctx.span().SetAttr(
+        "rules_in",
+        static_cast<int64_t>(ctx.report.rewritten.rules().size()));
+    ctx.report.rewritten = PruneUnreachable(ctx.report.rewritten);
+    ctx.span().SetAttr(
+        "rules_out",
+        static_cast<int64_t>(ctx.report.rewritten.rules().size()));
+    return Status::Ok();
+  }
+
+  const Program* Current(const PassContext& ctx) const override {
+    return &ctx.report.rewritten;
+  }
+};
+
+void RecordPipelineGauges(const SqoReport& report, const SqoOptions& options) {
+  if (options.metrics == nullptr) return;
+  MetricsRegistry* m = options.metrics;
+  m->GetGauge("sqo/adorned_preds")->Set(report.adorned_predicates);
+  m->GetGauge("sqo/adorned_rules")->Set(report.adorned_rules);
+  m->GetGauge("sqo/tree_classes")->Set(report.tree_classes);
+  m->GetGauge("sqo/surviving_classes")->Set(report.surviving_classes);
+  m->GetGauge("sqo/rewritten_rules")
+      ->Set(static_cast<int64_t>(report.rewritten.rules().size()));
+}
+
+}  // namespace
+
+bool Pass::Applicable(const PassContext&) const { return true; }
+
+const Program* Pass::Current(const PassContext& ctx) const {
+  return &ctx.program;
+}
+
+PassManager::PassManager(SqoOptions options) : options_(std::move(options)) {
+  passes_.push_back(std::make_unique<ValidatePass>());
+  passes_.push_back(std::make_unique<NormalizePass>());
+  passes_.push_back(std::make_unique<FdRewritePass>());
+  passes_.push_back(std::make_unique<LocalRewritePass>());
+  passes_.push_back(std::make_unique<AdornPass>());
+  passes_.push_back(std::make_unique<TreePass>());
+  passes_.push_back(std::make_unique<ResiduesPass>());
+  passes_.push_back(std::make_unique<PrunePass>());
+}
+
+PassManager::~PassManager() = default;
+
+const std::vector<std::string>& PassManager::PassNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "validate",  "normalize", "fd_rewrite", "local_rewrite",
+      "adorn",     "tree",      "residues",   "prune"};
+  return *names;
+}
+
+bool PassManager::IsDisabled(const std::string& name) const {
+  if (name == "fd_rewrite" && !options_.apply_fd_rewriting) return true;
+  if (name == "tree" && !options_.build_query_tree) return true;
+  if (name == "residues" && !options_.attach_residues) return true;
+  const std::vector<std::string>& disabled = options_.disabled_passes;
+  return std::find(disabled.begin(), disabled.end(), name) != disabled.end();
+}
+
+Result<SqoReport> PassManager::Run(const Program& program,
+                                   const std::vector<Constraint>& ics) {
+  PassContext ctx;
+  SQOD_RETURN_IF_ERROR(RunInto(program, ics, &ctx));
+  return std::move(ctx.report);
+}
+
+Status PassManager::RunInto(const Program& program,
+                            const std::vector<Constraint>& ics,
+                            PassContext* ctx) {
+  const std::vector<std::string>& known = PassNames();
+  for (const std::string& name : options_.disabled_passes) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      std::string all;
+      for (const std::string& k : known) {
+        if (!all.empty()) all += ", ";
+        all += k;
+      }
+      return Status::InvalidArgument("unknown pass \"" + name +
+                                     "\" in disabled_passes (passes: " + all +
+                                     ")");
+    }
+  }
+
+  ctx->input = &program;
+  ctx->input_ics = &ics;
+  ctx->options = options_;
+  ctx->program = program;
+  ctx->ics = ics;
+
+  Tracer* tracer = options_.tracer;
+  const bool tracing = tracer != nullptr && tracer->enabled();
+  Span root;
+  if (tracing) root = tracer->StartSpan("sqo.optimize");
+
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    PassRunInfo info;
+    info.name = pass->name();
+    if (IsDisabled(info.name)) {
+      info.disabled = true;
+    } else if (!pass->Applicable(*ctx)) {
+      info.skipped = true;
+    } else {
+      Span span;
+      if (tracing) span = tracer->StartSpan("sqo." + info.name);
+      ctx->active_span = &span;
+      const int64_t t0 = NowNs();
+      Status s = pass->Run(*ctx);
+      info.wall_ns = NowNs() - t0;
+      ctx->active_span = nullptr;
+      if (options_.metrics != nullptr) {
+        options_.metrics->GetGauge("sqo/phase/" + info.name + "_ns")
+            ->Set(info.wall_ns);
+      }
+      if (!s.ok()) return s;
+    }
+    info.rules_after = static_cast<int>(pass->Current(*ctx)->rules().size());
+    ctx->report.pass_runs.push_back(std::move(info));
+
+    // Boundary bookkeeping: after the pre-adornment stages the current
+    // program is the report's "normalized" artifact; if adornment did not
+    // run, it is also the final rewriting that later passes refine.
+    if (std::strcmp(pass->name(), "local_rewrite") == 0) {
+      ctx->report.normalized = ctx->program;
+      ctx->report.ics = ctx->ics;
+    } else if (std::strcmp(pass->name(), "adorn") == 0 &&
+               ctx->engine == nullptr) {
+      ctx->report.rewritten = ctx->program;
+      ctx->report.query_satisfiable = true;
+    }
+  }
+
+  RecordPipelineGauges(ctx->report, options_);
+  return Status::Ok();
+}
+
+}  // namespace sqod

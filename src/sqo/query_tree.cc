@@ -109,7 +109,7 @@ Status QueryTree::Build() {
 
   const Program& program = engine_.program();
   if (program.query() == -1) {
-    return Status::Error("query tree requires a query predicate (?- q.)");
+    return Status::FailedPrecondition("query tree requires a query predicate (?- q.)");
   }
   int arity = program.Arity(program.query());
 
@@ -130,7 +130,7 @@ Status QueryTree::Build() {
 
   while (!worklist.empty()) {
     if (static_cast<int>(classes_.size()) > options_.max_classes) {
-      return Status::Error("query tree exceeded max_classes=" +
+      return Status::ResourceExhausted("query tree exceeded max_classes=" +
                            std::to_string(options_.max_classes));
     }
     int id = worklist.back();

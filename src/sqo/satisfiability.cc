@@ -187,9 +187,9 @@ Result<bool> SatisfiableChaseCase(const Rule& rule,
     case ChaseResult::kSatisfiable: return true;
     case ChaseResult::kUnsatisfiable: return false;
     case ChaseResult::kResourceLimit:
-      return Status::Error("chase exceeded its step budget");
+      return Status::ResourceExhausted("chase exceeded its step budget");
   }
-  return Status::Error("unreachable");
+  return Status::Internal("unreachable");
 }
 
 }  // namespace
@@ -203,13 +203,13 @@ Result<bool> RuleBodySatisfiable(const Rule& rule,
   const bool ics_negated = AnyNegated(ics);
   const bool ics_order = AnyOrder(ics);
   if (ics_negated && ics_order) {
-    return Status::Error(
+    return Status::Unsupported(
         "ICs mixing order atoms and negation are not supported "
         "(Theorem 5.2(4): EXPSPACE; out of scope)");
   }
   if (ics_negated) {
     if (!normalized.comparisons.empty()) {
-      return Status::Error(
+      return Status::Unsupported(
           "a body with order atoms cannot be checked against {not}-ICs "
           "(undecidable in general, Theorem 5.5)");
     }

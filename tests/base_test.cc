@@ -29,6 +29,34 @@ TEST(StatusTest, WithContextOnOkIsNoop) {
   EXPECT_TRUE(s.ok());
 }
 
+TEST(StatusTest, CodesFromNamedConstructors) {
+  EXPECT_EQ(Status::Ok().code(), StatusCode::kOk);
+  EXPECT_EQ(Status::Error("e").code(), StatusCode::kUnknown);
+  EXPECT_EQ(Status::InvalidArgument("e").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::Unsupported("e").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::ResourceExhausted("e").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::FailedPrecondition("e").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("e").code(), StatusCode::kInternal);
+  EXPECT_FALSE(Status::InvalidArgument("e").ok());
+}
+
+TEST(StatusTest, WithContextPreservesCode) {
+  Status s = Status::ResourceExhausted("boom").WithContext("adorn");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.message(), "adorn: boom");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnknown), "UNKNOWN");
+}
+
 TEST(ResultTest, HoldsValue) {
   Result<int> r = 42;
   ASSERT_TRUE(r.ok());
@@ -45,6 +73,58 @@ TEST(ResultTest, TakeMoves) {
   Result<std::string> r = std::string("hello");
   std::string s = r.take();
   EXPECT_EQ(s, "hello");
+}
+
+TEST(ResultTest, RvalueValueMovesOut) {
+  // `.value()` on a temporary Result moves instead of copying, so the
+  // common `F(...).value()` pattern costs the same as `.take()`.
+  auto make = [] { return Result<std::string>(std::string(1000, 'x')); };
+  std::string s = make().value();
+  EXPECT_EQ(s.size(), 1000u);
+
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> moved = std::move(r).value();
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+TEST(ResultTest, ConstAccessDoesNotMove) {
+  const Result<std::string> r = std::string("hello");
+  std::string copy = r.value();  // copies; the result stays intact
+  EXPECT_EQ(copy, "hello");
+  EXPECT_EQ(r.value(), "hello");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status CheckBoth(int a, int b) {
+  SQOD_RETURN_IF_ERROR(ParsePositive(a));
+  SQOD_RETURN_IF_ERROR(ParsePositive(b));
+  return Status::Ok();
+}
+
+Result<int> SumBoth(int a, int b) {
+  SQOD_ASSIGN_OR_RETURN(int x, ParsePositive(a));
+  SQOD_ASSIGN_OR_RETURN(int y, ParsePositive(b));
+  return x + y;
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(CheckBoth(1, 2).ok());
+  Status s = CheckBoth(1, -2);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusMacroTest, AssignOrReturnBindsAndPropagates) {
+  Result<int> ok = SumBoth(2, 3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  Result<int> bad = SumBoth(-1, 3);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(InternerTest, InternIsIdempotent) {

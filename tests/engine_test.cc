@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "src/engine/engine.h"
+#include "src/sqo/pass_manager.h"
+#include "src/workload/programs.h"
+
+namespace sqod {
+namespace {
+
+constexpr const char* kFigure1 = R"(
+  p(X, Y) :- a(X, Y).
+  p(X, Y) :- b(X, Y).
+  p(X, Y) :- a(X, Z), p(Z, Y).
+  p(X, Y) :- b(X, Z), p(Z, Y).
+  :- a(X, Y), b(Y, Z).
+  b(1, 2). b(2, 3). a(3, 4). a(4, 5).
+  ?- p.
+)";
+
+int64_t Hits(Engine& engine) {
+  return engine.metrics().GetCounter("engine/prepare_cache_hits")->value();
+}
+int64_t Misses(Engine& engine) {
+  return engine.metrics().GetCounter("engine/prepare_cache_misses")->value();
+}
+int64_t PipelineRuns(Engine& engine) {
+  return engine.metrics().GetCounter("engine/pipeline_runs")->value();
+}
+
+TEST(EngineTest, OpenParsesSourceIntoSession) {
+  Engine engine;
+  Result<Session> opened = engine.Open(kFigure1);
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  Session& session = opened.value();
+  EXPECT_EQ(session.program().rules().size(), 4u);
+  EXPECT_EQ(session.ics().size(), 1u);
+  EXPECT_EQ(session.facts().size(), 4u);
+  EXPECT_EQ(session.MakeEdb().TotalTuples(), 4);
+  EXPECT_EQ(
+      engine.metrics().GetCounter("engine/sessions_opened")->value(), 1);
+}
+
+TEST(EngineTest, OpenSurfacesParseErrorsAsInvalidArgument) {
+  Engine engine;
+  Result<Session> opened = engine.Open("p(X :- q(X).");
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, PrepareCachesSecondCallIsAHit) {
+  Engine engine;
+  Session session = engine.Open(kFigure1).take();
+
+  Result<const PreparedProgram*> first = session.Prepare();
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  EXPECT_EQ(Hits(engine), 0);
+  EXPECT_EQ(Misses(engine), 1);
+  EXPECT_EQ(PipelineRuns(engine), 1);
+
+  Result<const PreparedProgram*> second = session.Prepare();
+  ASSERT_TRUE(second.ok());
+  // Same program/ICs/options: exactly one pass-pipeline run, the second
+  // Prepare is a pure cache hit returning the same prepared program.
+  EXPECT_EQ(second.value(), first.value());
+  EXPECT_EQ(Hits(engine), 1);
+  EXPECT_EQ(Misses(engine), 1);
+  EXPECT_EQ(PipelineRuns(engine), 1);
+  EXPECT_EQ(session.cache_size(), 1u);
+}
+
+TEST(EngineTest, PrepareCacheKeysOnOptions) {
+  Engine engine;
+  Session session = engine.Open(kFigure1).take();
+
+  const PreparedProgram* full = session.Prepare().value();
+  SqoOptions no_residues;
+  no_residues.attach_residues = false;
+  const PreparedProgram* bare = session.Prepare(no_residues).value();
+  EXPECT_NE(full, bare);
+  EXPECT_NE(full->cache_key, bare->cache_key);
+  EXPECT_EQ(Misses(engine), 2);
+  EXPECT_EQ(session.cache_size(), 2u);
+
+  // Disabling the residues pass by name lands on the same semantics but is
+  // a distinct fingerprint — a separate cache entry, not a collision.
+  SqoOptions by_name;
+  by_name.disabled_passes.push_back("residues");
+  const PreparedProgram* by_name_prepared = session.Prepare(by_name).value();
+  EXPECT_NE(by_name_prepared, bare);
+  EXPECT_EQ(by_name_prepared->report.rewritten.rules().size(),
+            bare->report.rewritten.rules().size());
+  EXPECT_EQ(by_name_prepared->report.surviving_classes,
+            bare->report.surviving_classes);
+
+  // Re-preparing each distinct configuration hits its own entry.
+  EXPECT_EQ(session.Prepare(no_residues).value(), bare);
+  EXPECT_EQ(Hits(engine), 1);
+}
+
+TEST(EngineTest, ExecuteMatchesOriginalOnConsistentDatabase) {
+  Engine engine;
+  Session session = engine.Open(kFigure1).take();
+  const PreparedProgram* prepared = session.Prepare().value();
+  Database edb = session.MakeEdb();
+
+  auto original = session.ExecuteOriginal(edb).take();
+  auto rewritten = session.Execute(*prepared, edb).take();
+  EXPECT_FALSE(original.empty());
+  EXPECT_EQ(original, rewritten);
+  EXPECT_EQ(engine.metrics().GetCounter("engine/executions")->value(), 2);
+
+  // Repeated execution over the cached plan: no new pipeline runs.
+  auto again = session.Execute(*prepared, edb).take();
+  EXPECT_EQ(again, rewritten);
+  EXPECT_EQ(PipelineRuns(engine), 1);
+}
+
+TEST(EngineTest, PrepareSurfacesUnsupportedPrograms) {
+  // IDB negation is outside the rewriting's theory: kUnsupported, so a
+  // server can fall back to plain evaluation instead of failing the query.
+  Engine engine;
+  Session session = engine
+                        .Open(R"(
+                          q(X) :- e(X, Y).
+                          p(X) :- e(X, Y), !q(Y).
+                          ?- p.
+                        )")
+                        .take();
+  Result<const PreparedProgram*> prepared = session.Prepare();
+  ASSERT_FALSE(prepared.ok());
+  EXPECT_EQ(prepared.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(EngineTest, PrepareSurfacesResourceLimits) {
+  Engine engine;
+  Session session =
+      engine.Open(MakeAbClosureProgram(), {MakeAbIc()}).take();
+  SqoOptions tiny;
+  tiny.adorn.max_adorned_preds = 1;
+  Result<const PreparedProgram*> prepared = session.Prepare(tiny);
+  ASSERT_FALSE(prepared.ok());
+  EXPECT_EQ(prepared.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EngineTest, PrepareRejectsUnknownDisabledPass) {
+  Engine engine;
+  Session session = engine.Open(kFigure1).take();
+  SqoOptions options;
+  options.disabled_passes.push_back("no_such_pass");
+  Result<const PreparedProgram*> prepared = session.Prepare(options);
+  ASSERT_FALSE(prepared.ok());
+  EXPECT_EQ(prepared.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, ExternalMetricsRegistryReceivesEngineCounters) {
+  MetricsRegistry metrics;
+  EngineOptions options;
+  options.metrics = &metrics;
+  Engine engine(options);
+  Session session = engine.Open(kFigure1).take();
+  session.Prepare().value();
+  session.Prepare().value();
+  EXPECT_EQ(metrics.GetCounter("engine/prepare_cache_hits")->value(), 1);
+  EXPECT_EQ(metrics.GetCounter("engine/prepare_cache_misses")->value(), 1);
+  // The pipeline's own gauges landed in the same registry.
+  EXPECT_GT(metrics.gauges().count("sqo/phase/adorn_ns"), 0u);
+}
+
+TEST(EngineTest, ClearCacheForcesReoptimization) {
+  Engine engine;
+  Session session = engine.Open(kFigure1).take();
+  session.Prepare().value();
+  session.ClearCache();
+  EXPECT_EQ(session.cache_size(), 0u);
+  session.Prepare().value();
+  EXPECT_EQ(Misses(engine), 2);
+  EXPECT_EQ(PipelineRuns(engine), 2);
+}
+
+TEST(EngineTest, SessionsAreIndependent) {
+  Engine engine;
+  Session a = engine.Open(kFigure1).take();
+  Session b = engine.Open(MakeAbClosureProgram(), {MakeAbIc()}).take();
+  a.Prepare().value();
+  b.Prepare().value();
+  EXPECT_EQ(a.cache_size(), 1u);
+  EXPECT_EQ(b.cache_size(), 1u);
+  EXPECT_EQ(Misses(engine), 2);
+}
+
+}  // namespace
+}  // namespace sqod
