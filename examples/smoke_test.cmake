@@ -127,4 +127,50 @@ if(POS EQUAL -1)
   message(FATAL_ERROR "expected INVALID_ARGUMENT in stderr:\n${STDERR}")
 endif()
 
+# --serve-batch pushes the same unit through the concurrent QueryService:
+# all requests succeed with matching answers, and the stats must show the
+# single-flight guarantee (8 requests, 1 optimizer pipeline run) plus the
+# per-request latency histograms.
+set(SERVE_STATS "${WORK_DIR}/smoke_serve_stats.json")
+execute_process(
+  COMMAND "${SQO_CLI}" --serve-batch --threads=4 --requests=8
+          "--stats-json=${SERVE_STATS}" "${INPUT}"
+  OUTPUT_VARIABLE STDOUT
+  ERROR_VARIABLE STDERR
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR
+      "sqo_cli --serve-batch failed (rc=${RC}):\n${STDOUT}\n${STDERR}")
+endif()
+foreach(needle
+    "ok=8 rejected=0 cancelled=0 deadline_exceeded=0 failed=0"
+    "(all match: yes)"
+    "queue_wait p50=")
+  string(FIND "${STDOUT}" "${needle}" POS)
+  if(POS EQUAL -1)
+    message(FATAL_ERROR
+        "missing '${needle}' in serve-batch output:\n${STDOUT}")
+  endif()
+endforeach()
+execute_process(
+  COMMAND "${SQO_CLI}" "--check-json=${SERVE_STATS}"
+  ERROR_VARIABLE CHECK_ERR
+  RESULT_VARIABLE CHECK_RC)
+if(NOT CHECK_RC EQUAL 0)
+  message(FATAL_ERROR "invalid JSON in ${SERVE_STATS}: ${CHECK_ERR}")
+endif()
+file(READ "${SERVE_STATS}" SERVE_TEXT)
+foreach(needle
+    "service/requests_accepted\":8"
+    "service/requests_completed\":8"
+    "engine/pipeline_runs\":1"
+    "engine/sessions_opened\":1"
+    "service/queue_wait_ns"
+    "service/execute_ns")
+  string(FIND "${SERVE_TEXT}" "${needle}" POS)
+  if(POS EQUAL -1)
+    message(FATAL_ERROR "missing '${needle}' in ${SERVE_STATS}:\n${SERVE_TEXT}")
+  endif()
+endforeach()
+
 message(STATUS "sqo_cli smoke test passed")

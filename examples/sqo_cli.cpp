@@ -9,6 +9,9 @@
 //   usage: sqo_cli [--p1] [--tree] [--dot] [--adornments] [--eval]
 //                  [--profile] [--passes] [--disable-pass=NAME ...]
 //                  [--reprepare] [--trace=FILE] [--stats-json=FILE] <file|->
+//          sqo_cli --serve-batch [--threads=N] [--requests=R]
+//                  [--deadline-ms=D] [--max-queue=Q] [--stats-json=FILE]
+//                  <file|->
 //          sqo_cli --list-passes
 //          sqo_cli --check-json=FILE
 //
@@ -34,10 +37,22 @@
 //     --stats-json=FILE  write all collected metrics as JSON
 //     --check-json=FILE  validate FILE with the built-in minimal JSON
 //                   parser and exit (0 = valid); used by the smoke test
+//     --serve-batch run the unit through the concurrent QueryService:
+//                   submit --requests=R copies (default 8) onto
+//                   --threads=N workers (default 4) with an admission
+//                   queue of --max-queue=Q (default 256) and a per-request
+//                   deadline of --deadline-ms=D (default none), then print
+//                   the outcome counts and latency percentiles. Identical
+//                   requests share one session, so the optimizer pipeline
+//                   runs exactly once (engine/pipeline_runs in
+//                   --stats-json). Tracing is unavailable here: the span
+//                   collector is single-threaded by design.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -49,6 +64,7 @@
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/service/query_service.h"
 #include "src/sqo/pass_manager.h"
 
 namespace {
@@ -85,7 +101,9 @@ int main(int argc, char** argv) {
 
   bool show_p1 = false, show_tree = false, show_dot = false,
        show_adornments = false, do_eval = false, do_profile = false,
-       show_passes = false, reprepare = false;
+       show_passes = false, reprepare = false, serve_batch = false;
+  int threads = 4, requests = 8;
+  long long deadline_ms = -1, max_queue = 256;
   std::string trace_path, stats_json_path;
   std::vector<std::string> disabled_passes;
   const char* path = nullptr;
@@ -113,6 +131,16 @@ int main(int argc, char** argv) {
       disabled_passes.push_back(argv[i] + 15);
     } else if (std::strcmp(argv[i], "--reprepare") == 0) {
       reprepare = true;
+    } else if (std::strcmp(argv[i], "--serve-batch") == 0) {
+      serve_batch = true;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--requests=", 11) == 0) {
+      requests = std::atoi(argv[i] + 11);
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      deadline_ms = std::atoll(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--max-queue=", 12) == 0) {
+      max_queue = std::atoll(argv[i] + 12);
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--stats-json=", 13) == 0) {
@@ -138,6 +166,93 @@ int main(int argc, char** argv) {
                  "       %s --check-json=FILE\n",
                  argv[0], argv[0], argv[0]);
     return 2;
+  }
+
+  if (serve_batch) {
+    // Serve-batch mode: feed the unit through the concurrent QueryService.
+    // Every request shares one parsed session and one optimizer pipeline run
+    // (single-flight), but evaluates on its own EDB copy.
+    MetricsRegistry metrics;
+    ServiceOptions service_options;
+    service_options.threads = threads;
+    service_options.max_queue = static_cast<size_t>(max_queue);
+    service_options.metrics = &metrics;
+    QueryService service(service_options);
+
+    const std::string source = ReadAll(path);
+    std::vector<std::future<Response>> futures;
+    futures.reserve(static_cast<size_t>(requests));
+    for (int i = 0; i < requests; ++i) {
+      Request request;
+      request.source = source;
+      request.sqo.disabled_passes = disabled_passes;
+      request.deadline_ms = deadline_ms;
+      futures.push_back(service.Submit(std::move(request)));
+    }
+
+    int ok = 0, rejected = 0, cancelled = 0, deadline_exceeded = 0,
+        failed = 0;
+    size_t answers = 0;
+    bool all_match = true, have_answers = false;
+    std::vector<Tuple> first_answers;
+    for (std::future<Response>& future : futures) {
+      Response response = future.get();
+      switch (response.status.code()) {
+        case StatusCode::kOk:
+          ++ok;
+          if (!have_answers) {
+            first_answers = response.answers;
+            answers = first_answers.size();
+            have_answers = true;
+          } else if (response.answers != first_answers) {
+            all_match = false;
+          }
+          break;
+        case StatusCode::kResourceExhausted:
+          ++rejected;
+          break;
+        case StatusCode::kCancelled:
+          ++cancelled;
+          break;
+        case StatusCode::kDeadlineExceeded:
+          ++deadline_exceeded;
+          break;
+        default:
+          ++failed;
+          std::fprintf(stderr, "request failed [%s]: %s\n",
+                       StatusCodeName(response.status.code()),
+                       response.status.message().c_str());
+          break;
+      }
+    }
+    service.Shutdown();
+
+    std::printf("%% serve-batch: threads=%d max_queue=%lld requests=%d "
+                "deadline_ms=%lld\n",
+                threads, max_queue, requests, deadline_ms);
+    std::printf("%% serve-batch: ok=%d rejected=%d cancelled=%d "
+                "deadline_exceeded=%d failed=%d\n",
+                ok, rejected, cancelled, deadline_exceeded, failed);
+    if (have_answers) {
+      std::printf("%% serve-batch: answers=%zu (all match: %s)\n", answers,
+                  all_match ? "yes" : "NO");
+    }
+    HistogramSnapshot queue_wait =
+        metrics.GetHistogram("service/queue_wait_ns")->Snapshot();
+    HistogramSnapshot execute =
+        metrics.GetHistogram("service/execute_ns")->Snapshot();
+    std::printf("%% serve-batch: queue_wait p50=%s max=%s  "
+                "execute p50=%s max=%s\n",
+                FormatDurationNs(queue_wait.Percentile(0.5)).c_str(),
+                FormatDurationNs(queue_wait.max).c_str(),
+                FormatDurationNs(execute.Percentile(0.5)).c_str(),
+                FormatDurationNs(execute.max).c_str());
+
+    if (!stats_json_path.empty() &&
+        !WriteAll(stats_json_path, ExportMetricsJson(metrics))) {
+      return 2;
+    }
+    return ok == requests && all_match ? 0 : 1;
   }
 
   // The observability layer: spans when tracing or profiling was requested,

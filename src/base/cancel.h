@@ -1,0 +1,30 @@
+#ifndef SQOD_BASE_CANCEL_H_
+#define SQOD_BASE_CANCEL_H_
+
+#include <atomic>
+
+namespace sqod {
+
+// A one-way cancellation flag shared between a request's submitter and the
+// worker executing it. Cancel() may be called from any thread, any number
+// of times; cancelled() is a cheap acquire load safe to poll from hot
+// loops. Cancellation is cooperative: the evaluator checks the token at
+// iteration boundaries and unwinds with StatusCode::kCancelled.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace sqod
+
+#endif  // SQOD_BASE_CANCEL_H_

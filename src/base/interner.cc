@@ -1,26 +1,37 @@
 #include "src/base/interner.h"
 
+#include <mutex>
+
 #include "src/base/check.h"
 
 namespace sqod {
 
 SymbolId StringInterner::Intern(std::string_view s) {
-  auto it = ids_.find(std::string(s));
+  std::string key(s);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(key);
   if (it != ids_.end()) return it->second;
   SymbolId id = static_cast<SymbolId>(names_.size());
-  names_.emplace_back(s);
-  ids_.emplace(names_.back(), id);
+  names_.push_back(key);
+  ids_.emplace(std::move(key), id);
   return id;
 }
 
 SymbolId StringInterner::Find(std::string_view s) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(std::string(s));
   return it == ids_.end() ? -1 : it->second;
 }
 
 const std::string& StringInterner::Name(SymbolId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   SQOD_CHECK(id >= 0 && id < static_cast<SymbolId>(names_.size()));
   return names_[id];
+}
+
+int StringInterner::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return static_cast<int>(names_.size());
 }
 
 StringInterner& GlobalStrings() {

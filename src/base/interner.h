@@ -2,19 +2,22 @@
 #define SQOD_BASE_INTERNER_H_
 
 #include <cstdint>
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace sqod {
 
 // Dense integer id for an interned string.
 using SymbolId = int32_t;
 
-// Bidirectional string <-> dense-id table. Not thread-safe; the library is
-// single-threaded by design (the evaluator parallelism knob, if ever added,
-// would shard databases, not symbols).
+// Bidirectional string <-> dense-id table. Thread-safe: Intern takes an
+// exclusive lock, Find/Name/size take shared locks, so concurrent sessions
+// may parse/optimize (which interns new adorned predicate names) while
+// worker threads evaluate (which reads names). Names live in a deque, so
+// the reference returned by Name stays valid across later Interns.
 class StringInterner {
  public:
   StringInterner() = default;
@@ -27,14 +30,16 @@ class StringInterner {
   // Returns the id for `s` or -1 if it was never interned.
   SymbolId Find(std::string_view s) const;
 
-  // Returns the string for a previously interned id.
+  // Returns the string for a previously interned id. The reference is
+  // stable for the interner's lifetime.
   const std::string& Name(SymbolId id) const;
 
-  int size() const { return static_cast<int>(names_.size()); }
+  int size() const;
 
  private:
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, SymbolId> ids_;
-  std::vector<std::string> names_;
+  std::deque<std::string> names_;
 };
 
 // Process-wide interner used for symbolic constants, predicate names and

@@ -32,6 +32,11 @@ enum class StatusCode {
   kInternal = 5,
   // Errors created before codes existed or with no better class.
   kUnknown = 6,
+  // A per-request deadline expired before the work completed (serving
+  // layer; checked cooperatively at evaluator iteration boundaries).
+  kDeadlineExceeded = 7,
+  // The caller cancelled the request via a CancelToken before completion.
+  kCancelled = 8,
 };
 
 // Short stable name for a code, e.g. "INVALID_ARGUMENT".
@@ -72,6 +77,12 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Error(StatusCode::kInternal, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Error(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Error(StatusCode::kCancelled, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,7 @@
 #include "src/engine/session.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/engine/engine.h"
 #include "src/sqo/pass_manager.h"
@@ -21,7 +22,9 @@ uint64_t Fnv1a64(const std::string& s) {
 }  // namespace
 
 Session::Session(Engine* engine, ParsedUnit unit)
-    : engine_(engine), unit_(std::move(unit)) {}
+    : engine_(engine),
+      unit_(std::move(unit)),
+      cache_(std::make_unique<PrepareCache>()) {}
 
 Database Session::MakeEdb() const {
   Database edb;
@@ -62,20 +65,52 @@ std::string Session::Fingerprint(const SqoOptions& options) const {
 Result<const PreparedProgram*> Session::Prepare(const SqoOptions& options) {
   MetricsRegistry& metrics = engine_->metrics();
   std::string fp = Fingerprint(options);
-  auto it = cache_.find(fp);
-  if (it != cache_.end()) {
-    metrics.GetCounter("engine/prepare_cache_hits")->Increment();
-    return const_cast<const PreparedProgram*>(it->second.get());
+
+  // Claim or join the cache slot for this fingerprint. Exactly one caller
+  // (the one that created the slot) runs the pipeline; everyone else either
+  // returns the published plan immediately or blocks on the in-flight run.
+  std::shared_ptr<CacheEntry> entry;
+  bool owner = false;
+  {
+    std::unique_lock<std::mutex> lock(cache_->mu);
+    std::shared_ptr<CacheEntry>& slot = cache_->entries[fp];
+    if (slot == nullptr) {
+      slot = std::make_shared<CacheEntry>();
+      owner = true;
+    }
+    entry = slot;
+    if (!owner) {
+      if (!entry->done) {
+        metrics.GetCounter("engine/prepare_single_flight_waits")->Increment();
+        cache_->cv.wait(lock, [&] { return entry->done; });
+      }
+      if (entry->prepared != nullptr) {
+        metrics.GetCounter("engine/prepare_cache_hits")->Increment();
+        return const_cast<const PreparedProgram*>(entry->prepared.get());
+      }
+      // The in-flight run failed; its slot has been removed, so a later
+      // Prepare retries from scratch.
+      return entry->status;
+    }
   }
+
   metrics.GetCounter("engine/prepare_cache_misses")->Increment();
+  metrics.GetCounter("engine/pipeline_runs")->Increment();
 
   SqoOptions run_options = options;
   if (run_options.tracer == nullptr) run_options.tracer = engine_->tracer();
   if (run_options.metrics == nullptr) run_options.metrics = &metrics;
-  metrics.GetCounter("engine/pipeline_runs")->Increment();
   PassManager manager(run_options);
-  SQOD_ASSIGN_OR_RETURN(SqoReport report,
-                        manager.Run(unit_.program, unit_.constraints));
+  Result<SqoReport> report = manager.Run(unit_.program, unit_.constraints);
+
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  if (!report.ok()) {
+    entry->done = true;
+    entry->status = report.status();
+    cache_->entries.erase(fp);
+    cache_->cv.notify_all();
+    return report.status();
+  }
 
   auto prepared = std::make_unique<PreparedProgram>();
   prepared->cache_key = Fnv1a64(fp);
@@ -83,12 +118,24 @@ Result<const PreparedProgram*> Session::Prepare(const SqoOptions& options) {
   prepared->options.tracer = nullptr;
   prepared->options.metrics = nullptr;
   prepared->options.adorn.tracer = nullptr;
-  prepared->report = std::move(report);
+  prepared->report = std::move(report).value();
   const PreparedProgram* result = prepared.get();
-  cache_.emplace(std::move(fp), std::move(prepared));
+  entry->prepared = std::move(prepared);
+  entry->done = true;
+  cache_->cv.notify_all();
   metrics.GetGauge("engine/prepared_programs")
-      ->Set(static_cast<int64_t>(cache_.size()));
+      ->Set(static_cast<int64_t>(cache_->entries.size()));
   return result;
+}
+
+size_t Session::cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  return cache_->entries.size();
+}
+
+void Session::ClearCache() {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  cache_->entries.clear();
 }
 
 Result<std::vector<Tuple>> Session::Run(const Program& program,

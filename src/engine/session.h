@@ -1,8 +1,10 @@
 #ifndef SQOD_ENGINE_SESSION_H_
 #define SQOD_ENGINE_SESSION_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,7 +20,8 @@ class Engine;
 
 // An optimized program, ready for repeated execution. Owned by the session
 // that prepared it; pointers returned by Session::Prepare stay valid for
-// the session's lifetime (or until ClearCache).
+// the session's lifetime (or until ClearCache). Immutable once published,
+// so any number of threads may Execute against it concurrently.
 struct PreparedProgram {
   // FNV-1a hash of the canonical fingerprint (program text + ICs + the
   // semantically relevant SqoOptions fields); the cache key.
@@ -36,6 +39,21 @@ struct PreparedProgram {
 // One loaded datalog unit (program + ICs + optional facts) with a cache of
 // prepared (optimized) programs. Sessions are movable but not copyable,
 // and must not outlive the Engine that opened them.
+//
+// Thread-safety contract (the serving layer depends on it):
+//  * Prepare is safe to call from any number of threads and is
+//    single-flight per fingerprint: N concurrent calls with the same
+//    (program, ICs, options) fingerprint run the pass pipeline exactly
+//    once — one caller optimizes while the rest block on the in-flight
+//    entry and then share the published PreparedProgram (observable as
+//    engine/pipeline_runs == 1). Failed runs are not cached; a later
+//    Prepare retries.
+//  * Execute / ExecuteOriginal / MakeEdb are safe concurrently, provided
+//    each thread evaluates against its own Database (Relation builds join
+//    indexes lazily, so sharing one mutable Database across evaluating
+//    threads is a data race — give every request its own MakeEdb()).
+//  * ClearCache invalidates the pointers Prepare returned and must not
+//    run concurrently with Prepare or with threads still holding them.
 class Session {
  public:
   Session(Session&&) = default;
@@ -51,8 +69,10 @@ class Session {
   // Runs the optimizer pipeline once per distinct (program, ICs, options)
   // fingerprint and caches the result: preparing the same query twice is a
   // cache hit that performs zero re-optimization. Hit/miss counts land in
-  // the engine's MetricsRegistry ("engine/prepare_cache_{hits,misses}").
-  // The returned pointer is owned by the session.
+  // the engine's MetricsRegistry ("engine/prepare_cache_{hits,misses}");
+  // callers that blocked on another thread's in-flight run also count as
+  // hits, plus "engine/prepare_single_flight_waits". The returned pointer
+  // is owned by the session.
   Result<const PreparedProgram*> Prepare(const SqoOptions& options = {});
 
   // Evaluates the prepared (rewritten) program against `edb` and returns
@@ -70,15 +90,33 @@ class Session {
       EvalStats* stats = nullptr,
       std::vector<RuleProfile>* profiles = nullptr);
 
-  // Number of distinct prepared programs cached.
-  size_t cache_size() const { return cache_.size(); }
+  // Number of distinct prepared programs cached (in-flight ones included).
+  size_t cache_size() const;
 
   // Drops all cached prepared programs (invalidates Prepare pointers).
-  void ClearCache() { cache_.clear(); }
+  void ClearCache();
 
  private:
   friend class Engine;
   Session(Engine* engine, ParsedUnit unit);
+
+  // One cache slot. `done` flips exactly once, under the cache mutex; on
+  // success `prepared` is set, on failure `status` carries the error and
+  // the slot is removed from the map (waiters still hold the shared_ptr).
+  struct CacheEntry {
+    bool done = false;
+    Status status;
+    std::unique_ptr<PreparedProgram> prepared;
+  };
+
+  // The mutex/cv live behind a unique_ptr so the Session stays movable.
+  struct PrepareCache {
+    std::mutex mu;
+    std::condition_variable cv;
+    // Keyed by the full fingerprint (not its hash), so colliding hashes
+    // can never alias two plans.
+    std::unordered_map<std::string, std::shared_ptr<CacheEntry>> entries;
+  };
 
   // The canonical fingerprint string hashed into the cache key.
   std::string Fingerprint(const SqoOptions& options) const;
@@ -89,9 +127,7 @@ class Session {
 
   Engine* engine_;
   ParsedUnit unit_;
-  // Keyed by the full fingerprint (not its hash), so colliding hashes can
-  // never alias two plans.
-  std::unordered_map<std::string, std::unique_ptr<PreparedProgram>> cache_;
+  std::unique_ptr<PrepareCache> cache_;
 };
 
 }  // namespace sqod

@@ -496,6 +496,20 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
     return Status::Ok();
   };
 
+  // Cooperative interruption, polled once per fixpoint iteration. The poll
+  // is two loads (plus a clock read only when a deadline is armed), so the
+  // serving layer can cancel or deadline long evaluations without the
+  // un-interrupted path paying for it.
+  auto interrupted = [&]() -> Status {
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      return Status::Cancelled("evaluation cancelled by caller");
+    }
+    if (options_.deadline_ns >= 0 && NowNs() >= options_.deadline_ns) {
+      return Status::DeadlineExceeded("evaluation deadline exceeded");
+    }
+    return Status::Ok();
+  };
+
   // Publishes counters and (when attached) registry metrics before any
   // return path, so stats are valid even on overflow errors.
   auto finish = [&] {
@@ -567,6 +581,10 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
       std::vector<RulePlan> plans;
       for (int r : stratum_rules) plans.push_back(BuildPlan(rules[r], r, -1));
       for (;;) {
+        if (Status s = interrupted(); !s.ok()) {
+          finish();
+          return s;
+        }
         ++iterations;
         Span iter_span = start_span("eval.iteration");
         iter_span.SetAttr("iteration", iterations);
@@ -592,6 +610,10 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
     // Semi-naive. Iteration 0: rules with no same-stratum IDB subgoal.
     Database delta;
     {
+      if (Status s = interrupted(); !s.ok()) {
+        finish();
+        return s;
+      }
       ++iterations;
       Span iter_span = start_span("eval.iteration");
       iter_span.SetAttr("iteration", iterations);
@@ -623,6 +645,10 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
     }
 
     while (delta.TotalTuples() > 0) {
+      if (Status s = interrupted(); !s.ok()) {
+        finish();
+        return s;
+      }
       ++iterations;
       Span iter_span = start_span("eval.iteration");
       iter_span.SetAttr("iteration", iterations);

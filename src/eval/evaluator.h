@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/ast/program.h"
+#include "src/base/cancel.h"
 #include "src/base/status.h"
 #include "src/eval/database.h"
 #include "src/obs/metrics.h"
@@ -21,6 +22,14 @@ struct EvalOptions {
   // Abort with an error when more than this many IDB tuples are derived
   // (guards against runaway programs in tests). -1 = unlimited.
   int64_t max_derived = -1;
+
+  // Cooperative interruption, checked once per fixpoint iteration (the
+  // serving layer's cancellation granularity). When `cancel` fires,
+  // evaluation unwinds with kCancelled; when `deadline_ns` (an absolute
+  // NowNs() timestamp, -1 = none) passes, with kDeadlineExceeded. Stats
+  // and profiles remain valid for the work done up to the interruption.
+  const CancelToken* cancel = nullptr;
+  int64_t deadline_ns = -1;
 
   // Observability hooks, all optional and off by default.
   //

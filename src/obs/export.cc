@@ -110,50 +110,53 @@ std::string ExportChromeTrace(const std::vector<SpanRecord>& spans) {
 }
 
 std::string ExportMetricsJson(const MetricsRegistry& registry) {
+  // One consistent snapshot: recorders on other threads never block on the
+  // (potentially slow) formatting below.
+  MetricsSnapshot snapshot = registry.Snapshot();
   std::string out = "{\"counters\":{";
   bool first = true;
-  for (const auto& [name, counter] : registry.counters()) {
+  for (const auto& [name, value] : snapshot.counters) {
     if (!first) out += ',';
     first = false;
     out += '"';
     out += JsonEscape(name);
     out += "\":";
-    out += std::to_string(counter->value());
+    out += std::to_string(value);
   }
   out += "},\"gauges\":{";
   first = true;
-  for (const auto& [name, gauge] : registry.gauges()) {
+  for (const auto& [name, value] : snapshot.gauges) {
     if (!first) out += ',';
     first = false;
     out += '"';
     out += JsonEscape(name);
     out += "\":";
-    out += std::to_string(gauge->value());
+    out += std::to_string(value);
   }
   out += "},\"histograms\":{";
   first = true;
-  for (const auto& [name, histogram] : registry.histograms()) {
+  for (const auto& [name, histogram] : snapshot.histograms) {
     if (!first) out += ',';
     first = false;
     out += '"';
     out += JsonEscape(name);
     out += "\":{\"count\":";
-    out += std::to_string(histogram->count());
+    out += std::to_string(histogram.count);
     out += ",\"sum\":";
-    out += std::to_string(histogram->sum());
+    out += std::to_string(histogram.sum);
     out += ",\"min\":";
-    out += std::to_string(histogram->min());
+    out += std::to_string(histogram.min);
     out += ",\"max\":";
-    out += std::to_string(histogram->max());
+    out += std::to_string(histogram.max);
     char buf[32];
-    std::snprintf(buf, sizeof(buf), ",\"mean\":%.3f", histogram->mean());
+    std::snprintf(buf, sizeof(buf), ",\"mean\":%.3f", histogram.mean());
     out += buf;
     out += ",\"p50\":";
-    out += std::to_string(histogram->Percentile(0.5));
+    out += std::to_string(histogram.Percentile(0.5));
     out += ",\"p90\":";
-    out += std::to_string(histogram->Percentile(0.9));
+    out += std::to_string(histogram.Percentile(0.9));
     out += ",\"p99\":";
-    out += std::to_string(histogram->Percentile(0.99));
+    out += std::to_string(histogram.Percentile(0.99));
     out += '}';
   }
   out += "}}";

@@ -30,6 +30,7 @@ std::pair<int64_t, int64_t> BucketRange(int b) {
 
 void Histogram::Record(int64_t sample) {
   if (sample < 0) sample = 0;
+  std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) {
     min_ = max_ = sample;
   } else {
@@ -41,49 +42,79 @@ void Histogram::Record(int64_t sample) {
   ++buckets_[BucketOf(sample)];
 }
 
-int64_t Histogram::Percentile(double q) const {
-  if (count_ == 0) return 0;
+HistogramSnapshot Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot snapshot;
+  snapshot.count = count_;
+  snapshot.sum = sum_;
+  snapshot.min = count_ == 0 ? 0 : min_;
+  snapshot.max = count_ == 0 ? 0 : max_;
+  snapshot.buckets = buckets_;
+  return snapshot;
+}
+
+int64_t HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the q-th sample, 1-based (nearest-rank definition).
-  int64_t rank = static_cast<int64_t>(q * count_);
+  int64_t rank = static_cast<int64_t>(q * count);
   if (rank < 1) rank = 1;
-  if (rank > count_) rank = count_;
+  if (rank > count) rank = count;
   int64_t seen = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    if (buckets_[b] == 0) continue;
-    if (seen + buckets_[b] >= rank) {
+  for (int b = 0; b < static_cast<int>(buckets.size()); ++b) {
+    if (buckets[b] == 0) continue;
+    if (seen + buckets[b] >= rank) {
       auto [lo, hi] = BucketRange(b);
-      lo = std::max(lo, min_);
-      hi = std::min(hi, max_);
-      if (hi <= lo || buckets_[b] == 1) return lo;
+      lo = std::max(lo, min);
+      hi = std::min(hi, max);
+      if (hi <= lo || buckets[b] == 1) return lo;
       // Interpolate the rank position within the bucket.
-      double frac = double(rank - seen - 1) / double(buckets_[b] - 1);
+      double frac = double(rank - seen - 1) / double(buckets[b] - 1);
       return lo + static_cast<int64_t>(frac * double(hi - lo));
     }
-    seen += buckets_[b];
+    seen += buckets[b];
   }
-  return max_;
+  return max;
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Snapshot();
+  }
+  return snapshot;
+}
+
 void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

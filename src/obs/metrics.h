@@ -1,33 +1,57 @@
 #ifndef SQOD_OBS_METRICS_H_
 #define SQOD_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace sqod {
 
-// A monotonically increasing int64 counter.
+// A monotonically increasing int64 counter. Updates are lock-free atomics
+// (relaxed: counters order nothing, they only count), so instruments
+// interned once can be hammered from every worker thread.
 class Counter {
  public:
-  void Add(int64_t delta) { value_ += delta; }
-  void Increment() { ++value_; }
-  int64_t value() const { return value_; }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
-// A last-write-wins int64 gauge.
+// A last-write-wins int64 gauge. Atomic for the same reason as Counter.
 class Gauge {
  public:
-  void Set(int64_t value) { value_ = value; }
-  int64_t value() const { return value_; }
+  void Set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
+};
+
+// A point-in-time copy of one histogram, detached from its mutex: the unit
+// exporters and tests read, so a slow consumer never blocks recorders.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  std::vector<int64_t> buckets;
+
+  double mean() const { return count == 0 ? 0.0 : double(sum) / count; }
+
+  // Estimated value at quantile q in [0, 1]. Returns 0 on an empty
+  // snapshot; q=0 returns min, q=1 returns max.
+  int64_t Percentile(double q) const;
 };
 
 // A histogram of non-negative int64 samples over power-of-two buckets:
@@ -35,26 +59,26 @@ class Gauge {
 // exact count/sum/min/max; percentiles are estimated by linear
 // interpolation within the containing bucket, so they are exact for
 // count/sum-style questions and within a factor-of-2 bucket for tails —
-// plenty for profiling.
+// plenty for profiling. Record and all readers are guarded by one mutex;
+// multi-field reads that must be consistent should go through Snapshot().
 class Histogram {
  public:
   static constexpr int kBuckets = 64;
 
   void Record(int64_t sample);
 
-  int64_t count() const { return count_; }
-  int64_t sum() const { return sum_; }
-  int64_t min() const { return count_ == 0 ? 0 : min_; }
-  int64_t max() const { return count_ == 0 ? 0 : max_; }
-  double mean() const { return count_ == 0 ? 0.0 : double(sum_) / count_; }
+  HistogramSnapshot Snapshot() const;
 
-  // Estimated value at quantile q in [0, 1]. Returns 0 on an empty
-  // histogram; q=0 returns min(), q=1 returns max().
-  int64_t Percentile(double q) const;
-
-  const std::vector<int64_t>& buckets() const { return buckets_; }
+  int64_t count() const { return Snapshot().count; }
+  int64_t sum() const { return Snapshot().sum; }
+  int64_t min() const { return Snapshot().min; }
+  int64_t max() const { return Snapshot().max; }
+  double mean() const { return Snapshot().mean(); }
+  int64_t Percentile(double q) const { return Snapshot().Percentile(q); }
+  std::vector<int64_t> buckets() const { return Snapshot().buckets; }
 
  private:
+  mutable std::mutex mu_;
   int64_t count_ = 0;
   int64_t sum_ = 0;
   int64_t min_ = 0;
@@ -62,17 +86,36 @@ class Histogram {
   std::vector<int64_t> buckets_ = std::vector<int64_t>(kBuckets, 0);
 };
 
+// Every instrument of a registry, copied at one point in time. The
+// exporters consume this so they never hold the registry lock while
+// formatting.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
 // A registry of named instruments. Lookup interns the instrument on first
 // use; returned pointers stay valid for the registry's lifetime, so hot
 // loops should look up once and increment through the pointer. Names are
 // slash-separated paths, e.g. "eval/rewritten/rule_firings".
+//
+// Thread safety: Get* and Snapshot may be called from any thread; the
+// instruments themselves are atomic (Counter/Gauge) or internally locked
+// (Histogram). The direct map accessors (counters()/gauges()/histograms())
+// bypass the lock and are for single-threaded consumers only — exporters
+// and concurrent readers should use Snapshot().
 class MetricsRegistry {
  public:
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
-  // Read-only views, sorted by name (std::map order).
+  MetricsSnapshot Snapshot() const;
+
+  // Read-only views, sorted by name (std::map order). Not safe against
+  // concurrent Get* calls; prefer Snapshot() when other threads may still
+  // be recording.
   const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
     return counters_;
   }
@@ -86,6 +129,7 @@ class MetricsRegistry {
   void Clear();
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -1,0 +1,183 @@
+#include "src/service/query_service.h"
+
+#include <utility>
+
+#include "src/obs/export.h"
+#include "src/obs/trace.h"
+
+namespace sqod {
+
+namespace {
+
+EngineOptions MakeEngineOptions(const ServiceOptions& options) {
+  EngineOptions engine_options;
+  engine_options.metrics = options.metrics;
+  return engine_options;
+}
+
+ThreadPool::Options MakePoolOptions(const ServiceOptions& options) {
+  ThreadPool::Options pool_options;
+  pool_options.threads = options.threads;
+  pool_options.max_queue = options.max_queue;
+  return pool_options;
+}
+
+}  // namespace
+
+QueryService::QueryService(ServiceOptions options)
+    : options_(options),
+      engine_(MakeEngineOptions(options)),
+      pool_(MakePoolOptions(options)) {}
+
+QueryService::~QueryService() { Shutdown(); }
+
+std::future<Response> QueryService::Submit(Request request) {
+  auto job = std::make_shared<Job>();
+  job->request = std::move(request);
+  job->submit_ns = NowNs();
+  job->deadline_ns = job->request.deadline_ms < 0
+                         ? -1
+                         : job->submit_ns +
+                               job->request.deadline_ms * 1'000'000;
+  std::future<Response> future = job->promise.get_future();
+
+  ThreadPool::SubmitResult submitted =
+      pool_.Submit([this, job] { Process(job.get()); });
+  if (submitted == ThreadPool::SubmitResult::kAccepted) {
+    metrics().GetCounter("service/requests_accepted")->Increment();
+    return future;
+  }
+
+  metrics().GetCounter("service/requests_rejected")->Increment();
+  Response response;
+  response.status =
+      submitted == ThreadPool::SubmitResult::kQueueFull
+          ? Status::ResourceExhausted(
+                "admission queue full (max_queue=" +
+                std::to_string(options_.max_queue) + ")")
+          : Status::FailedPrecondition("service is shut down");
+  job->promise.set_value(std::move(response));
+  return future;
+}
+
+Response QueryService::Call(Request request) {
+  return Submit(std::move(request)).get();
+}
+
+void QueryService::Shutdown() { pool_.Shutdown(); }
+
+std::shared_ptr<QueryService::SessionEntry> QueryService::GetSession(
+    const std::string& source) {
+  std::shared_ptr<SessionEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    std::shared_ptr<SessionEntry>& slot = sessions_[source];
+    if (slot == nullptr) slot = std::make_shared<SessionEntry>();
+    entry = slot;
+  }
+  // Parse single-flight, outside the map lock: concurrent first requests
+  // for the same source block here instead of serializing all sources.
+  std::call_once(entry->once, [&] {
+    Result<Session> opened = engine_.Open(source);
+    if (opened.ok()) {
+      entry->session = std::make_unique<Session>(std::move(opened).value());
+    } else {
+      entry->status = opened.status();
+    }
+  });
+  return entry;
+}
+
+void QueryService::Process(Job* job) {
+  const int64_t start_ns = NowNs();
+  MetricsRegistry& metrics = this->metrics();
+  metrics.GetHistogram("service/queue_wait_ns")
+      ->Record(start_ns - job->submit_ns);
+
+  Response response;
+  response.queue_wait_ns = start_ns - job->submit_ns;
+
+  auto finish = [&](Status status) {
+    response.status = std::move(status);
+    switch (response.status.code()) {
+      case StatusCode::kOk:
+        metrics.GetCounter("service/requests_completed")->Increment();
+        break;
+      case StatusCode::kCancelled:
+        metrics.GetCounter("service/requests_cancelled")->Increment();
+        break;
+      case StatusCode::kDeadlineExceeded:
+        metrics.GetCounter("service/requests_deadline_exceeded")->Increment();
+        break;
+      default:
+        metrics.GetCounter("service/requests_failed")->Increment();
+        break;
+    }
+    job->promise.set_value(std::move(response));
+  };
+
+  const CancelToken* cancel = job->request.cancel.get();
+  if (cancel != nullptr && cancel->cancelled()) {
+    finish(Status::Cancelled("request cancelled before execution"));
+    return;
+  }
+  if (job->deadline_ns >= 0 && NowNs() >= job->deadline_ns) {
+    finish(Status::DeadlineExceeded("deadline expired in the queue after " +
+                                    FormatDurationNs(response.queue_wait_ns)));
+    return;
+  }
+
+  std::shared_ptr<SessionEntry> entry = GetSession(job->request.source);
+  if (entry->session == nullptr) {
+    finish(entry->status);
+    return;
+  }
+  Session& session = *entry->session;
+
+  // Prepare is single-flight in the session: the first request for this
+  // fingerprint runs the Levy–Sagiv pipeline, concurrent ones block on the
+  // in-flight entry, later ones hit the cache.
+  Result<const PreparedProgram*> prepared = session.Prepare(job->request.sqo);
+  bool fallback = false;
+  if (!prepared.ok()) {
+    if (options_.fallback_to_original &&
+        prepared.status().code() == StatusCode::kUnsupported) {
+      // Outside the rewriting's theory (e.g. IDB negation): serve the
+      // original program rather than failing the request.
+      metrics.GetCounter("service/prepare_fallbacks")->Increment();
+      fallback = true;
+    } else {
+      finish(prepared.status());
+      return;
+    }
+  }
+
+  // Every request evaluates against its own EDB: Relation builds join
+  // indexes lazily, so a shared mutable Database across workers would race.
+  Database edb = session.MakeEdb();
+
+  EvalOptions eval = job->request.eval;
+  eval.cancel = cancel;
+  if (job->deadline_ns >= 0 &&
+      (eval.deadline_ns < 0 || job->deadline_ns < eval.deadline_ns)) {
+    eval.deadline_ns = job->deadline_ns;
+  }
+
+  const int64_t exec_start_ns = NowNs();
+  Result<std::vector<Tuple>> answers =
+      fallback ? session.ExecuteOriginal(edb, eval, &response.stats)
+               : session.Execute(*prepared.value(), edb, eval,
+                                 &response.stats);
+  response.execute_ns = NowNs() - exec_start_ns;
+  metrics.GetHistogram("service/execute_ns")->Record(response.execute_ns);
+
+  if (!answers.ok()) {
+    finish(answers.status());
+    return;
+  }
+  response.answers = std::move(answers).value();
+  response.optimized = !fallback;
+  finish(Status::Ok());
+}
+
+}  // namespace sqod

@@ -1,0 +1,145 @@
+#ifndef SQOD_SERVICE_QUERY_SERVICE_H_
+#define SQOD_SERVICE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/cancel.h"
+#include "src/base/status.h"
+#include "src/engine/engine.h"
+#include "src/service/thread_pool.h"
+
+namespace sqod {
+
+// The concurrent query-serving runtime: a bounded admission queue feeding a
+// fixed worker pool, with one shared Engine underneath. Sessions are
+// deduplicated by source text and Session::Prepare is single-flight, so N
+// concurrent requests for the same (program, ICs, options) fingerprint
+// trigger exactly one optimizer pipeline run — the Levy–Sagiv rewriting
+// cost is paid once and amortized across every request that follows.
+//
+// Request lifecycle and its observable failure modes:
+//   Submit ── queue full ────────────────→ kResourceExhausted (rejected)
+//         ─── after Shutdown ────────────→ kFailedPrecondition (rejected)
+//         ─── queued → worker picks it up
+//               token already cancelled ─→ kCancelled
+//               deadline already passed ─→ kDeadlineExceeded
+//               parse / prepare error  ──→ that error
+//               evaluation, interrupted at iteration boundaries by the
+//               token or the deadline ───→ kCancelled / kDeadlineExceeded
+//               otherwise ──────────────→ kOk with the sorted answers
+//
+// Per-request observability (in metrics(), exported like all registries):
+//   service/requests_accepted / _rejected / _cancelled /
+//   _deadline_exceeded / _completed / _failed     counters
+//   service/prepare_fallbacks                     kUnsupported → original
+//   service/queue_wait_ns, service/execute_ns     latency histograms
+
+struct ServiceOptions {
+  // Worker threads executing requests.
+  int threads = 4;
+  // Admission limit: maximum requests waiting for a worker (running
+  // requests don't count). 0 = unbounded.
+  size_t max_queue = 256;
+  // External metrics sink; the service's engine owns a private registry
+  // when null. No tracer knob: the Tracer is single-threaded by design, so
+  // the serving layer never traces (use the single-request CLI path for
+  // span trees).
+  MetricsRegistry* metrics = nullptr;
+  // When a program is outside the rewriting's theory (Prepare returns
+  // kUnsupported, e.g. IDB negation), evaluate the original program
+  // instead of failing the request.
+  bool fallback_to_original = true;
+};
+
+struct Request {
+  // A full datalog unit: rules, ICs, optional facts, query declaration.
+  // Requests with byte-identical sources share one parsed session (and
+  // therefore one prepared-program cache).
+  std::string source;
+  // Optimizer options; part of the prepared-program fingerprint.
+  SqoOptions sqo;
+  // Evaluation options. The service fills in cancel/deadline_ns (and the
+  // engine fills in metrics), the rest is honored as given.
+  EvalOptions eval;
+  // Relative deadline from submission, in milliseconds. 0 is already
+  // expired (useful for testing the deadline path); -1 = no deadline.
+  int64_t deadline_ms = -1;
+  // Optional cooperative cancellation, shared with the caller. Checked
+  // when a worker dequeues the request and at evaluator iteration
+  // boundaries.
+  std::shared_ptr<CancelToken> cancel;
+};
+
+struct Response {
+  Status status;
+  // The query predicate's tuples, sorted (empty on error).
+  std::vector<Tuple> answers;
+  EvalStats stats;
+  // False when the kUnsupported fallback evaluated the original program.
+  bool optimized = false;
+  // Time spent waiting for a worker, and executing on one.
+  int64_t queue_wait_ns = 0;
+  int64_t execute_ns = 0;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(ServiceOptions options = {});
+  ~QueryService();  // implies Shutdown()
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Admission-controlled, non-blocking submit. The returned future is
+  // always valid; rejected requests (queue full, shut down) resolve
+  // immediately with the rejection status.
+  std::future<Response> Submit(Request request);
+
+  // Convenience: Submit and wait.
+  Response Call(Request request);
+
+  // Stops admission, drains queued and in-flight requests, joins the
+  // workers. Every future obtained from Submit is ready afterwards.
+  // Idempotent; also run by the destructor.
+  void Shutdown();
+
+  // Requests currently waiting for a worker.
+  size_t queue_depth() const { return pool_.queue_depth(); }
+
+  MetricsRegistry& metrics() { return engine_.metrics(); }
+  Engine& engine() { return engine_; }
+
+ private:
+  // A parsed-session slot, created single-flight per distinct source text.
+  struct SessionEntry {
+    std::once_flag once;
+    Status status;  // parse/validation error when session == nullptr
+    std::unique_ptr<Session> session;
+  };
+
+  struct Job {
+    Request request;
+    std::promise<Response> promise;
+    int64_t submit_ns = 0;
+    int64_t deadline_ns = -1;  // absolute, NowNs() scale
+  };
+
+  std::shared_ptr<SessionEntry> GetSession(const std::string& source);
+  void Process(Job* job);
+
+  ServiceOptions options_;
+  Engine engine_;
+  std::mutex sessions_mu_;
+  std::unordered_map<std::string, std::shared_ptr<SessionEntry>> sessions_;
+  ThreadPool pool_;  // last member: workers stop before the rest tears down
+};
+
+}  // namespace sqod
+
+#endif  // SQOD_SERVICE_QUERY_SERVICE_H_

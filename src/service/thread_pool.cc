@@ -1,0 +1,64 @@
+#include "src/service/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sqod {
+
+ThreadPool::ThreadPool(Options options) : options_(options) {
+  int threads = std::max(1, options_.threads);
+  workers_.reserve(threads);
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+ThreadPool::SubmitResult ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) return SubmitResult::kShutdown;
+    if (options_.max_queue > 0 && queue_.size() >= options_.max_queue) {
+      return SubmitResult::kQueueFull;
+    }
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return SubmitResult::kAccepted;
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (joined_) return;
+    shutting_down_ = true;
+    joined_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      // Graceful drain: even during shutdown, run whatever was admitted.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace sqod

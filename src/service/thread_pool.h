@@ -1,0 +1,69 @@
+#ifndef SQOD_SERVICE_THREAD_POOL_H_
+#define SQOD_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sqod {
+
+// A fixed-size worker pool over one condition-variable task queue. Tasks
+// run in submission order (FIFO) on whichever worker frees up first.
+//
+// Admission is bounded: Submit reports kQueueFull once `max_queue` tasks
+// are waiting (running tasks don't count), which is the backpressure signal
+// the QueryService turns into kResourceExhausted. Shutdown is graceful by
+// construction: it stops admission, lets the workers drain every already
+// queued task, then joins them.
+//
+// Submit is safe from any thread. Shutdown must only be called by one
+// thread (typically the owner / destructor).
+class ThreadPool {
+ public:
+  enum class SubmitResult {
+    kAccepted,   // queued (or picked up immediately)
+    kQueueFull,  // max_queue tasks already waiting
+    kShutdown,   // Shutdown already started
+  };
+
+  struct Options {
+    int threads = 4;
+    // Maximum number of queued (not yet running) tasks; 0 = unbounded.
+    size_t max_queue = 0;
+  };
+
+  explicit ThreadPool(Options options);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  SubmitResult Submit(std::function<void()> task);
+
+  // Stops admission, drains the queue, joins all workers. Idempotent.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Tasks waiting in the queue right now (excludes running tasks).
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutting_down_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace sqod
+
+#endif  // SQOD_SERVICE_THREAD_POOL_H_

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/cancel.h"
 #include "src/base/interner.h"
 #include "src/base/status.h"
 #include "src/base/value.h"
@@ -39,7 +45,12 @@ TEST(StatusTest, CodesFromNamedConstructors) {
   EXPECT_EQ(Status::FailedPrecondition("e").code(),
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("e").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("e").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("e").code(), StatusCode::kCancelled);
   EXPECT_FALSE(Status::InvalidArgument("e").ok());
+  EXPECT_FALSE(Status::DeadlineExceeded("e").ok());
+  EXPECT_FALSE(Status::Cancelled("e").ok());
 }
 
 TEST(StatusTest, WithContextPreservesCode) {
@@ -55,6 +66,26 @@ TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
                "RESOURCE_EXHAUSTED");
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnknown), "UNKNOWN");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "CANCELLED");
+}
+
+TEST(StatusTest, InterruptionCodesPreserveMessageAndContext) {
+  Status deadline = Status::DeadlineExceeded("over budget");
+  EXPECT_EQ(deadline.message(), "over budget");
+  Status cancelled = Status::Cancelled("caller gave up").WithContext("eval");
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.message(), "eval: caller gave up");
+}
+
+TEST(CancelTokenTest, CancelIsSticky) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -146,6 +177,35 @@ TEST(InternerTest, FindWithoutIntern) {
   EXPECT_EQ(interner.Find("nothere"), -1);
   interner.Intern("here");
   EXPECT_NE(interner.Find("here"), -1);
+}
+
+TEST(InternerConcurrencyTest, ConcurrentInternAgreesOnIds) {
+  // The serving layer interns adorned predicate names from worker threads
+  // while others read names: same string must map to one id everywhere,
+  // and references returned by Name() must survive later Interns.
+  StringInterner interner;
+  constexpr int kThreads = 8;
+  constexpr int kNames = 64;
+  std::vector<std::array<SymbolId, kNames>> ids(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&interner, &ids, t] {
+      for (int i = 0; i < kNames; ++i) {
+        ids[static_cast<size_t>(t)][static_cast<size_t>(i)] =
+            interner.Intern("name_" + std::to_string(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(interner.size(), kNames);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[static_cast<size_t>(t)], ids[0]);
+  }
+  for (int i = 0; i < kNames; ++i) {
+    EXPECT_EQ(interner.Name(ids[0][static_cast<size_t>(i)]),
+              "name_" + std::to_string(i));
+  }
 }
 
 TEST(ValueTest, IntOrder) {

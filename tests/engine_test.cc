@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "src/engine/engine.h"
 #include "src/sqo/pass_manager.h"
 #include "src/workload/programs.h"
@@ -175,6 +178,33 @@ TEST(EngineTest, ClearCacheForcesReoptimization) {
   session.Prepare().value();
   EXPECT_EQ(Misses(engine), 2);
   EXPECT_EQ(PipelineRuns(engine), 2);
+}
+
+TEST(EngineTest, ConcurrentPrepareIsSingleFlight) {
+  // Eight threads hammer Prepare for the same fingerprint: exactly one runs
+  // the pipeline, the rest block on the in-flight entry and get the same
+  // prepared program (7 hits, 1 miss, 1 pipeline run).
+  Engine engine;
+  Session session = engine.Open(kFigure1).take();
+  constexpr int kThreads = 8;
+  std::vector<const PreparedProgram*> prepared(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&session, &prepared, t] {
+      Result<const PreparedProgram*> result = session.Prepare();
+      if (result.ok()) prepared[static_cast<size_t>(t)] = result.value();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_NE(prepared[0], nullptr);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(prepared[static_cast<size_t>(t)], prepared[0]);
+  }
+  EXPECT_EQ(PipelineRuns(engine), 1);
+  EXPECT_EQ(Misses(engine), 1);
+  EXPECT_EQ(Hits(engine), kThreads - 1);
+  EXPECT_EQ(session.cache_size(), 1u);
 }
 
 TEST(EngineTest, SessionsAreIndependent) {

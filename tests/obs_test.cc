@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "src/eval/evaluator.h"
 #include "src/obs/export.h"
@@ -153,6 +156,82 @@ TEST(MetricsTest, HistogramSingleValue) {
   EXPECT_EQ(h.Percentile(0.5), 1000);
   EXPECT_EQ(h.min(), 1000);
   EXPECT_EQ(h.max(), 1000);
+}
+
+TEST(MetricsTest, SnapshotIsAPointInTimeCopy) {
+  MetricsRegistry registry;
+  registry.GetCounter("a/count")->Add(3);
+  registry.GetGauge("a/size")->Set(11);
+  registry.GetHistogram("a/lat")->Record(8);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  // Later updates don't leak into an already taken snapshot.
+  registry.GetCounter("a/count")->Add(100);
+  registry.GetHistogram("a/lat")->Record(64);
+  EXPECT_EQ(snapshot.counters.at("a/count"), 3);
+  EXPECT_EQ(snapshot.gauges.at("a/size"), 11);
+  EXPECT_EQ(snapshot.histograms.at("a/lat").count, 1);
+  EXPECT_EQ(snapshot.histograms.at("a/lat").max, 8);
+  EXPECT_EQ(registry.Snapshot().counters.at("a/count"), 103);
+}
+
+TEST(MetricsConcurrencyTest, ContendedCounterLosesNoIncrements) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Mix interning lookups with pointer-cached increments: both must
+      // be safe from worker threads.
+      Counter* counter = registry.GetCounter("svc/requests");
+      for (int i = 0; i < kIncrements; ++i) {
+        if (i % 256 == 0) counter = registry.GetCounter("svc/requests");
+        counter->Increment();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("svc/requests")->value(),
+            int64_t{kThreads} * kIncrements);
+}
+
+TEST(MetricsConcurrencyTest, LookupInternsOneInstrumentPerName) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      seen[static_cast<size_t>(t)] = registry.GetCounter("one/name");
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<size_t>(t)], seen[0]);
+  }
+}
+
+TEST(MetricsConcurrencyTest, ConcurrentHistogramRecordsAreExact) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("svc/latency");
+  constexpr int kThreads = 8;
+  constexpr int kSamples = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h] {
+      for (int i = 1; i <= kSamples; ++i) h->Record(i);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  HistogramSnapshot snapshot = h->Snapshot();
+  EXPECT_EQ(snapshot.count, int64_t{kThreads} * kSamples);
+  EXPECT_EQ(snapshot.sum,
+            int64_t{kThreads} * kSamples * (kSamples + 1) / 2);
+  EXPECT_EQ(snapshot.min, 1);
+  EXPECT_EQ(snapshot.max, kSamples);
 }
 
 // -------------------------------------------------------------- exporters

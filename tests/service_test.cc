@@ -1,0 +1,350 @@
+// Tests for the concurrent query-serving runtime: the ThreadPool's bounded
+// admission and graceful drain, and the QueryService's single-flight
+// prepare, deadlines, cancellation, fallback, and per-request metrics.
+// These are the tests CI also runs under ThreadSanitizer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/service/query_service.h"
+#include "src/service/thread_pool.h"
+
+namespace sqod {
+namespace {
+
+constexpr const char* kFigure1 = R"(
+  p(X, Y) :- a(X, Y).
+  p(X, Y) :- b(X, Y).
+  p(X, Y) :- a(X, Z), p(Z, Y).
+  p(X, Y) :- b(X, Z), p(Z, Y).
+  :- a(X, Y), b(Y, Z).
+  b(1, 2). b(2, 3). a(3, 4). a(4, 5).
+  ?- p.
+)";
+
+// A transitive closure over a step-chain of n nodes: O(n) fixpoint
+// iterations and O(n^2) path tuples, so evaluation is long enough that
+// deadlines and cancellation reliably interrupt it mid-flight.
+std::string MakeChainSource(int n) {
+  std::ostringstream out;
+  out << "path(X, Y) :- step(X, Y).\n";
+  out << "path(X, Y) :- step(X, Z), path(Z, Y).\n";
+  for (int i = 0; i < n; ++i) out << "step(" << i << ", " << i + 1 << ").\n";
+  out << "?- path.\n";
+  return out.str();
+}
+
+int64_t ServiceCounter(QueryService& service, const std::string& name) {
+  return service.metrics().GetCounter(name)->value();
+}
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool::Options options;
+  options.threads = 4;
+  ThreadPool pool(options);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(pool.Submit([&ran] { ran.fetch_add(1); }),
+              ThreadPool::SubmitResult::kAccepted);
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, BoundedQueueRejectsWhenFull) {
+  ThreadPool::Options options;
+  options.threads = 1;
+  options.max_queue = 1;
+  ThreadPool pool(options);
+
+  // Park the single worker on a gate so the queue state is deterministic.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::promise<void> running;
+  ASSERT_EQ(pool.Submit([opened, &running] {
+              running.set_value();
+              opened.wait();
+            }),
+            ThreadPool::SubmitResult::kAccepted);
+  running.get_future().wait();  // the worker is now busy, queue is empty
+
+  std::atomic<int> ran{0};
+  EXPECT_EQ(pool.Submit([&ran] { ran.fetch_add(1); }),
+            ThreadPool::SubmitResult::kAccepted);  // fills the queue
+  EXPECT_EQ(pool.queue_depth(), 1u);
+  EXPECT_EQ(pool.Submit([&ran] { ran.fetch_add(1); }),
+            ThreadPool::SubmitResult::kQueueFull);
+  EXPECT_EQ(pool.Submit([&ran] { ran.fetch_add(1); }),
+            ThreadPool::SubmitResult::kQueueFull);
+
+  gate.set_value();
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 1);  // the accepted task ran, rejected ones didn't
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  ThreadPool::Options options;
+  options.threads = 1;
+  ThreadPool pool(options);
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  ASSERT_EQ(pool.Submit([opened] { opened.wait(); }),
+            ThreadPool::SubmitResult::kAccepted);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(pool.Submit([&ran] { ran.fetch_add(1); }),
+              ThreadPool::SubmitResult::kAccepted);
+  }
+  gate.set_value();
+  // Graceful drain: Shutdown stops admission but runs what was accepted.
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejected) {
+  ThreadPool pool(ThreadPool::Options{});
+  pool.Shutdown();
+  EXPECT_EQ(pool.Submit([] {}), ThreadPool::SubmitResult::kShutdown);
+  pool.Shutdown();  // idempotent
+}
+
+// ---------------------------------------------------------- query service
+
+TEST(ServiceTest, SingleFlightPrepareAcrossConcurrentRequests) {
+  ServiceOptions options;
+  options.threads = 4;
+  QueryService service(options);
+
+  constexpr int kRequests = 8;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    Request request;
+    request.source = kFigure1;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+
+  std::vector<Response> responses;
+  for (std::future<Response>& future : futures) {
+    responses.push_back(future.get());
+  }
+  for (const Response& response : responses) {
+    ASSERT_TRUE(response.status.ok()) << response.status.message();
+    EXPECT_TRUE(response.optimized);
+    EXPECT_FALSE(response.answers.empty());
+    EXPECT_EQ(response.answers, responses[0].answers);
+  }
+
+  // One parse, one optimizer pipeline run, N served requests: that is the
+  // whole point of the serving layer.
+  EXPECT_EQ(service.metrics().GetCounter("engine/pipeline_runs")->value(), 1);
+  EXPECT_EQ(service.metrics().GetCounter("engine/sessions_opened")->value(),
+            1);
+  EXPECT_EQ(ServiceCounter(service, "service/requests_accepted"), kRequests);
+  EXPECT_EQ(ServiceCounter(service, "service/requests_completed"), kRequests);
+  EXPECT_EQ(ServiceCounter(service, "service/requests_rejected"), 0);
+  EXPECT_EQ(
+      service.metrics().GetHistogram("service/queue_wait_ns")->count(),
+      kRequests);
+  EXPECT_EQ(service.metrics().GetHistogram("service/execute_ns")->count(),
+            kRequests);
+}
+
+TEST(ServiceTest, ZeroDeadlineIsDeadlineExceeded) {
+  QueryService service;
+  Request request;
+  request.source = kFigure1;
+  request.deadline_ms = 0;  // already expired when a worker picks it up
+  Response response = service.Call(std::move(request));
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(response.answers.empty());
+  EXPECT_EQ(ServiceCounter(service, "service/requests_deadline_exceeded"), 1);
+}
+
+TEST(ServiceTest, DeadlineInterruptsLongEvaluation) {
+  QueryService service;
+  Request request;
+  request.source = MakeChainSource(600);
+  request.deadline_ms = 1;
+  Response response = service.Call(std::move(request));
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ServiceCounter(service, "service/requests_deadline_exceeded"), 1);
+}
+
+TEST(ServiceTest, CancelledTokenYieldsCancelled) {
+  QueryService service;
+  Request request;
+  request.source = MakeChainSource(600);
+  request.cancel = std::make_shared<CancelToken>();
+  std::shared_ptr<CancelToken> token = request.cancel;
+  std::future<Response> future = service.Submit(std::move(request));
+  // Depending on timing the worker sees the cancel before or during
+  // evaluation; either way the outcome is kCancelled.
+  token->Cancel();
+  Response response = future.get();
+  EXPECT_EQ(response.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(ServiceCounter(service, "service/requests_cancelled"), 1);
+}
+
+TEST(ServiceTest, AdmissionControlRejectsWhenQueueIsFull) {
+  ServiceOptions options;
+  options.threads = 1;
+  options.max_queue = 1;
+  QueryService service(options);
+
+  // One worker, one queue slot, eight slow requests: at most two can be
+  // admitted before the rest pile up, so rejections are guaranteed.
+  constexpr int kRequests = 8;
+  std::vector<std::shared_ptr<CancelToken>> tokens;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    Request request;
+    request.source = MakeChainSource(400);
+    request.cancel = std::make_shared<CancelToken>();
+    tokens.push_back(request.cancel);
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  // Unblock whatever was admitted so the test finishes promptly (and the
+  // cancellation path gets exercised under real queueing).
+  for (const std::shared_ptr<CancelToken>& token : tokens) token->Cancel();
+
+  int rejected = 0, other = 0;
+  for (std::future<Response>& future : futures) {
+    Response response = future.get();
+    if (response.status.code() == StatusCode::kResourceExhausted) {
+      ++rejected;
+      EXPECT_NE(response.status.message().find("max_queue=1"),
+                std::string::npos);
+    } else {
+      ++other;
+    }
+  }
+  EXPECT_GE(rejected, kRequests - 2);
+  EXPECT_EQ(rejected + other, kRequests);
+  EXPECT_EQ(ServiceCounter(service, "service/requests_rejected"), rejected);
+  EXPECT_EQ(ServiceCounter(service, "service/requests_accepted"), other);
+}
+
+TEST(ServiceTest, ShutdownDrainsAcceptedRequests) {
+  ServiceOptions options;
+  options.threads = 2;
+  QueryService service(options);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 6; ++i) {
+    Request request;
+    request.source = kFigure1;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  service.Shutdown();
+  // Every accepted request was served before the workers went away.
+  for (std::future<Response>& future : futures) {
+    Response response = future.get();
+    EXPECT_TRUE(response.status.ok()) << response.status.message();
+  }
+  EXPECT_EQ(ServiceCounter(service, "service/requests_completed"), 6);
+}
+
+TEST(ServiceTest, SubmitAfterShutdownFailsPrecondition) {
+  QueryService service;
+  service.Shutdown();
+  Request request;
+  request.source = kFigure1;
+  Response response = service.Call(std::move(request));
+  EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ServiceCounter(service, "service/requests_rejected"), 1);
+}
+
+TEST(ServiceTest, ParseErrorsSurfacePerRequest) {
+  QueryService service;
+  Request request;
+  request.source = "p(X :- q(X).";
+  Response response = service.Call(std::move(request));
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ServiceCounter(service, "service/requests_failed"), 1);
+
+  // A bad source only poisons its own session slot; a good request after a
+  // bad one is unaffected.
+  Request good;
+  good.source = kFigure1;
+  Response ok = service.Call(std::move(good));
+  EXPECT_TRUE(ok.status.ok()) << ok.status.message();
+}
+
+TEST(ServiceTest, UnsupportedProgramFallsBackToOriginal) {
+  QueryService service;
+  Request request;
+  // IDB negation is outside the rewriting's theory: Prepare reports
+  // kUnsupported and the service serves the original program instead.
+  request.source = R"(
+    q(X) :- e(X, Y).
+    p(X) :- e(X, Y), !q(Y).
+    e(1, 2). e(2, 3).
+    ?- p.
+  )";
+  Response response = service.Call(std::move(request));
+  ASSERT_TRUE(response.status.ok()) << response.status.message();
+  EXPECT_FALSE(response.optimized);
+  EXPECT_EQ(response.answers.size(), 1u);  // p(2): e(2,3) with q(3) false
+  EXPECT_EQ(ServiceCounter(service, "service/prepare_fallbacks"), 1);
+  EXPECT_EQ(ServiceCounter(service, "service/requests_completed"), 1);
+}
+
+TEST(ServiceTest, FallbackCanBeDisabled) {
+  ServiceOptions options;
+  options.fallback_to_original = false;
+  QueryService service(options);
+  Request request;
+  request.source = R"(
+    q(X) :- e(X, Y).
+    p(X) :- e(X, Y), !q(Y).
+    e(1, 2).
+    ?- p.
+  )";
+  Response response = service.Call(std::move(request));
+  EXPECT_EQ(response.status.code(), StatusCode::kUnsupported);
+  EXPECT_EQ(ServiceCounter(service, "service/requests_failed"), 1);
+}
+
+TEST(ServiceTest, DistinctSourcesGetDistinctSessions) {
+  QueryService service;
+  Request a;
+  a.source = kFigure1;
+  Request b;
+  b.source = MakeChainSource(5);
+  Response ra = service.Call(std::move(a));
+  Response rb = service.Call(std::move(b));
+  ASSERT_TRUE(ra.status.ok());
+  ASSERT_TRUE(rb.status.ok());
+  EXPECT_NE(ra.answers, rb.answers);
+  EXPECT_EQ(service.metrics().GetCounter("engine/sessions_opened")->value(),
+            2);
+  EXPECT_EQ(service.metrics().GetCounter("engine/pipeline_runs")->value(), 2);
+}
+
+TEST(ServiceTest, ExternalMetricsRegistryReceivesServiceCounters) {
+  MetricsRegistry metrics;
+  ServiceOptions options;
+  options.metrics = &metrics;
+  {
+    QueryService service(options);
+    Request request;
+    request.source = kFigure1;
+    EXPECT_TRUE(service.Call(std::move(request)).status.ok());
+  }  // destructor shuts down cleanly
+  EXPECT_EQ(metrics.GetCounter("service/requests_accepted")->value(), 1);
+  EXPECT_EQ(metrics.GetCounter("service/requests_completed")->value(), 1);
+  EXPECT_EQ(metrics.Snapshot().histograms.at("service/execute_ns").count, 1);
+}
+
+}  // namespace
+}  // namespace sqod
