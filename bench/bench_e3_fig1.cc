@@ -109,7 +109,10 @@ BENCHMARK(BM_E3_QueryTreeConstruction)->Unit(benchmark::kMicrosecond);
 int main(int argc, char** argv) {
   {
     using namespace sqod;
-    SqoReport report = MustOptimize(MakeAbClosureProgram(), {MakeAbIc()});
+    SqoOptions fig_options;
+    fig_options.capture_dumps = true;
+    SqoReport report =
+        MustOptimize(MakeAbClosureProgram(), {MakeAbIc()}, fig_options);
     std::printf("=== Figure 1: the final query tree ===\n%s\n",
                 report.tree_dump.c_str());
     std::printf("=== Rewritten program (the paper's s1..s6) ===\n%s\n",

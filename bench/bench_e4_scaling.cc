@@ -41,7 +41,7 @@ void BM_E4_AdornmentGrowthWithColors(benchmark::State& state) {
   options.tree.max_classes = 200000;
   SqoReport last;
   for (auto _ : state) {
-    last = MustOptimize(cc.program, cc.ics, options);
+    last = MustOptimize(cc.program, cc.ics, options, &state);
     benchmark::DoNotOptimize(last);
   }
   state.counters["adorned_preds"] = last.adorned_predicates;
@@ -66,7 +66,7 @@ void BM_E4_WideIc(benchmark::State& state) {
   options.tree.max_classes = 200000;
   SqoReport last;
   for (auto _ : state) {
-    last = MustOptimize(p, {ic}, options);
+    last = MustOptimize(p, {ic}, options, &state);
     benchmark::DoNotOptimize(last);
   }
   state.counters["adorned_preds"] = last.adorned_predicates;

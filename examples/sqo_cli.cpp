@@ -275,6 +275,9 @@ int main(int argc, char** argv) {
 
   SqoOptions sqo_options;
   sqo_options.disabled_passes = disabled_passes;
+  // The dump flags ask for the rendered diagnostics, which the pipeline
+  // only materializes on request.
+  sqo_options.capture_dumps = show_adornments || show_tree || show_dot;
 
   Result<const PreparedProgram*> prepared = session.Prepare(sqo_options);
   if (!prepared.ok()) {

@@ -50,7 +50,7 @@ args=(--benchmark_format=json)
     # bench_e3_fig1 prints reproduced figures on stdout before the JSON;
     # benchmark JSON goes to --benchmark_out so prose never pollutes it.
     if ! "${bin}" "${args[@]}" "--benchmark_out=${tmp_dir}/${name}.json" \
-        --benchmark_out_format=json > "${tmp_dir}/${name}.stdout" 2>&2; then
+        --benchmark_out_format=json > "${tmp_dir}/${name}.stdout" 2>&1; then
       echo "warning: ${name} failed, skipping" >&2
       continue
     fi

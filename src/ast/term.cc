@@ -42,7 +42,11 @@ Term FreshVarGen::NextLike(std::string_view base) {
   int& counter = (*next_suffix)[std::string(base)];
   for (;;) {
     std::string name = std::string(base) + "#" + std::to_string(counter++);
-    if (GlobalStrings().Find(name) == -1) return Term::Var(name);
+    bool inserted = false;
+    SymbolId id = GlobalStrings().Intern(name, &inserted);
+    // Inserted means no one had ever used this name: it is fresh. A hit
+    // means the input uses the name; advance and retry.
+    if (inserted) return Term::VarFromId(id);
   }
 }
 

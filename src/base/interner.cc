@@ -6,14 +6,18 @@
 
 namespace sqod {
 
-SymbolId StringInterner::Intern(std::string_view s) {
+SymbolId StringInterner::Intern(std::string_view s, bool* inserted) {
   std::string key(s);
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(key);
-  if (it != ids_.end()) return it->second;
+  if (it != ids_.end()) {
+    if (inserted != nullptr) *inserted = false;
+    return it->second;
+  }
   SymbolId id = static_cast<SymbolId>(names_.size());
   names_.push_back(key);
   ids_.emplace(std::move(key), id);
+  if (inserted != nullptr) *inserted = true;
   return id;
 }
 

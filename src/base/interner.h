@@ -24,8 +24,11 @@ class StringInterner {
   StringInterner(const StringInterner&) = delete;
   StringInterner& operator=(const StringInterner&) = delete;
 
-  // Returns the id for `s`, interning it on first use.
-  SymbolId Intern(std::string_view s);
+  // Returns the id for `s`, interning it on first use. When `inserted` is
+  // non-null it is set to whether this call created the entry — callers
+  // generating fresh names use it to detect collisions in one table probe
+  // instead of a Find followed by an Intern.
+  SymbolId Intern(std::string_view s, bool* inserted = nullptr);
 
   // Returns the id for `s` or -1 if it was never interned.
   SymbolId Find(std::string_view s) const;

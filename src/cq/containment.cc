@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "src/ast/match_memo.h"
 #include "src/ast/unify.h"
 #include "src/cq/homomorphism.h"
 #include "src/cq/linearize.h"
@@ -55,7 +56,7 @@ std::vector<Term> AllTerms(const ConjunctiveQuery& q) {
 // over q1's terms (either q1's own comparisons for the homomorphism-only
 // fast path, or a full linearization for Klug's test).
 bool CoveredBy(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
-               const std::vector<Comparison>& world) {
+               const std::vector<Comparison>& world, AtomMatchMemo* memo) {
   if (q2.head.pred() != q1.head.pred() ||
       q2.head.arity() != q1.head.arity()) {
     return false;
@@ -74,7 +75,8 @@ bool CoveredBy(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
           if (!solver.Entails(h.Apply(c))) return false;
         }
         return true;
-      });
+      },
+      memo);
 }
 
 Result<bool> ContainedInUnionImpl(const ConjunctiveQuery& q,
@@ -88,6 +90,10 @@ Result<bool> ContainedInUnionImpl(const ConjunctiveQuery& q,
   // A q with an unsatisfiable body is contained in anything.
   if (!ComparisonsConsistent(q.comparisons)) return true;
 
+  // Klug's test below re-matches the same (q2 atom, q1 atom) pairs once per
+  // linearization; a per-call match memo makes each repeat a hash lookup.
+  AtomMatchMemo memo;
+
   bool has_order =
       !q.comparisons.empty() ||
       std::any_of(ucq.begin(), ucq.end(),
@@ -98,7 +104,7 @@ Result<bool> ContainedInUnionImpl(const ConjunctiveQuery& q,
     // Classic test: one containment mapping from some disjunct suffices
     // (Sagiv & Yannakakis 1981).
     for (const ConjunctiveQuery& q2 : ucq) {
-      if (CoveredBy(q, q2, /*world=*/{})) return true;
+      if (CoveredBy(q, q2, /*world=*/{}, &memo)) return true;
     }
     return false;
   }
@@ -106,7 +112,7 @@ Result<bool> ContainedInUnionImpl(const ConjunctiveQuery& q,
   // Fast sufficient check: a single disjunct whose comparisons are entailed
   // by q's own comparisons under some homomorphism.
   for (const ConjunctiveQuery& q2 : ucq) {
-    if (CoveredBy(q, q2, q.comparisons)) return true;
+    if (CoveredBy(q, q2, q.comparisons, &memo)) return true;
   }
 
   // Klug's test, lifted to unions: every linearization of q's terms that is
@@ -115,7 +121,9 @@ Result<bool> ContainedInUnionImpl(const ConjunctiveQuery& q,
       AllTerms(q), q.comparisons, [&](const Linearization& lin) {
         std::vector<Comparison> world = LinearizationConstraints(lin);
         for (const ConjunctiveQuery& q2 : ucq) {
-          if (CoveredBy(q, q2, world)) return false;  // covered, keep going
+          if (CoveredBy(q, q2, world, &memo)) {
+            return false;  // covered, keep going
+          }
         }
         return true;  // found a witness linearization; stop
       });

@@ -9,18 +9,18 @@ namespace sqod {
 
 namespace {
 
-bool Search(const std::vector<Atom>& from,
-            const std::unordered_map<PredId, std::vector<const Atom*>>& index,
+// Per source atom (in search order): the match deltas against its candidate
+// targets, precomputed once per ForEachHomomorphism call — or recalled from
+// the shared memo, where repeated containment checks against the same atom
+// pairs hit across calls.
+bool Search(const std::vector<std::vector<const MatchDelta*>>& deltas,
             size_t next, Substitution* subst,
             const std::function<bool(const Substitution&)>& visit) {
-  if (next == from.size()) return visit(*subst);
-  const Atom& pattern = from[next];
-  auto it = index.find(pattern.pred());
-  if (it == index.end()) return false;
-  for (const Atom* target : it->second) {
+  if (next == deltas.size()) return visit(*subst);
+  for (const MatchDelta* delta : deltas[next]) {
     Substitution attempt = *subst;  // copy; pattern sizes are small
-    if (!MatchInto(pattern, *target, &attempt)) continue;
-    if (Search(from, index, next + 1, &attempt, visit)) return true;
+    if (!ApplyMatchDelta(*delta, &attempt)) continue;
+    if (Search(deltas, next + 1, &attempt, visit)) return true;
   }
   return false;
 }
@@ -30,7 +30,8 @@ bool Search(const std::vector<Atom>& from,
 bool ForEachHomomorphism(
     const std::vector<Atom>& from, const std::vector<Atom>& to,
     const Substitution& base,
-    const std::function<bool(const Substitution&)>& visit) {
+    const std::function<bool(const Substitution&)>& visit,
+    AtomMatchMemo* memo) {
   std::unordered_map<PredId, std::vector<const Atom*>> index;
   for (const Atom& a : to) index[a.pred()].push_back(&a);
 
@@ -45,15 +46,39 @@ bool ForEachHomomorphism(
                      return ca < cb;
                    });
 
+  std::vector<std::vector<const MatchDelta*>> deltas(ordered.size());
+  std::vector<MatchDelta> local_deltas;  // plain-mode storage, stable
+  if (memo == nullptr) {
+    size_t pairs = 0;
+    for (const Atom& a : ordered) {
+      auto it = index.find(a.pred());
+      if (it != index.end()) pairs += it->second.size();
+    }
+    local_deltas.reserve(pairs);
+  }
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    auto it = index.find(ordered[i].pred());
+    if (it == index.end()) return false;  // no candidate target at all
+    AtomId pattern = memo != nullptr ? memo->Intern(ordered[i]) : -1;
+    for (const Atom* target : it->second) {
+      if (memo != nullptr) {
+        deltas[i].push_back(&memo->Match(pattern, memo->Intern(*target)));
+      } else {
+        local_deltas.push_back(ComputeMatchDelta(ordered[i], *target));
+        deltas[i].push_back(&local_deltas.back());
+      }
+    }
+  }
+
   Substitution subst = base;
-  return Search(ordered, index, 0, &subst, visit);
+  return Search(deltas, 0, &subst, visit);
 }
 
 bool HomomorphismExists(const std::vector<Atom>& from,
                         const std::vector<Atom>& to,
-                        const Substitution& base) {
-  return ForEachHomomorphism(from, to, base,
-                             [](const Substitution&) { return true; });
+                        const Substitution& base, AtomMatchMemo* memo) {
+  return ForEachHomomorphism(
+      from, to, base, [](const Substitution&) { return true; }, memo);
 }
 
 }  // namespace sqod

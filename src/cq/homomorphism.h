@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/ast/match_memo.h"
 #include "src/ast/substitution.h"
 
 namespace sqod {
@@ -16,16 +17,23 @@ namespace sqod {
 // `visit` is called for each homomorphism found (extending `base`); if it
 // returns true the search stops and ForEachHomomorphism returns true.
 // Returns false when the enumeration completes without `visit` accepting.
+//
+// When `memo` is non-null, the pairwise atom matches driving the search are
+// answered from (and recorded in) its match memo; repeated checks against
+// the same atoms — the shape of CQ containment and residue pruning loops —
+// become hash lookups.
 bool ForEachHomomorphism(
     const std::vector<Atom>& from, const std::vector<Atom>& to,
     const Substitution& base,
-    const std::function<bool(const Substitution&)>& visit);
+    const std::function<bool(const Substitution&)>& visit,
+    AtomMatchMemo* memo = nullptr);
 
 // Convenience: is there any homomorphism from `from` into `to` extending
 // `base`?
 bool HomomorphismExists(const std::vector<Atom>& from,
                         const std::vector<Atom>& to,
-                        const Substitution& base = Substitution());
+                        const Substitution& base = Substitution(),
+                        AtomMatchMemo* memo = nullptr);
 
 }  // namespace sqod
 

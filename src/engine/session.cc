@@ -50,6 +50,8 @@ std::string Session::Fingerprint(const SqoOptions& options) const {
   fp += "max_arules=" + std::to_string(options.adorn.max_adorned_rules) + ";";
   fp += "max_classes=" + std::to_string(options.tree.max_classes) + ";";
   fp += "max_local=" + std::to_string(options.max_local_rewrite_rules) + ";";
+  // Not semantics, but it changes what the cached report carries.
+  fp += "dumps=" + std::to_string(options.capture_dumps) + ";";
   std::vector<std::string> disabled = options.disabled_passes;
   std::sort(disabled.begin(), disabled.end());
   disabled.erase(std::unique(disabled.begin(), disabled.end()),

@@ -1,7 +1,10 @@
 #include "src/sqo/adorn.h"
 
 #include <algorithm>
+#include <array>
+#include <deque>
 #include <functional>
+#include <optional>
 
 #include "src/ast/unify.h"
 #include "src/order/solver.h"
@@ -11,6 +14,15 @@
 namespace sqod {
 
 namespace {
+
+inline size_t HashCombine(size_t seed, size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+inline uint64_t PackPair(int32_t hi, int32_t lo) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(hi)) << 32) |
+         static_cast<uint32_t>(lo);
+}
 
 // All distinct variables appearing in the listed parts of constraint `ic`:
 // an index below `atoms.size()` names a positive atom; the index equal to
@@ -36,15 +48,16 @@ void RestrictSigma(const Constraint& ic,
                    const std::vector<const Atom*>& atoms,
                    const std::vector<int>& nonlocal,
                    const std::vector<int>& unmapped,
-                   std::map<VarId, Term>* sigma) {
+                   FlatMap<VarId, Term>* sigma) {
   std::vector<VarId> keep = VarsOfUnmapped(ic, atoms, nonlocal, unmapped);
-  for (auto it = sigma->begin(); it != sigma->end();) {
-    if (std::find(keep.begin(), keep.end(), it->first) == keep.end()) {
-      it = sigma->erase(it);
-    } else {
-      ++it;
+  FlatMap<VarId, Term> kept;
+  kept.reserve(sigma->size());
+  for (const auto& [var, term] : *sigma) {
+    if (std::find(keep.begin(), keep.end(), var) != keep.end()) {
+      kept.emplace(var, term);
     }
   }
+  *sigma = std::move(kept);
 }
 
 // Instantiates an order summary onto the arguments of `atom`.
@@ -118,7 +131,33 @@ std::vector<Comparison> ComputeHeadSummary(
 }  // namespace
 
 Term SummaryPlaceholder(int i) {
+  // Hot enough that re-interning "P#<i>" each call shows up in profiles;
+  // the first few placeholders cover every realistic arity. Thread-safe via
+  // magic-static initialization; read-only afterwards.
+  constexpr int kCached = 16;
+  static const std::array<Term, kCached>& cache = *[] {
+    auto* c = new std::array<Term, kCached>();
+    for (int i = 0; i < kCached; ++i) {
+      (*c)[i] = Term::Var("P#" + std::to_string(i));
+    }
+    return c;
+  }();
+  if (i >= 0 && i < kCached) return cache[i];
   return Term::Var("P#" + std::to_string(i));
+}
+
+size_t AdornmentEngine::ApredKeyHash::operator()(const ApredKey& k) const {
+  size_t h = static_cast<size_t>(k.pred) + 0x165667b1;
+  h = HashCombine(h, static_cast<size_t>(k.adornment));
+  h = HashCombine(h, static_cast<size_t>(k.summary));
+  return h;
+}
+
+size_t AdornmentEngine::IntVecHash::operator()(
+    const std::vector<int32_t>& v) const {
+  size_t h = 0x811c9dc5;
+  for (int32_t x : v) h = HashCombine(h, static_cast<size_t>(x));
+  return h;
 }
 
 AdornmentEngine::AdornmentEngine(const Program& program,
@@ -128,17 +167,55 @@ AdornmentEngine::AdornmentEngine(const Program& program,
       ics_(std::move(ics)),
       local_(std::move(local)),
       options_(options),
-      idb_(program.IdbPreds()) {}
+      idb_(program.IdbPreds()) {
+  if (options_.store != nullptr) {
+    store_ = options_.store;
+  } else {
+    owned_store_ = std::make_unique<TripletStore>();
+    store_ = owned_store_.get();
+  }
+  memoize_ = options_.memoize && store_->memo_enabled();
+}
 
-std::vector<RuleTriplet> AdornmentEngine::EdbBaseTriplets(
+AdornmentEngine::~AdornmentEngine() = default;
+
+void AdornmentEngine::FillIds(CandidateList* list) const {
+  list->ids.reserve(list->triplets.size());
+  for (const RuleTriplet& t : list->triplets) {
+    list->ids.push_back(store_->InternRuleTriplet(t));
+  }
+}
+
+AdornmentEngine::CandidateList AdornmentEngine::EdbBaseTriplets(
     const Rule& rule, const Atom& atom) const {
-  std::vector<RuleTriplet> out;
+  CandidateList out;
+  AtomId target_id = -1;
+  if (memoize_) target_id = store_->atoms().Intern(atom);
   for (int ic_index = 0; ic_index < static_cast<int>(ics_.size());
        ++ic_index) {
     const Constraint& ic = ics_[ic_index];
     std::vector<const Atom*> positives = ic.PositiveAtoms();
     const int n = static_cast<int>(positives.size());
     const std::vector<int>& nonlocal = local_.NonlocalOrder(ic_index);
+
+    // One-way matches of each IC atom into `atom`, computed (or recalled
+    // from the store's match memo) once per call instead of once per
+    // enumeration path.
+    std::vector<MatchDelta> local_deltas;
+    std::vector<const MatchDelta*> deltas(n);
+    if (memoize_) {
+      for (int i = 0; i < n; ++i) {
+        deltas[i] =
+            &store_->atoms().Match(store_->atoms().Intern(*positives[i]),
+                                   target_id);
+      }
+    } else {
+      local_deltas.reserve(n);
+      for (int i = 0; i < n; ++i) {
+        local_deltas.push_back(ComputeMatchDelta(*positives[i], atom));
+      }
+      for (int i = 0; i < n; ++i) deltas[i] = &local_deltas[i];
+    }
 
     // Enumerate subsets M of the IC's positive atoms all mapping into
     // `atom` under one consistent homomorphism.
@@ -169,15 +246,25 @@ std::vector<RuleTriplet> AdornmentEngine::EdbBaseTriplets(
               const Term* image = h.Lookup(z);
               if (image != nullptr) t.sigma.emplace(z, *image);
             }
-            for (const RuleTriplet& existing : out) {
-              if (existing.SameAs(t)) return;
+            if (memoize_) {
+              RuleTripletId id = store_->InternRuleTriplet(t);
+              if (std::find(out.ids.begin(), out.ids.end(), id) !=
+                  out.ids.end()) {
+                return;
+              }
+              out.ids.push_back(id);
+              out.triplets.push_back(std::move(t));
+            } else {
+              for (const RuleTriplet& existing : out.triplets) {
+                if (existing.SameAs(t)) return;
+              }
+              out.triplets.push_back(std::move(t));
             }
-            out.push_back(std::move(t));
             return;
           }
           recurse(next + 1, h);  // leave atom `next` unmapped
           Substitution extended = h;
-          if (MatchInto(*positives[next], atom, &extended)) {
+          if (ApplyMatchDelta(*deltas[next], &extended)) {
             mapped.push_back(next);
             recurse(next + 1, extended);
             mapped.pop_back();
@@ -188,10 +275,36 @@ std::vector<RuleTriplet> AdornmentEngine::EdbBaseTriplets(
   return out;
 }
 
+AdornmentEngine::CandidateList AdornmentEngine::TranslateAdornment(
+    int apred, const Atom& atom) const {
+  // Translate the adorned predicate's goal-level triplets into rule terms;
+  // candidate order mirrors the adornment order so that
+  // RuleTriplet::sources indexes the adornment directly. No dedup: the
+  // positions are the provenance coordinate system.
+  CandidateList list;
+  for (const Triplet& t : apreds_[apred].adornment) {
+    RuleTriplet rt;
+    rt.ic_index = t.ic_index;
+    rt.unmapped = t.unmapped;
+    for (const auto& [z, img] : t.sigma) {
+      if (img.is_constant) {
+        rt.sigma.emplace(z, Term::Const(img.constant));
+      } else {
+        rt.sigma.emplace(z, atom.arg(img.positions[0]));
+      }
+    }
+    list.triplets.push_back(std::move(rt));
+  }
+  if (memoize_) FillIds(&list);
+  return list;
+}
+
 int AdornmentEngine::InternApred(PredId pred, Adornment adornment,
                                  std::vector<Comparison> summary) {
-  std::string key = std::to_string(pred) + "/" + AdornmentKey(adornment) + "~";
-  for (const Comparison& c : summary) key += c.ToString() + ";";
+  ApredKey key;
+  key.pred = pred;
+  key.adornment = store_->InternAdornment(adornment);
+  key.summary = store_->InternSummary(summary);
   auto it = apred_registry_.find(key);
   if (it != apred_registry_.end()) return it->second;
   int index = static_cast<int>(apreds_.size());
@@ -200,24 +313,53 @@ int AdornmentEngine::InternApred(PredId pred, Adornment adornment,
   ap.adornment = std::move(adornment);
   ap.summary = std::move(summary);
   ap.name = InternPred(PredName(pred) + "@" + std::to_string(index));
+  ap.adornment_id = key.adornment;
+  ap.summary_id = key.summary;
   apreds_.push_back(std::move(ap));
-  apred_registry_.emplace(std::move(key), index);
+  apred_registry_.emplace(key, index);
+  apreds_by_pred_[pred].push_back(index);
   if (static_cast<int>(apreds_.size()) > options_.max_adorned_preds) {
     overflow_ = true;
   }
   return index;
 }
 
+RuleTripletId AdornmentEngine::RestrictedLeaf(RuleTripletId id) {
+  auto memo = restrict_memo_.find(id);
+  if (memo != restrict_memo_.end()) return memo->second;
+  const RuleTriplet& t = store_->rule_triplet(id);
+  const Constraint& ic = ics_[t.ic_index];
+  std::vector<const Atom*> positives = ic.PositiveAtoms();
+  const std::vector<int>& nonlocal = local_.NonlocalOrder(t.ic_index);
+  RuleTriplet restricted = t;
+  RestrictSigma(ic, positives, nonlocal, restricted.unmapped,
+                &restricted.sigma);
+  RuleTripletId rid = store_->InternRuleTriplet(restricted);
+  restrict_memo_.emplace(id, rid);
+  return rid;
+}
+
 bool AdornmentEngine::ProcessCombination(int rule_index,
                                          const std::vector<int>& idb_subgoals,
                                          const std::vector<int>& choice) {
-  // Registry key for this (rule, subgoal adornments) combination.
-  std::string key = std::to_string(rule_index);
-  for (int c : choice) key += "," + std::to_string(c);
-  if (arule_registry_.count(key) > 0) return false;
-  arule_registry_.emplace(key, -1);  // mark processed (maybe inconsistent)
+  // Registry key for this (rule, subgoal adornments) combination: ints, not
+  // a serialized string — the fixpoint re-enumerates every combination each
+  // pass, so this lookup is the hottest line of the whole phase. The scratch
+  // buffer keeps the (overwhelmingly common) already-processed path
+  // allocation-free.
+  key_scratch_.clear();
+  key_scratch_.reserve(choice.size() + 1);
+  key_scratch_.push_back(rule_index);
+  for (int c : choice) key_scratch_.push_back(c);
+  if (arule_registry_.find(key_scratch_) != arule_registry_.end()) {
+    return false;
+  }
+  auto registry_it = arule_registry_.emplace(key_scratch_, -1).first;
+  // registry_it stays valid: nothing inserts into arule_registry_ below
+  // until the final update (unordered_map references are rehash-stable).
 
   Rule rule = program_.rules()[rule_index];
+  bool specialized = false;
 
   // Pattern specialization (the paper's footnote 1): a triplet of a chosen
   // subgoal adornment whose variable image spans several argument positions
@@ -249,15 +391,20 @@ bool AdornmentEngine::ProcessCombination(int rule_index,
     if (!specialize.empty()) {
       specialize.ResolveChains();
       rule = specialize.Apply(rule);
+      specialized = true;
       // Equating variables can contradict the rule's own order atoms.
       if (!NormalizeRule(&rule)) return false;
     }
   }
 
   // Positive subgoals in body order; candidate triplets per subgoal.
+  // Candidate lists come from the memo tables where possible (translation
+  // depends only on (apred, atom); EDB base triplets only on the original
+  // (rule, occurrence) as long as the rule was not specialized).
   std::vector<int> positive_subgoals;
   std::vector<int> subgoal_apred(rule.body.size(), -1);
-  std::vector<std::vector<RuleTriplet>> candidates;
+  std::vector<const CandidateList*> candidates;
+  std::deque<CandidateList> scratch_lists;
   {
     int idb_seen = 0;
     for (int b = 0; b < static_cast<int>(rule.body.size()); ++b) {
@@ -268,26 +415,32 @@ bool AdornmentEngine::ProcessCombination(int rule_index,
         SQOD_CHECK(idb_subgoals[idb_seen] == b);
         int apred = choice[idb_seen++];
         subgoal_apred[b] = apred;
-        // Translate the adorned predicate's goal-level triplets into rule
-        // terms; candidate order mirrors the adornment order so that
-        // RuleTriplet::sources indexes the adornment directly.
-        std::vector<RuleTriplet> list;
-        for (const Triplet& t : apreds_[apred].adornment) {
-          RuleTriplet rt;
-          rt.ic_index = t.ic_index;
-          rt.unmapped = t.unmapped;
-          for (const auto& [z, img] : t.sigma) {
-            if (img.is_constant) {
-              rt.sigma.emplace(z, Term::Const(img.constant));
-            } else {
-              rt.sigma.emplace(z, lit.atom.arg(img.positions[0]));
-            }
+        if (memoize_) {
+          const uint64_t memo_key =
+              PackPair(apred, store_->atoms().Intern(lit.atom));
+          auto it = translate_memo_.find(memo_key);
+          if (it == translate_memo_.end()) {
+            it = translate_memo_
+                     .emplace(memo_key, TranslateAdornment(apred, lit.atom))
+                     .first;
           }
-          list.push_back(std::move(rt));
+          candidates.push_back(&it->second);
+        } else {
+          scratch_lists.push_back(TranslateAdornment(apred, lit.atom));
+          candidates.push_back(&scratch_lists.back());
         }
-        candidates.push_back(std::move(list));
+      } else if (memoize_ && !specialized) {
+        const uint64_t memo_key = PackPair(rule_index, b);
+        auto it = edb_base_memo_.find(memo_key);
+        if (it == edb_base_memo_.end()) {
+          it = edb_base_memo_
+                   .emplace(memo_key, EdbBaseTriplets(rule, lit.atom))
+                   .first;
+        }
+        candidates.push_back(&it->second);
       } else {
-        candidates.push_back(EdbBaseTriplets(rule, lit.atom));
+        scratch_lists.push_back(EdbBaseTriplets(rule, lit.atom));
+        candidates.push_back(&scratch_lists.back());
       }
     }
     SQOD_CHECK(idb_seen == static_cast<int>(idb_subgoals.size()));
@@ -300,18 +453,67 @@ bool AdornmentEngine::ProcessCombination(int rule_index,
   std::vector<Comparison> total = rule.comparisons;
   for (int b = 0; b < static_cast<int>(rule.body.size()); ++b) {
     if (subgoal_apred[b] == -1) continue;
-    std::vector<Comparison> inst = InstantiateSummary(
-        apreds_[subgoal_apred[b]].summary, rule.body[b].atom);
-    total.insert(total.end(), inst.begin(), inst.end());
+    const AdornedPred& ap = apreds_[subgoal_apred[b]];
+    if (memoize_) {
+      const uint64_t memo_key =
+          PackPair(ap.summary_id, store_->atoms().Intern(rule.body[b].atom));
+      auto it = summary_memo_.find(memo_key);
+      if (it == summary_memo_.end()) {
+        it = summary_memo_
+                 .emplace(memo_key,
+                          InstantiateSummary(ap.summary, rule.body[b].atom))
+                 .first;
+      }
+      total.insert(total.end(), it->second.begin(), it->second.end());
+    } else {
+      std::vector<Comparison> inst =
+          InstantiateSummary(ap.summary, rule.body[b].atom);
+      total.insert(total.end(), inst.begin(), inst.end());
+    }
   }
-  if (!ComparisonsConsistent(total)) return false;
-  std::vector<Comparison> head_summary = ComputeHeadSummary(total, rule.head);
+  // Consistency and head-summary both depend only on (total, head), and the
+  // same conjunction recurs across combinations (same subgoal summaries in a
+  // different mix). Interning `total` turns both checks into one hash each;
+  // ComputeHeadSummary in particular runs several order solves per call.
+  std::vector<Comparison> head_summary;
+  if (memoize_) {
+    const SummaryId total_id = store_->InternSummary(total);
+    auto cons = consistent_memo_.find(total_id);
+    if (cons == consistent_memo_.end()) {
+      cons = consistent_memo_
+                 .emplace(total_id, ComparisonsConsistent(total))
+                 .first;
+    }
+    if (!cons->second) return false;
+    const uint64_t hs_key =
+        PackPair(total_id, store_->atoms().Intern(rule.head));
+    auto hs = head_summary_memo_.find(hs_key);
+    if (hs == head_summary_memo_.end()) {
+      hs = head_summary_memo_
+               .emplace(hs_key, ComputeHeadSummary(total, rule.head))
+               .first;
+    }
+    head_summary = hs->second;
+  } else {
+    if (!ComparisonsConsistent(total)) return false;
+    head_summary = ComputeHeadSummary(total, rule.head);
+  }
 
   const int m = static_cast<int>(positive_subgoals.size());
 
+  // The rule's own order theory, shared by every quasi-local leaf check.
+  std::optional<OrderSolver> rule_solver;
+  auto solver = [&]() -> OrderSolver& {
+    if (!rule_solver.has_value()) rule_solver.emplace(rule.comparisons);
+    return *rule_solver;
+  };
+
   // Combine triplets per IC: each subgoal contributes one candidate of that
-  // IC or the implicit trivial triplet.
+  // IC or the implicit trivial triplet. The memoized path threads an
+  // interned rule-triplet id through the recursion and merges via the
+  // store (hash lookup per step); the plain path recomputes each merge.
   std::vector<RuleTriplet> rule_adornment;
+  std::unordered_set<RuleTripletId> leaf_seen;
   bool inconsistent = false;
   for (int ic_index = 0;
        ic_index < static_cast<int>(ics_.size()) && !inconsistent;
@@ -330,106 +532,154 @@ bool AdornmentEngine::ProcessCombination(int rule_index,
     // Per-subgoal candidate indices for this IC.
     std::vector<std::vector<int>> per_subgoal(m);
     for (int s = 0; s < m; ++s) {
-      for (int c = 0; c < static_cast<int>(candidates[s].size()); ++c) {
-        if (candidates[s][c].ic_index == ic_index) {
+      const std::vector<RuleTriplet>& cand = candidates[s]->triplets;
+      for (int c = 0; c < static_cast<int>(cand.size()); ++c) {
+        if (cand[c].ic_index == ic_index) {
           per_subgoal[s].push_back(c);
         }
       }
     }
 
-    RuleTriplet current;
-    current.ic_index = ic_index;
-    current.unmapped = all_atoms;
-    current.sources.assign(m, -1);
+    std::vector<int> sources(m, -1);
     int combos = 0;
 
-    std::function<void(int)> combine = [&](int s) {
-      if (inconsistent || ++combos > 2000000) {
-        overflow_ = overflow_ || combos > 2000000;
+    // Checks a fully restricted leaf triplet: detects the inconsistent
+    // adornment, dedupes, and records it with its provenance.
+    auto process_leaf = [&](const RuleTriplet& t, RuleTripletId id) {
+      if (t.unmapped.empty()) {
+        // Empty residue: every instantiation through this adorned rule
+        // violates the IC (the *inconsistent adornment* of the paper).
+        inconsistent = true;
         return;
       }
-      if (s == m) {
-        bool all_trivial = std::all_of(current.sources.begin(),
-                                       current.sources.end(),
-                                       [](int x) { return x == -1; });
-        if (all_trivial) return;
-        RuleTriplet t = current;
-        RestrictSigma(ic, positives, nonlocal, t.unmapped, &t.sigma);
-        if (t.unmapped.empty()) {
-          // Empty residue: every instantiation through this adorned rule
-          // violates the IC (the *inconsistent adornment* of the paper).
-          inconsistent = true;
-          return;
+      if (!nonlocal.empty() && t.unmapped.size() == 1 &&
+          t.unmapped[0] == static_cast<int>(positives.size())) {
+        // Only the quasi-local pseudo-atom is left: all EDB atoms of the
+        // IC are mapped. If the mapped variables are all visible at this
+        // rule node and the rule's own order atoms entail the mapped
+        // non-local comparisons, every instantiation violates the IC.
+        Substitution h;
+        bool all_visible = true;
+        for (const auto& [z, term] : t.sigma) h.Bind(z, term);
+        std::vector<VarId> needed;
+        for (int c : nonlocal) ic.comparisons[c].CollectVars(&needed);
+        for (VarId z : needed) {
+          if (h.Lookup(z) == nullptr) all_visible = false;
         }
-        if (!nonlocal.empty() && t.unmapped.size() == 1 &&
-            t.unmapped[0] == static_cast<int>(positives.size())) {
-          // Only the quasi-local pseudo-atom is left: all EDB atoms of the
-          // IC are mapped. If the mapped variables are all visible at this
-          // rule node and the rule's own order atoms entail the mapped
-          // non-local comparisons, every instantiation violates the IC.
-          Substitution h;
-          bool all_visible = true;
-          for (const auto& [z, term] : t.sigma) h.Bind(z, term);
-          std::vector<VarId> needed;
-          for (int c : nonlocal) ic.comparisons[c].CollectVars(&needed);
-          for (VarId z : needed) {
-            if (h.Lookup(z) == nullptr) all_visible = false;
-          }
-          if (all_visible) {
-            OrderSolver solver(rule.comparisons);
-            bool entails_all = true;
-            for (int c : nonlocal) {
-              if (!solver.Entails(h.Apply(ic.comparisons[c]))) {
-                entails_all = false;
-                break;
-              }
-            }
-            if (entails_all) {
-              inconsistent = true;
-              return;
+        if (all_visible) {
+          bool entails_all = true;
+          for (int c : nonlocal) {
+            if (!solver().Entails(h.Apply(ic.comparisons[c]))) {
+              entails_all = false;
+              break;
             }
           }
+          if (entails_all) {
+            inconsistent = true;
+            return;
+          }
         }
+      }
+      if (id >= 0) {
+        if (!leaf_seen.insert(id).second) return;  // provenance: keep first
+      } else {
         for (const RuleTriplet& existing : rule_adornment) {
           if (existing.SameAs(t)) return;  // sources provenance: keep first
         }
-        rule_adornment.push_back(std::move(t));
-        return;
       }
-      // Trivial contribution from subgoal s.
-      combine(s + 1);
-      if (inconsistent) return;
-      // Each real candidate of subgoal s for this IC.
-      for (int c : per_subgoal[s]) {
-        const RuleTriplet& cand = candidates[s][c];
-        // Merge sigma with compatibility check.
-        std::map<VarId, Term> saved_sigma = current.sigma;
-        std::vector<int> saved_unmapped = current.unmapped;
-        bool ok = true;
-        for (const auto& [z, term] : cand.sigma) {
-          auto [it, inserted] = current.sigma.emplace(z, term);
-          if (!inserted && !(it->second == term)) {
-            ok = false;
-            break;
-          }
-        }
-        if (ok) {
-          std::vector<int> merged;
-          std::set_intersection(current.unmapped.begin(),
-                                current.unmapped.end(),
-                                cand.unmapped.begin(), cand.unmapped.end(),
-                                std::back_inserter(merged));
-          current.unmapped = std::move(merged);
-          current.sources[s] = c;
-          combine(s + 1);
-          current.sources[s] = -1;
-        }
-        current.sigma = std::move(saved_sigma);
-        current.unmapped = std::move(saved_unmapped);
-        if (inconsistent) return;
-      }
+      RuleTriplet recorded = t;
+      recorded.sources = sources;
+      rule_adornment.push_back(std::move(recorded));
     };
-    combine(0);
+
+    if (memoize_) {
+      RuleTriplet start;
+      start.ic_index = ic_index;
+      start.unmapped = all_atoms;
+      const RuleTripletId start_id = store_->InternRuleTriplet(start);
+      std::function<void(int, RuleTripletId)> combine =
+          [&](int s, RuleTripletId state) {
+            if (inconsistent || ++combos > 2000000) {
+              overflow_ = overflow_ || combos > 2000000;
+              return;
+            }
+            if (s == m) {
+              bool all_trivial =
+                  std::all_of(sources.begin(), sources.end(),
+                              [](int x) { return x == -1; });
+              if (all_trivial) return;
+              RuleTripletId restricted = RestrictedLeaf(state);
+              process_leaf(store_->rule_triplet(restricted), restricted);
+              return;
+            }
+            // Trivial contribution from subgoal s.
+            combine(s + 1, state);
+            if (inconsistent) return;
+            // Each real candidate of subgoal s for this IC.
+            for (int c : per_subgoal[s]) {
+              const int32_t merged = store_->MergeRuleTriplets(
+                  state, candidates[s]->ids[c]);
+              if (merged == TripletStore::kIncompatible) continue;
+              sources[s] = c;
+              combine(s + 1, merged);
+              sources[s] = -1;
+              if (inconsistent) return;
+            }
+          };
+      combine(0, start_id);
+    } else {
+      RuleTriplet current;
+      current.ic_index = ic_index;
+      current.unmapped = all_atoms;
+      std::function<void(int)> combine = [&](int s) {
+        if (inconsistent || ++combos > 2000000) {
+          overflow_ = overflow_ || combos > 2000000;
+          return;
+        }
+        if (s == m) {
+          bool all_trivial = std::all_of(sources.begin(), sources.end(),
+                                         [](int x) { return x == -1; });
+          if (all_trivial) return;
+          RuleTriplet t = current;
+          RestrictSigma(ic, positives, nonlocal, t.unmapped, &t.sigma);
+          process_leaf(t, -1);
+          return;
+        }
+        // Trivial contribution from subgoal s.
+        combine(s + 1);
+        if (inconsistent) return;
+        // Each real candidate of subgoal s for this IC.
+        for (int c : per_subgoal[s]) {
+          const RuleTriplet& cand = candidates[s]->triplets[c];
+          // Merge sigma with compatibility check.
+          FlatMap<VarId, Term> saved_sigma = current.sigma;
+          std::vector<int> saved_unmapped = current.unmapped;
+          bool ok = true;
+          for (const auto& [z, term] : cand.sigma) {
+            auto [it, inserted] = current.sigma.emplace(z, term);
+            if (!inserted && !(it->second == term)) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) {
+            std::vector<int> merged;
+            std::set_intersection(current.unmapped.begin(),
+                                  current.unmapped.end(),
+                                  cand.unmapped.begin(), cand.unmapped.end(),
+                                  std::back_inserter(merged));
+            current.unmapped = std::move(merged);
+            sources[s] = c;
+            combine(s + 1);
+            sources[s] = -1;
+          }
+          current.sigma = std::move(saved_sigma);
+          current.unmapped = std::move(saved_unmapped);
+          if (inconsistent) return;
+        }
+      };
+      combine(0);
+    }
   }
 
   if (inconsistent) return false;  // the adorned rule is dropped entirely
@@ -488,7 +738,7 @@ bool AdornmentEngine::ProcessCombination(int rule_index,
   ar.rule_adornment = std::move(rule_adornment);
   ar.positive_subgoals = std::move(positive_subgoals);
   ar.head_sources = std::move(head_sources);
-  arule_registry_[key] = static_cast<int>(arules_.size());
+  registry_it->second = static_cast<int>(arules_.size());
   arules_.push_back(std::move(ar));
   if (static_cast<int>(arules_.size()) > options_.max_adorned_rules) {
     overflow_ = true;
@@ -497,11 +747,8 @@ bool AdornmentEngine::ProcessCombination(int rule_index,
 }
 
 std::vector<int> AdornmentEngine::AdornmentsOf(PredId p) const {
-  std::vector<int> out;
-  for (int i = 0; i < static_cast<int>(apreds_.size()); ++i) {
-    if (apreds_[i].original == p) out.push_back(i);
-  }
-  return out;
+  auto it = apreds_by_pred_.find(p);
+  return it == apreds_by_pred_.end() ? std::vector<int>() : it->second;
 }
 
 Status AdornmentEngine::Run() {

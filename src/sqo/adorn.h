@@ -1,8 +1,11 @@
 #ifndef SQOD_SQO_ADORN_H_
 #define SQOD_SQO_ADORN_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/ast/program.h"
@@ -10,6 +13,7 @@
 #include "src/obs/trace.h"
 #include "src/sqo/local.h"
 #include "src/sqo/triplet.h"
+#include "src/sqo/triplet_store.h"
 
 namespace sqod {
 
@@ -27,6 +31,9 @@ struct AdornedPred {
   Adornment adornment;
   std::vector<Comparison> summary;  // canonical, sorted
   PredId name = -1;                 // generated name "p@<k>"
+  // Hash-consed identity in the engine's TripletStore.
+  AdornmentId adornment_id = -1;
+  SummaryId summary_id = -1;
 };
 
 // The placeholder variable for head argument position `i` in summaries.
@@ -59,6 +66,15 @@ struct AdornOptions {
   // Optional span collector: each fixpoint pass of Run() becomes a
   // "sqo.adorn.iteration" span with apred/arule counts.
   Tracer* tracer = nullptr;
+  // Hash-consing store for triplets / adornments / atoms. Normally the
+  // pipeline's PassContext store, shared across passes; when null the
+  // engine owns a private one.
+  TripletStore* store = nullptr;
+  // Memoize the hot combinators (rule-triplet composition, EDB base
+  // triplets, adornment translation) in addition to hash-consing. Output
+  // is identical either way; the switch exists for A/B testing and the
+  // golden interning test.
+  bool memoize = true;
 };
 
 // The bottom-up phase of the Section 4.1 algorithm. Expects the program to
@@ -69,6 +85,7 @@ class AdornmentEngine {
  public:
   AdornmentEngine(const Program& program, std::vector<Constraint> ics,
                   LocalAtomInfo local, AdornOptions options = {});
+  ~AdornmentEngine();
 
   // Runs the fixpoint. Returns an error only when a safety valve triggers.
   Status Run();
@@ -77,6 +94,10 @@ class AdornmentEngine {
   const std::vector<Constraint>& ics() const { return ics_; }
   const std::vector<AdornedPred>& apreds() const { return apreds_; }
   const std::vector<AdornedRule>& arules() const { return arules_; }
+
+  // The hash-consing store the engine interns into (the shared pipeline
+  // store, or the engine's own fallback).
+  TripletStore& store() const { return *store_; }
 
   // Adorned predicate indices whose original predicate is `p`.
   std::vector<int> AdornmentsOf(PredId p) const;
@@ -91,6 +112,30 @@ class AdornmentEngine {
   std::string ToString() const;
 
  private:
+  // (pred, adornment-id, summary-id) -> apreds_ index.
+  struct ApredKey {
+    PredId pred;
+    AdornmentId adornment;
+    SummaryId summary;
+    bool operator==(const ApredKey& other) const {
+      return pred == other.pred && adornment == other.adornment &&
+             summary == other.summary;
+    }
+  };
+  struct ApredKeyHash {
+    size_t operator()(const ApredKey& k) const;
+  };
+  struct IntVecHash {
+    size_t operator()(const std::vector<int32_t>& v) const;
+  };
+
+  // A per-subgoal list of candidate rule triplets, with their interned ids
+  // (aligned; filled on construction).
+  struct CandidateList {
+    std::vector<RuleTriplet> triplets;
+    std::vector<RuleTripletId> ids;
+  };
+
   // Registers (or finds) the adorned predicate for (pred, adornment,
   // summary).
   int InternApred(PredId pred, Adornment adornment,
@@ -104,8 +149,17 @@ class AdornmentEngine {
   // Base triplets for the EDB occurrence `atom` of `rule` (Section 4.1's
   // per-pattern EDB adornments, computed per occurrence so the Section 4.2
   // retention condition can consult the rule context).
-  std::vector<RuleTriplet> EdbBaseTriplets(const Rule& rule,
-                                           const Atom& atom) const;
+  CandidateList EdbBaseTriplets(const Rule& rule, const Atom& atom) const;
+
+  // Goal-level triplets of `apreds_[apred]` translated into rule terms via
+  // the subgoal occurrence `atom` (candidate order mirrors the adornment).
+  CandidateList TranslateAdornment(int apred, const Atom& atom) const;
+
+  // Restricts (and interns) the leaf rule triplet `id`: drops sigma entries
+  // for variables that occur in no unmapped part. Memoized on `id`.
+  RuleTripletId RestrictedLeaf(RuleTripletId id);
+
+  void FillIds(CandidateList* list) const;
 
   Program program_;
   std::vector<Constraint> ics_;
@@ -113,10 +167,33 @@ class AdornmentEngine {
   AdornOptions options_;
   std::set<PredId> idb_;
 
+  std::unique_ptr<TripletStore> owned_store_;  // fallback when none shared
+  TripletStore* store_ = nullptr;
+  bool memoize_ = true;
+
   std::vector<AdornedPred> apreds_;
-  std::unordered_map<std::string, int> apred_registry_;  // key -> index
+  std::unordered_map<ApredKey, int, ApredKeyHash> apred_registry_;
+  std::unordered_map<PredId, std::vector<int>> apreds_by_pred_;
   std::vector<AdornedRule> arules_;
-  std::unordered_map<std::string, int> arule_registry_;  // combination key
+  // Combination registry: key is {rule_index, choice...}.
+  std::unordered_map<std::vector<int32_t>, int, IntVecHash> arule_registry_;
+  std::vector<int32_t> key_scratch_;  // reused registry-lookup buffer
+
+  // Memo tables (used when options_.memoize):
+  //   EDB base triplets per unspecialized (rule_index << 32 | body_index);
+  //   adornment translation per (apred << 32 | atom id);
+  //   instantiated summaries per (summary id << 32 | atom id);
+  //   leaf restriction per rule-triplet id;
+  //   order-consistency verdicts per interned conjunction (summary id);
+  //   head summaries per (conjunction summary id << 32 | head atom id).
+  mutable std::unordered_map<uint64_t, CandidateList> edb_base_memo_;
+  mutable std::unordered_map<uint64_t, CandidateList> translate_memo_;
+  mutable std::unordered_map<uint64_t, std::vector<Comparison>> summary_memo_;
+  std::unordered_map<RuleTripletId, RuleTripletId> restrict_memo_;
+  mutable std::unordered_map<int32_t, bool> consistent_memo_;
+  mutable std::unordered_map<uint64_t, std::vector<Comparison>>
+      head_summary_memo_;
+
   bool overflow_ = false;
   int fixpoint_passes_ = 0;
 };

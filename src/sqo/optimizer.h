@@ -40,6 +40,21 @@ struct SqoOptions {
   QueryTreeOptions tree;
   int max_local_rewrite_rules = 100000;
 
+  // Memoize the hot combinators of the pipeline's hash-consing store (rule
+  // triplet merges, IC-atom match deltas, EDB base-triplet lists). The
+  // hash-consing itself is always on; this only toggles the memo tables.
+  // Output is identical either way — the switch exists for A/B comparison
+  // and the golden interning-equivalence test.
+  bool memoize_triplets = true;
+
+  // Render the human-readable diagnostic artifacts (SqoReport's
+  // adornment_dump, tree_dump, tree_dot) during the run. Off by default:
+  // the dumps serialize every adorned predicate, rule, and goal class and
+  // can cost as much as the analysis itself on adornment-heavy inputs, so
+  // the serving path (Session::Prepare) should not pay for them. The CLI
+  // turns this on when a --dump-* flag asks for the text.
+  bool capture_dumps = false;
+
   // Pass-pipeline configuration: names of passes to skip, on top of the
   // legacy flags above (see PassManager::PassNames for the vocabulary).
   // Unknown names are an error at Run time. Disabling a pass other passes

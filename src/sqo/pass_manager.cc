@@ -86,6 +86,8 @@ class AdornPass : public Pass {
   Status Run(PassContext& ctx) override {
     AdornOptions adorn_options = ctx.options.adorn;
     adorn_options.tracer = ctx.options.tracer;
+    adorn_options.store = ctx.store.get();
+    adorn_options.memoize = ctx.options.memoize_triplets;
     ctx.engine = std::make_unique<AdornmentEngine>(ctx.program, ctx.ics,
                                                    ctx.local, adorn_options);
     SQOD_RETURN_IF_ERROR(ctx.engine->Run());
@@ -99,7 +101,9 @@ class AdornPass : public Pass {
     report.adorned = ctx.engine->AdornedProgram();
     report.adorned_predicates = static_cast<int>(ctx.engine->apreds().size());
     report.adorned_rules = static_cast<int>(ctx.engine->arules().size());
-    report.adornment_dump = ctx.engine->ToString();
+    if (ctx.options.capture_dumps) {
+      report.adornment_dump = ctx.engine->ToString();
+    }
     // Default rewriting until (and unless) the tree pass refines it.
     report.rewritten = report.adorned;
     report.query_satisfiable = true;  // not decided without the tree
@@ -136,8 +140,10 @@ class TreePass : public Pass {
     ctx.span().SetAttr("satisfiable", ctx.tree->QuerySatisfiable() ? 1 : 0);
 
     report.query_satisfiable = ctx.tree->QuerySatisfiable();
-    report.tree_dump = ctx.tree->ToString();
-    report.tree_dot = ctx.tree->ToDot();
+    if (ctx.options.capture_dumps) {
+      report.tree_dump = ctx.tree->ToString();
+      report.tree_dot = ctx.tree->ToDot();
+    }
     report.rewritten = ctx.tree->RewrittenProgram();
     return Status::Ok();
   }
@@ -152,7 +158,14 @@ class ResiduesPass : public Pass {
   const char* name() const override { return "residues"; }
 
   Status Run(PassContext& ctx) override {
-    ctx.report.rewritten = ApplyClassicSqo(ctx.report.rewritten, ctx.ics);
+    // Deliberately no shared AtomMatchMemo here: by this point every rule
+    // has been renamed apart with fresh variables, so body atoms never
+    // repeat across rules and memoized match deltas cannot be reused — the
+    // interner only accumulates dead entries and pays insert cost (~1.5x
+    // slower residues phase on the E4 WideIc workload). ApplyClassicSqo's
+    // per-rule delta table already dedups repeated atoms within one rule.
+    ctx.report.rewritten =
+        ApplyClassicSqo(ctx.report.rewritten, ctx.ics, nullptr, nullptr);
     ctx.span().SetAttr(
         "rules_out",
         static_cast<int64_t>(ctx.report.rewritten.rules().size()));
@@ -172,7 +185,7 @@ class PrunePass : public Pass {
     ctx.span().SetAttr(
         "rules_in",
         static_cast<int64_t>(ctx.report.rewritten.rules().size()));
-    ctx.report.rewritten = PruneUnreachable(ctx.report.rewritten);
+    ctx.report.rewritten = PruneUnreachable(std::move(ctx.report.rewritten));
     ctx.span().SetAttr(
         "rules_out",
         static_cast<int64_t>(ctx.report.rewritten.rules().size()));
@@ -184,8 +197,9 @@ class PrunePass : public Pass {
   }
 };
 
-void RecordPipelineGauges(const SqoReport& report, const SqoOptions& options) {
+void RecordPipelineGauges(const PassContext& ctx, const SqoOptions& options) {
   if (options.metrics == nullptr) return;
+  const SqoReport& report = ctx.report;
   MetricsRegistry* m = options.metrics;
   m->GetGauge("sqo/adorned_preds")->Set(report.adorned_predicates);
   m->GetGauge("sqo/adorned_rules")->Set(report.adorned_rules);
@@ -193,6 +207,16 @@ void RecordPipelineGauges(const SqoReport& report, const SqoOptions& options) {
   m->GetGauge("sqo/surviving_classes")->Set(report.surviving_classes);
   m->GetGauge("sqo/rewritten_rules")
       ->Set(static_cast<int64_t>(report.rewritten.rules().size()));
+  if (ctx.store != nullptr) {
+    // Hash-consing effectiveness for this run: counters accumulate across
+    // runs sharing the registry (one Prepare = one run), the size gauge
+    // holds the store's final population.
+    TripletStore::Stats s = ctx.store->stats();
+    m->GetCounter("sqo/intern_hits")->Add(s.intern_hits);
+    m->GetCounter("sqo/intern_misses")->Add(s.intern_misses);
+    m->GetCounter("sqo/memo_hits")->Add(s.memo_hits);
+    m->GetGauge("sqo/triplet_store/size")->Set(s.size);
+  }
 }
 
 }  // namespace
@@ -260,6 +284,8 @@ Status PassManager::RunInto(const Program& program,
   ctx->options = options_;
   ctx->program = program;
   ctx->ics = ics;
+  ctx->store = std::make_unique<TripletStore>();
+  ctx->store->set_memo_enabled(options_.memoize_triplets);
 
   Tracer* tracer = options_.tracer;
   const bool tracing = tracer != nullptr && tracer->enabled();
@@ -303,7 +329,7 @@ Status PassManager::RunInto(const Program& program,
     }
   }
 
-  RecordPipelineGauges(ctx->report, options_);
+  RecordPipelineGauges(*ctx, options_);
   return Status::Ok();
 }
 

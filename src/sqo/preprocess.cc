@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "src/ast/substitution.h"
 #include "src/order/solver.h"
@@ -95,48 +97,69 @@ std::vector<Constraint> NormalizeConstraints(
   return out;
 }
 
-Program PruneUnreachable(const Program& program) {
-  const std::set<PredId> idb = program.IdbPreds();
+Program PruneUnreachable(Program program) {
+  const std::set<PredId> idb_set = program.IdbPreds();
+  const std::unordered_set<PredId> idb(idb_set.begin(), idb_set.end());
 
-  // Productive IDB predicates: fixpoint from rules whose IDB subgoals are
-  // all already productive.
-  std::set<PredId> productive;
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const Rule& r : program.rules()) {
-      if (productive.count(r.head.pred()) > 0) continue;
-      bool ok = true;
-      for (const Literal& l : r.body) {
-        if (idb.count(l.atom.pred()) > 0 &&
-            productive.count(l.atom.pred()) == 0) {
-          ok = false;
-          break;
-        }
+  // Productive IDB predicates (least fixpoint: head is productive once all
+  // its IDB subgoals are), computed with a per-rule pending-subgoal counter
+  // and a worklist instead of whole-program passes — the adorned programs
+  // this runs on have long derivation chains, where repeated scans are
+  // quadratic.
+  const std::vector<Rule>& rules = program.rules();
+  std::unordered_set<PredId> productive;
+  std::unordered_map<PredId, std::vector<size_t>> rules_waiting_on;
+  std::vector<int> pending(rules.size(), 0);
+  std::vector<PredId> worklist;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    for (const Literal& l : rules[i].body) {
+      if (idb.count(l.atom.pred()) > 0) {
+        ++pending[i];
+        rules_waiting_on[l.atom.pred()].push_back(i);
       }
-      if (ok) {
-        productive.insert(r.head.pred());
-        changed = true;
+    }
+    if (pending[i] == 0 && productive.insert(rules[i].head.pred()).second) {
+      worklist.push_back(rules[i].head.pred());
+    }
+  }
+  while (!worklist.empty()) {
+    PredId p = worklist.back();
+    worklist.pop_back();
+    auto it = rules_waiting_on.find(p);
+    if (it == rules_waiting_on.end()) continue;
+    for (size_t i : it->second) {
+      if (--pending[i] == 0 &&
+          productive.insert(rules[i].head.pred()).second) {
+        worklist.push_back(rules[i].head.pred());
       }
     }
   }
+  // Duplicate subgoal occurrences are safe: each occurrence is counted and
+  // registered once, and each predicate fires at most once, so the counter
+  // reaches zero exactly when every occurrence's predicate is productive.
 
   // Reachable from the query predicate (or all IDB predicates if no query
   // is set) through rules of productive predicates.
-  std::set<PredId> reachable;
+  std::unordered_map<PredId, std::vector<size_t>> rules_by_head;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    rules_by_head[rules[i].head.pred()].push_back(i);
+  }
+  std::unordered_set<PredId> reachable;
   std::vector<PredId> frontier;
   if (program.query() != -1) {
     frontier.push_back(program.query());
   } else {
-    for (PredId p : idb) frontier.push_back(p);
+    for (PredId p : idb_set) frontier.push_back(p);
   }
   while (!frontier.empty()) {
     PredId p = frontier.back();
     frontier.pop_back();
     if (!reachable.insert(p).second) continue;
-    for (const Rule& r : program.rules()) {
-      if (r.head.pred() != p || productive.count(p) == 0) continue;
-      for (const Literal& l : r.body) {
+    if (productive.count(p) == 0) continue;
+    auto it = rules_by_head.find(p);
+    if (it == rules_by_head.end()) continue;
+    for (size_t i : it->second) {
+      for (const Literal& l : rules[i].body) {
         if (idb.count(l.atom.pred()) > 0 &&
             reachable.count(l.atom.pred()) == 0) {
           frontier.push_back(l.atom.pred());
@@ -147,7 +170,8 @@ Program PruneUnreachable(const Program& program) {
 
   Program out;
   out.SetQuery(program.query());
-  for (const Rule& r : program.rules()) {
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const Rule& r = rules[i];
     if (reachable.count(r.head.pred()) == 0 ||
         productive.count(r.head.pred()) == 0) {
       continue;
@@ -160,7 +184,7 @@ Program PruneUnreachable(const Program& program) {
         break;
       }
     }
-    if (body_ok) out.AddRule(r);
+    if (body_ok) out.AddRule(std::move((*program.mutable_rules())[i]));
   }
   return out;
 }

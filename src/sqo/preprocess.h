@@ -39,7 +39,9 @@ std::vector<Constraint> NormalizeConstraints(
 // Removes rules for predicates that are unproductive (cannot derive any
 // fact from any EDB) or unreachable from the query predicate. Keeps the
 // query predicate itself even if empty.
-Program PruneUnreachable(const Program& program);
+// Takes the program by value so callers replacing a program in place can
+// move it in; surviving rules are moved, not copied, into the result.
+Program PruneUnreachable(Program program);
 
 }  // namespace sqod
 

@@ -1,7 +1,6 @@
 #include "src/sqo/query_tree.h"
 
 #include <algorithm>
-#include <map>
 
 #include "src/ast/pattern.h"
 #include "src/ast/unify.h"
@@ -11,16 +10,18 @@ namespace sqod {
 
 namespace {
 
-std::string LabelKey(const std::vector<std::vector<int>>& label) {
-  std::string key;
-  for (const std::vector<int>& s : label) {
-    for (int i : s) key += std::to_string(i) + ",";
-    key += "|";
-  }
-  return key;
+inline size_t HashCombine(size_t seed, size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
 }
 
 }  // namespace
+
+size_t QueryTree::ClassKeyHash::operator()(const ClassKey& k) const {
+  size_t h = static_cast<size_t>(k.apred) + 0x27d4eb2f;
+  h = HashCombine(h, static_cast<size_t>(k.label));
+  h = HashCombine(h, k.pattern.Hash());
+  return h;
+}
 
 QueryTree::QueryTree(const AdornmentEngine& engine, QueryTreeOptions options)
     : engine_(engine), options_(options) {}
@@ -28,8 +29,8 @@ QueryTree::QueryTree(const AdornmentEngine& engine, QueryTreeOptions options)
 int QueryTree::InternClass(int apred, const Atom& atom,
                            std::vector<std::vector<int>> label,
                            std::vector<int>* worklist) {
-  std::string key = std::to_string(apred) + "/" +
-                    EqualityPattern(atom).ToString() + "/" + LabelKey(label);
+  ClassKey key{apred, EqualityPattern(atom),
+               engine_.store().InternLabel(label)};
   auto it = registry_.find(key);
   if (it != registry_.end()) return it->second;
   int id = static_cast<int>(classes_.size());
@@ -49,9 +50,10 @@ void QueryTree::Expand(int class_id, std::vector<int>* worklist) {
   const int apred = classes_[class_id].apred;
   const Adornment& head_adornment = engine_.apreds()[apred].adornment;
 
-  for (int ri = 0; ri < static_cast<int>(engine_.arules().size()); ++ri) {
+  auto rules_it = arules_by_head_.find(apred);
+  if (rules_it == arules_by_head_.end()) return;
+  for (int ri : rules_it->second) {
     const AdornedRule& ar = engine_.arules()[ri];
-    if (ar.head_apred != apred) continue;
 
     // Standardize the rule apart and unify its head with the class atom.
     Rule renamed = RenameApart(ar.rule, &gen_);
@@ -61,8 +63,10 @@ void QueryTree::Expand(int class_id, std::vector<int>* worklist) {
     Rule instantiated = theta.Apply(renamed);
 
     // Rule label: for head-adornment triplet j (label s' = label[j]), the
-    // originating rule triplet k = head_sources[j] gets label s'.
-    std::map<int, const std::vector<int>*> rule_label;
+    // originating rule triplet k = head_sources[j] gets label s' (aligned
+    // with rule_adornment; nullptr for triplets that did not project).
+    std::vector<const std::vector<int>*> rule_label(ar.rule_adornment.size(),
+                                                    nullptr);
     for (size_t j = 0; j < head_adornment.size(); ++j) {
       rule_label[ar.head_sources[j]] = &classes_[class_id].label[j];
     }
@@ -71,27 +75,29 @@ void QueryTree::Expand(int class_id, std::vector<int>* worklist) {
     child.arule = ri;
     child.subgoal_class.assign(ar.rule.body.size(), -1);
 
-    // Push labels into the positive IDB subgoals.
+    // Push labels into the positive IDB subgoals. One sweep over the rule
+    // adornment per subgoal: triplet k contributes its label to the subgoal
+    // triplet m it was combined from (sources[s]), keeping the smallest
+    // label per m.
     for (int s = 0; s < static_cast<int>(ar.positive_subgoals.size()); ++s) {
       int b = ar.positive_subgoals[s];
       int sub_apred = ar.subgoal_apred[b];
       if (sub_apred == -1) continue;  // EDB subgoal
       const Adornment& sub_adornment = engine_.apreds()[sub_apred].adornment;
 
+      // Default: the adornment's own unmapped sets.
+      std::vector<const std::vector<int>*> best(sub_adornment.size());
+      for (size_t m = 0; m < sub_adornment.size(); ++m) {
+        best[m] = &sub_adornment[m].unmapped;
+      }
+      for (size_t k = 0; k < ar.rule_adornment.size(); ++k) {
+        int m = ar.rule_adornment[k].sources[s];
+        if (m < 0 || rule_label[k] == nullptr) continue;
+        if (rule_label[k]->size() < best[m]->size()) best[m] = rule_label[k];
+      }
       std::vector<std::vector<int>> sub_label;
       sub_label.reserve(sub_adornment.size());
-      for (int m = 0; m < static_cast<int>(sub_adornment.size()); ++m) {
-        // Default: the adornment's own unmapped set.
-        const std::vector<int>* best = &sub_adornment[m].unmapped;
-        for (int k = 0; k < static_cast<int>(ar.rule_adornment.size()); ++k) {
-          if (ar.rule_adornment[k].sources[s] != m) continue;
-          auto it = rule_label.find(k);
-          if (it != rule_label.end() && it->second->size() < best->size()) {
-            best = it->second;
-          }
-        }
-        sub_label.push_back(*best);
-      }
+      for (const std::vector<int>* l : best) sub_label.push_back(*l);
 
       const Atom& sub_atom = instantiated.body[b].atom;
       int sub_class =
@@ -106,6 +112,10 @@ void QueryTree::Expand(int class_id, std::vector<int>* worklist) {
 Status QueryTree::Build() {
   SQOD_CHECK(!built_);
   built_ = true;
+
+  for (int ri = 0; ri < static_cast<int>(engine_.arules().size()); ++ri) {
+    arules_by_head_[engine_.arules()[ri].head_apred].push_back(ri);
+  }
 
   const Program& program = engine_.program();
   if (program.query() == -1) {

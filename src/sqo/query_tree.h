@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/ast/pattern.h"
 #include "src/sqo/adorn.h"
 
 namespace sqod {
@@ -78,6 +79,21 @@ class QueryTree {
   std::string ToDot() const;
 
  private:
+  // Equivalence-class identity: adorned predicate, atom isomorphism class,
+  // interned label id (labels are hash-consed in the engine's TripletStore).
+  struct ClassKey {
+    int apred;
+    EqualityPattern pattern;
+    LabelId label;
+    bool operator==(const ClassKey& other) const {
+      return apred == other.apred && label == other.label &&
+             pattern == other.pattern;
+    }
+  };
+  struct ClassKeyHash {
+    size_t operator()(const ClassKey& k) const;
+  };
+
   int InternClass(int apred, const Atom& atom,
                   std::vector<std::vector<int>> label,
                   std::vector<int>* worklist);
@@ -87,7 +103,10 @@ class QueryTree {
   const AdornmentEngine& engine_;
   QueryTreeOptions options_;
   std::vector<GoalClass> classes_;
-  std::unordered_map<std::string, int> registry_;
+  std::unordered_map<ClassKey, int, ClassKeyHash> registry_;
+  // Adorned-rule indices grouped by head apred (filled by Build; Expand
+  // visits each class's candidate rules without scanning every arule).
+  std::unordered_map<int, std::vector<int>> arules_by_head_;
   std::vector<int> roots_;
   std::vector<bool> productive_;
   std::vector<bool> reachable_;

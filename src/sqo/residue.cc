@@ -27,27 +27,37 @@ std::string Residue::ToString() const {
 
 namespace {
 
+inline size_t HashCombine(size_t seed, size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
 // Enumerates homomorphisms of a chosen subset of the IC's positive atoms
-// into the rule's positive EDB atoms. `assignment[i]` is the body-atom
-// index the i-th IC atom maps to, or -1 for "unmapped".
-void EnumerateMappings(const std::vector<Atom>& ic_atoms,
-                       const std::vector<Atom>& body_atoms, size_t next,
-                       Substitution* subst, std::vector<int>* assignment,
-                       const std::function<void(const Substitution&,
-                                                const std::vector<int>&)>& cb) {
-  if (next == ic_atoms.size()) {
+// into the rule's positive EDB atoms, driven by the precomputed per-pair
+// match deltas (`deltas[i][b]` is the one-way match of IC atom i into body
+// atom b). `assignment[i]` is the body-atom index the i-th IC atom maps to,
+// or -1 for "unmapped". `unmapped_budget` is how many more atoms may stay
+// unmapped; leaving one decrements it and the branch is pruned at zero.
+void EnumerateMappings(
+    const std::vector<std::vector<const MatchDelta*>>& deltas, size_t next,
+    int unmapped_budget, Substitution* subst, std::vector<int>* assignment,
+    const std::function<void(const Substitution&, const std::vector<int>&)>&
+        cb) {
+  if (next == deltas.size()) {
     cb(*subst, *assignment);
     return;
   }
   // Option 1: leave the atom unmapped.
-  (*assignment)[next] = -1;
-  EnumerateMappings(ic_atoms, body_atoms, next + 1, subst, assignment, cb);
+  if (unmapped_budget != 0) {
+    (*assignment)[next] = -1;
+    EnumerateMappings(deltas, next + 1, unmapped_budget - 1, subst,
+                      assignment, cb);
+  }
   // Option 2: map it to each compatible body atom.
-  for (size_t b = 0; b < body_atoms.size(); ++b) {
+  for (size_t b = 0; b < deltas[next].size(); ++b) {
     Substitution attempt = *subst;
-    if (!MatchInto(ic_atoms[next], body_atoms[b], &attempt)) continue;
+    if (!ApplyMatchDelta(*deltas[next][b], &attempt)) continue;
     (*assignment)[next] = static_cast<int>(b);
-    EnumerateMappings(ic_atoms, body_atoms, next + 1, &attempt, assignment,
+    EnumerateMappings(deltas, next + 1, unmapped_budget, &attempt, assignment,
                       cb);
   }
   (*assignment)[next] = -1;
@@ -58,12 +68,50 @@ bool TermDetermined(const Term& t, const Substitution& subst) {
   return t.is_const() || subst.Lookup(t.var()) != nullptr;
 }
 
+size_t ResidueHash(const Residue& res) {
+  size_t h = static_cast<size_t>(res.ic_index) + 0x85ebca6b;
+  for (const Literal& l : res.literals) {
+    h = HashCombine(h, l.negated ? 0x9e3779b9 : 0x61c88647);
+    h = HashCombine(h, l.atom.Hash());
+  }
+  for (const Comparison& c : res.comparisons) {
+    h = HashCombine(h, c.lhs.Hash());
+    h = HashCombine(h, static_cast<size_t>(c.op));
+    h = HashCombine(h, c.rhs.Hash());
+  }
+  return h;
+}
+
+bool SameResidue(const Residue& a, const Residue& b) {
+  return a.ic_index == b.ic_index && a.literals == b.literals &&
+         a.comparisons == b.comparisons;
+}
+
 }  // namespace
 
 std::vector<Residue> ComputeResidues(const Rule& rule, const Constraint& ic,
                                      int ic_index) {
   FreshVarGen gen;
   Constraint renamed = RenameApart(ic, &gen);
+  return ComputeResiduesRenamed(rule, renamed, ic_index, nullptr);
+}
+
+std::vector<Residue> ComputeResiduesRenamed(const Rule& rule,
+                                            const Constraint& renamed,
+                                            int ic_index, AtomMatchMemo* memo,
+                                            int max_literals) {
+  // Negated IC atoms are kept in every residue, so they consume the literal
+  // budget up front; what remains bounds how many positive atoms may stay
+  // unmapped.
+  int unmapped_budget = -1;  // unbounded
+  if (max_literals >= 0) {
+    int negated = 0;
+    for (const Literal& l : renamed.body) {
+      if (l.negated) ++negated;
+    }
+    unmapped_budget = max_literals - negated;
+    if (unmapped_budget < 0) return {};  // no residue can fit the budget
+  }
 
   // Candidate targets: the rule's positive EDB-or-any atoms. ICs may only
   // mention EDB predicates, so non-EDB body atoms simply never match.
@@ -76,14 +124,43 @@ std::vector<Residue> ComputeResidues(const Rule& rule, const Constraint& ic,
     if (!l.negated) ic_atoms.push_back(l.atom);
   }
 
+  // Pairwise match deltas, computed (or recalled from the shared memo) once
+  // per pair instead of once per enumeration path.
+  std::vector<std::vector<const MatchDelta*>> deltas(ic_atoms.size());
+  std::vector<MatchDelta> local_deltas;  // plain-mode storage, stable
+  if (memo == nullptr) {
+    local_deltas.reserve(ic_atoms.size() * body_atoms.size());
+  }
+  std::vector<AtomId> body_ids;
+  if (memo != nullptr) {
+    body_ids.reserve(body_atoms.size());
+    for (const Atom& b : body_atoms) body_ids.push_back(memo->Intern(b));
+  }
+  for (size_t i = 0; i < ic_atoms.size(); ++i) {
+    deltas[i].resize(body_atoms.size());
+    if (memo != nullptr) {
+      AtomId pattern = memo->Intern(ic_atoms[i]);
+      for (size_t b = 0; b < body_atoms.size(); ++b) {
+        deltas[i][b] = &memo->Match(pattern, body_ids[b]);
+      }
+    } else {
+      for (size_t b = 0; b < body_atoms.size(); ++b) {
+        local_deltas.push_back(ComputeMatchDelta(ic_atoms[i], body_atoms[b]));
+        deltas[i][b] = &local_deltas.back();
+      }
+    }
+  }
+
   OrderSolver rule_solver(rule.comparisons);
 
   std::vector<Residue> out;
-  std::set<std::string> seen;
+  // Dedup by content hash with a full equality check per bucket entry (the
+  // old path serialized every residue to a string and kept a std::set).
+  std::unordered_map<size_t, std::vector<size_t>> seen;
   Substitution empty;
   std::vector<int> assignment(ic_atoms.size(), -1);
   EnumerateMappings(
-      ic_atoms, body_atoms, 0, &empty, &assignment,
+      deltas, 0, unmapped_budget, &empty, &assignment,
       [&](const Substitution& h, const std::vector<int>& asg) {
         Residue res;
         res.ic_index = ic_index;
@@ -107,24 +184,38 @@ std::vector<Residue> ComputeResidues(const Rule& rule, const Constraint& ic,
           }
           res.comparisons.push_back(mapped);
         }
-        std::string key = res.ToString();
-        if (seen.insert(key).second) out.push_back(std::move(res));
+        std::vector<size_t>& bucket = seen[ResidueHash(res)];
+        for (size_t idx : bucket) {
+          if (SameResidue(out[idx], res)) return;
+        }
+        bucket.push_back(out.size());
+        out.push_back(std::move(res));
       });
   return out;
 }
 
 Program ApplyClassicSqo(const Program& program,
                         const std::vector<Constraint>& ics,
-                        ClassicSqoReport* report) {
+                        ClassicSqoReport* report, AtomMatchMemo* memo) {
   ClassicSqoReport local_report;
   Program out;
   out.SetQuery(program.query());
+
+  // Rename each IC apart once. Fresh names are globally new (FreshVarGen
+  // probes the process-wide interner), so one renaming is apart from every
+  // rule — and a stable renamed IC is what lets the match memo hit across
+  // rules.
+  FreshVarGen gen;
+  std::vector<Constraint> renamed_ics;
+  renamed_ics.reserve(ics.size());
+  for (const Constraint& ic : ics) renamed_ics.push_back(RenameApart(ic, &gen));
 
   for (const Rule& original : program.rules()) {
     Rule rule = original;
     bool deleted = false;
     for (int i = 0; i < static_cast<int>(ics.size()) && !deleted; ++i) {
-      for (const Residue& res : ComputeResidues(rule, ics[i], i)) {
+      for (const Residue& res : ComputeResiduesRenamed(
+               rule, renamed_ics[i], i, memo, /*max_literals=*/1)) {
         if (res.empty()) {
           // The whole IC maps into the rule: no instantiation over a
           // consistent database satisfies the body.

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/ast/match_memo.h"
 #include "src/ast/program.h"
 
 namespace sqod {
@@ -35,6 +36,22 @@ struct Residue {
 std::vector<Residue> ComputeResidues(const Rule& rule, const Constraint& ic,
                                      int ic_index);
 
+// Same, for an IC already renamed apart from every rule it will be applied
+// to. When `memo` is non-null the pairwise IC-atom-into-body-atom matches
+// are answered from (and recorded in) its match memo — renaming once and
+// sharing a memo across rules is what makes the memo hit.
+//
+// `max_literals` >= 0 bounds the residues of interest: partial mappings
+// whose residue would keep more than that many literals are pruned during
+// enumeration (the residues produced are exactly the full set filtered to
+// literals.size() <= max_literals). ApplyClassicSqo only consumes empty and
+// single-literal residues, so it enumerates with a budget of 1 instead of
+// materializing the full power set.
+std::vector<Residue> ComputeResiduesRenamed(const Rule& rule,
+                                            const Constraint& renamed_ic,
+                                            int ic_index, AtomMatchMemo* memo,
+                                            int max_literals = -1);
+
 struct ClassicSqoReport {
   int rules_deleted = 0;       // rules with an empty residue
   int comparisons_added = 0;   // negated single-comparison residues attached
@@ -43,10 +60,13 @@ struct ClassicSqoReport {
 
 // Applies classic SQO to every rule of `program` under `ics`: deletes
 // unsatisfiable rules and attaches the negations of expressible
-// single-literal residues.
+// single-literal residues. Each IC is renamed apart once (not per rule);
+// when `memo` is non-null the residue enumeration's atom matches go through
+// it (normally the pipeline TripletStore's memo, shared across passes).
 Program ApplyClassicSqo(const Program& program,
                         const std::vector<Constraint>& ics,
-                        ClassicSqoReport* report = nullptr);
+                        ClassicSqoReport* report = nullptr,
+                        AtomMatchMemo* memo = nullptr);
 
 }  // namespace sqod
 

@@ -6,6 +6,14 @@
 
 namespace sqod {
 
+namespace {
+
+inline size_t HashCombine(size_t seed, size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
 VarImage VarImage::Constant(Value v) {
   VarImage img;
   img.is_constant = true;
@@ -35,6 +43,13 @@ bool VarImage::operator<(const VarImage& other) const {
   return positions < other.positions;
 }
 
+size_t VarImage::Hash() const {
+  if (is_constant) return HashCombine(1, constant.Hash());
+  size_t h = 2;
+  for (int p : positions) h = HashCombine(h, static_cast<size_t>(p));
+  return h;
+}
+
 std::string VarImage::ToString() const {
   if (is_constant) return constant.ToString();
   std::string s = "pos{";
@@ -54,6 +69,17 @@ bool Triplet::operator<(const Triplet& other) const {
   if (ic_index != other.ic_index) return ic_index < other.ic_index;
   if (unmapped != other.unmapped) return unmapped < other.unmapped;
   return sigma < other.sigma;
+}
+
+size_t Triplet::Hash() const {
+  size_t h = static_cast<size_t>(ic_index) + 0x51ed270b;
+  for (int u : unmapped) h = HashCombine(h, static_cast<size_t>(u));
+  h = HashCombine(h, sigma.size());
+  for (const auto& [var, img] : sigma) {
+    h = HashCombine(h, static_cast<size_t>(var));
+    h = HashCombine(h, img.Hash());
+  }
+  return h;
 }
 
 std::string Triplet::ToString(const std::vector<Constraint>& ics) const {
@@ -110,6 +136,17 @@ std::string AdornmentToString(const Adornment& adornment,
 bool RuleTriplet::SameAs(const RuleTriplet& other) const {
   return ic_index == other.ic_index && unmapped == other.unmapped &&
          sigma == other.sigma;
+}
+
+size_t RuleTriplet::Hash() const {
+  size_t h = static_cast<size_t>(ic_index) + 0x2c9277b5;
+  for (int u : unmapped) h = HashCombine(h, static_cast<size_t>(u));
+  h = HashCombine(h, sigma.size());
+  for (const auto& [var, term] : sigma) {
+    h = HashCombine(h, static_cast<size_t>(var));
+    h = HashCombine(h, term.Hash());
+  }
+  return h;
 }
 
 std::string RuleTriplet::ToString(const std::vector<Constraint>& ics) const {

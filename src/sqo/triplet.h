@@ -1,13 +1,85 @@
 #ifndef SQOD_SQO_TRIPLET_H_
 #define SQOD_SQO_TRIPLET_H_
 
-#include <map>
+#include <algorithm>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/ast/program.h"
 
 namespace sqod {
+
+// A sorted flat-vector map with the subset of the std::map interface the
+// triplet machinery uses. Sigma maps are tiny (a handful of IC variables),
+// so a contiguous sorted vector beats a node-based tree on every operation
+// the hot paths perform: copy, lexicographic compare, ordered iteration,
+// and merge. Iteration order, operator== and operator< agree with
+// std::map's, so swapping the representation is behavior-preserving.
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+  void reserve(size_t n) { entries_.reserve(n); }
+
+  const_iterator find(const K& key) const {
+    const_iterator it = LowerBound(key);
+    return it != entries_.end() && it->first == key ? it : entries_.end();
+  }
+
+  // Inserts (key, value) if absent; returns (position, inserted).
+  std::pair<iterator, bool> emplace(const K& key, V value) {
+    iterator it = LowerBound(key);
+    if (it != entries_.end() && it->first == key) return {it, false};
+    it = entries_.insert(it, value_type(key, std::move(value)));
+    return {it, true};
+  }
+
+  V& operator[](const K& key) {
+    iterator it = LowerBound(key);
+    if (it == entries_.end() || !(it->first == key)) {
+      it = entries_.insert(it, value_type(key, V()));
+    }
+    return it->second;
+  }
+
+  iterator erase(iterator it) { return entries_.erase(it); }
+
+  bool operator==(const FlatMap& other) const {
+    return entries_ == other.entries_;
+  }
+  bool operator<(const FlatMap& other) const {
+    return entries_ < other.entries_;
+  }
+
+  const std::vector<value_type>& entries() const { return entries_; }
+
+ private:
+  iterator LowerBound(const K& key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const K& k) { return e.first < k; });
+  }
+  const_iterator LowerBound(const K& key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const K& k) { return e.first < k; });
+  }
+
+  std::vector<value_type> entries_;
+};
 
 // Where an integrity-constraint variable is known to land, relative to a
 // goal node with predicate p: either a constant, or a (nonempty, sorted)
@@ -22,6 +94,7 @@ struct VarImage {
 
   bool operator==(const VarImage& other) const;
   bool operator<(const VarImage& other) const;
+  size_t Hash() const;
   std::string ToString() const;
 };
 
@@ -32,10 +105,11 @@ struct VarImage {
 struct Triplet {
   int ic_index = -1;
   std::vector<int> unmapped;
-  std::map<VarId, VarImage> sigma;
+  FlatMap<VarId, VarImage> sigma;
 
   bool operator==(const Triplet& other) const;
   bool operator<(const Triplet& other) const;
+  size_t Hash() const;
 
   // Human-readable form: "(ic0, s={a(Z,X)}, X->pos1)".
   std::string ToString(const std::vector<Constraint>& ics) const;
@@ -49,7 +123,8 @@ using Adornment = std::vector<Triplet>;
 // Sorts and dedupes.
 void CanonicalizeAdornment(Adornment* adornment);
 
-// Stable serialization used as a registry key.
+// Stable serialization used as a (legacy) registry key; kept for tests and
+// debugging. Hot paths intern adornments in a TripletStore instead.
 std::string AdornmentKey(const Adornment& adornment);
 
 std::string AdornmentToString(const Adornment& adornment,
@@ -63,11 +138,14 @@ std::string AdornmentToString(const Adornment& adornment,
 struct RuleTriplet {
   int ic_index = -1;
   std::vector<int> unmapped;
-  std::map<VarId, Term> sigma;
+  FlatMap<VarId, Term> sigma;
   std::vector<int> sources;
 
   // Identity ignoring provenance.
   bool SameAs(const RuleTriplet& other) const;
+  // Hash over the identity fields (ic_index, unmapped, sigma), ignoring
+  // provenance like SameAs.
+  size_t Hash() const;
   std::string ToString(const std::vector<Constraint>& ics) const;
 };
 

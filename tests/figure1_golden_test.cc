@@ -50,8 +50,10 @@ TEST(Figure1GoldenTest, RewrittenProgramShape) {
 }
 
 TEST(Figure1GoldenTest, TreeDumpStructure) {
+  SqoOptions options;
+  options.capture_dumps = true;
   SqoReport report =
-      OptimizeProgram(MakeAbClosureProgram(), {MakeAbIc()}).take();
+      OptimizeProgram(MakeAbClosureProgram(), {MakeAbIc()}, options).take();
   const std::string& dump = report.tree_dump;
   // Three goal nodes, none pruned.
   EXPECT_NE(dump.find("node 0:"), std::string::npos);

@@ -198,10 +198,20 @@ TEST(QueryReachableTest, EdbReachability) {
 }
 
 TEST(OptimizerTest, ReportDumpsAreNonEmpty) {
+  SqoOptions options;
+  options.capture_dumps = true;
   SqoReport report =
-      OptimizeProgram(MakeAbClosureProgram(), {MakeAbIc()}).take();
+      OptimizeProgram(MakeAbClosureProgram(), {MakeAbIc()}, options).take();
   EXPECT_FALSE(report.adornment_dump.empty());
   EXPECT_FALSE(report.tree_dump.empty());
+}
+
+TEST(OptimizerTest, DumpsAreOffByDefault) {
+  SqoReport report =
+      OptimizeProgram(MakeAbClosureProgram(), {MakeAbIc()}).take();
+  EXPECT_TRUE(report.adornment_dump.empty());
+  EXPECT_TRUE(report.tree_dump.empty());
+  EXPECT_TRUE(report.tree_dot.empty());
 }
 
 }  // namespace
