@@ -87,6 +87,15 @@ void BM_E11_ServeBatch(benchmark::State& state) {
   state.counters["threads"] = threads;
   state.counters["pipeline_runs"] = static_cast<double>(
       service.metrics().GetCounter("engine/pipeline_runs")->value());
+  // Latency tails, not just the mean: the serving claim is about the
+  // distribution under contention, and the p99/max gap is where queueing
+  // shows up.
+  HistogramSnapshot execute =
+      service.metrics().GetHistogram("service/execute_ns")->Snapshot();
+  state.counters["lat_p50_ns"] = static_cast<double>(execute.p50());
+  state.counters["lat_p95_ns"] = static_cast<double>(execute.p95());
+  state.counters["lat_p99_ns"] = static_cast<double>(execute.p99());
+  state.counters["lat_max_ns"] = static_cast<double>(execute.max);
 }
 
 // The baseline a serving layer replaces: every request pays the full cold
@@ -134,6 +143,12 @@ void BM_E11_WarmService(benchmark::State& state) {
     benchmark::DoNotOptimize(response.answers.size());
   }
   state.SetItemsProcessed(state.iterations());
+  HistogramSnapshot execute =
+      service.metrics().GetHistogram("service/execute_ns")->Snapshot();
+  state.counters["lat_p50_ns"] = static_cast<double>(execute.p50());
+  state.counters["lat_p95_ns"] = static_cast<double>(execute.p95());
+  state.counters["lat_p99_ns"] = static_cast<double>(execute.p99());
+  state.counters["lat_max_ns"] = static_cast<double>(execute.max);
 }
 
 // The same batch submitted with an already-expired deadline: an upper bound

@@ -7,11 +7,13 @@
 // and the observability layer.
 //
 //   usage: sqo_cli [--p1] [--tree] [--dot] [--adornments] [--eval]
-//                  [--profile] [--passes] [--disable-pass=NAME ...]
-//                  [--reprepare] [--trace=FILE] [--stats-json=FILE] <file|->
+//                  [--profile] [--passes] [--explain] [--analyze[=FILE]]
+//                  [--disable-pass=NAME ...] [--reprepare] [--trace=FILE]
+//                  [--stats-json=FILE] <file|->
 //          sqo_cli --serve-batch [--threads=N] [--requests=R]
-//                  [--deadline-ms=D] [--max-queue=Q] [--stats-json=FILE]
-//                  <file|->
+//                  [--deadline-ms=D] [--max-queue=Q] [--slow-ms=S]
+//                  [--metrics-snapshot-ms=M] [--trace=FILE]
+//                  [--stats-json=FILE] <file|->
 //          sqo_cli --list-passes
 //          sqo_cli --check-json=FILE
 //
@@ -25,6 +27,14 @@
 //                   original and rewritten program) and a span-tree summary
 //     --passes      print the per-pass report (ran/disabled/skipped, wall
 //                   time, rules after) for this run
+//     --explain     EXPLAIN: the per-pass delta table (rules, literals,
+//                   negations, comparisons) and the plan summary (adorned
+//                   sizes, goal classes, residue and interning work)
+//     --analyze[=FILE]  EXPLAIN ANALYZE: --explain joined with what the
+//                   rewritten program actually did — implies --eval when
+//                   the unit has facts; adds per-rule runtime rows
+//                   (firings, derivations, wall time against the rule
+//                   text). With =FILE, also writes the report as JSON
 //     --list-passes print the pipeline's pass names, in order, and exit
 //     --disable-pass=NAME  switch off one pass (repeatable); NAME is any
 //                   entry of --list-passes
@@ -45,8 +55,14 @@
 //                   the outcome counts and latency percentiles. Identical
 //                   requests share one session, so the optimizer pipeline
 //                   runs exactly once (engine/pipeline_runs in
-//                   --stats-json). Tracing is unavailable here: the span
-//                   collector is single-threaded by design.
+//                   --stats-json). With --slow-ms=S, requests slower than
+//                   S ms end-to-end land in the slow-query log (printed
+//                   after the batch, trace ids included); with
+//                   --metrics-snapshot-ms=M a background thread appends
+//                   periodic metric-delta events; with --trace=FILE every
+//                   request is traced and the per-request span trees are
+//                   merged into one Chrome trace, one lane per request,
+//                   cross-referencable to the slow-query log by trace id.
 
 #include <cstdio>
 #include <cstdlib>
@@ -60,6 +76,8 @@
 
 #include "src/cq/ic_check.h"
 #include "src/engine/engine.h"
+#include "src/engine/explain.h"
+#include "src/obs/event_log.h"
 #include "src/obs/export.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
@@ -101,10 +119,12 @@ int main(int argc, char** argv) {
 
   bool show_p1 = false, show_tree = false, show_dot = false,
        show_adornments = false, do_eval = false, do_profile = false,
-       show_passes = false, reprepare = false, serve_batch = false;
+       show_passes = false, reprepare = false, serve_batch = false,
+       do_explain = false, do_analyze = false;
   int threads = 4, requests = 8;
-  long long deadline_ms = -1, max_queue = 256;
-  std::string trace_path, stats_json_path;
+  long long deadline_ms = -1, max_queue = 256, slow_ms = -1,
+            metrics_snapshot_ms = -1;
+  std::string trace_path, stats_json_path, analyze_path;
   std::vector<std::string> disabled_passes;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -122,6 +142,13 @@ int main(int argc, char** argv) {
       do_profile = true;
     } else if (std::strcmp(argv[i], "--passes") == 0) {
       show_passes = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      do_explain = true;
+    } else if (std::strcmp(argv[i], "--analyze") == 0) {
+      do_analyze = true;
+    } else if (std::strncmp(argv[i], "--analyze=", 10) == 0) {
+      do_analyze = true;
+      analyze_path = argv[i] + 10;
     } else if (std::strcmp(argv[i], "--list-passes") == 0) {
       for (const std::string& name : PassManager::PassNames()) {
         std::printf("%s\n", name.c_str());
@@ -141,6 +168,10 @@ int main(int argc, char** argv) {
       deadline_ms = std::atoll(argv[i] + 14);
     } else if (std::strncmp(argv[i], "--max-queue=", 12) == 0) {
       max_queue = std::atoll(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--slow-ms=", 10) == 0) {
+      slow_ms = std::atoll(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--metrics-snapshot-ms=", 22) == 0) {
+      metrics_snapshot_ms = std::atoll(argv[i] + 22);
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--stats-json=", 13) == 0) {
@@ -177,6 +208,8 @@ int main(int argc, char** argv) {
     service_options.threads = threads;
     service_options.max_queue = static_cast<size_t>(max_queue);
     service_options.metrics = &metrics;
+    service_options.slow_query_ms = slow_ms;
+    service_options.metrics_snapshot_ms = metrics_snapshot_ms;
     QueryService service(service_options);
 
     const std::string source = ReadAll(path);
@@ -187,6 +220,9 @@ int main(int argc, char** argv) {
       request.source = source;
       request.sqo.disabled_passes = disabled_passes;
       request.deadline_ms = deadline_ms;
+      // With --trace, every request collects its own span tree; the trees
+      // merge below into one Chrome trace, one lane per request.
+      request.trace = !trace_path.empty();
       futures.push_back(service.Submit(std::move(request)));
     }
 
@@ -195,8 +231,15 @@ int main(int argc, char** argv) {
     size_t answers = 0;
     bool all_match = true, have_answers = false;
     std::vector<Tuple> first_answers;
+    std::vector<RequestTrace> traces;
     for (std::future<Response>& future : futures) {
       Response response = future.get();
+      if (!response.spans.empty()) {
+        RequestTrace trace;
+        trace.trace_id = response.trace_id;
+        trace.spans = std::move(response.spans);
+        traces.push_back(std::move(trace));
+      }
       switch (response.status.code()) {
         case StatusCode::kOk:
           ++ok;
@@ -241,13 +284,33 @@ int main(int argc, char** argv) {
         metrics.GetHistogram("service/queue_wait_ns")->Snapshot();
     HistogramSnapshot execute =
         metrics.GetHistogram("service/execute_ns")->Snapshot();
-    std::printf("%% serve-batch: queue_wait p50=%s max=%s  "
-                "execute p50=%s max=%s\n",
-                FormatDurationNs(queue_wait.Percentile(0.5)).c_str(),
-                FormatDurationNs(queue_wait.max).c_str(),
-                FormatDurationNs(execute.Percentile(0.5)).c_str(),
+    std::printf("%% serve-batch: queue_wait p50=%s p95=%s p99=%s max=%s\n",
+                FormatDurationNs(queue_wait.p50()).c_str(),
+                FormatDurationNs(queue_wait.p95()).c_str(),
+                FormatDurationNs(queue_wait.p99()).c_str(),
+                FormatDurationNs(queue_wait.max).c_str());
+    std::printf("%% serve-batch: execute    p50=%s p95=%s p99=%s max=%s\n",
+                FormatDurationNs(execute.p50()).c_str(),
+                FormatDurationNs(execute.p95()).c_str(),
+                FormatDurationNs(execute.p99()).c_str(),
                 FormatDurationNs(execute.max).c_str());
 
+    // The structured event log: slow queries (with their trace ids and
+    // EXPLAIN summaries), errors, rejections, metric snapshots.
+    std::vector<LogEvent> events = service.event_log().Events();
+    if (!events.empty()) {
+      std::printf("%% serve-batch: %zu event(s), slow_queries=%zu\n",
+                  events.size(),
+                  service.event_log().EventsOfKind("slow_query").size());
+      for (const LogEvent& event : events) {
+        std::printf("%% event: %s\n", RenderLogEvent(event).c_str());
+      }
+    }
+
+    if (!trace_path.empty() &&
+        !WriteAll(trace_path, ExportChromeTrace(traces))) {
+      return 2;
+    }
     if (!stats_json_path.empty() &&
         !WriteAll(stats_json_path, ExportMetricsJson(metrics))) {
       return 2;
@@ -319,6 +382,11 @@ int main(int argc, char** argv) {
     std::printf("%% note: the query is unsatisfiable w.r.t. the ICs\n");
   }
 
+  // EXPLAIN starts from the plan side of the optimizer report; ANALYZE
+  // joins in the rewritten program's runtime below, when --eval runs it.
+  ExplainReport explain = BuildExplainReport(report);
+  if (do_analyze) do_eval = true;  // ANALYZE means "and actually run it"
+
   int exit_code = 0;
   if (do_eval && !session.facts().empty()) {
     Database edb = session.MakeEdb();
@@ -330,7 +398,7 @@ int main(int argc, char** argv) {
     EvalStats original_stats, rewritten_stats;
     std::vector<RuleProfile> original_profiles, rewritten_profiles;
     EvalOptions eval_options;
-    eval_options.profile_rules = do_profile;
+    eval_options.profile_rules = do_profile || do_analyze;
 
     eval_options.metrics_prefix = "eval/original";
     auto original = session
@@ -338,10 +406,15 @@ int main(int argc, char** argv) {
                                          &original_profiles)
                         .take();
     eval_options.metrics_prefix = "eval/rewritten";
+    const int64_t exec_start_ns = NowNs();
     auto rewritten = session
                          .Execute(*prepared.value(), edb, eval_options,
                                   &rewritten_stats, &rewritten_profiles)
                          .take();
+    const int64_t execute_ns = NowNs() - exec_start_ns;
+    AttachRuntime(report, rewritten_stats, rewritten_profiles,
+                  static_cast<int64_t>(rewritten.size()), execute_ns,
+                  &explain);
     std::printf("%% answers: %zu (match: %s)\n", original.size(),
                 original == rewritten ? "yes" : "NO");
     std::printf("%% original:  %s\n%% rewritten: %s\n",
@@ -359,8 +432,20 @@ int main(int argc, char** argv) {
     exit_code = original == rewritten ? 0 : 1;
   }
 
+  if (do_explain || do_analyze) {
+    std::printf("%% explain%s\n%s", explain.analyzed ? " analyze" : "",
+                explain.ToText().c_str());
+    if (!analyze_path.empty() && !WriteAll(analyze_path, explain.ToJson())) {
+      return 2;
+    }
+  }
+
   if (do_profile) {
     std::printf("%% span tree:\n%s", RenderSpanTree(tracer.spans()).c_str());
+    std::string table = RenderHistogramTable(metrics.Snapshot());
+    if (!table.empty()) {
+      std::printf("%% latency histograms:\n%s", table.c_str());
+    }
   }
   if (!trace_path.empty() &&
       !WriteAll(trace_path, ExportChromeTrace(tracer.spans()))) {

@@ -4,6 +4,11 @@
 # benchmark binary name (each value is that binary's native
 # --benchmark_format=json output, context + benchmarks array).
 #
+# The E11 serving benchmarks attach latency-tail counters to each entry
+# (lat_p50_ns / lat_p95_ns / lat_p99_ns / lat_max_ns, from the
+# service/execute_ns histogram), so the report carries the latency
+# distribution under contention, not just the mean wall time.
+#
 #   usage: scripts/bench_report.sh [build-dir] [benchmark-filter]
 #
 #     build-dir          where the bench_* binaries live (default: build)

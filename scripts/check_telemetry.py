@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""End-to-end validation of the sqo_cli telemetry surface.
+
+Drives two runs of the CLI against an example program and cross-checks the
+artifacts they emit:
+
+ 1. A single run with --eval --profile --analyze --trace --stats-json:
+    * the Chrome trace is well-formed (complete "X" events, numeric
+      ts/dur, the expected optimizer/evaluator span names),
+    * the EXPLAIN/ANALYZE JSON has the full pass pipeline with a
+      consistent before/after shape chain, the plan counters, and the
+      runtime section joined per rewritten rule,
+    * every metric in the stats dump lives in a known namespace and each
+      histogram carries the tail quartet (p50/p95/p99/max).
+
+ 2. A serve-batch run with --slow-ms=0 --trace: every slow-query-log line
+    printed by the service names a trace id, and each of those ids appears
+    in the merged per-request Chrome trace (its own tid lane) — the
+    log-to-trace join the observability story promises.
+
+Exits 0 when everything holds; prints the first failure and exits 1
+otherwise. Stdlib only, so it runs anywhere CMake found a python3.
+
+usage: check_telemetry.py --cli <sqo_cli> --input <program.dl> --work-dir <dir>
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+
+# Every metric name the engine may emit lives under one of these roots;
+# a new namespace is a deliberate API change, so the check fails loudly.
+METRIC_NAMESPACES = ("cli", "engine", "eval", "obs", "service", "sqo")
+
+# The 8-pass Levy–Sagiv pipeline, in order.
+EXPECTED_PASSES = [
+    "validate", "normalize", "fd_rewrite", "local_rewrite",
+    "adorn", "tree", "residues", "prune",
+]
+
+HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p95", "p99")
+
+SLOW_EVENT_RE = re.compile(r"\[slow_query\] trace=([0-9a-f]{16})")
+
+
+def fail(message):
+    print(f"check_telemetry: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_cli(args):
+    proc = subprocess.run(args, capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(f"{' '.join(args)} exited {proc.returncode}:\n"
+             f"{proc.stdout}\n{proc.stderr}")
+    return proc.stdout
+
+
+def load_json(path, what):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"{what} at {path} is unreadable or invalid JSON: {error}")
+
+
+def check_chrome_trace(path, required_names, what):
+    """Returns the parsed event list after structural validation."""
+    doc = load_json(path, what)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{what}: traceEvents missing or empty")
+    for event in events:
+        for key in ("name", "ph", "pid", "tid", "ts", "dur"):
+            if key not in event:
+                fail(f"{what}: event missing '{key}': {event}")
+        if event["ph"] != "X":
+            fail(f"{what}: expected complete events (ph=X), got {event['ph']}")
+        for key in ("ts", "dur"):
+            if not isinstance(event[key], (int, float)) or event[key] < 0:
+                fail(f"{what}: non-numeric or negative {key}: {event}")
+    names = {event["name"] for event in events}
+    missing = set(required_names) - names
+    if missing:
+        fail(f"{what}: missing span names {sorted(missing)}; have "
+             f"{sorted(names)}")
+    return events
+
+
+def check_explain(path):
+    doc = load_json(path, "explain JSON")
+    passes = doc.get("passes")
+    if not isinstance(passes, list):
+        fail("explain: 'passes' missing")
+    if [p.get("name") for p in passes] != EXPECTED_PASSES:
+        fail(f"explain: pass list mismatch: {[p.get('name') for p in passes]}")
+    for field in ("rules", "literals", "negations", "comparisons"):
+        for prev, curr in zip(passes, passes[1:]):
+            if prev[f"{field}_after"] != curr[f"{field}_before"]:
+                fail(f"explain: {field} shape chain broken between "
+                     f"{prev['name']} and {curr['name']}")
+    plan = doc.get("plan")
+    if not isinstance(plan, dict):
+        fail("explain: 'plan' missing")
+    for key in ("optimize_ns", "satisfiable", "adorned_predicates",
+                "residue_rules_deleted", "intern_hits", "memo_hits"):
+        if key not in plan:
+            fail(f"explain: plan missing '{key}'")
+    runtime = doc.get("runtime")
+    if not isinstance(runtime, dict):
+        fail("explain: 'runtime' missing (did --analyze evaluate?)")
+    rules = runtime.get("rules")
+    if not isinstance(rules, list) or not rules:
+        fail("explain: runtime.rules missing or empty")
+    for row in rules:
+        for key in ("rule_index", "rule", "firings", "derived", "time_ns"):
+            if key not in row:
+                fail(f"explain: rule row missing '{key}': {row}")
+    # The per-rule join must cover the aggregate, not sample it.
+    firings = sum(row["firings"] for row in rules)
+    if firings != runtime.get("rule_firings"):
+        fail(f"explain: per-rule firings {firings} != aggregate "
+             f"{runtime.get('rule_firings')}")
+
+
+def check_stats(path):
+    doc = load_json(path, "stats JSON")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc:
+            fail(f"stats: '{section}' missing")
+        for name in doc[section]:
+            root = name.split("/", 1)[0]
+            if root not in METRIC_NAMESPACES:
+                fail(f"stats: metric '{name}' outside the known namespaces "
+                     f"{METRIC_NAMESPACES}")
+    for name, hist in doc["histograms"].items():
+        for field in HISTOGRAM_FIELDS:
+            if field not in hist:
+                fail(f"stats: histogram '{name}' missing '{field}'")
+        if not (hist["min"] <= hist["p50"] <= hist["p95"]
+                <= hist["p99"] <= hist["max"]):
+            fail(f"stats: histogram '{name}' tails not monotone: {hist}")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--cli", required=True)
+    parser.add_argument("--input", required=True)
+    parser.add_argument("--work-dir", required=True)
+    opts = parser.parse_args()
+    work = opts.work_dir.rstrip("/")
+
+    # ---- single run: trace + EXPLAIN/ANALYZE + stats -------------------
+    trace = f"{work}/telemetry_trace.json"
+    explain = f"{work}/telemetry_explain.json"
+    stats = f"{work}/telemetry_stats.json"
+    stdout = run_cli([
+        opts.cli, "--eval", "--profile", f"--trace={trace}",
+        f"--analyze={explain}", f"--stats-json={stats}", opts.input,
+    ])
+    if "== pass pipeline ==" not in stdout or "== runtime ==" not in stdout:
+        fail("single run: --analyze text report missing sections")
+    check_chrome_trace(
+        trace,
+        ["sqo.optimize", "sqo.adorn", "sqo.residues", "eval.iteration"],
+        "single-run trace")
+    check_explain(explain)
+    check_stats(stats)
+
+    # ---- serve-batch: slow-query log joins the merged trace ------------
+    serve_trace = f"{work}/telemetry_serve_trace.json"
+    serve_stats = f"{work}/telemetry_serve_stats.json"
+    requests = 6
+    stdout = run_cli([
+        opts.cli, "--serve-batch", "--threads=4", f"--requests={requests}",
+        "--slow-ms=0", f"--trace={serve_trace}",
+        f"--stats-json={serve_stats}", opts.input,
+    ])
+    slow_ids = SLOW_EVENT_RE.findall(stdout)
+    if len(slow_ids) != requests:
+        fail(f"serve-batch: expected {requests} slow-query log lines, "
+             f"got {len(slow_ids)}:\n{stdout}")
+    if len(set(slow_ids)) != requests:
+        fail(f"serve-batch: slow-query trace ids not distinct: {slow_ids}")
+    if "sat=yes" not in stdout:
+        fail("serve-batch: slow-query entries lack the explain summary")
+
+    events = check_chrome_trace(
+        serve_trace,
+        ["request", "request.admission", "request.queue",
+         "request.prepare", "request.execute"],
+        "serve-batch trace")
+    traced = set()
+    for event in events:
+        trace_id = event.get("args", {}).get("trace_id")
+        if not isinstance(trace_id, str) or not re.fullmatch(
+                r"[0-9a-f]{16}", trace_id):
+            fail(f"serve-batch trace: event lacks a hex args.trace_id: "
+                 f"{event}")
+        traced.add(trace_id)
+    missing = set(slow_ids) - traced
+    if missing:
+        fail(f"serve-batch: slow-query ids {sorted(missing)} absent from "
+             f"the merged trace (has {sorted(traced)})")
+    lanes = {event["tid"] for event in events}
+    if len(lanes) != requests:
+        fail(f"serve-batch trace: expected {requests} tid lanes, "
+             f"got {sorted(lanes)}")
+    check_stats(serve_stats)
+
+    print(f"check_telemetry: OK ({requests} traces joined to the slow-query "
+          f"log; explain chain and metric namespaces verified)")
+
+
+if __name__ == "__main__":
+    main()

@@ -65,6 +65,13 @@ std::string Session::Fingerprint(const SqoOptions& options) const {
 }
 
 Result<const PreparedProgram*> Session::Prepare(const SqoOptions& options) {
+  bool cache_hit = false;
+  return Prepare(options, &cache_hit);
+}
+
+Result<const PreparedProgram*> Session::Prepare(const SqoOptions& options,
+                                                bool* cache_hit) {
+  *cache_hit = false;
   MetricsRegistry& metrics = engine_->metrics();
   std::string fp = Fingerprint(options);
 
@@ -88,6 +95,7 @@ Result<const PreparedProgram*> Session::Prepare(const SqoOptions& options) {
       }
       if (entry->prepared != nullptr) {
         metrics.GetCounter("engine/prepare_cache_hits")->Increment();
+        *cache_hit = true;
         return const_cast<const PreparedProgram*>(entry->prepared.get());
       }
       // The in-flight run failed; its slot has been removed, so a later

@@ -75,6 +75,12 @@ class Session {
   // is owned by the session.
   Result<const PreparedProgram*> Prepare(const SqoOptions& options = {});
 
+  // Same, and reports whether this call was served from the cache (a hit
+  // or a wait on another thread's in-flight run) rather than running the
+  // pipeline itself. The serving layer surfaces this per request.
+  Result<const PreparedProgram*> Prepare(const SqoOptions& options,
+                                         bool* cache_hit);
+
   // Evaluates the prepared (rewritten) program against `edb` and returns
   // the query predicate's tuples, sorted. The engine's tracer/metrics are
   // threaded into the evaluation unless `options` already carries its own.

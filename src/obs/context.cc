@@ -1,0 +1,57 @@
+#include "src/obs/context.h"
+
+#include <atomic>
+
+namespace sqod {
+
+namespace {
+
+// splitmix64 finalizer: a bijection on uint64, so distinct counter values
+// can never collide, but consecutive ids share no visible structure.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t NextTraceId() {
+  // Seeded per process from the monotonic clock so ids differ across runs;
+  // the counter guarantees uniqueness within a run.
+  static const uint64_t seed = static_cast<uint64_t>(NowNs());
+  static std::atomic<uint64_t> counter{1};
+  uint64_t id =
+      Mix64(seed ^ (counter.fetch_add(1, std::memory_order_relaxed) << 1));
+  return id == 0 ? 1 : id;
+}
+
+std::string TraceIdHex(uint64_t trace_id) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = digits[trace_id & 0xf];
+    trace_id >>= 4;
+  }
+  return out;
+}
+
+uint64_t TraceIdFromHex(const std::string& hex) {
+  if (hex.size() != 16) return 0;
+  uint64_t id = 0;
+  for (char c : hex) {
+    int d;
+    if (c >= '0' && c <= '9') {
+      d = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      d = c - 'a' + 10;
+    } else {
+      return 0;
+    }
+    id = (id << 4) | static_cast<uint64_t>(d);
+  }
+  return id;
+}
+
+}  // namespace sqod

@@ -1,0 +1,52 @@
+#ifndef SQOD_OBS_CONTEXT_H_
+#define SQOD_OBS_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace sqod {
+
+// Request-scoped observability context: one trace id, one span collector,
+// and the shared metric sink, created where a request enters the system
+// (QueryService::Submit, or the CLI for single-shot runs) and carried with
+// the request through the thread-pool handoff into Prepare/Execute.
+//
+// The embedded Tracer is single-threaded by design; a TraceContext relies
+// on the request lifecycle for safety instead of locks: the submitting
+// thread records admission, the enqueue/dequeue of the worker pool is a
+// happens-before edge, and from then on exactly the one worker that owns
+// the request touches the tracer. Never share a TraceContext between
+// concurrently running requests.
+struct TraceContext {
+  // Process-unique trace id (never 0 once assigned via NextTraceId).
+  uint64_t trace_id = 0;
+  // Caller-visible request id; defaults to the trace id when unset.
+  uint64_t request_id = 0;
+  // Submission timestamp (NowNs scale); start of the root span.
+  int64_t submit_ns = 0;
+  // Absolute deadline on the NowNs scale, -1 for none.
+  int64_t deadline_ns = -1;
+  // Per-request span collector. Disabled unless the request asked for a
+  // trace, so untraced requests pay one branch per instrumentation site.
+  Tracer tracer;
+  // Shared sink for counters/histograms; not owned, may be null.
+  MetricsRegistry* metrics = nullptr;
+};
+
+// Returns a process-unique, never-zero trace id. Thread-safe; ids from one
+// process never repeat (an atomic counter mixed through a finalizer so ids
+// look random across processes but stay cheap to produce).
+uint64_t NextTraceId();
+
+// Canonical rendering of a trace id: 16 lowercase hex digits.
+std::string TraceIdHex(uint64_t trace_id);
+
+// Parses the TraceIdHex rendering back; returns 0 on malformed input.
+uint64_t TraceIdFromHex(const std::string& hex);
+
+}  // namespace sqod
+
+#endif  // SQOD_OBS_CONTEXT_H_

@@ -1,0 +1,78 @@
+#include "src/obs/event_log.h"
+
+#include <algorithm>
+
+#include "src/obs/context.h"
+#include "src/obs/json.h"
+
+namespace sqod {
+
+std::string RenderLogEvent(const LogEvent& event) {
+  std::string out = "[" + event.kind + "]";
+  if (event.trace_id != 0) out += " trace=" + TraceIdHex(event.trace_id);
+  if (event.request_id != 0 && event.request_id != event.trace_id) {
+    out += " request=" + TraceIdHex(event.request_id);
+  }
+  for (const auto& [key, value] : event.fields) {
+    out += ' ';
+    out += key;
+    out += '=';
+    out += std::to_string(value);
+  }
+  if (!event.message.empty()) {
+    out += " | ";
+    out += event.message;
+  }
+  return out;
+}
+
+std::string LogEventToJson(const LogEvent& event) {
+  std::string out = "{\"ts_ns\":" + std::to_string(event.ts_ns);
+  out += ",\"kind\":\"" + JsonEscape(event.kind) + "\"";
+  out += ",\"trace_id\":\"" + TraceIdHex(event.trace_id) + "\"";
+  out += ",\"request_id\":\"" + TraceIdHex(event.request_id) + "\"";
+  for (const auto& [key, value] : event.fields) {
+    out += ",\"" + JsonEscape(key) + "\":" + std::to_string(value);
+  }
+  out += ",\"message\":\"" + JsonEscape(event.message) + "\"}";
+  return out;
+}
+
+EventLog::EventLog(size_t capacity) : capacity_(std::max<size_t>(capacity, 1)) {}
+
+void EventLog::Append(LogEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<LogEvent> EventLog::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogEvent> out;
+  out.reserve(ring_.size());
+  // Once wrapped, `next_` is the oldest retained entry.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<LogEvent> EventLog::EventsOfKind(std::string_view kind) const {
+  std::vector<LogEvent> out;
+  for (LogEvent& event : Events()) {
+    if (event.kind == kind) out.push_back(std::move(event));
+  }
+  return out;
+}
+
+int64_t EventLog::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace sqod

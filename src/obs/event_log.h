@@ -1,0 +1,65 @@
+#ifndef SQOD_OBS_EVENT_LOG_H_
+#define SQOD_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sqod {
+
+// One structured log entry. Events are cheap value types: a kind for
+// filtering ("slow_query", "error", "metrics_snapshot"), the trace/request
+// ids that tie the entry back to a per-request trace, a free-text message
+// (for slow queries, the explain summary), and typed int64 fields.
+struct LogEvent {
+  int64_t ts_ns = 0;
+  uint64_t trace_id = 0;
+  uint64_t request_id = 0;
+  std::string kind;
+  std::string message;
+  std::vector<std::pair<std::string, int64_t>> fields;
+};
+
+// Renders one event as a single text line:
+//   [slow_query] trace=00f3... total_ns=1203455 answers=36 | <message>
+std::string RenderLogEvent(const LogEvent& event);
+
+// Renders one event as a JSON object (ts_ns, kind, trace_id hex, request_id
+// hex, fields inline, message).
+std::string LogEventToJson(const LogEvent& event);
+
+// A bounded in-memory structured event log: a mutex-guarded ring buffer
+// that drops the oldest entry once `capacity` is reached, so a long-lived
+// service keeps the most recent window without unbounded growth. This is
+// the sink behind the serving layer's slow-query log. Thread-safe.
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 1024);
+
+  void Append(LogEvent event);
+
+  // All retained events, oldest first.
+  std::vector<LogEvent> Events() const;
+
+  // Retained events of one kind, oldest first.
+  std::vector<LogEvent> EventsOfKind(std::string_view kind) const;
+
+  // Appends over the log's lifetime, including entries since evicted.
+  int64_t total_appended() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<LogEvent> ring_;  // grows to capacity_, then wraps
+  size_t next_ = 0;             // slot the next Append overwrites
+  int64_t total_ = 0;
+};
+
+}  // namespace sqod
+
+#endif  // SQOD_OBS_EVENT_LOG_H_

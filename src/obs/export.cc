@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <map>
 
+#include "src/obs/context.h"
 #include "src/obs/json.h"
 
 namespace sqod {
@@ -71,7 +72,45 @@ std::string RenderSpanTree(const std::vector<SpanRecord>& spans) {
   return out;
 }
 
-std::string ExportChromeTrace(const std::vector<SpanRecord>& spans) {
+namespace {
+
+// Appends one complete ("ph":"X") trace event. `trace_id_hex` (optional)
+// lands in args so viewers and the slow-query log agree on the request id.
+void AppendChromeEvent(const SpanRecord& s, int tid,
+                       const std::string& trace_id_hex, bool* first,
+                       std::string* out) {
+  if (!*first) *out += ',';
+  *first = false;
+  char buf[64];
+  *out += "{\"name\":\"";
+  *out += JsonEscape(s.name);
+  *out += "\",\"cat\":\"sqod\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+  *out += std::to_string(tid);
+  // Microsecond timestamps with ns precision (Chrome expects us).
+  std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f", s.start_ns / 1e3);
+  *out += buf;
+  std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", s.duration_ns / 1e3);
+  *out += buf;
+  *out += ",\"args\":{\"id\":";
+  *out += std::to_string(s.id);
+  *out += ",\"parent\":";
+  *out += std::to_string(s.parent_id);
+  if (!trace_id_hex.empty()) {
+    *out += ",\"trace_id\":\"";
+    *out += trace_id_hex;
+    *out += '"';
+  }
+  for (const auto& [key, value] : s.attrs) {
+    *out += ",\"";
+    *out += JsonEscape(key);
+    *out += "\":";
+    *out += std::to_string(value);
+  }
+  *out += "}}";
+}
+
+std::vector<const SpanRecord*> ByStartOrder(
+    const std::vector<SpanRecord>& spans) {
   std::vector<const SpanRecord*> ordered;
   ordered.reserve(spans.size());
   for (const SpanRecord& s : spans) ordered.push_back(&s);
@@ -79,31 +118,31 @@ std::string ExportChromeTrace(const std::vector<SpanRecord>& spans) {
             [](const SpanRecord* a, const SpanRecord* b) {
               return a->id < b->id;
             });
+  return ordered;
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<SpanRecord>& spans) {
   std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
-  char buf[64];
-  for (const SpanRecord* s : ordered) {
-    if (!first) out += ',';
-    first = false;
-    out += "{\"name\":\"";
-    out += JsonEscape(s->name);
-    out += "\",\"cat\":\"sqod\",\"ph\":\"X\",\"pid\":1,\"tid\":1";
-    // Microsecond timestamps with ns precision (Chrome expects us).
-    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f", s->start_ns / 1e3);
-    out += buf;
-    std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", s->duration_ns / 1e3);
-    out += buf;
-    out += ",\"args\":{\"id\":";
-    out += std::to_string(s->id);
-    out += ",\"parent\":";
-    out += std::to_string(s->parent_id);
-    for (const auto& [key, value] : s->attrs) {
-      out += ",\"";
-      out += JsonEscape(key);
-      out += "\":";
-      out += std::to_string(value);
+  for (const SpanRecord* s : ByStartOrder(spans)) {
+    AppendChromeEvent(*s, 1, std::string(), &first, &out);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ExportChromeTrace(const std::vector<RequestTrace>& traces) {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  int tid = 0;
+  for (const RequestTrace& trace : traces) {
+    ++tid;
+    const std::string hex = TraceIdHex(trace.trace_id);
+    for (const SpanRecord* s : ByStartOrder(trace.spans)) {
+      AppendChromeEvent(*s, tid, hex, &first, &out);
     }
-    out += "}}";
   }
   out += "]}";
   return out;
@@ -112,7 +151,10 @@ std::string ExportChromeTrace(const std::vector<SpanRecord>& spans) {
 std::string ExportMetricsJson(const MetricsRegistry& registry) {
   // One consistent snapshot: recorders on other threads never block on the
   // (potentially slow) formatting below.
-  MetricsSnapshot snapshot = registry.Snapshot();
+  return ExportMetricsJson(registry.Snapshot());
+}
+
+std::string ExportMetricsJson(const MetricsSnapshot& snapshot) {
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : snapshot.counters) {
@@ -152,14 +194,92 @@ std::string ExportMetricsJson(const MetricsRegistry& registry) {
     std::snprintf(buf, sizeof(buf), ",\"mean\":%.3f", histogram.mean());
     out += buf;
     out += ",\"p50\":";
-    out += std::to_string(histogram.Percentile(0.5));
+    out += std::to_string(histogram.p50());
     out += ",\"p90\":";
     out += std::to_string(histogram.Percentile(0.9));
+    out += ",\"p95\":";
+    out += std::to_string(histogram.p95());
     out += ",\"p99\":";
-    out += std::to_string(histogram.Percentile(0.99));
+    out += std::to_string(histogram.p99());
     out += '}';
   }
   out += "}}";
+  return out;
+}
+
+namespace {
+
+void AppendCell(const std::string& cell, size_t width, std::string* out) {
+  if (cell.size() < width) out->append(width - cell.size(), ' ');
+  *out += cell;
+  *out += "  ";
+}
+
+}  // namespace
+
+std::string RenderHistogramTable(const MetricsSnapshot& snapshot) {
+  if (snapshot.histograms.empty()) return "";
+  // name column width, then right-aligned numeric columns.
+  size_t name_w = 9;  // "histogram"
+  for (const auto& [name, h] : snapshot.histograms) {
+    name_w = std::max(name_w, name.size());
+  }
+  auto row = [&](const std::string& name, const std::string& count,
+                 const std::string& mean, const std::string& p50,
+                 const std::string& p95, const std::string& p99,
+                 const std::string& max, std::string* out) {
+    *out += name;
+    if (name.size() < name_w) out->append(name_w - name.size(), ' ');
+    *out += "  ";
+    AppendCell(count, 8, out);
+    AppendCell(mean, 10, out);
+    AppendCell(p50, 10, out);
+    AppendCell(p95, 10, out);
+    AppendCell(p99, 10, out);
+    AppendCell(max, 10, out);
+    while (!out->empty() && out->back() == ' ') out->pop_back();
+    *out += '\n';
+  };
+  std::string out;
+  row("histogram", "count", "mean", "p50", "p95", "p99", "max", &out);
+  for (const auto& [name, h] : snapshot.histograms) {
+    row(name, std::to_string(h.count), FormatDurationNs(int64_t(h.mean())),
+        FormatDurationNs(h.p50()), FormatDurationNs(h.p95()),
+        FormatDurationNs(h.p99()), FormatDurationNs(h.max), &out);
+  }
+  return out;
+}
+
+std::string RenderSnapshotDiff(const MetricsSnapshot& diff) {
+  std::string out;
+  for (const auto& [name, delta] : diff.counters) {
+    out += name;
+    out += delta >= 0 ? " +" : " ";
+    out += std::to_string(delta);
+    out += '\n';
+  }
+  for (const auto& [name, value] : diff.gauges) {
+    out += name;
+    out += " = ";
+    out += std::to_string(value);
+    out += '\n';
+  }
+  for (const auto& [name, h] : diff.histograms) {
+    out += name;
+    out += " count=";
+    out += std::to_string(h.count);
+    out += " sum=";
+    out += FormatDurationNs(h.sum);
+    out += " p50=";
+    out += FormatDurationNs(h.p50());
+    out += " p95=";
+    out += FormatDurationNs(h.p95());
+    out += " p99=";
+    out += FormatDurationNs(h.p99());
+    out += " max=";
+    out += FormatDurationNs(h.max);
+    out += '\n';
+  }
   return out;
 }
 

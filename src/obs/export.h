@@ -23,9 +23,36 @@ std::string RenderSpanTree(const std::vector<SpanRecord>& spans);
 // attributes under "args". Loadable as-is.
 std::string ExportChromeTrace(const std::vector<SpanRecord>& spans);
 
+// One request's recorded spans plus the trace id that names them in the
+// slow-query log and the Response.
+struct RequestTrace {
+  uint64_t trace_id = 0;
+  std::vector<SpanRecord> spans;
+};
+
+// Chrome trace-event JSON over many per-request traces: each request
+// renders on its own tid (so concurrent requests stack as lanes in the
+// viewer) and every event's args carry the request's trace id (hex, the
+// same rendering the slow-query log uses), making a slow-query entry
+// cross-referencable to its complete trace.
+std::string ExportChromeTrace(const std::vector<RequestTrace>& traces);
+
 // Machine-readable dump of a registry: {"counters": {...}, "gauges": {...},
-// "histograms": {name: {count,sum,min,max,mean,p50,p90,p99}}}.
+// "histograms": {name: {count,sum,min,max,mean,p50,p90,p95,p99}}}.
 std::string ExportMetricsJson(const MetricsRegistry& registry);
+
+// Same, from an already-taken snapshot (e.g. a DiffSnapshots result).
+std::string ExportMetricsJson(const MetricsSnapshot& snapshot);
+
+// Aligned text table over a snapshot's histograms — count, mean, and the
+// latency tails (p50/p95/p99/max) per instrument. Empty string when the
+// snapshot has no histograms. Printed by `sqo_cli --profile`.
+std::string RenderHistogramTable(const MetricsSnapshot& snapshot);
+
+// Human-readable rendering of a DiffSnapshots result: one line per changed
+// counter (+delta), gauge (current value), and histogram (window count,
+// sum, tails). Empty string for an empty diff.
+std::string RenderSnapshotDiff(const MetricsSnapshot& diff);
 
 // Formats a nanosecond duration with a readable unit ("1.234 ms").
 std::string FormatDurationNs(int64_t ns);

@@ -77,6 +77,51 @@ int64_t HistogramSnapshot::Percentile(double q) const {
   return max;
 }
 
+MetricsSnapshot DiffSnapshots(const MetricsSnapshot& prev,
+                              const MetricsSnapshot& curr) {
+  MetricsSnapshot diff;
+  for (const auto& [name, value] : curr.counters) {
+    auto it = prev.counters.find(name);
+    int64_t delta = value - (it == prev.counters.end() ? 0 : it->second);
+    if (delta != 0) diff.counters[name] = delta;
+  }
+  for (const auto& [name, value] : curr.gauges) {
+    auto it = prev.gauges.find(name);
+    if (it == prev.gauges.end() || it->second != value) {
+      diff.gauges[name] = value;
+    }
+  }
+  for (const auto& [name, now] : curr.histograms) {
+    auto it = prev.histograms.find(name);
+    const HistogramSnapshot* before =
+        it == prev.histograms.end() ? nullptr : &it->second;
+    HistogramSnapshot d;
+    d.count = now.count - (before == nullptr ? 0 : before->count);
+    if (d.count <= 0) continue;
+    d.sum = now.sum - (before == nullptr ? 0 : before->sum);
+    d.buckets.assign(now.buckets.size(), 0);
+    for (size_t b = 0; b < now.buckets.size(); ++b) {
+      int64_t prev_b = before == nullptr || b >= before->buckets.size()
+                           ? 0
+                           : before->buckets[b];
+      d.buckets[b] = now.buckets[b] - prev_b;
+    }
+    // The exact min/max of the window is gone (the histogram only keeps
+    // lifetime extremes); estimate from the differenced buckets, clamped to
+    // what the lifetime extremes still guarantee.
+    d.min = now.max;
+    d.max = now.min;
+    for (size_t b = 0; b < d.buckets.size(); ++b) {
+      if (d.buckets[b] <= 0) continue;
+      auto [lo, hi] = BucketRange(static_cast<int>(b));
+      d.min = std::min(d.min, std::max(lo, now.min));
+      d.max = std::max(d.max, std::min(hi, now.max));
+    }
+    diff.histograms[name] = std::move(d);
+  }
+  return diff;
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];

@@ -52,6 +52,12 @@ struct HistogramSnapshot {
   // Estimated value at quantile q in [0, 1]. Returns 0 on an empty
   // snapshot; q=0 returns min, q=1 returns max.
   int64_t Percentile(double q) const;
+
+  // The latency-tail quartet every exporter reports (E11 and the serving
+  // histograms quote tails, not means).
+  int64_t p50() const { return Percentile(0.50); }
+  int64_t p95() const { return Percentile(0.95); }
+  int64_t p99() const { return Percentile(0.99); }
 };
 
 // A histogram of non-negative int64 samples over power-of-two buckets:
@@ -93,7 +99,21 @@ struct MetricsSnapshot {
   std::map<std::string, int64_t> counters;
   std::map<std::string, int64_t> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
 };
+
+// What changed between two snapshots of the same registry — the "last N
+// seconds" view a periodic exporter publishes. Counters carry their delta
+// (entries with zero delta are dropped); gauges carry the current value
+// (only gauges that changed, or are new, appear); histograms carry the
+// window's samples (bucket-wise difference, min/max estimated from the
+// differenced buckets clamped to the current extremes). `curr` must be a
+// later snapshot of the same registry as `prev`.
+MetricsSnapshot DiffSnapshots(const MetricsSnapshot& prev,
+                              const MetricsSnapshot& curr);
 
 // A registry of named instruments. Lookup interns the instrument on first
 // use; returned pointers stay valid for the registry's lifetime, so hot

@@ -47,6 +47,10 @@ void Span::End() {
 }
 
 Span Tracer::StartSpan(std::string_view name) {
+  return StartSpanAt(name, NowNs());
+}
+
+Span Tracer::StartSpanAt(std::string_view name, int64_t start_ns) {
   if (!enabled_) return Span();
   int handle = static_cast<int>(open_.size());
   SpanRecord record;
@@ -54,11 +58,18 @@ Span Tracer::StartSpan(std::string_view name) {
   record.parent_id =
       open_stack_.empty() ? -1 : open_[open_stack_.back()].id;
   record.name = std::string(name);
-  record.start_ns = NowNs();
+  record.start_ns = start_ns;
   open_.push_back(std::move(record));
   closed_.push_back(false);
   open_stack_.push_back(handle);
   return Span(this, handle);
+}
+
+std::vector<SpanRecord> Tracer::TakeSpans() {
+  SQOD_CHECK_MSG(open_stack_.empty(), "TakeSpans with open spans");
+  std::vector<SpanRecord> out = std::move(spans_);
+  Clear();
+  return out;
 }
 
 void Tracer::CloseSpan(int handle) {

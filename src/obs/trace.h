@@ -71,8 +71,18 @@ class Tracer {
   // Opens a span named `name` under the innermost open span.
   Span StartSpan(std::string_view name);
 
+  // Same, but with an explicit (typically earlier) start timestamp, for
+  // spans whose beginning was observed before a collector was reachable —
+  // e.g. a queue-wait span recorded by the worker that dequeues a request,
+  // covering the time since submission. `start_ns` is on the NowNs() scale.
+  Span StartSpanAt(std::string_view name, int64_t start_ns);
+
   // Closed spans, in order of closing. Link records via id / parent_id.
   const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  // Moves the closed spans out (and resets the id counter), leaving the
+  // tracer ready for reuse. Open spans must be closed first.
+  std::vector<SpanRecord> TakeSpans();
 
   // Drops all recorded and open spans.
   void Clear();

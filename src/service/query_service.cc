@@ -1,7 +1,9 @@
 #include "src/service/query_service.h"
 
+#include <chrono>
 #include <utility>
 
+#include "src/engine/explain.h"
 #include "src/obs/export.h"
 #include "src/obs/trace.h"
 
@@ -27,7 +29,18 @@ ThreadPool::Options MakePoolOptions(const ServiceOptions& options) {
 QueryService::QueryService(ServiceOptions options)
     : options_(options),
       engine_(MakeEngineOptions(options)),
-      pool_(MakePoolOptions(options)) {}
+      event_log_(options.event_log_capacity),
+      pool_(MakePoolOptions(options)) {
+  if (options_.metrics_snapshot_ms > 0) {
+    // Baseline the diff window here, not in the thread: a request served
+    // before the thread's first instruction must still show up in the
+    // first delta.
+    snapshot_thread_ = std::thread(
+        [this, prev = metrics().Snapshot()]() mutable {
+          SnapshotLoop(std::move(prev));
+        });
+  }
+}
 
 QueryService::~QueryService() { Shutdown(); }
 
@@ -39,8 +52,32 @@ std::future<Response> QueryService::Submit(Request request) {
                          ? -1
                          : job->submit_ns +
                                job->request.deadline_ms * 1'000'000;
-  std::future<Response> future = job->promise.get_future();
 
+  job->trace.trace_id = NextTraceId();
+  job->trace.request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  job->trace.submit_ns = job->submit_ns;
+  job->trace.deadline_ns = job->deadline_ns;
+  job->trace.metrics = &metrics();
+  job->trace.tracer.set_enabled(job->request.trace);
+
+  // Everything the submitting thread records must happen strictly before
+  // the pool handoff: a worker may start (and touch the tracer) the moment
+  // Submit enqueues the job.
+  Tracer& tracer = job->trace.tracer;
+  // No trace-id attr here: the Chrome-trace exporter stamps every event's
+  // args with the hex trace id, and a second (integer) copy on the root
+  // span would shadow it.
+  job->root_span = tracer.StartSpanAt("request", job->submit_ns);
+  job->root_span.SetAttr("request_id",
+                         static_cast<int64_t>(job->trace.request_id));
+  {
+    Span admission = tracer.StartSpan("request.admission");
+    admission.SetAttr("queue_depth",
+                      static_cast<int64_t>(pool_.queue_depth()));
+  }
+
+  std::future<Response> future = job->promise.get_future();
   ThreadPool::SubmitResult submitted =
       pool_.Submit([this, job] { Process(job.get()); });
   if (submitted == ThreadPool::SubmitResult::kAccepted) {
@@ -48,14 +85,37 @@ std::future<Response> QueryService::Submit(Request request) {
     return future;
   }
 
+  const bool queue_full = submitted == ThreadPool::SubmitResult::kQueueFull;
   metrics().GetCounter("service/requests_rejected")->Increment();
+  metrics()
+      .GetCounter(queue_full ? "service/requests_rejected_queue_full"
+                             : "service/requests_rejected_shutdown")
+      ->Increment();
+  // Rejected requests never waited, but they still contribute a sample:
+  // the queue-wait distribution covers every submitted request, so load
+  // shedding pulls the percentiles down instead of hiding them.
+  metrics().GetHistogram("service/queue_wait_ns")->Record(0);
+
   Response response;
+  response.trace_id = job->trace.trace_id;
   response.status =
-      submitted == ThreadPool::SubmitResult::kQueueFull
-          ? Status::ResourceExhausted(
-                "admission queue full (max_queue=" +
-                std::to_string(options_.max_queue) + ")")
-          : Status::FailedPrecondition("service is shut down");
+      queue_full ? Status::ResourceExhausted(
+                       "admission queue full (max_queue=" +
+                       std::to_string(options_.max_queue) + ")")
+                 : Status::FailedPrecondition("service is shut down");
+  job->root_span.SetAttr("rejected", 1);
+  job->root_span.End();
+  if (tracer.enabled()) response.spans = tracer.TakeSpans();
+
+  LogEvent event;
+  event.ts_ns = NowNs();
+  event.trace_id = job->trace.trace_id;
+  event.request_id = job->trace.request_id;
+  event.kind = "request_rejected";
+  event.fields.emplace_back("queue_full", queue_full ? 1 : 0);
+  event.message = response.status.message();
+  event_log_.Append(std::move(event));
+
   job->promise.set_value(std::move(response));
   return future;
 }
@@ -64,7 +124,41 @@ Response QueryService::Call(Request request) {
   return Submit(std::move(request)).get();
 }
 
-void QueryService::Shutdown() { pool_.Shutdown(); }
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    stopping_ = true;
+  }
+  snapshot_cv_.notify_all();
+  if (snapshot_thread_.joinable()) snapshot_thread_.join();
+  pool_.Shutdown();
+}
+
+void QueryService::SnapshotLoop(MetricsSnapshot prev) {
+  const auto period = std::chrono::milliseconds(options_.metrics_snapshot_ms);
+  std::unique_lock<std::mutex> lock(snapshot_mu_);
+  while (!stopping_) {
+    snapshot_cv_.wait_for(lock, period, [&] { return stopping_; });
+    if (stopping_) break;
+    // Snapshot without holding snapshot_mu_? Not needed: the registry has
+    // its own lock and nothing else takes snapshot_mu_ except Shutdown.
+    MetricsSnapshot curr = metrics().Snapshot();
+    MetricsSnapshot diff = DiffSnapshots(prev, curr);
+    prev = std::move(curr);
+    if (diff.empty()) continue;
+    LogEvent event;
+    event.ts_ns = NowNs();
+    event.kind = "metrics_snapshot";
+    event.fields.emplace_back(
+        "counters", static_cast<int64_t>(diff.counters.size()));
+    event.fields.emplace_back("gauges",
+                              static_cast<int64_t>(diff.gauges.size()));
+    event.fields.emplace_back(
+        "histograms", static_cast<int64_t>(diff.histograms.size()));
+    event.message = RenderSnapshotDiff(diff);
+    event_log_.Append(std::move(event));
+  }
+}
 
 std::shared_ptr<QueryService::SessionEntry> QueryService::GetSession(
     const std::string& source) {
@@ -94,8 +188,22 @@ void QueryService::Process(Job* job) {
   metrics.GetHistogram("service/queue_wait_ns")
       ->Record(start_ns - job->submit_ns);
 
+  Tracer& tracer = job->trace.tracer;
+  {
+    // Retroactive: the wait was observed ending now, having started at
+    // submission.
+    Span queue = tracer.StartSpanAt("request.queue", job->submit_ns);
+  }
+
   Response response;
+  response.trace_id = job->trace.trace_id;
   response.queue_wait_ns = start_ns - job->submit_ns;
+
+  // State the slow-query log reads at finish; filled as the request
+  // advances.
+  const PreparedProgram* prepared_program = nullptr;
+  std::vector<RuleProfile> profiles;
+  const bool slow_armed = options_.slow_query_ms >= 0;
 
   auto finish = [&](Status status) {
     response.status = std::move(status);
@@ -113,6 +221,56 @@ void QueryService::Process(Job* job) {
         metrics.GetCounter("service/requests_failed")->Increment();
         break;
     }
+
+    const int64_t total_ns = NowNs() - job->submit_ns;
+    job->root_span.SetAttr("status_code",
+                           static_cast<int64_t>(response.status.code()));
+    job->root_span.SetAttr("answers",
+                           static_cast<int64_t>(response.answers.size()));
+    job->root_span.End();
+    if (tracer.enabled()) response.spans = tracer.TakeSpans();
+
+    if (!response.status.ok()) {
+      LogEvent event;
+      event.ts_ns = NowNs();
+      event.trace_id = job->trace.trace_id;
+      event.request_id = job->trace.request_id;
+      event.kind = "request_error";
+      event.fields.emplace_back("code",
+                                static_cast<int64_t>(response.status.code()));
+      event.fields.emplace_back("total_ns", total_ns);
+      event.message = std::string(StatusCodeName(response.status.code())) +
+                      ": " + response.status.message();
+      event_log_.Append(std::move(event));
+    }
+
+    if (slow_armed && total_ns >= options_.slow_query_ms * 1'000'000) {
+      metrics.GetCounter("service/slow_queries")->Increment();
+      LogEvent event;
+      event.ts_ns = NowNs();
+      event.trace_id = job->trace.trace_id;
+      event.request_id = job->trace.request_id;
+      event.kind = "slow_query";
+      event.fields.emplace_back("total_ns", total_ns);
+      event.fields.emplace_back("queue_wait_ns", response.queue_wait_ns);
+      event.fields.emplace_back("prepare_ns", response.prepare_ns);
+      event.fields.emplace_back("execute_ns", response.execute_ns);
+      event.fields.emplace_back(
+          "answers", static_cast<int64_t>(response.answers.size()));
+      if (!response.status.ok()) {
+        event.message = std::string(StatusCodeName(response.status.code())) +
+                        ": " + response.status.message();
+      } else if (prepared_program != nullptr) {
+        ExplainReport explain =
+            BuildExplainReport(prepared_program->report);
+        AttachRuntime(prepared_program->report, response.stats, profiles,
+                      static_cast<int64_t>(response.answers.size()),
+                      response.execute_ns, &explain);
+        event.message = explain.Summary();
+      }
+      event_log_.Append(std::move(event));
+    }
+
     job->promise.set_value(std::move(response));
   };
 
@@ -122,22 +280,34 @@ void QueryService::Process(Job* job) {
     return;
   }
   if (job->deadline_ns >= 0 && NowNs() >= job->deadline_ns) {
+    metrics.GetCounter("service/requests_expired_in_queue")->Increment();
     finish(Status::DeadlineExceeded("deadline expired in the queue after " +
                                     FormatDurationNs(response.queue_wait_ns)));
     return;
   }
 
+  Span prepare_span = tracer.StartSpan("request.prepare");
+  const int64_t prepare_start_ns = NowNs();
   std::shared_ptr<SessionEntry> entry = GetSession(job->request.source);
   if (entry->session == nullptr) {
+    prepare_span.End();
     finish(entry->status);
     return;
   }
   Session& session = *entry->session;
 
   // Prepare is single-flight in the session: the first request for this
-  // fingerprint runs the Levy–Sagiv pipeline, concurrent ones block on the
+  // fingerprint runs the Levy–Sagiv pipeline (its "sqo.*" spans landing
+  // under this request's prepare span), concurrent ones block on the
   // in-flight entry, later ones hit the cache.
-  Result<const PreparedProgram*> prepared = session.Prepare(job->request.sqo);
+  SqoOptions sqo = job->request.sqo;
+  if (sqo.tracer == nullptr) sqo.tracer = &tracer;
+  bool cache_hit = false;
+  Result<const PreparedProgram*> prepared = session.Prepare(sqo, &cache_hit);
+  response.prepare_ns = NowNs() - prepare_start_ns;
+  response.prepare_cache_hit = cache_hit;
+  metrics.GetHistogram("service/prepare_ns")->Record(response.prepare_ns);
+  prepare_span.SetAttr("cache_hit", cache_hit ? 1 : 0);
   bool fallback = false;
   if (!prepared.ok()) {
     if (options_.fallback_to_original &&
@@ -147,10 +317,17 @@ void QueryService::Process(Job* job) {
       metrics.GetCounter("service/prepare_fallbacks")->Increment();
       fallback = true;
     } else {
+      prepare_span.End();
       finish(prepared.status());
       return;
     }
+  } else {
+    prepared_program = prepared.value();
+    for (const PassRunInfo& info : prepared_program->report.pass_runs) {
+      if (info.ran()) ++response.passes_ran;
+    }
   }
+  prepare_span.End();
 
   // Every request evaluates against its own EDB: Relation builds join
   // indexes lazily, so a shared mutable Database across workers would race.
@@ -162,14 +339,23 @@ void QueryService::Process(Job* job) {
       (eval.deadline_ns < 0 || job->deadline_ns < eval.deadline_ns)) {
     eval.deadline_ns = job->deadline_ns;
   }
+  if (eval.tracer == nullptr) eval.tracer = &tracer;
+  // Per-rule profiles feed the slow-query log's EXPLAIN summary and the
+  // traced response; untraced fast-path requests skip the clock reads.
+  const bool want_profiles =
+      slow_armed || job->request.trace || eval.profile_rules;
+  if (slow_armed) eval.profile_rules = true;
 
+  Span execute_span = tracer.StartSpan("request.execute");
   const int64_t exec_start_ns = NowNs();
   Result<std::vector<Tuple>> answers =
-      fallback ? session.ExecuteOriginal(edb, eval, &response.stats)
-               : session.Execute(*prepared.value(), edb, eval,
-                                 &response.stats);
+      fallback ? session.ExecuteOriginal(edb, eval, &response.stats,
+                                         want_profiles ? &profiles : nullptr)
+               : session.Execute(*prepared.value(), edb, eval, &response.stats,
+                                 want_profiles ? &profiles : nullptr);
   response.execute_ns = NowNs() - exec_start_ns;
   metrics.GetHistogram("service/execute_ns")->Record(response.execute_ns);
+  execute_span.End();
 
   if (!answers.ok()) {
     finish(answers.status());

@@ -1,17 +1,22 @@
 #ifndef SQOD_SERVICE_QUERY_SERVICE_H_
 #define SQOD_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "src/base/cancel.h"
 #include "src/base/status.h"
 #include "src/engine/engine.h"
+#include "src/obs/context.h"
+#include "src/obs/event_log.h"
 #include "src/service/thread_pool.h"
 
 namespace sqod {
@@ -37,8 +42,27 @@ namespace sqod {
 // Per-request observability (in metrics(), exported like all registries):
 //   service/requests_accepted / _rejected / _cancelled /
 //   _deadline_exceeded / _completed / _failed     counters
+//   service/requests_rejected_queue_full / _rejected_shutdown
+//   service/requests_expired_in_queue             deadline passed queued
 //   service/prepare_fallbacks                     kUnsupported → original
-//   service/queue_wait_ns, service/execute_ns     latency histograms
+//   service/slow_queries                          over slow_query_ms
+//   service/queue_wait_ns, service/prepare_ns, service/execute_ns
+//                                                 latency histograms
+//
+// Request-scoped tracing: every submitted request gets a TraceContext (a
+// process-unique trace id plus a per-request Tracer). With Request::trace
+// set, the spans from admission through queue wait, prepare, and per-
+// stratum evaluation come back in Response::spans, stitched into one trace
+// (export many with ExportChromeTrace over RequestTrace). The per-request
+// Tracer stays single-threaded: the submitting thread records admission
+// strictly before the pool handoff (a happens-before edge), after which
+// only the one worker that dequeued the request touches it.
+//
+// The event log (event_log()) is a bounded ring of structured events:
+// "slow_query" entries (requests slower end-to-end than slow_query_ms,
+// carrying the trace id and an EXPLAIN summary), "request_error" /
+// "request_rejected" entries, and — with metrics_snapshot_ms set — periodic
+// "metrics_snapshot" entries holding the window's metric deltas.
 
 struct ServiceOptions {
   // Worker threads executing requests.
@@ -55,6 +79,19 @@ struct ServiceOptions {
   // kUnsupported, e.g. IDB negation), evaluate the original program
   // instead of failing the request.
   bool fallback_to_original = true;
+
+  // Slow-query log threshold, in milliseconds of end-to-end latency (queue
+  // wait + prepare + execute). Requests at or over it produce a
+  // "slow_query" event with the trace id and an EXPLAIN summary, and rule
+  // profiling is armed for every request so the summary has runtime rows.
+  // -1 = off. 0 logs everything (the smoke-test setting).
+  int64_t slow_query_ms = -1;
+  // Capacity of the structured event-log ring.
+  size_t event_log_capacity = 1024;
+  // Period of the background metrics differ: every period, the delta of
+  // the metrics registry against the previous snapshot is appended to the
+  // event log as a "metrics_snapshot" event. -1 = off.
+  int64_t metrics_snapshot_ms = -1;
 };
 
 struct Request {
@@ -74,6 +111,10 @@ struct Request {
   // when a worker dequeues the request and at evaluator iteration
   // boundaries.
   std::shared_ptr<CancelToken> cancel;
+  // Collect this request's span tree (admission → queue → prepare →
+  // evaluation) into Response::spans. Off by default: untraced requests
+  // pay one branch per instrumentation site.
+  bool trace = false;
 };
 
 struct Response {
@@ -83,9 +124,19 @@ struct Response {
   EvalStats stats;
   // False when the kUnsupported fallback evaluated the original program.
   bool optimized = false;
-  // Time spent waiting for a worker, and executing on one.
+  // Time spent waiting for a worker, preparing, and executing.
   int64_t queue_wait_ns = 0;
+  int64_t prepare_ns = 0;
   int64_t execute_ns = 0;
+  // The request's trace id (assigned at Submit, also for rejections);
+  // matches slow-query-log entries and TraceIdHex renderings.
+  uint64_t trace_id = 0;
+  // Whether Prepare was served from the session's plan cache, and how many
+  // pipeline passes the plan's preparation ran (0 on fallback).
+  bool prepare_cache_hit = false;
+  int passes_ran = 0;
+  // The request's span tree (empty unless Request::trace was set).
+  std::vector<SpanRecord> spans;
 };
 
 class QueryService {
@@ -115,6 +166,10 @@ class QueryService {
   MetricsRegistry& metrics() { return engine_.metrics(); }
   Engine& engine() { return engine_; }
 
+  // The structured event ring: slow queries, request errors/rejections,
+  // periodic metric snapshots. Thread-safe.
+  EventLog& event_log() { return event_log_; }
+
  private:
   // A parsed-session slot, created single-flight per distinct source text.
   struct SessionEntry {
@@ -128,15 +183,36 @@ class QueryService {
     std::promise<Response> promise;
     int64_t submit_ns = 0;
     int64_t deadline_ns = -1;  // absolute, NowNs() scale
+    // Request-scoped telemetry: the trace id / span collector, and the
+    // root "request" span (opened at Submit, closed when the response is
+    // fulfilled). The embedded Tracer is touched by the submitting thread
+    // only before the pool handoff, and by the owning worker only after —
+    // the pool's queue is the happens-before edge between the two.
+    TraceContext trace;
+    Span root_span;
   };
 
   std::shared_ptr<SessionEntry> GetSession(const std::string& source);
   void Process(Job* job);
+  // `prev` is the baseline the first window diffs against; captured by the
+  // constructor before any request can arrive, so the first published
+  // delta covers everything since service start even when the OS schedules
+  // the snapshot thread late.
+  void SnapshotLoop(MetricsSnapshot prev);
 
   ServiceOptions options_;
   Engine engine_;
   std::mutex sessions_mu_;
   std::unordered_map<std::string, std::shared_ptr<SessionEntry>> sessions_;
+  EventLog event_log_;
+  std::atomic<uint64_t> next_request_id_{1};
+
+  // Background metrics differ (running only with metrics_snapshot_ms > 0).
+  std::mutex snapshot_mu_;
+  std::condition_variable snapshot_cv_;
+  bool stopping_ = false;
+  std::thread snapshot_thread_;
+
   ThreadPool pool_;  // last member: workers stop before the rest tears down
 };
 

@@ -73,13 +73,27 @@ struct SqoOptions {
 };
 
 // One entry per pipeline pass, in execution order, recording what the pass
-// manager did with it.
+// manager did with it plus the shape delta it caused. The "before" of each
+// pass is the "after" of its predecessor (the input program's shape for the
+// first pass), so the rows chain into a complete account of how the
+// pipeline transformed the program — EXPLAIN renders them as per-pass
+// delta columns.
 struct PassRunInfo {
   std::string name;
   bool disabled = false;  // switched off by options / --disable-pass
   bool skipped = false;   // structurally inapplicable (e.g. no query pred)
   int64_t wall_ns = 0;    // 0 unless the pass ran
-  int rules_after = 0;    // size of the current program after the pass
+
+  // Program shape around the pass: rule count, total body literals, total
+  // negated literals, and total order atoms (comparisons).
+  int rules_before = 0;
+  int rules_after = 0;
+  int literals_before = 0;
+  int literals_after = 0;
+  int negations_before = 0;
+  int negations_after = 0;
+  int comparisons_before = 0;
+  int comparisons_after = 0;
 
   bool ran() const { return !disabled && !skipped; }
 };
@@ -98,6 +112,19 @@ struct SqoReport {
   int tree_classes = 0;
   int surviving_classes = 0;
   bool query_satisfiable = true;
+
+  // Classic-SQO accounting from the residues pass (zeros if it did not
+  // run): rules deleted as guaranteed-empty, and order atoms / negations
+  // the attached residues contributed.
+  int residue_rules_deleted = 0;
+  int residue_comparisons_added = 0;
+  int residue_negations_added = 0;
+
+  // Hash-consing effectiveness of this run's TripletStore.
+  int64_t intern_hits = 0;
+  int64_t intern_misses = 0;
+  int64_t memo_hits = 0;
+  int64_t store_size = 0;
 
   std::string adornment_dump;  // AdornmentEngine::ToString()
   std::string tree_dump;       // QueryTree::ToString()

@@ -164,8 +164,15 @@ class ResiduesPass : public Pass {
     // interner only accumulates dead entries and pays insert cost (~1.5x
     // slower residues phase on the E4 WideIc workload). ApplyClassicSqo's
     // per-rule delta table already dedups repeated atoms within one rule.
+    ClassicSqoReport classic;
     ctx.report.rewritten =
-        ApplyClassicSqo(ctx.report.rewritten, ctx.ics, nullptr, nullptr);
+        ApplyClassicSqo(ctx.report.rewritten, ctx.ics, &classic, nullptr);
+    ctx.report.residue_rules_deleted = classic.rules_deleted;
+    ctx.report.residue_comparisons_added = classic.comparisons_added;
+    ctx.report.residue_negations_added = classic.negations_added;
+    ctx.span().SetAttr("rules_deleted", classic.rules_deleted);
+    ctx.span().SetAttr("comparisons_added", classic.comparisons_added);
+    ctx.span().SetAttr("negations_added", classic.negations_added);
     ctx.span().SetAttr(
         "rules_out",
         static_cast<int64_t>(ctx.report.rewritten.rules().size()));
@@ -197,7 +204,37 @@ class PrunePass : public Pass {
   }
 };
 
-void RecordPipelineGauges(const PassContext& ctx, const SqoOptions& options) {
+// The shape columns EXPLAIN reports per pass.
+struct ProgramShape {
+  int rules = 0;
+  int literals = 0;
+  int negations = 0;
+  int comparisons = 0;
+};
+
+ProgramShape ShapeOf(const Program& program) {
+  ProgramShape shape;
+  shape.rules = static_cast<int>(program.rules().size());
+  for (const Rule& rule : program.rules()) {
+    shape.literals += static_cast<int>(rule.body.size());
+    shape.comparisons += static_cast<int>(rule.comparisons.size());
+    for (const Literal& literal : rule.body) {
+      if (literal.negated) ++shape.negations;
+    }
+  }
+  return shape;
+}
+
+void RecordPipelineGauges(PassContext& ctx, const SqoOptions& options) {
+  if (ctx.store != nullptr) {
+    // Mirror the store stats into the report so EXPLAIN can quote them
+    // without a registry.
+    TripletStore::Stats s = ctx.store->stats();
+    ctx.report.intern_hits = s.intern_hits;
+    ctx.report.intern_misses = s.intern_misses;
+    ctx.report.memo_hits = s.memo_hits;
+    ctx.report.store_size = s.size;
+  }
   if (options.metrics == nullptr) return;
   const SqoReport& report = ctx.report;
   MetricsRegistry* m = options.metrics;
@@ -292,9 +329,18 @@ Status PassManager::RunInto(const Program& program,
   Span root;
   if (tracing) root = tracer->StartSpan("sqo.optimize");
 
+  // Shape chain: each pass's "before" is its predecessor's "after", seeded
+  // from the input program, so the PassRunInfo rows account for every rule,
+  // literal, negation, and order atom the pipeline adds or removes.
+  ProgramShape shape = ShapeOf(program);
+
   for (const std::unique_ptr<Pass>& pass : passes_) {
     PassRunInfo info;
     info.name = pass->name();
+    info.rules_before = shape.rules;
+    info.literals_before = shape.literals;
+    info.negations_before = shape.negations;
+    info.comparisons_before = shape.comparisons;
     if (IsDisabled(info.name)) {
       info.disabled = true;
     } else if (!pass->Applicable(*ctx)) {
@@ -313,7 +359,11 @@ Status PassManager::RunInto(const Program& program,
       }
       if (!s.ok()) return s;
     }
-    info.rules_after = static_cast<int>(pass->Current(*ctx)->rules().size());
+    if (info.ran()) shape = ShapeOf(*pass->Current(*ctx));
+    info.rules_after = shape.rules;
+    info.literals_after = shape.literals;
+    info.negations_after = shape.negations;
+    info.comparisons_after = shape.comparisons;
     ctx->report.pass_runs.push_back(std::move(info));
 
     // Boundary bookkeeping: after the pre-adornment stages the current

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "src/engine/engine.h"
+#include "src/engine/explain.h"
+#include "src/obs/json.h"
 #include "src/sqo/pass_manager.h"
 #include "src/workload/programs.h"
 
@@ -216,6 +218,109 @@ TEST(EngineTest, SessionsAreIndependent) {
   EXPECT_EQ(a.cache_size(), 1u);
   EXPECT_EQ(b.cache_size(), 1u);
   EXPECT_EQ(Misses(engine), 2);
+}
+
+TEST(EngineTest, PrepareReportsCacheHitToCaller) {
+  Engine engine;
+  Session session = engine.Open(kFigure1).take();
+  bool hit = true;
+  ASSERT_TRUE(session.Prepare(SqoOptions{}, &hit).ok());
+  EXPECT_FALSE(hit);
+  ASSERT_TRUE(session.Prepare(SqoOptions{}, &hit).ok());
+  EXPECT_TRUE(hit);
+}
+
+// ------------------------------------------------------- EXPLAIN / ANALYZE
+
+TEST(ExplainTest, PassRowsChainBeforeAfterShapes) {
+  Engine engine;
+  Session session = engine.Open(kFigure1).take();
+  const SqoReport& report = session.Prepare().value()->report;
+  ExplainReport explain = BuildExplainReport(report);
+  ASSERT_EQ(explain.passes.size(), PassManager::PassNames().size());
+  // The chain invariant: each pass starts where its predecessor ended.
+  for (size_t i = 1; i < explain.passes.size(); ++i) {
+    EXPECT_EQ(explain.passes[i].rules_before,
+              explain.passes[i - 1].rules_after);
+    EXPECT_EQ(explain.passes[i].literals_before,
+              explain.passes[i - 1].literals_after);
+    EXPECT_EQ(explain.passes[i].negations_before,
+              explain.passes[i - 1].negations_after);
+    EXPECT_EQ(explain.passes[i].comparisons_before,
+              explain.passes[i - 1].comparisons_after);
+  }
+  // Figure 1: four input rules, and adornment grows the program.
+  EXPECT_EQ(explain.passes.front().rules_before, 4);
+  EXPECT_GT(explain.passes.back().rules_after, 4);
+  EXPECT_FALSE(explain.analyzed);
+  EXPECT_GT(explain.optimize_ns, 0);
+  EXPECT_GT(explain.intern_hits + explain.intern_misses, 0);
+}
+
+TEST(ExplainTest, AttachRuntimeJoinsProfilesToRewrittenRules) {
+  Engine engine;
+  Session session = engine.Open(kFigure1).take();
+  const PreparedProgram* prepared = session.Prepare().value();
+  Database edb = session.MakeEdb();
+  EvalOptions eval;
+  eval.profile_rules = true;
+  EvalStats stats;
+  std::vector<RuleProfile> profiles;
+  std::vector<Tuple> answers =
+      session.Execute(*prepared, edb, eval, &stats, &profiles).take();
+
+  ExplainReport explain = BuildExplainReport(prepared->report);
+  AttachRuntime(prepared->report, stats, profiles,
+                static_cast<int64_t>(answers.size()), 12345, &explain);
+  EXPECT_TRUE(explain.analyzed);
+  EXPECT_EQ(explain.answers, static_cast<int64_t>(answers.size()));
+  EXPECT_EQ(explain.execute_ns, 12345);
+  ASSERT_EQ(explain.rules.size(), prepared->report.rewritten.rules().size());
+  int64_t firings = 0;
+  for (const ExplainRuleRow& row : explain.rules) {
+    EXPECT_TRUE(row.executed);
+    EXPECT_FALSE(row.rule_text.empty());
+    firings += row.profile.firings;
+  }
+  // The join is complete: per-rule firings sum to the aggregate.
+  EXPECT_EQ(firings, stats.rule_firings);
+  EXPECT_NE(explain.ToText().find("== runtime =="), std::string::npos);
+  EXPECT_NE(explain.Summary().find("answers="), std::string::npos);
+}
+
+TEST(ExplainTest, JsonRendersAndParses) {
+  Engine engine;
+  Session session = engine.Open(kFigure1).take();
+  const PreparedProgram* prepared = session.Prepare().value();
+  ExplainReport explain = BuildExplainReport(prepared->report);
+  Result<JsonValue> parsed = ParseJson(explain.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+  const JsonValue* passes = root.Find("passes");
+  ASSERT_NE(passes, nullptr);
+  EXPECT_EQ(passes->array.size(), PassManager::PassNames().size());
+  const JsonValue* plan = root.Find("plan");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_NE(plan->Find("satisfiable"), nullptr);
+  EXPECT_EQ(root.Find("runtime"), nullptr);  // not analyzed
+
+  EvalStats stats;
+  std::vector<RuleProfile> profiles;
+  Database edb = session.MakeEdb();
+  EvalOptions eval;
+  eval.profile_rules = true;
+  std::vector<Tuple> answers =
+      session.Execute(*prepared, edb, eval, &stats, &profiles).take();
+  AttachRuntime(prepared->report, stats, profiles,
+                static_cast<int64_t>(answers.size()), 1, &explain);
+  parsed = ParseJson(explain.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue* runtime = parsed.value().Find("runtime");
+  ASSERT_NE(runtime, nullptr);
+  const JsonValue* rules = runtime->Find("rules");
+  ASSERT_NE(rules, nullptr);
+  EXPECT_EQ(rules->array.size(), explain.rules.size());
 }
 
 }  // namespace

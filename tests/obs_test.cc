@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/eval/evaluator.h"
+#include "src/obs/context.h"
+#include "src/obs/event_log.h"
 #include "src/obs/export.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
@@ -90,6 +93,29 @@ TEST(TracerTest, ExplicitEndIsIdempotent) {
   EXPECT_EQ(tracer.spans().size(), 1u);
 }
 
+TEST(TracerTest, StartSpanAtBackdatesTheStart) {
+  Tracer tracer(true);
+  const int64_t before = NowNs() - 5'000'000;  // 5 ms in the past
+  { Span span = tracer.StartSpanAt("queue", before); }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  const SpanRecord& record = tracer.spans()[0];
+  EXPECT_EQ(record.start_ns, before);
+  // The span covers the backdated interval, not just the open/close gap.
+  EXPECT_GE(record.duration_ns, 5'000'000);
+}
+
+TEST(TracerTest, TakeSpansDrainsAndResets) {
+  Tracer tracer(true);
+  { Span span = tracer.StartSpan("first"); }
+  std::vector<SpanRecord> taken = tracer.TakeSpans();
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0].name, "first");
+  EXPECT_TRUE(tracer.spans().empty());
+  // Ids restart, so per-request traces are self-contained.
+  { Span span = tracer.StartSpan("second"); }
+  EXPECT_EQ(tracer.spans()[0].id, taken[0].id);
+}
+
 TEST(TracerTest, MoveTransfersOwnership) {
   Tracer tracer(true);
   {
@@ -172,6 +198,123 @@ TEST(MetricsTest, SnapshotIsAPointInTimeCopy) {
   EXPECT_EQ(snapshot.histograms.at("a/lat").count, 1);
   EXPECT_EQ(snapshot.histograms.at("a/lat").max, 8);
   EXPECT_EQ(registry.Snapshot().counters.at("a/count"), 103);
+}
+
+TEST(MetricsTest, HistogramTailQuartetOnKnownDistribution) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i);
+  HistogramSnapshot snapshot = h.Snapshot();
+  // Power-of-two buckets: each tail estimate lands in its rank's bucket.
+  EXPECT_GE(snapshot.p50(), 256);  // rank 500 lives in [256, 511]
+  EXPECT_LE(snapshot.p50(), 511);
+  EXPECT_GE(snapshot.p95(), 512);  // ranks 950 and 990 live in [512, 1000]
+  EXPECT_LE(snapshot.p95(), 1000);
+  EXPECT_GE(snapshot.p99(), snapshot.p95());
+  EXPECT_LE(snapshot.p99(), 1000);
+  EXPECT_EQ(snapshot.max, 1000);
+  EXPECT_LE(snapshot.p50(), snapshot.p95());
+}
+
+TEST(MetricsTest, DiffSnapshotsIsolatesTheWindow) {
+  MetricsRegistry registry;
+  registry.GetCounter("svc/requests")->Add(10);
+  registry.GetCounter("svc/steady")->Add(3);
+  registry.GetGauge("svc/depth")->Set(2);
+  registry.GetGauge("svc/stable")->Set(9);
+  Histogram* h = registry.GetHistogram("svc/lat");
+  h->Record(1);
+  h->Record(1000);
+
+  MetricsSnapshot prev = registry.Snapshot();
+  registry.GetCounter("svc/requests")->Add(7);
+  registry.GetGauge("svc/depth")->Set(5);
+  h->Record(40);
+  h->Record(48);
+  MetricsSnapshot curr = registry.Snapshot();
+
+  MetricsSnapshot diff = DiffSnapshots(prev, curr);
+  // Counters: delta only, unchanged ones dropped.
+  EXPECT_EQ(diff.counters.at("svc/requests"), 7);
+  EXPECT_EQ(diff.counters.count("svc/steady"), 0u);
+  // Gauges: current value, unchanged ones dropped.
+  EXPECT_EQ(diff.gauges.at("svc/depth"), 5);
+  EXPECT_EQ(diff.gauges.count("svc/stable"), 0u);
+  // Histograms: the window's samples only.
+  const HistogramSnapshot& window = diff.histograms.at("svc/lat");
+  EXPECT_EQ(window.count, 2);
+  EXPECT_EQ(window.sum, 88);
+  // Window extremes are bucket estimates clamped to the real extremes:
+  // both samples live in [32, 63].
+  EXPECT_GE(window.min, 1);
+  EXPECT_LE(window.min, 48);
+  EXPECT_GE(window.max, 40);
+  EXPECT_LE(window.max, 63);
+
+  // An idle window diffs to empty, so a periodic exporter can skip it.
+  EXPECT_TRUE(DiffSnapshots(curr, registry.Snapshot()).empty());
+}
+
+// ----------------------------------------------------------- trace ids
+
+TEST(TraceContextTest, TraceIdsAreUniqueNonZeroAndHexRoundTrip) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t id = NextTraceId();
+    ASSERT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate trace id";
+    std::string hex = TraceIdHex(id);
+    ASSERT_EQ(hex.size(), 16u);
+    for (char c : hex) {
+      EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+    }
+    EXPECT_EQ(TraceIdFromHex(hex), id);
+  }
+  EXPECT_EQ(TraceIdFromHex(""), 0u);
+  EXPECT_EQ(TraceIdFromHex("xyz"), 0u);
+  EXPECT_EQ(TraceIdFromHex("0123456789abcde"), 0u);  // 15 digits
+}
+
+// ------------------------------------------------------------ event log
+
+TEST(EventLogTest, RingBufferKeepsTheNewestWindow) {
+  EventLog log(4);
+  for (int i = 0; i < 10; ++i) {
+    LogEvent event;
+    event.kind = (i % 2 == 0) ? "slow_query" : "error";
+    event.request_id = static_cast<uint64_t>(i);
+    log.Append(std::move(event));
+  }
+  EXPECT_EQ(log.total_appended(), 10);
+  std::vector<LogEvent> events = log.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first across the wrap point: 6, 7, 8, 9.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<size_t>(i)].request_id,
+              static_cast<uint64_t>(6 + i));
+  }
+  std::vector<LogEvent> slow = log.EventsOfKind("slow_query");
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].request_id, 6u);
+  EXPECT_EQ(slow[1].request_id, 8u);
+}
+
+TEST(EventLogTest, RenderAndJsonCarryTheTraceId) {
+  LogEvent event;
+  event.kind = "slow_query";
+  event.trace_id = 0xabcdef0123456789ull;
+  event.message = "sat=yes answers=21";
+  event.fields.emplace_back("total_ns", 1234);
+  std::string line = RenderLogEvent(event);
+  EXPECT_NE(line.find("slow_query"), std::string::npos);
+  EXPECT_NE(line.find(TraceIdHex(event.trace_id)), std::string::npos);
+  EXPECT_NE(line.find("total_ns=1234"), std::string::npos);
+  EXPECT_NE(line.find("sat=yes"), std::string::npos);
+
+  Result<JsonValue> parsed = ParseJson(LogEventToJson(event));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().Find("trace_id")->string,
+            TraceIdHex(event.trace_id));
+  EXPECT_EQ(parsed.value().Find("total_ns")->number, 1234);
 }
 
 TEST(MetricsConcurrencyTest, ContendedCounterLosesNoIncrements) {
@@ -290,6 +433,67 @@ TEST(ExportTest, ChromeTraceRoundTripsThroughParser) {
                 1e-3);  // printed at 3 decimals
 }
 
+TEST(ExportTest, RequestTraceExportStampsTraceIdAndLanes) {
+  std::vector<RequestTrace> traces(2);
+  for (int i = 0; i < 2; ++i) {
+    Tracer tracer(true);
+    {
+      Span root = tracer.StartSpan("request");
+      Span child = tracer.StartSpan("request.execute");
+    }
+    traces[static_cast<size_t>(i)].trace_id = NextTraceId();
+    traces[static_cast<size_t>(i)].spans = tracer.TakeSpans();
+  }
+
+  std::string json = ExportChromeTrace(traces);
+  Result<JsonValue> parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue* events = parsed.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 4u);
+
+  // Each request renders as its own lane (tid), and every event's args
+  // carry the request's trace id in the slow-query-log hex rendering.
+  std::set<double> tids;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* tid = event.Find("tid");
+    ASSERT_NE(tid, nullptr);
+    tids.insert(tid->number);
+    const JsonValue* trace_id = event.Find("args")->Find("trace_id");
+    ASSERT_NE(trace_id, nullptr);
+    ASSERT_TRUE(trace_id->is_string());
+    const std::string expected =
+        TraceIdHex(tid->number == 1 ? traces[0].trace_id
+                                    : traces[1].trace_id);
+    EXPECT_EQ(trace_id->string, expected);
+  }
+  EXPECT_EQ(tids.size(), 2u);
+}
+
+TEST(ExportTest, HistogramTableAndSnapshotDiffRender) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("service/execute_ns");
+  for (int i = 1; i <= 100; ++i) h->Record(i * 1000);
+  std::string table = RenderHistogramTable(registry.Snapshot());
+  EXPECT_NE(table.find("service/execute_ns"), std::string::npos);
+  EXPECT_NE(table.find("p95"), std::string::npos);
+  EXPECT_NE(table.find("p99"), std::string::npos);
+  EXPECT_NE(table.find("max"), std::string::npos);
+  // No histograms, no table.
+  EXPECT_TRUE(RenderHistogramTable(MetricsSnapshot{}).empty());
+
+  MetricsSnapshot prev = registry.Snapshot();
+  registry.GetCounter("service/requests_completed")->Add(5);
+  registry.GetGauge("service/queue_depth")->Set(3);
+  h->Record(7);
+  std::string diff =
+      RenderSnapshotDiff(DiffSnapshots(prev, registry.Snapshot()));
+  EXPECT_NE(diff.find("service/requests_completed +5"), std::string::npos);
+  EXPECT_NE(diff.find("service/queue_depth = 3"), std::string::npos);
+  EXPECT_NE(diff.find("count=1"), std::string::npos);
+  EXPECT_TRUE(RenderSnapshotDiff(MetricsSnapshot{}).empty());
+}
+
 TEST(ExportTest, MetricsJsonRoundTripsThroughParser) {
   MetricsRegistry registry;
   registry.GetCounter("eval/firings")->Add(12);
@@ -309,6 +513,11 @@ TEST(ExportTest, MetricsJsonRoundTripsThroughParser) {
   ASSERT_NE(hist, nullptr);
   EXPECT_EQ(hist->Find("count")->number, 2);
   EXPECT_EQ(hist->Find("sum")->number, 300);
+  // The full tail quartet is exported for dashboards.
+  ASSERT_NE(hist->Find("p50"), nullptr);
+  ASSERT_NE(hist->Find("p95"), nullptr);
+  ASSERT_NE(hist->Find("p99"), nullptr);
+  EXPECT_LE(hist->Find("p50")->number, hist->Find("p99")->number);
 }
 
 TEST(JsonTest, RejectsMalformedInput) {

@@ -6,10 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -169,6 +172,9 @@ TEST(ServiceTest, ZeroDeadlineIsDeadlineExceeded) {
   EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_TRUE(response.answers.empty());
   EXPECT_EQ(ServiceCounter(service, "service/requests_deadline_exceeded"), 1);
+  // The deadline fired before a worker started evaluating, so the expired-
+  // in-queue split counter records it (distinct from mid-eval expiry).
+  EXPECT_EQ(ServiceCounter(service, "service/requests_expired_in_queue"), 1);
 }
 
 TEST(ServiceTest, DeadlineInterruptsLongEvaluation) {
@@ -232,7 +238,16 @@ TEST(ServiceTest, AdmissionControlRejectsWhenQueueIsFull) {
   EXPECT_GE(rejected, kRequests - 2);
   EXPECT_EQ(rejected + other, kRequests);
   EXPECT_EQ(ServiceCounter(service, "service/requests_rejected"), rejected);
+  // Rejections are split by cause; a full queue is not a shutdown.
+  EXPECT_EQ(ServiceCounter(service, "service/requests_rejected_queue_full"),
+            rejected);
+  EXPECT_EQ(ServiceCounter(service, "service/requests_rejected_shutdown"), 0);
   EXPECT_EQ(ServiceCounter(service, "service/requests_accepted"), other);
+  // Every request contributes a queue-wait sample — rejected ones as a 0,
+  // so load shedding visibly pulls the percentiles down rather than
+  // silently vanishing from the distribution.
+  EXPECT_EQ(service.metrics().GetHistogram("service/queue_wait_ns")->count(),
+            kRequests);
 }
 
 TEST(ServiceTest, ShutdownDrainsAcceptedRequests) {
@@ -262,6 +277,9 @@ TEST(ServiceTest, SubmitAfterShutdownFailsPrecondition) {
   Response response = service.Call(std::move(request));
   EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(ServiceCounter(service, "service/requests_rejected"), 1);
+  EXPECT_EQ(ServiceCounter(service, "service/requests_rejected_shutdown"), 1);
+  EXPECT_EQ(ServiceCounter(service, "service/requests_rejected_queue_full"),
+            0);
 }
 
 TEST(ServiceTest, ParseErrorsSurfacePerRequest) {
@@ -344,6 +362,151 @@ TEST(ServiceTest, ExternalMetricsRegistryReceivesServiceCounters) {
   EXPECT_EQ(metrics.GetCounter("service/requests_accepted")->value(), 1);
   EXPECT_EQ(metrics.GetCounter("service/requests_completed")->value(), 1);
   EXPECT_EQ(metrics.Snapshot().histograms.at("service/execute_ns").count, 1);
+}
+
+// ----------------------------------------------------- request telemetry
+
+// Every span a traced request produces must belong to that request's trace:
+// one root "request" span, with admission / queue / prepare / execute
+// phases nested under it, even though admission runs on the submitting
+// thread and the rest on a pool worker. Run under TSan in CI, this is also
+// the proof that the tracer handoff across the pool boundary is race-free.
+TEST(ServiceTest, TracedRequestSpansShareOneTracePerRequest) {
+  ServiceOptions options;
+  options.threads = 4;
+  QueryService service(options);
+
+  constexpr int kRequests = 8;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    Request request;
+    request.source = kFigure1;
+    request.trace = true;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+
+  std::set<uint64_t> trace_ids;
+  for (std::future<Response>& future : futures) {
+    Response response = future.get();
+    ASSERT_TRUE(response.status.ok()) << response.status.message();
+    ASSERT_NE(response.trace_id, 0u);
+    trace_ids.insert(response.trace_id);
+
+    ASSERT_FALSE(response.spans.empty());
+    int roots = 0;
+    std::set<std::string> names;
+    for (const SpanRecord& span : response.spans) {
+      names.insert(span.name);
+      if (span.parent_id == -1) {
+        ++roots;
+        EXPECT_EQ(span.name, "request");
+      }
+    }
+    // A single connected tree: one root, every phase stitched under it.
+    EXPECT_EQ(roots, 1);
+    EXPECT_TRUE(names.count("request.admission"));
+    EXPECT_TRUE(names.count("request.queue"));
+    EXPECT_TRUE(names.count("request.prepare"));
+    EXPECT_TRUE(names.count("request.execute"));
+  }
+  // Requests never share a trace id.
+  EXPECT_EQ(trace_ids.size(), static_cast<size_t>(kRequests));
+
+  // Untraced requests stay span-free (the tracer is disabled, not merely
+  // discarded).
+  Request untraced;
+  untraced.source = kFigure1;
+  Response response = service.Call(std::move(untraced));
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_NE(response.trace_id, 0u);
+  EXPECT_TRUE(response.spans.empty());
+}
+
+TEST(ServiceTest, SlowQueryLogEntryMatchesRequestTrace) {
+  ServiceOptions options;
+  options.slow_query_ms = 0;  // every request is "slow"
+  QueryService service(options);
+
+  Request request;
+  request.source = kFigure1;
+  request.trace = true;
+  Response response = service.Call(std::move(request));
+  ASSERT_TRUE(response.status.ok()) << response.status.message();
+
+  std::vector<LogEvent> slow = service.event_log().EventsOfKind("slow_query");
+  ASSERT_EQ(slow.size(), 1u);
+  const LogEvent& event = slow[0];
+  // The log entry and the exported trace are joinable on the trace id.
+  EXPECT_EQ(event.trace_id, response.trace_id);
+  EXPECT_EQ(ServiceCounter(service, "service/slow_queries"), 1);
+  // The message is the explain summary for the request.
+  EXPECT_NE(event.message.find("sat="), std::string::npos);
+  EXPECT_NE(event.message.find("answers="), std::string::npos);
+  bool has_total = false;
+  for (const auto& [key, value] : event.fields) {
+    if (key == "total_ns") {
+      has_total = true;
+      EXPECT_GT(value, 0);
+    }
+  }
+  EXPECT_TRUE(has_total);
+
+  // Fast path untouched: with the threshold disabled nothing is logged.
+  QueryService quiet;
+  Request fast;
+  fast.source = kFigure1;
+  ASSERT_TRUE(quiet.Call(std::move(fast)).status.ok());
+  EXPECT_TRUE(quiet.event_log().EventsOfKind("slow_query").empty());
+  EXPECT_EQ(ServiceCounter(quiet, "service/slow_queries"), 0);
+}
+
+TEST(ServiceTest, ResponseCarriesPrepareTelemetry) {
+  QueryService service;
+  Request first;
+  first.source = kFigure1;
+  Response cold = service.Call(std::move(first));
+  ASSERT_TRUE(cold.status.ok()) << cold.status.message();
+  EXPECT_FALSE(cold.prepare_cache_hit);
+  EXPECT_GT(cold.prepare_ns, 0);
+  EXPECT_GT(cold.passes_ran, 0);
+
+  Request second;
+  second.source = kFigure1;
+  Response warm = service.Call(std::move(second));
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_TRUE(warm.prepare_cache_hit);
+  EXPECT_NE(warm.trace_id, cold.trace_id);
+  EXPECT_EQ(service.metrics().GetHistogram("service/prepare_ns")->count(), 2);
+}
+
+TEST(ServiceTest, SnapshotLoopEmitsMetricsDeltaEvents) {
+  ServiceOptions options;
+  options.metrics_snapshot_ms = 10;
+  QueryService service(options);
+  Request request;
+  request.source = kFigure1;
+  ASSERT_TRUE(service.Call(std::move(request)).status.ok());
+  // The background loop publishes a delta within a period or two; poll with
+  // a generous bound so a loaded CI machine doesn't flake.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  bool saw_completion = false;
+  while (std::chrono::steady_clock::now() < deadline && !saw_completion) {
+    // A period can elapse mid-request, so the first delta may only cover
+    // the accept; scan until one covers the completion.
+    for (const LogEvent& event :
+         service.event_log().EventsOfKind("metrics_snapshot")) {
+      if (event.message.find("service/requests_completed") !=
+          std::string::npos) {
+        saw_completion = true;
+      }
+    }
+    if (!saw_completion) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(saw_completion);
+  service.Shutdown();  // joins the snapshot thread cleanly
 }
 
 }  // namespace
