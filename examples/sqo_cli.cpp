@@ -7,7 +7,8 @@
 // and the observability layer.
 //
 //   usage: sqo_cli [--p1] [--tree] [--dot] [--adornments] [--eval]
-//                  [--profile] [--passes] [--explain] [--analyze[=FILE]]
+//                  [--eval-mode=interpret|compile] [--profile] [--passes]
+//                  [--explain] [--analyze[=FILE]]
 //                  [--disable-pass=NAME ...] [--reprepare] [--trace=FILE]
 //                  [--stats-json=FILE] <file|->
 //          sqo_cli --serve-batch [--threads=N] [--requests=R]
@@ -23,6 +24,12 @@
 //     --adornments  print the adorned predicates and their triplets
 //     --eval        if the unit contains facts, evaluate both programs and
 //                   report answers + work counters
+//     --eval-mode=MODE  plan execution strategy: `compile` (default) lowers
+//                   each rule plan to register bytecode with specialized
+//                   join kernels at Prepare time; `interpret` walks the
+//                   PlanStep tree directly (the pre-bytecode evaluator,
+//                   kept as a runtime fallback). Applies to --eval,
+//                   --analyze, and --serve-batch evaluations
 //     --profile     per-rule profile tables (with --eval, for both the
 //                   original and rewritten program) and a span-tree summary
 //     --passes      print the per-pass report (ran/disabled/skipped, wall
@@ -121,6 +128,7 @@ int main(int argc, char** argv) {
        show_adornments = false, do_eval = false, do_profile = false,
        show_passes = false, reprepare = false, serve_batch = false,
        do_explain = false, do_analyze = false;
+  EvalMode eval_mode = EvalMode::kCompile;
   int threads = 4, requests = 8;
   long long deadline_ms = -1, max_queue = 256, slow_ms = -1,
             metrics_snapshot_ms = -1;
@@ -138,6 +146,18 @@ int main(int argc, char** argv) {
       show_adornments = true;
     } else if (std::strcmp(argv[i], "--eval") == 0) {
       do_eval = true;
+    } else if (std::strncmp(argv[i], "--eval-mode=", 12) == 0) {
+      const char* mode = argv[i] + 12;
+      if (std::strcmp(mode, "interpret") == 0) {
+        eval_mode = EvalMode::kInterpret;
+      } else if (std::strcmp(mode, "compile") == 0) {
+        eval_mode = EvalMode::kCompile;
+      } else {
+        std::fprintf(stderr,
+                     "unknown --eval-mode=%s (expected interpret|compile)\n",
+                     mode);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       do_profile = true;
     } else if (std::strcmp(argv[i], "--passes") == 0) {
@@ -191,6 +211,7 @@ int main(int argc, char** argv) {
   if (path == nullptr) {
     std::fprintf(stderr,
                  "usage: %s [--p1] [--tree] [--dot] [--adornments] [--eval] "
+                 "[--eval-mode=interpret|compile] "
                  "[--profile] [--passes] [--disable-pass=NAME ...] "
                  "[--reprepare] [--trace=FILE] [--stats-json=FILE] <file|->\n"
                  "       %s --list-passes\n"
@@ -219,6 +240,7 @@ int main(int argc, char** argv) {
       Request request;
       request.source = source;
       request.sqo.disabled_passes = disabled_passes;
+      request.eval.mode = eval_mode;
       request.deadline_ms = deadline_ms;
       // With --trace, every request collects its own span tree; the trees
       // merge below into one Chrome trace, one lane per request.
@@ -384,7 +406,8 @@ int main(int argc, char** argv) {
 
   // EXPLAIN starts from the plan side of the optimizer report; ANALYZE
   // joins in the rewritten program's runtime below, when --eval runs it.
-  ExplainReport explain = BuildExplainReport(report);
+  ExplainReport explain =
+      BuildExplainReport(report, prepared.value()->compiled.get());
   if (do_analyze) do_eval = true;  // ANALYZE means "and actually run it"
 
   int exit_code = 0;
@@ -398,6 +421,7 @@ int main(int argc, char** argv) {
     EvalStats original_stats, rewritten_stats;
     std::vector<RuleProfile> original_profiles, rewritten_profiles;
     EvalOptions eval_options;
+    eval_options.mode = eval_mode;
     eval_options.profile_rules = do_profile || do_analyze;
 
     eval_options.metrics_prefix = "eval/original";

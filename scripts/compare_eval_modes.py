@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compare interpret-mode vs compile-mode benchmark reports.
+
+Takes two Google-Benchmark JSON reports produced from the same binary and
+filter — one run with SQOD_EVAL_MODE=interpret, one with
+SQOD_EVAL_MODE=compile (see bench/bench_common.h) — matches entries by
+benchmark name, and fails if the compiled engine is slower than the
+interpreter by more than the allowed regression on any benchmark.
+
+The point is not that compiled must win everywhere (tiny fixpoints are
+dominated by setup), but that it must never meaningfully lose: the compiled
+bytecode path is the default, and the interpreter is the fallback.
+
+  usage: compare_eval_modes.py interpret.json compile.json
+             [--max-regress 0.10] [--out comparison.json]
+
+Exit codes: 0 = within bounds, 1 = regression, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+# Google Benchmark time units, normalized to nanoseconds.
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """Returns {name: real_time_ns} for the report's aggregate-free runs.
+
+    With --benchmark_repetitions the same name appears once per repetition;
+    we keep the minimum — machine noise is one-sided additive, so min-of-N
+    is the stable estimator for a regression gate.
+    """
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.stderr.write("error: cannot read %s: %s\n" % (path, e))
+        sys.exit(2)
+    times = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        real_time = bench.get("real_time")
+        if name is None or real_time is None:
+            continue
+        ns = real_time * _UNIT_NS.get(bench.get("time_unit", "ns"), 1.0)
+        if name not in times or ns < times[name]:
+            times[name] = ns
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("interpret_json")
+    parser.add_argument("compile_json")
+    parser.add_argument("--max-regress", type=float, default=0.10,
+                        help="allowed compile-vs-interpret slowdown "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--out", help="write the comparison table as JSON")
+    args = parser.parse_args()
+
+    interpret = load_benchmarks(args.interpret_json)
+    compiled = load_benchmarks(args.compile_json)
+    common = sorted(set(interpret) & set(compiled))
+    if not common:
+        sys.stderr.write("error: no common benchmarks between reports\n")
+        sys.exit(2)
+
+    rows = []
+    regressions = []
+    for name in common:
+        interp_ns = interpret[name]
+        compile_ns = compiled[name]
+        # speedup > 1 means compiled is faster.
+        speedup = interp_ns / compile_ns if compile_ns > 0 else float("inf")
+        regressed = compile_ns > interp_ns * (1.0 + args.max_regress)
+        rows.append({
+            "name": name,
+            "interpret_ns": interp_ns,
+            "compile_ns": compile_ns,
+            "speedup": round(speedup, 3),
+            "regressed": regressed,
+        })
+        if regressed:
+            regressions.append(name)
+
+    width = max(len(r["name"]) for r in rows)
+    print("%-*s  %14s  %14s  %8s" % (width, "benchmark", "interpret",
+                                     "compile", "speedup"))
+    for r in rows:
+        print("%-*s  %12.0fns  %12.0fns  %7.2fx%s"
+              % (width, r["name"], r["interpret_ns"], r["compile_ns"],
+                 r["speedup"], "  REGRESSED" if r["regressed"] else ""))
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump({"max_regress": args.max_regress,
+                       "benchmarks": rows,
+                       "regressions": regressions}, f, indent=2)
+            f.write("\n")
+
+    if regressions:
+        sys.stderr.write(
+            "error: compiled mode regressed >%.0f%% on %d benchmark(s): %s\n"
+            % (args.max_regress * 100, len(regressions),
+               ", ".join(regressions)))
+        sys.exit(1)
+    print("ok: compiled within %.0f%% of interpret on all %d benchmarks"
+          % (args.max_regress * 100, len(rows)))
+
+
+if __name__ == "__main__":
+    main()

@@ -28,8 +28,23 @@ void PadTo(size_t width, std::string* line) {
 
 }  // namespace
 
-ExplainReport BuildExplainReport(const SqoReport& report) {
+ExplainReport BuildExplainReport(const SqoReport& report,
+                                 const CompiledProgram* compiled) {
   ExplainReport out;
+  if (compiled != nullptr) {
+    out.compiled = true;
+    out.compile_ns = compiled->compile_ns;
+    out.total_ops = compiled->total_ops;
+    out.kernels.reserve(compiled->plans.size());
+    for (const CompiledProgram::PlanInfo& plan : compiled->plans) {
+      ExplainKernelRow row;
+      row.rule_index = plan.rule_index;
+      row.delta_subgoal = plan.delta_subgoal;
+      row.kernel = KernelName(plan.kernel);
+      row.op_count = plan.op_count;
+      out.kernels.push_back(std::move(row));
+    }
+  }
   for (const PassRunInfo& info : report.pass_runs) {
     ExplainPassRow row;
     row.name = info.name;
@@ -69,6 +84,10 @@ void AttachRuntime(const SqoReport& sqo, const EvalStats& stats,
   report->stats = stats;
   report->answers = answers;
   report->execute_ns = execute_ns;
+  report->ops_executed = 0;
+  for (const RuleProfile& profile : profiles) {
+    report->ops_executed += profile.ops;
+  }
   report->rules.clear();
   const std::vector<Rule>& rules = sqo.rewritten.rules();
   report->rules.reserve(rules.size());
@@ -153,6 +172,25 @@ std::string ExplainReport::ToText() const {
          std::to_string(memo_hits) + " memo hits, " +
          std::to_string(store_size) + " triplets\n";
 
+  if (compiled) {
+    out += "\n== kernels ==\n";
+    out += "compile time:      " + FormatDurationNs(compile_ns) + "\n";
+    out += "plans:             " + std::to_string(kernels.size()) + " (" +
+           std::to_string(total_ops) + " ops)\n";
+    out += "rule      delta   ops     kernel\n";
+    for (const ExplainKernelRow& row : kernels) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "#%-8d %-7s %-7d ", row.rule_index,
+                    row.delta_subgoal < 0
+                        ? "-"
+                        : std::to_string(row.delta_subgoal).c_str(),
+                    row.op_count);
+      out += buf;
+      out += row.kernel;
+      out += '\n';
+    }
+  }
+
   if (analyzed) {
     out += "\n== runtime ==\n";
     out += "execute time:      " + FormatDurationNs(execute_ns) + "\n";
@@ -165,6 +203,9 @@ std::string ExplainReport::ToText() const {
     out += "join probes:       " + std::to_string(stats.join_probes) + "\n";
     out += "comparison checks: " + std::to_string(stats.comparison_checks) +
            "\n";
+    if (ops_executed > 0) {
+      out += "bytecode ops:      " + std::to_string(ops_executed) + "\n";
+    }
     // Per-rule rows, busiest first; rules that never fired sink below.
     std::vector<const ExplainRuleRow*> ordered;
     ordered.reserve(rules.size());
@@ -233,6 +274,23 @@ std::string ExplainReport::ToJson() const {
   out += ",\"memo_hits\":" + std::to_string(memo_hits);
   out += ",\"store_size\":" + std::to_string(store_size);
   out += '}';
+  if (compiled) {
+    out += ",\"kernels\":{";
+    out += "\"compile_ns\":" + std::to_string(compile_ns);
+    out += ",\"total_ops\":" + std::to_string(total_ops);
+    out += ",\"plans\":[";
+    first = true;
+    for (const ExplainKernelRow& row : kernels) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"rule_index\":" + std::to_string(row.rule_index);
+      out += ",\"delta_subgoal\":" + std::to_string(row.delta_subgoal);
+      out += ",\"kernel\":\"" + JsonEscape(row.kernel) + "\"";
+      out += ",\"op_count\":" + std::to_string(row.op_count);
+      out += '}';
+    }
+    out += "]}";
+  }
   if (analyzed) {
     out += ",\"runtime\":{";
     out += "\"execute_ns\":" + std::to_string(execute_ns);
@@ -244,6 +302,7 @@ std::string ExplainReport::ToJson() const {
            std::to_string(stats.duplicate_derivations);
     out += ",\"join_probes\":" + std::to_string(stats.join_probes);
     out += ",\"comparison_checks\":" + std::to_string(stats.comparison_checks);
+    out += ",\"ops_executed\":" + std::to_string(ops_executed);
     out += ",\"rules\":[";
     first = true;
     for (const ExplainRuleRow& row : rules) {
@@ -257,6 +316,7 @@ std::string ExplainReport::ToJson() const {
       out += ",\"duplicates\":" + std::to_string(row.profile.duplicates);
       out += ",\"probes\":" + std::to_string(row.profile.probes);
       out += ",\"cmp_checks\":" + std::to_string(row.profile.cmp_checks);
+      out += ",\"ops\":" + std::to_string(row.profile.ops);
       out += ",\"time_ns\":" + std::to_string(row.profile.time_ns);
       out += '}';
     }

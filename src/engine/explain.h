@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/eval/bytecode.h"
 #include "src/eval/evaluator.h"
 #include "src/sqo/optimizer.h"
 
@@ -46,6 +47,16 @@ struct ExplainRuleRow {
   bool executed = false;
 };
 
+// One compiled (rule, delta-subgoal) plan: which kernel the compiler
+// selected and how many bytecode ops the lowering produced. Present when
+// BuildExplainReport was given the prepared program's CompiledProgram.
+struct ExplainKernelRow {
+  int rule_index = -1;
+  int delta_subgoal = -1;  // -1 = full plan, >= 0 = semi-naive delta plan
+  std::string kernel;      // KernelName() of the selection
+  int op_count = 0;        // static bytecode length of this plan
+};
+
 struct ExplainReport {
   // --- plan side (always present) ---
   std::vector<ExplainPassRow> passes;
@@ -63,12 +74,19 @@ struct ExplainReport {
   int64_t store_size = 0;
   int64_t optimize_ns = 0;  // sum of pass wall times
 
+  // --- compiled-plan side (when a CompiledProgram was provided) ---
+  bool compiled = false;
+  int64_t compile_ns = 0;  // plan-lowering wall time
+  int64_t total_ops = 0;   // static op count over all plans
+  std::vector<ExplainKernelRow> kernels;  // one per compiled plan
+
   // --- runtime side (after AttachRuntime) ---
   bool analyzed = false;
   EvalStats stats;
   std::vector<ExplainRuleRow> rules;  // one per rewritten rule
   int64_t answers = 0;
   int64_t execute_ns = 0;
+  int64_t ops_executed = 0;  // executed bytecode ops, summed over rules
 
   // Multi-section human-readable rendering (pass table, plan summary, and
   // — when analyzed — the per-rule runtime table).
@@ -83,8 +101,11 @@ struct ExplainReport {
   std::string Summary() const;
 };
 
-// Builds the plan side from an optimizer report.
-ExplainReport BuildExplainReport(const SqoReport& report);
+// Builds the plan side from an optimizer report. With `compiled` (the
+// artifact cached in PreparedProgram), the report also carries per-plan
+// kernel selections and bytecode op counts.
+ExplainReport BuildExplainReport(const SqoReport& report,
+                                 const CompiledProgram* compiled = nullptr);
 
 // Joins execution results into `report`: per-rule profiles are matched to
 // the rewritten program's rules by rule index. `answers` is the query

@@ -113,6 +113,23 @@ Result<const PreparedProgram*> Session::Prepare(const SqoOptions& options,
   PassManager manager(run_options);
   Result<SqoReport> report = manager.Run(unit_.program, unit_.constraints);
 
+  // Lower the rewritten program to bytecode while no lock is held; the
+  // artifact rides in the cache entry so warm executions never re-lower.
+  // Compilation failure (unstratifiable program) is not a Prepare error:
+  // the evaluator reports it with full context at Execute time.
+  std::shared_ptr<const CompiledProgram> compiled;
+  if (report.ok()) {
+    Result<CompiledProgram> lowered =
+        CompileProgram(report.value().rewritten);
+    if (lowered.ok()) {
+      auto owned =
+          std::make_shared<CompiledProgram>(std::move(lowered).value());
+      metrics.GetGauge("sqo/phase/plan_compile_ns")->Set(owned->compile_ns);
+      metrics.GetCounter("eval/compile_ns")->Add(owned->compile_ns);
+      compiled = std::move(owned);
+    }
+  }
+
   std::lock_guard<std::mutex> lock(cache_->mu);
   if (!report.ok()) {
     entry->done = true;
@@ -129,6 +146,7 @@ Result<const PreparedProgram*> Session::Prepare(const SqoOptions& options,
   prepared->options.metrics = nullptr;
   prepared->options.adorn.tracer = nullptr;
   prepared->report = std::move(report).value();
+  prepared->compiled = std::move(compiled);
   const PreparedProgram* result = prepared.get();
   entry->prepared = std::move(prepared);
   entry->done = true;
@@ -161,6 +179,11 @@ Result<std::vector<Tuple>> Session::Run(const Program& program,
 Result<std::vector<Tuple>> Session::Execute(
     const PreparedProgram& prepared, const Database& edb, EvalOptions options,
     EvalStats* stats, std::vector<RuleProfile>* profiles) {
+  // Thread the Prepare-time compiled artifact into the evaluation (unless
+  // the caller pinned its own), so warm executions skip plan lowering.
+  if (options.mode == EvalMode::kCompile && options.compiled == nullptr) {
+    options.compiled = prepared.compiled.get();
+  }
   return Run(prepared.program(), edb, std::move(options), stats, profiles);
 }
 

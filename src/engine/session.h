@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/eval/bytecode.h"
 #include "src/eval/evaluator.h"
 #include "src/parser/parser.h"
 #include "src/sqo/optimizer.h"
@@ -31,6 +32,12 @@ struct PreparedProgram {
   SqoOptions options;
   // The full optimizer report, including the rewritten program.
   SqoReport report;
+  // The rewritten program lowered to register bytecode with per-rule
+  // kernels, built once at Prepare and reused by every Execute (the service
+  // warm path never re-lowers). Null when the program does not stratify —
+  // Execute then lets the evaluator surface the error. Shared and
+  // immutable, so concurrent Executes read it without synchronization.
+  std::shared_ptr<const CompiledProgram> compiled;
 
   // The drop-in replacement program P' to execute.
   const Program& program() const { return report.rewritten; }

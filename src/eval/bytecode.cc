@@ -1,0 +1,579 @@
+#include "src/eval/bytecode.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/base/check.h"
+#include "src/eval/evaluator.h"
+#include "src/eval/kernel.h"
+#include "src/eval/relation.h"
+#include "src/obs/trace.h"
+
+namespace sqod {
+
+const char* OpCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::kScanFull: return "SCAN_FULL";
+    case OpCode::kScanDelta: return "SCAN_DELTA";
+    case OpCode::kProbeIndex: return "PROBE_INDEX";
+    case OpCode::kLoadCol: return "LOAD_COL";
+    case OpCode::kCheckCol: return "CHECK_COL";
+    case OpCode::kCheckConst: return "CHECK_CONST";
+    case OpCode::kJump: return "JUMP";
+    case OpCode::kFilterCmp: return "FILTER_CMP";
+    case OpCode::kCheckNeg: return "CHECK_NEG";
+    case OpCode::kEmitHead: return "EMIT_HEAD";
+  }
+  return "?";
+}
+
+const char* KernelName(KernelId k) {
+  switch (k) {
+    case KernelId::kGeneric: return "generic";
+    case KernelId::kScanFilterEmit: return "scan_filter_emit";
+    case KernelId::kScanProbeEmit: return "scan_probe_emit";
+  }
+  return "?";
+}
+
+std::string CompiledRule::ToString() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "rule %d delta=%d regs=%d kernel=%s ops=%d\n", rule_index,
+                delta_subgoal, num_regs, KernelName(kernel), op_count());
+  out += line;
+  for (size_t ip = 0; ip < code.size(); ++ip) {
+    const Instr& in = code[ip];
+    switch (in.op) {
+      case OpCode::kScanFull:
+      case OpCode::kScanDelta:
+      case OpCode::kProbeIndex: {
+        const LevelInfo& lvl = levels[in.b];
+        std::snprintf(line, sizeof(line),
+                      "%3zu  %-11s level=%d pred=%s mask=%llx keys=%d\n", ip,
+                      OpCodeName(in.op), in.b, PredName(lvl.pred).c_str(),
+                      static_cast<unsigned long long>(lvl.mask), lvl.key_len);
+        break;
+      }
+      case OpCode::kLoadCol:
+        std::snprintf(line, sizeof(line), "%3zu  %-11s col=%d -> r%d\n", ip,
+                      OpCodeName(in.op), in.a, in.b);
+        break;
+      case OpCode::kCheckCol:
+        std::snprintf(line, sizeof(line), "%3zu  %-11s col=%d == r%d\n", ip,
+                      OpCodeName(in.op), in.a, in.b);
+        break;
+      case OpCode::kCheckConst:
+        std::snprintf(line, sizeof(line), "%3zu  %-11s col=%d == c%d\n", ip,
+                      OpCodeName(in.op), in.a, in.b);
+        break;
+      case OpCode::kJump:
+        std::snprintf(line, sizeof(line), "%3zu  %-11s -> %d\n", ip,
+                      OpCodeName(in.op), in.b);
+        break;
+      case OpCode::kFilterCmp:
+        std::snprintf(line, sizeof(line), "%3zu  %-11s %s %s %s\n", ip,
+                      OpCodeName(in.op),
+                      in.b >= 0 ? ("r" + std::to_string(in.b)).c_str()
+                                : ("c" + std::to_string(ConstIdx(in.b))).c_str(),
+                      CmpOpName(static_cast<CmpOp>(in.a)),
+                      in.c >= 0 ? ("r" + std::to_string(in.c)).c_str()
+                                : ("c" + std::to_string(ConstIdx(in.c))).c_str());
+        break;
+      case OpCode::kCheckNeg: {
+        const NegInfo& neg = negs[in.b];
+        std::snprintf(line, sizeof(line), "%3zu  %-11s pred=%s args=%d\n", ip,
+                      OpCodeName(in.op), PredName(neg.pred).c_str(),
+                      neg.args_len);
+        break;
+      }
+      case OpCode::kEmitHead:
+        std::snprintf(line, sizeof(line), "%3zu  %-11s pred=%s arity=%d\n", ip,
+                      OpCodeName(in.op), PredName(head_pred).c_str(),
+                      head_arity);
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+
+// Interns a constant into the rule's pool, deduplicating by equality (pools
+// are tiny — a handful of constants per rule at most).
+int32_t InternConst(CompiledRule* out, const Value& v) {
+  for (size_t i = 0; i < out->consts.size(); ++i) {
+    if (out->consts[i] == v) return static_cast<int32_t>(i);
+  }
+  out->consts.push_back(v);
+  return static_cast<int32_t>(out->consts.size() - 1);
+}
+
+ArgSrc LowerArg(CompiledRule* out, const ArgRef& a) {
+  return a.var < 0 ? ConstSrc(InternConst(out, a.const_val)) : RegSrc(a.var);
+}
+
+}  // namespace
+
+CompiledRule CompileRulePlan(const RulePlan& plan,
+                             const std::set<PredId>& idb_preds) {
+  CompiledRule out;
+  out.rule_index = plan.rule_index;
+  out.delta_subgoal = plan.delta_subgoal;
+  out.num_regs = plan.num_vars;
+  out.head_pred = plan.head_pred;
+  out.head_arity = static_cast<int>(plan.head.size());
+
+  // Sized up front: two action ranges (≤ 2 instrs per atom column each)
+  // plus opener/jump per level, one instr per filter/negation, one emit.
+  size_t code_guess = 1, args_guess = plan.head.size();
+  for (const PlanStep& step : plan.steps) {
+    code_guess += 2 * step.args.size() + 2;
+    args_guess += step.args.size();
+  }
+  out.code.reserve(code_guess);
+  out.args_pool.reserve(args_guess);
+
+  // Registers hold the rule's variables under the plan's dense renumbering.
+  // A register is bound (holds a live value) from the first join level that
+  // loads it — a static property of the plan order, tracked here at compile
+  // time so the executor never tests boundness. Fixed-size buffers: arity
+  // is capped at Relation::kMaxArity and plans are compiled in bulk at
+  // Prepare, so per-level heap churn would dominate the lowering cost.
+  std::vector<uint8_t> reg_bound(plan.num_vars, 0);
+
+  for (const PlanStep& step : plan.steps) {
+    switch (step.kind) {
+      case PlanStep::Kind::kComparison: {
+        Instr in;
+        in.op = OpCode::kFilterCmp;
+        in.a = static_cast<uint8_t>(step.op);
+        in.b = LowerArg(&out, step.lhs);
+        in.c = LowerArg(&out, step.rhs);
+        out.code.push_back(in);
+        break;
+      }
+      case PlanStep::Kind::kNegation: {
+        NegInfo neg;
+        neg.pred = step.pred;
+        neg.source = idb_preds.count(step.pred) > 0 ? RelSource::kIdbTotal
+                                                    : RelSource::kEdb;
+        neg.arity = static_cast<int>(step.args.size());
+        neg.args_off = static_cast<uint32_t>(out.args_pool.size());
+        neg.args_len = static_cast<uint16_t>(step.args.size());
+        for (const ArgRef& a : step.args) {
+          out.args_pool.push_back(LowerArg(&out, a));
+        }
+        Instr in;
+        in.op = OpCode::kCheckNeg;
+        in.b = static_cast<int32_t>(out.negs.size());
+        out.negs.push_back(neg);
+        out.code.push_back(in);
+        break;
+      }
+      case PlanStep::Kind::kJoin: {
+        LevelInfo lvl;
+        lvl.pred = step.pred;
+        lvl.body_index = step.index;
+        if (idb_preds.count(step.pred) == 0) {
+          lvl.source = RelSource::kEdb;
+        } else if (step.index == plan.delta_subgoal) {
+          lvl.source = RelSource::kIdbDelta;
+        } else {
+          lvl.source = RelSource::kIdbTotal;
+        }
+        lvl.arity = static_cast<int>(step.args.size());
+
+        // The probe mask: constants plus registers bound by EARLIER levels.
+        // This is exactly the mask the interpreter gathers dynamically —
+        // boundness at a plan position does not depend on the data, and a
+        // variable first bound by this atom is unbound for masking purposes
+        // even when it repeats within the atom (the repeat becomes an
+        // unmasked register compare against the freshly loaded column).
+        uint64_t first_load = 0;
+        int32_t atom_loads[Relation::kMaxArity];
+        int num_atom_loads = 0;
+        for (int i = 0; i < lvl.arity; ++i) {
+          const ArgRef& a = step.args[i];
+          if (a.var < 0 || reg_bound[a.var]) {
+            lvl.mask |= uint64_t{1} << i;
+          } else if (std::find(atom_loads, atom_loads + num_atom_loads,
+                               a.var) == atom_loads + num_atom_loads) {
+            first_load |= uint64_t{1} << i;
+            atom_loads[num_atom_loads++] = a.var;
+          }
+        }
+        for (int k = 0; k < num_atom_loads; ++k) reg_bound[atom_loads[k]] = 1;
+
+        // Key sources, in mask-column order (what Relation::Probe expects).
+        lvl.key_off = static_cast<uint32_t>(out.args_pool.size());
+        for (int i = 0; i < lvl.arity; ++i) {
+          if ((lvl.mask >> i) & 1) {
+            out.args_pool.push_back(LowerArg(&out, step.args[i]));
+            ++lvl.key_len;
+          }
+        }
+
+        const int32_t level_idx = static_cast<int32_t>(out.levels.size());
+        Instr open;
+        open.op = lvl.mask != 0 ? OpCode::kProbeIndex
+                  : lvl.source == RelSource::kIdbDelta ? OpCode::kScanDelta
+                                                       : OpCode::kScanFull;
+        open.b = level_idx;
+        lvl.open_ip = static_cast<uint32_t>(out.code.size());
+        out.code.push_back(open);
+
+        // Probe-action range: rows from an index probe already match every
+        // masked column, so only unmasked columns need work — loads for
+        // first occurrences, register compares for in-atom repeats.
+        lvl.probe_ip = static_cast<uint32_t>(out.code.size());
+        for (int i = 0; i < lvl.arity; ++i) {
+          if ((lvl.mask >> i) & 1) continue;
+          Instr in;
+          in.a = static_cast<uint8_t>(i);
+          in.b = step.args[i].var;
+          in.op = (first_load >> i) & 1 ? OpCode::kLoadCol : OpCode::kCheckCol;
+          out.code.push_back(in);
+        }
+        // Skip the scan-action range below.
+        Instr jmp;
+        jmp.op = OpCode::kJump;
+        const size_t jmp_ip = out.code.size();
+        out.code.push_back(jmp);
+
+        // Scan-action range: rows from a full scan (no index, or indexes
+        // disabled at runtime) must check every column.
+        lvl.scan_ip = static_cast<uint32_t>(out.code.size());
+        for (int i = 0; i < lvl.arity; ++i) {
+          Instr in;
+          in.a = static_cast<uint8_t>(i);
+          const ArgRef& a = step.args[i];
+          if (a.var < 0) {
+            in.op = OpCode::kCheckConst;
+            in.b = InternConst(&out, a.const_val);
+          } else if ((first_load >> i) & 1) {
+            in.op = OpCode::kLoadCol;
+            in.b = a.var;
+          } else {
+            in.op = OpCode::kCheckCol;
+            in.b = a.var;
+          }
+          out.code.push_back(in);
+        }
+        lvl.post_ip = static_cast<uint32_t>(out.code.size());
+        out.code[jmp_ip].b = static_cast<int32_t>(lvl.post_ip);
+        out.levels.push_back(lvl);
+        break;
+      }
+    }
+  }
+
+  out.head_off = static_cast<uint32_t>(out.args_pool.size());
+  for (const ArgRef& a : plan.head) out.args_pool.push_back(LowerArg(&out, a));
+  Instr emit;
+  emit.op = OpCode::kEmitHead;
+  out.code.push_back(emit);
+
+  out.kernel = SelectKernel(out);
+  return out;
+}
+
+Result<CompiledProgram> CompileProgram(const Program& program) {
+  const int64_t t0 = NowNs();
+  Result<std::map<PredId, int>> strata = program.Stratify();
+  if (!strata.ok()) return strata.status();
+  int max_stratum = 0;
+  for (const auto& [pred, s] : strata.value()) {
+    max_stratum = std::max(max_stratum, s);
+  }
+
+  CompiledProgram out;
+  out.idb_preds = program.IdbPreds();
+  const std::vector<Rule>& rules = program.rules();
+  out.num_rules = static_cast<int>(rules.size());
+  out.strata.resize(max_stratum + 1);
+
+  PlanScratch scratch;
+  auto lower = [&](const Rule& rule, int rule_index, int first) {
+    RulePlan plan = BuildPlan(rule, rule_index, first, &scratch);
+    CompiledRule cr = CompileRulePlan(plan, out.idb_preds);
+    out.max_regs = std::max(out.max_regs, cr.num_regs);
+    out.max_levels = std::max(out.max_levels, static_cast<int>(cr.levels.size()));
+    out.total_ops += cr.op_count();
+    out.plans.push_back({cr.rule_index, cr.delta_subgoal, cr.kernel,
+                         cr.op_count()});
+    return cr;
+  };
+
+  for (int stratum = 0; stratum <= max_stratum; ++stratum) {
+    CompiledProgram::Stratum& st = out.strata[stratum];
+    for (int r = 0; r < static_cast<int>(rules.size()); ++r) {
+      if (strata.value().at(rules[r].head.pred()) == stratum) {
+        st.rule_indices.push_back(r);
+      }
+    }
+    // Same-stratum positive IDB subgoal body indices, per rule — the rules
+    // they belong to iterate from deltas; the rest seed iteration 0.
+    std::map<int, std::vector<int>> recursive_subgoals;
+    for (int r : st.rule_indices) {
+      for (size_t i = 0; i < rules[r].body.size(); ++i) {
+        const Literal& l = rules[r].body[i];
+        if (!l.negated && out.idb_preds.count(l.atom.pred()) > 0 &&
+            strata.value().at(l.atom.pred()) == stratum) {
+          recursive_subgoals[r].push_back(static_cast<int>(i));
+        }
+      }
+    }
+    for (size_t i = 0; i < st.rule_indices.size(); ++i) {
+      const int r = st.rule_indices[i];
+      st.full.push_back(lower(rules[r], r, -1));
+      if (recursive_subgoals.count(r) == 0) {
+        st.nonrecursive.push_back(static_cast<int>(i));
+      }
+    }
+    for (const auto& [r, occurrences] : recursive_subgoals) {
+      for (int occurrence : occurrences) {
+        st.delta.push_back(lower(rules[r], r, occurrence));
+      }
+    }
+  }
+  out.compile_ns = NowNs() - t0;
+  return out;
+}
+
+namespace {
+
+inline const Database* SourceDb(RelSource source, const VmContext& ctx) {
+  switch (source) {
+    case RelSource::kEdb: return ctx.edb;
+    case RelSource::kIdbTotal: return ctx.idb_total;
+    case RelSource::kIdbDelta: return ctx.idb_delta;
+  }
+  return nullptr;
+}
+
+// One open join level in the generic executor.
+struct Cursor {
+  const Relation* rel = nullptr;
+  const Value* row_data = nullptr;  // current row
+  // Index-probe chain state (is_scan == false):
+  int32_t probe_row = -1;
+  const int32_t* next = nullptr;
+  // Scan state (is_scan == true):
+  int64_t scan_row = 0;
+  int64_t scan_end = 0;
+  bool is_scan = false;
+  uint32_t actions_ip = 0;  // probe_ip or scan_ip, chosen when opened
+  int32_t level = -1;
+};
+
+}  // namespace
+
+bool ResolveRelations(const CompiledRule& rule, VmContext* ctx) {
+  // Pointers into Database's unordered_map are invalidated by rehash on
+  // insert of a *new* predicate, so relations are re-resolved per rule
+  // activation and never cached across iterations.
+  ctx->level_rels->clear();
+  for (const LevelInfo& lvl : rule.levels) {
+    const Database* db = SourceDb(lvl.source, *ctx);
+    ctx->level_rels->push_back(db == nullptr ? nullptr : db->Find(lvl.pred));
+  }
+  ctx->neg_rels->clear();
+  for (const NegInfo& neg : rule.negs) {
+    const Database* db = SourceDb(neg.source, *ctx);
+    ctx->neg_rels->push_back(db == nullptr ? nullptr : db->Find(neg.pred));
+  }
+  // A missing/empty relation at the FIRST level means zero work — exactly
+  // the interpreter's early return before any counter moves. Deeper levels
+  // must still run (outer probes are observable), so only level 0 prunes.
+  if (!rule.levels.empty()) {
+    const Relation* r0 = (*ctx->level_rels)[0];
+    if (r0 == nullptr || r0->empty()) return false;
+  }
+  return true;
+}
+
+void RunBytecode(const CompiledRule& rule, VmContext* ctx) {
+  const Instr* code = rule.code.data();
+  const Value* consts = rule.consts.data();
+  const ArgSrc* args_pool = rule.args_pool.data();
+  Value* regs = ctx->regs->data();
+  const std::vector<const Relation*>& level_rels = *ctx->level_rels;
+  const std::vector<const Relation*>& neg_rels = *ctx->neg_rels;
+  RuleProfile* prof = ctx->profile;
+
+  // Local accumulators, flushed once on exit: the dispatch loop touches no
+  // profile memory per instruction.
+  int64_t ops = 0, probes = 0, cmps = 0;
+  int64_t firings = 0, dups = 0, derived = 0;
+
+  // The cursor stack: one entry per open join level, innermost on top.
+  // Realistic rules have a handful of levels; the heap path covers the rest.
+  constexpr int kInlineLevels = 16;
+  Cursor inline_stack[kInlineLevels];
+  std::vector<Cursor> heap_stack;
+  Cursor* stack = inline_stack;
+  if (rule.levels.size() > kInlineLevels) {
+    heap_stack.resize(rule.levels.size());
+    stack = heap_stack.data();
+  }
+  int depth = 0;
+
+  Value key[Relation::kMaxArity];
+
+  auto src_value = [&](ArgSrc s) -> const Value& {
+    return IsConstSrc(s) ? consts[ConstIdx(s)] : regs[s];
+  };
+
+  uint32_t ip = 0;
+  bool done = false;
+  while (!done) {
+    const Instr& in = code[ip];
+    ++ops;
+    switch (in.op) {
+      case OpCode::kScanFull:
+      case OpCode::kScanDelta:
+      case OpCode::kProbeIndex: {
+        const LevelInfo& lvl = rule.levels[in.b];
+        const Relation* rel = level_rels[in.b];
+        Cursor& cur = stack[depth];
+        cur.rel = rel;
+        cur.level = in.b;
+        cur.row_data = nullptr;
+        if (rel == nullptr || rel->empty()) {
+          // Level cannot match: backtrack (fall through to advance below).
+          cur.is_scan = true;
+          cur.scan_row = 0;
+          cur.scan_end = 0;
+        } else if (in.op == OpCode::kProbeIndex && ctx->use_indexes) {
+          for (int k = 0; k < lvl.key_len; ++k) {
+            key[k] = src_value(args_pool[lvl.key_off + k]);
+          }
+          Relation::Matches m = rel->Probe(lvl.mask, key);
+          cur.is_scan = false;
+          cur.probe_row = m.row;
+          cur.next = m.next;
+          cur.actions_ip = lvl.probe_ip;
+        } else {
+          cur.is_scan = true;
+          cur.scan_row = 0;
+          cur.scan_end = rel->size();
+          cur.actions_ip = lvl.scan_ip;
+        }
+        ++depth;
+        // Fetch the first row (or backtrack if none) via the shared
+        // advance path below.
+        break;
+      }
+      case OpCode::kLoadCol: {
+        regs[in.b] = stack[depth - 1].row_data[in.a];
+        ++ip;
+        continue;
+      }
+      case OpCode::kCheckCol: {
+        if (stack[depth - 1].row_data[in.a] == regs[in.b]) {
+          ++ip;
+          continue;
+        }
+        break;  // row rejected: advance
+      }
+      case OpCode::kCheckConst: {
+        if (stack[depth - 1].row_data[in.a] == consts[in.b]) {
+          ++ip;
+          continue;
+        }
+        break;
+      }
+      case OpCode::kJump: {
+        ip = static_cast<uint32_t>(in.b);
+        continue;
+      }
+      case OpCode::kFilterCmp: {
+        ++cmps;
+        if (EvalCmp(src_value(in.b), static_cast<CmpOp>(in.a), src_value(in.c))) {
+          ++ip;
+          continue;
+        }
+        break;
+      }
+      case OpCode::kCheckNeg: {
+        const NegInfo& neg = rule.negs[in.b];
+        const Relation* rel = neg_rels[in.b];
+        bool present = false;
+        if (rel != nullptr) {
+          for (int k = 0; k < neg.args_len; ++k) {
+            key[k] = src_value(args_pool[neg.args_off + k]);
+          }
+          present = rel->Contains(key, neg.args_len);
+        }
+        if (!present) {
+          ++ip;
+          continue;
+        }
+        break;
+      }
+      case OpCode::kEmitHead: {
+        ++firings;
+        Value head[Relation::kMaxArity];
+        for (int i = 0; i < rule.head_arity; ++i) {
+          head[i] = src_value(args_pool[rule.head_off + i]);
+        }
+        if (ctx->idb_total->Contains(rule.head_pred, head, rule.head_arity) ||
+            ctx->out_new->Contains(rule.head_pred, head, rule.head_arity)) {
+          ++dups;
+        } else {
+          ctx->out_new->Insert(rule.head_pred, head, rule.head_arity);
+          ++derived;
+          ++*ctx->derived_count;
+          if (ctx->max_derived >= 0 &&
+              *ctx->derived_count > ctx->max_derived) {
+            *ctx->overflow = true;
+            done = true;
+            break;
+          }
+        }
+        break;  // complete match consumed: advance the innermost cursor
+      }
+    }
+    if (done) break;
+
+    // Advance: fetch the next row of the innermost cursor; pop exhausted
+    // cursors; an empty stack means the activation is complete.
+    for (;;) {
+      if (depth == 0) {
+        done = true;
+        break;
+      }
+      Cursor& cur = stack[depth - 1];
+      bool have_row = false;
+      if (cur.is_scan) {
+        if (cur.scan_row < cur.scan_end) {
+          cur.row_data = cur.rel->row(cur.scan_row).data();
+          ++cur.scan_row;
+          have_row = true;
+        }
+      } else if (cur.probe_row >= 0) {
+        cur.row_data = cur.rel->row(cur.probe_row).data();
+        cur.probe_row = cur.next[cur.probe_row];
+        have_row = true;
+      }
+      if (have_row) {
+        ++probes;  // one candidate row examined, like the interpreter
+        ip = cur.actions_ip;
+        break;
+      }
+      --depth;  // exhausted: backtrack to the enclosing level
+    }
+  }
+
+  prof->probes += probes;
+  prof->cmp_checks += cmps;
+  prof->firings += firings;
+  prof->duplicates += dups;
+  prof->derived += derived;
+  prof->ops += ops;
+}
+
+}  // namespace sqod

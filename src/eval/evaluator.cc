@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <set>
-#include <unordered_map>
 
 #include "src/base/check.h"
+#include "src/eval/bytecode.h"
+#include "src/eval/kernel.h"
+#include "src/eval/plan.h"
 #include "src/obs/export.h"
 
 namespace sqod {
@@ -73,6 +76,8 @@ namespace {
 // Variable bindings as a dense slot array indexed by rule-local variable id
 // (rules renumber their variables 0..num_vars-1 at plan-compile time), with
 // a trail for cheap backtracking. Bind/Get/IsBound never hash or allocate.
+// Interpret-mode only: the bytecode executor precomputes boundness and
+// needs neither the flags nor the trail.
 class Bindings {
  public:
   void Reset(int num_vars) {
@@ -108,171 +113,8 @@ class Bindings {
   std::vector<int32_t> trail_;
 };
 
-// A compiled atom argument: either an inline constant (var < 0) or a
-// rule-local variable slot.
-struct ArgRef {
-  Value const_val;
-  int32_t var = -1;
-};
-
 inline const Value& ArgValue(const ArgRef& a, const Bindings& b) {
   return a.var < 0 ? a.const_val : b.Get(a.var);
-}
-
-// One compiled step of a rule-evaluation plan. Arguments are pre-resolved
-// to ArgRefs so the join inner loop touches no AST nodes.
-struct PlanStep {
-  enum class Kind { kJoin, kNegation, kComparison };
-  Kind kind;
-  int index;  // into rule.body (kJoin / kNegation) or rule.comparisons
-  PredId pred = -1;          // kJoin / kNegation
-  std::vector<ArgRef> args;  // kJoin / kNegation
-  ArgRef lhs, rhs;           // kComparison
-  CmpOp op = CmpOp::kEq;     // kComparison
-};
-
-// The precompiled plan for one (rule, delta-subgoal) combination: the order
-// in which body elements are evaluated. Comparisons and negations are placed
-// at the earliest point where all their variables are bound.
-struct RulePlan {
-  int rule_index;
-  // Index (into rule.body) of the positive subgoal that reads the delta
-  // relation, or -1 for "all subgoals read their full relation".
-  int delta_subgoal;
-  int num_vars = 0;  // distinct variables of the rule, renumbered 0..n-1
-  PredId head_pred = -1;
-  std::vector<ArgRef> head;
-  std::vector<PlanStep> steps;
-};
-
-// Builds the evaluation order for a rule. `first` (if >= 0) is the body
-// index of the positive subgoal to evaluate first (the delta subgoal).
-RulePlan BuildPlan(const Rule& rule, int rule_index, int first) {
-  RulePlan plan;
-  plan.rule_index = rule_index;
-  plan.delta_subgoal = first;
-
-  std::set<VarId> bound;
-  std::vector<bool> done_body(rule.body.size(), false);
-  std::vector<bool> done_cmp(rule.comparisons.size(), false);
-
-  auto vars_bound = [&](const std::vector<VarId>& vars) {
-    return std::all_of(vars.begin(), vars.end(),
-                       [&](VarId v) { return bound.count(v) > 0; });
-  };
-
-  auto emit_ready_filters = [&] {
-    bool progress = true;
-    while (progress) {
-      progress = false;
-      for (size_t i = 0; i < rule.comparisons.size(); ++i) {
-        if (done_cmp[i]) continue;
-        std::vector<VarId> vars;
-        rule.comparisons[i].CollectVars(&vars);
-        if (vars_bound(vars)) {
-          plan.steps.push_back(
-              {PlanStep::Kind::kComparison, static_cast<int>(i)});
-          done_cmp[i] = true;
-          progress = true;
-        }
-      }
-      for (size_t i = 0; i < rule.body.size(); ++i) {
-        if (done_body[i] || !rule.body[i].negated) continue;
-        std::vector<VarId> vars;
-        rule.body[i].atom.CollectVars(&vars);
-        if (vars_bound(vars)) {
-          plan.steps.push_back({PlanStep::Kind::kNegation, static_cast<int>(i)});
-          done_body[i] = true;
-          progress = true;
-        }
-      }
-    }
-  };
-
-  auto emit_join = [&](int i) {
-    plan.steps.push_back({PlanStep::Kind::kJoin, i});
-    done_body[i] = true;
-    std::vector<VarId> vars;
-    rule.body[i].atom.CollectVars(&vars);
-    bound.insert(vars.begin(), vars.end());
-  };
-
-  emit_ready_filters();  // ground comparisons, if any
-  if (first >= 0) {
-    SQOD_CHECK(!rule.body[first].negated);
-    emit_join(first);
-    emit_ready_filters();
-  }
-  for (;;) {
-    // Pick the positive subgoal with the most bound argument positions.
-    int best = -1;
-    int best_score = -1;
-    for (size_t i = 0; i < rule.body.size(); ++i) {
-      if (done_body[i] || rule.body[i].negated) continue;
-      const Atom& a = rule.body[i].atom;
-      int score = 0;
-      for (const Term& t : a.args()) {
-        if (t.is_const() || bound.count(t.var()) > 0) ++score;
-      }
-      if (score > best_score) {
-        best_score = score;
-        best = static_cast<int>(i);
-      }
-    }
-    if (best == -1) break;
-    emit_join(best);
-    emit_ready_filters();
-  }
-  // Safety guarantees every negation and comparison was emitted.
-  for (size_t i = 0; i < rule.body.size(); ++i) {
-    SQOD_CHECK_MSG(done_body[i] || !rule.body[i].negated,
-                   rule.ToString().c_str());
-    SQOD_CHECK_MSG(done_body[i], rule.ToString().c_str());
-  }
-  for (size_t i = 0; i < rule.comparisons.size(); ++i) {
-    SQOD_CHECK_MSG(done_cmp[i], rule.ToString().c_str());
-  }
-
-  // Compile: renumber the rule's variables densely (order of first
-  // appearance along the plan) and pre-resolve every argument to an ArgRef,
-  // so the join loops never walk AST terms or hash global VarIds.
-  std::unordered_map<VarId, int32_t> local;
-  auto compile_term = [&](const Term& t) {
-    ArgRef a;
-    if (t.is_const()) {
-      a.const_val = t.value();
-      return a;
-    }
-    auto [it, unused] =
-        local.emplace(t.var(), static_cast<int32_t>(local.size()));
-    a.var = it->second;
-    return a;
-  };
-  for (PlanStep& step : plan.steps) {
-    if (step.kind == PlanStep::Kind::kComparison) {
-      const Comparison& c = rule.comparisons[step.index];
-      step.lhs = compile_term(c.lhs);
-      step.rhs = compile_term(c.rhs);
-      step.op = c.op;
-    } else {
-      const Atom& a = rule.body[step.index].atom;
-      SQOD_CHECK_MSG(a.arity() <= Relation::kMaxArity, a.ToString().c_str());
-      step.pred = a.pred();
-      step.args.reserve(a.args().size());
-      for (const Term& t : a.args()) step.args.push_back(compile_term(t));
-    }
-  }
-  const size_t body_vars = local.size();
-  plan.head_pred = rule.head.pred();
-  SQOD_CHECK_MSG(rule.head.arity() <= Relation::kMaxArity,
-                 rule.head.ToString().c_str());
-  plan.head.reserve(rule.head.args().size());
-  for (const Term& t : rule.head.args()) plan.head.push_back(compile_term(t));
-  // Safety: every head variable occurs in the body, so compiling the head
-  // introduced no new slots (an unbound slot would leak garbage values).
-  SQOD_CHECK_MSG(local.size() == body_vars, rule.ToString().c_str());
-  plan.num_vars = static_cast<int>(local.size());
-  return plan;
 }
 
 // Runtime context shared by all rules during one evaluation.
@@ -436,42 +278,34 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
     return tracing ? tracer->StartSpan(name) : Span();
   };
 
-  // One bindings array reused across every rule activation: Reset is a
-  // cheap dense assign, and nothing below allocates per probe or per bind.
-  Bindings bindings;
-
-  // Runs one plan with per-rule time attribution and an optional span.
-  auto run_plan = [&](const RulePlan& plan, Context* ctx) {
-    RuleProfile* profile = &profiles_[plan.rule_index];
-    ctx->rule_stats = profile;
-    Span span;
-    if (tracing) {
-      span = tracer->StartSpan("eval.rule");
-      span.SetAttr("rule", plan.rule_index);
-      if (plan.delta_subgoal >= 0) {
-        span.SetAttr("delta_subgoal", plan.delta_subgoal);
-      }
-    }
-    int64_t before_firings = profile->firings;
-    int64_t before_derived = profile->derived;
-    int64_t t0 = timed ? NowNs() : 0;
-    bindings.Reset(plan.num_vars);
-    RunSteps(plan, 0, &bindings, ctx);
-    if (timed) profile->time_ns += NowNs() - t0;
-    if (tracing) {
-      span.SetAttr("firings", profile->firings - before_firings);
-      span.SetAttr("derived", profile->derived - before_derived);
-    }
-  };
-
-  Span eval_span = start_span("eval");
-
-  Result<std::map<PredId, int>> strata = program_.Stratify();
-  if (!strata.ok()) return strata.status();
-  int max_stratum = 0;
-  for (const auto& [pred, s] : strata.value()) {
-    max_stratum = std::max(max_stratum, s);
+  // Compiled mode: use the caller-provided artifact (PreparedProgram's
+  // cache) or lower on the fly. Either way the artifact carries the
+  // stratification and IDB classification, so Stratify() runs at most once
+  // per program, not once per evaluation.
+  const bool compile = options_.mode == EvalMode::kCompile;
+  const CompiledProgram* compiled = options_.compiled;
+  CompiledProgram local_compiled;
+  int64_t compile_ns = 0;
+  if (compile && compiled == nullptr) {
+    Result<CompiledProgram> c = CompileProgram(program_);
+    if (!c.ok()) return c.status();
+    local_compiled = std::move(c.value());
+    compiled = &local_compiled;
+    compile_ns = local_compiled.compile_ns;
   }
+
+  // One bindings array (interpret) / register file (compiled) reused across
+  // every rule activation; nothing below allocates per probe or per bind.
+  Bindings bindings;
+  std::vector<Value> regs;
+  std::vector<const Relation*> level_rels;
+  std::vector<const Relation*> neg_rels;
+  if (compile) {
+    regs.resize(compiled->max_regs);
+    level_rels.reserve(compiled->max_levels);
+  }
+  // Per-kernel activation counts, published at finish.
+  int64_t kernel_runs[kNumKernels] = {0, 0, 0};
 
   Database total;
   int64_t derived_count = 0;
@@ -484,9 +318,35 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
   ctx.idb_delta = nullptr;
   ctx.options = options_;
   ctx.rule_stats = nullptr;
-  ctx.idb_preds = program_.IdbPreds();
   ctx.derived_count = &derived_count;
   ctx.overflow = &overflow;
+
+  VmContext vm;
+  vm.edb = &edb;
+  vm.idb_total = &total;
+  vm.out_new = nullptr;
+  vm.use_indexes = options_.use_indexes;
+  vm.max_derived = options_.max_derived;
+  vm.derived_count = &derived_count;
+  vm.overflow = &overflow;
+  vm.regs = &regs;
+  vm.level_rels = &level_rels;
+  vm.neg_rels = &neg_rels;
+
+  int num_strata = 0;
+  std::map<PredId, int> strata_map;  // interpret mode only
+  if (compile) {
+    ctx.idb_preds = compiled->idb_preds;
+    num_strata = static_cast<int>(compiled->strata.size());
+  } else {
+    Result<std::map<PredId, int>> strata = program_.Stratify();
+    if (!strata.ok()) return strata.status();
+    strata_map = std::move(strata.value());
+    ctx.idb_preds = program_.IdbPreds();
+    for (const auto& [pred, s] : strata_map) {
+      num_strata = std::max(num_strata, s + 1);
+    }
+  }
 
   auto fail_if_overflow = [&]() -> Status {
     if (overflow) {
@@ -524,6 +384,20 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
         ->Add(stats_.duplicate_derivations);
     m->GetCounter(p + "/join_probes")->Add(stats_.join_probes);
     m->GetCounter(p + "/comparison_checks")->Add(stats_.comparison_checks);
+    if (compile) {
+      int64_t ops = 0;
+      for (const RuleProfile& profile : profiles_) ops += profile.ops;
+      m->GetCounter(p + "/bytecode_ops")->Add(ops);
+      m->GetCounter(p + "/kernel_generic")
+          ->Add(kernel_runs[static_cast<int>(KernelId::kGeneric)]);
+      m->GetCounter(p + "/kernel_scan_filter_emit")
+          ->Add(kernel_runs[static_cast<int>(KernelId::kScanFilterEmit)]);
+      m->GetCounter(p + "/kernel_scan_probe_emit")
+          ->Add(kernel_runs[static_cast<int>(KernelId::kScanProbeEmit)]);
+      if (compile_ns > 0) {
+        m->GetCounter(p + "/compile_ns")->Add(compile_ns);
+      }
+    }
     for (const RuleProfile& profile : profiles_) {
       if (profile.firings == 0 && profile.probes == 0) continue;
       std::string base = p + "/rule/" +
@@ -537,15 +411,76 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
     }
   };
 
+  // Runs one interpreted plan with per-rule time attribution and a span.
+  auto run_plan = [&](const RulePlan& plan) {
+    RuleProfile* profile = &profiles_[plan.rule_index];
+    ctx.rule_stats = profile;
+    Span span;
+    if (tracing) {
+      span = tracer->StartSpan("eval.rule");
+      span.SetAttr("rule", plan.rule_index);
+      if (plan.delta_subgoal >= 0) {
+        span.SetAttr("delta_subgoal", plan.delta_subgoal);
+      }
+    }
+    int64_t before_firings = profile->firings;
+    int64_t before_derived = profile->derived;
+    int64_t t0 = timed ? NowNs() : 0;
+    bindings.Reset(plan.num_vars);
+    RunSteps(plan, 0, &bindings, &ctx);
+    if (timed) profile->time_ns += NowNs() - t0;
+    if (tracing) {
+      span.SetAttr("firings", profile->firings - before_firings);
+      span.SetAttr("derived", profile->derived - before_derived);
+    }
+  };
+
+  // Runs one compiled plan through its kernel, same attribution.
+  auto run_compiled = [&](const CompiledRule& cr) {
+    if (overflow) return;
+    RuleProfile* profile = &profiles_[cr.rule_index];
+    vm.profile = profile;
+    Span span;
+    if (tracing) {
+      span = tracer->StartSpan("eval.rule");
+      span.SetAttr("rule", cr.rule_index);
+      span.SetAttr("kernel", static_cast<int64_t>(cr.kernel));
+      if (cr.delta_subgoal >= 0) {
+        span.SetAttr("delta_subgoal", cr.delta_subgoal);
+      }
+    }
+    int64_t before_firings = profile->firings;
+    int64_t before_derived = profile->derived;
+    int64_t t0 = timed ? NowNs() : 0;
+    if (ResolveRelations(cr, &vm)) {
+      KernelId ran = RunCompiled(cr, &vm, options_.use_kernels);
+      ++kernel_runs[static_cast<int>(ran)];
+    }
+    if (timed) profile->time_ns += NowNs() - t0;
+    if (tracing) {
+      span.SetAttr("firings", profile->firings - before_firings);
+      span.SetAttr("derived", profile->derived - before_derived);
+    }
+  };
+
+  Span eval_span = start_span("eval");
+  PlanScratch scratch;  // reused by every interpreted BuildPlan below
+
   // Evaluate stratum by stratum: negated IDB subgoals point strictly below
   // and read the completed relations in `total`; positive IDB subgoals of
   // lower strata are static within this stratum and read `total` too; only
   // same-stratum positive IDB subgoals drive the semi-naive deltas.
-  for (int stratum = 0; stratum <= max_stratum; ++stratum) {
+  for (int stratum = 0; stratum < num_strata; ++stratum) {
+    const CompiledProgram::Stratum* cst =
+        compile ? &compiled->strata[stratum] : nullptr;
     std::vector<int> stratum_rules;
-    for (int r = 0; r < static_cast<int>(rules.size()); ++r) {
-      if (strata.value().at(rules[r].head.pred()) == stratum) {
-        stratum_rules.push_back(r);
+    if (compile) {
+      stratum_rules = cst->rule_indices;
+    } else {
+      for (int r = 0; r < static_cast<int>(rules.size()); ++r) {
+        if (strata_map.at(rules[r].head.pred()) == stratum) {
+          stratum_rules.push_back(r);
+        }
       }
     }
     if (stratum_rules.empty()) continue;
@@ -564,22 +499,29 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
       if (iteration_hist != nullptr) iteration_hist->Record(NowNs() - t0);
     };
 
-    // Same-stratum positive IDB subgoal body indices, per rule.
+    // Same-stratum positive IDB subgoal body indices, per rule (interpret
+    // mode; the compiler resolved these into Stratum::nonrecursive/delta).
     std::map<int, std::vector<int>> recursive_subgoals;
-    for (int r : stratum_rules) {
-      for (size_t i = 0; i < rules[r].body.size(); ++i) {
-        const Literal& l = rules[r].body[i];
-        if (!l.negated && ctx.idb_preds.count(l.atom.pred()) > 0 &&
-            strata.value().at(l.atom.pred()) == stratum) {
-          recursive_subgoals[r].push_back(static_cast<int>(i));
+    if (!compile) {
+      for (int r : stratum_rules) {
+        for (size_t i = 0; i < rules[r].body.size(); ++i) {
+          const Literal& l = rules[r].body[i];
+          if (!l.negated && ctx.idb_preds.count(l.atom.pred()) > 0 &&
+              strata_map.at(l.atom.pred()) == stratum) {
+            recursive_subgoals[r].push_back(static_cast<int>(i));
+          }
         }
       }
     }
 
     if (!options_.semi_naive) {
-      // Naive within the stratum.
+      // Naive within the stratum: every rule, full relations, every round.
       std::vector<RulePlan> plans;
-      for (int r : stratum_rules) plans.push_back(BuildPlan(rules[r], r, -1));
+      if (!compile) {
+        for (int r : stratum_rules) {
+          plans.push_back(BuildPlan(rules[r], r, -1, &scratch));
+        }
+      }
       for (;;) {
         if (Status s = interrupted(); !s.ok()) {
           finish();
@@ -592,8 +534,12 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
         Database fresh;
         ctx.out_new = &fresh;
         ctx.idb_delta = nullptr;
-        for (const RulePlan& plan : plans) {
-          run_plan(plan, &ctx);
+        vm.out_new = &fresh;
+        vm.idb_delta = nullptr;
+        if (compile) {
+          for (const CompiledRule& cr : cst->full) run_compiled(cr);
+        } else {
+          for (const RulePlan& plan : plans) run_plan(plan);
         }
         Status s = fail_if_overflow();
         if (!s.ok()) {
@@ -621,10 +567,16 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
       Database fresh;
       ctx.out_new = &fresh;
       ctx.idb_delta = nullptr;
-      for (int r : stratum_rules) {
-        if (recursive_subgoals.count(r) > 0) continue;
-        RulePlan plan = BuildPlan(rules[r], r, -1);
-        run_plan(plan, &ctx);
+      vm.out_new = &fresh;
+      vm.idb_delta = nullptr;
+      if (compile) {
+        for (int i : cst->nonrecursive) run_compiled(cst->full[i]);
+      } else {
+        for (int r : stratum_rules) {
+          if (recursive_subgoals.count(r) > 0) continue;
+          RulePlan plan = BuildPlan(rules[r], r, -1, &scratch);
+          run_plan(plan);
+        }
       }
       Status s = fail_if_overflow();
       if (!s.ok()) {
@@ -638,9 +590,11 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
 
     // One plan per (rule, same-stratum delta-subgoal occurrence).
     std::vector<RulePlan> delta_plans;
-    for (const auto& [r, occurrences] : recursive_subgoals) {
-      for (int occurrence : occurrences) {
-        delta_plans.push_back(BuildPlan(rules[r], r, occurrence));
+    if (!compile) {
+      for (const auto& [r, occurrences] : recursive_subgoals) {
+        for (int occurrence : occurrences) {
+          delta_plans.push_back(BuildPlan(rules[r], r, occurrence, &scratch));
+        }
       }
     }
 
@@ -656,8 +610,12 @@ Result<Database> Evaluator::Evaluate(const Database& edb) {
       Database fresh;
       ctx.out_new = &fresh;
       ctx.idb_delta = &delta;
-      for (const RulePlan& plan : delta_plans) {
-        run_plan(plan, &ctx);
+      vm.out_new = &fresh;
+      vm.idb_delta = &delta;
+      if (compile) {
+        for (const CompiledRule& cr : cst->delta) run_compiled(cr);
+      } else {
+        for (const RulePlan& plan : delta_plans) run_plan(plan);
       }
       Status s = fail_if_overflow();
       if (!s.ok()) {

@@ -1,0 +1,268 @@
+#include "src/eval/kernel.h"
+
+#include "src/eval/evaluator.h"
+#include "src/eval/relation.h"
+
+namespace sqod {
+
+namespace {
+
+// True when every instruction in [begin, end) is kLoadCol — the level binds
+// fresh registers only, with no in-atom repeats or constant checks.
+bool LoadOnly(const CompiledRule& rule, uint32_t begin, uint32_t end) {
+  for (uint32_t ip = begin; ip < end; ++ip) {
+    if (rule.code[ip].op != OpCode::kLoadCol) return false;
+  }
+  return true;
+}
+
+bool HasFilters(const CompiledRule& rule) {
+  for (const Instr& in : rule.code) {
+    if (in.op == OpCode::kFilterCmp) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+KernelId SelectKernel(const CompiledRule& rule) {
+  // open_ip == 0 rules out ground comparisons planned before the level,
+  // which the kernel's post-range loop would never execute.
+  if (rule.levels.size() == 1 && rule.negs.empty() &&
+      rule.levels[0].open_ip == 0) {
+    return KernelId::kScanFilterEmit;
+  }
+  if (rule.levels.size() == 2 && rule.negs.empty() && !HasFilters(rule)) {
+    const LevelInfo& outer = rule.levels[0];
+    const LevelInfo& inner = rule.levels[1];
+    if (outer.mask == 0 && inner.mask != 0 && inner.key_len >= 1 &&
+        inner.key_len <= 4 &&
+        LoadOnly(rule, outer.scan_ip, outer.post_ip) &&
+        LoadOnly(rule, inner.probe_ip,
+                 inner.scan_ip - 1 /* the kJump between the ranges */)) {
+      return KernelId::kScanProbeEmit;
+    }
+  }
+  return KernelId::kGeneric;
+}
+
+namespace {
+
+// Shared emit: materialize the head from registers/constants, dedup against
+// idb_total and the staging database, count. Returns false on overflow
+// (callers stop the activation immediately, like the interpreter unwinds).
+struct EmitCtx {
+  const CompiledRule* rule;
+  VmContext* ctx;
+  const Value* consts;
+  const ArgSrc* head_args;
+  const Value* regs;
+  int64_t firings = 0, dups = 0, derived = 0;
+};
+
+inline bool EmitHead(EmitCtx* e) {
+  ++e->firings;
+  Value head[Relation::kMaxArity];
+  const int n = e->rule->head_arity;
+  for (int i = 0; i < n; ++i) {
+    ArgSrc s = e->head_args[i];
+    head[i] = IsConstSrc(s) ? e->consts[ConstIdx(s)] : e->regs[s];
+  }
+  VmContext* ctx = e->ctx;
+  if (ctx->idb_total->Contains(e->rule->head_pred, head, n) ||
+      ctx->out_new->Contains(e->rule->head_pred, head, n)) {
+    ++e->dups;
+    return true;
+  }
+  ctx->out_new->Insert(e->rule->head_pred, head, n);
+  ++e->derived;
+  ++*ctx->derived_count;
+  if (ctx->max_derived >= 0 && *ctx->derived_count > ctx->max_derived) {
+    *ctx->overflow = true;
+    return false;
+  }
+  return true;
+}
+
+// scan_filter_emit: one level, optional comparison filters, emit. Row
+// sourcing (probe vs scan) is decided once, outside the loop.
+void RunScanFilterEmit(const CompiledRule& rule, VmContext* ctx) {
+  const LevelInfo& lvl = rule.levels[0];
+  const Relation* rel = (*ctx->level_rels)[0];
+  if (rel == nullptr || rel->empty()) return;
+
+  const Instr* code = rule.code.data();
+  const Value* consts = rule.consts.data();
+  const ArgSrc* args_pool = rule.args_pool.data();
+  Value* regs = ctx->regs->data();
+
+  EmitCtx emit{&rule, ctx, consts, args_pool + rule.head_off, regs};
+  int64_t probes = 0, cmps = 0, ops = 0;
+
+  const bool probe = lvl.mask != 0 && ctx->use_indexes;
+  const uint32_t actions_begin = probe ? lvl.probe_ip : lvl.scan_ip;
+  const uint32_t actions_end = probe ? lvl.scan_ip - 1 /* kJump */
+                                     : lvl.post_ip;
+  // Post range: comparison filters between the level and the final emit.
+  const uint32_t post_begin = lvl.post_ip;
+  const uint32_t post_end = static_cast<uint32_t>(rule.code.size()) - 1;
+
+  auto try_row = [&](const Value* row) -> bool {  // false = overflow
+    ++probes;
+    for (uint32_t ip = actions_begin; ip < actions_end; ++ip) {
+      const Instr& in = code[ip];
+      ++ops;
+      switch (in.op) {
+        case OpCode::kLoadCol:
+          regs[in.b] = row[in.a];
+          continue;
+        case OpCode::kCheckCol:
+          if (row[in.a] == regs[in.b]) continue;
+          return true;
+        case OpCode::kCheckConst:
+          if (row[in.a] == consts[in.b]) continue;
+          return true;
+        default:
+          continue;
+      }
+    }
+    for (uint32_t ip = post_begin; ip < post_end; ++ip) {
+      const Instr& in = code[ip];
+      ++ops;
+      ++cmps;
+      if (!EvalCmp(IsConstSrc(in.b) ? consts[ConstIdx(in.b)] : regs[in.b],
+                   static_cast<CmpOp>(in.a),
+                   IsConstSrc(in.c) ? consts[ConstIdx(in.c)] : regs[in.c])) {
+        return true;
+      }
+    }
+    ++ops;
+    return EmitHead(&emit);
+  };
+
+  if (probe) {
+    // A single-level probe key is necessarily constant (no register is
+    // bound before the first level).
+    Value key[Relation::kMaxArity];
+    for (int k = 0; k < lvl.key_len; ++k) {
+      ArgSrc s = args_pool[lvl.key_off + k];
+      key[k] = IsConstSrc(s) ? consts[ConstIdx(s)] : regs[s];
+    }
+    Relation::Matches m = rel->Probe(lvl.mask, key);
+    for (int32_t r = m.row; r >= 0; r = m.next[r]) {
+      if (!try_row(rel->row(r).data())) break;
+    }
+  } else {
+    for (int64_t r = 0, rows = rel->size(); r < rows; ++r) {
+      if (!try_row(rel->row(r).data())) break;
+    }
+  }
+
+  RuleProfile* prof = ctx->profile;
+  prof->probes += probes;
+  prof->cmp_checks += cmps;
+  prof->firings += emit.firings;
+  prof->duplicates += emit.dups;
+  prof->derived += emit.derived;
+  prof->ops += ops + 1;  // + the level opener
+}
+
+// scan_probe_emit: scan the outer level, probe the inner on a KLen-wide
+// fully-bound key, emit per match. Both levels are load-only, so the inner
+// loop is branch-minimal: load, probe, chain-walk, load, emit.
+template <int KLen>
+void RunScanProbeEmit(const CompiledRule& rule, VmContext* ctx) {
+  const LevelInfo& outer = rule.levels[0];
+  const LevelInfo& inner = rule.levels[1];
+  const Relation* outer_rel = (*ctx->level_rels)[0];
+  const Relation* inner_rel = (*ctx->level_rels)[1];
+  if (outer_rel == nullptr || outer_rel->empty()) return;
+
+  const Instr* code = rule.code.data();
+  const Value* consts = rule.consts.data();
+  const ArgSrc* args_pool = rule.args_pool.data();
+  Value* regs = ctx->regs->data();
+
+  EmitCtx emit{&rule, ctx, consts, args_pool + rule.head_off, regs};
+  int64_t probes = 0, ops = 0;
+
+  // Pre-resolved action/key descriptors, hoisted out of both loops.
+  const Instr* outer_loads = code + outer.scan_ip;
+  const int outer_nloads = static_cast<int>(outer.post_ip - outer.scan_ip);
+  const Instr* inner_loads = code + inner.probe_ip;
+  const int inner_nloads =
+      static_cast<int>(inner.scan_ip - 1 - inner.probe_ip);
+  const ArgSrc* key_srcs = args_pool + inner.key_off;
+  const uint64_t inner_mask = inner.mask;
+  const bool inner_live = inner_rel != nullptr && !inner_rel->empty();
+
+  Value key[KLen];
+  for (int64_t r = 0, rows = outer_rel->size(); r < rows; ++r) {
+    ++probes;  // outer candidate row
+    const Value* row = outer_rel->row(r).data();
+    for (int i = 0; i < outer_nloads; ++i) {
+      regs[outer_loads[i].b] = row[outer_loads[i].a];
+    }
+    ops += outer_nloads + 1;
+    if (!inner_live) continue;  // inner level can never match
+    for (int k = 0; k < KLen; ++k) {
+      ArgSrc s = key_srcs[k];
+      key[k] = IsConstSrc(s) ? consts[ConstIdx(s)] : regs[s];
+    }
+    Relation::Matches m = inner_rel->Probe(inner_mask, key);
+    for (int32_t ir = m.row; ir >= 0; ir = m.next[ir]) {
+      ++probes;  // inner candidate row
+      const Value* irow = inner_rel->row(ir).data();
+      for (int i = 0; i < inner_nloads; ++i) {
+        regs[inner_loads[i].b] = irow[inner_loads[i].a];
+      }
+      ops += inner_nloads + 2;
+      if (!EmitHead(&emit)) {
+        r = rows;  // overflow: stop the activation
+        break;
+      }
+    }
+  }
+
+  RuleProfile* prof = ctx->profile;
+  prof->probes += probes;
+  prof->firings += emit.firings;
+  prof->duplicates += emit.dups;
+  prof->derived += emit.derived;
+  prof->ops += ops + 2;  // + the two level openers
+}
+
+}  // namespace
+
+KernelId RunCompiled(const CompiledRule& rule, VmContext* ctx,
+                     bool use_kernels) {
+  KernelId kernel = use_kernels ? rule.kernel : KernelId::kGeneric;
+  // scan_probe_emit relies on the inner index; without runtime indexes the
+  // generic loop's scan path keeps semantics (and counters) right.
+  if (kernel == KernelId::kScanProbeEmit && !ctx->use_indexes) {
+    kernel = KernelId::kGeneric;
+  }
+  switch (kernel) {
+    case KernelId::kGeneric:
+      RunBytecode(rule, ctx);
+      return KernelId::kGeneric;
+    case KernelId::kScanFilterEmit:
+      RunScanFilterEmit(rule, ctx);
+      return KernelId::kScanFilterEmit;
+    case KernelId::kScanProbeEmit:
+      switch (rule.levels[1].key_len) {
+        case 1: RunScanProbeEmit<1>(rule, ctx); break;
+        case 2: RunScanProbeEmit<2>(rule, ctx); break;
+        case 3: RunScanProbeEmit<3>(rule, ctx); break;
+        case 4: RunScanProbeEmit<4>(rule, ctx); break;
+        default:
+          RunBytecode(rule, ctx);
+          return KernelId::kGeneric;
+      }
+      return KernelId::kScanProbeEmit;
+  }
+  RunBytecode(rule, ctx);
+  return KernelId::kGeneric;
+}
+
+}  // namespace sqod

@@ -1,0 +1,49 @@
+#ifndef SQOD_EVAL_KERNEL_H_
+#define SQOD_EVAL_KERNEL_H_
+
+#include "src/eval/bytecode.h"
+
+namespace sqod {
+
+// Specialized join kernels layered over the bytecode executor. The compiler
+// (CompileRulePlan) calls SelectKernel once per plan; the evaluator calls
+// RunCompiled per activation, which dispatches to the matching kernel or
+// falls back to the generic dispatch loop.
+//
+// Selection rules (compile time, on the lowered plan):
+//   scan_filter_emit  — exactly one join level and no negations: iterate the
+//                       level (index probe when it has bound columns and
+//                       indexes are on, scan otherwise), run the column
+//                       actions and comparison filters inline, emit. Covers
+//                       EDB projections/selections and iteration-0 seeding
+//                       rules.
+//   scan_probe_emit   — a binary join probing a fully-bound key: exactly two
+//                       levels, no negations or comparisons, inner level
+//                       with a non-empty probe mask and 1..4 key columns,
+//                       load-only column actions on both levels (no in-atom
+//                       repeated variables or constants-on-scan checks). The
+//                       inner loop is a flat probe-and-emit specialized on
+//                       the key width — the transitive-closure shape that
+//                       dominates E2/E4. Requires runtime indexes; falls
+//                       back to generic when they are off.
+//   generic           — everything else: the bytecode dispatch loop.
+//
+// All kernels preserve the interpreter's counter semantics exactly
+// (probes per candidate row, cmp_checks per comparison, firings per
+// complete match, duplicates/derived at emit); only RuleProfile::ops is
+// kernel-defined (executed inner-loop steps rather than dispatched ops).
+
+// Picks the kernel for a lowered plan. Pure function of the plan.
+KernelId SelectKernel(const CompiledRule& rule);
+
+// Runs one activation through the selected kernel (or the generic loop when
+// `use_kernels` is off, the plan selected kGeneric, or the kernel's runtime
+// requirements — e.g. indexes — are not met). Returns the kernel that
+// actually ran, for the eval/kernel_* activation counters. Callers must
+// have run ResolveRelations first.
+KernelId RunCompiled(const CompiledRule& rule, VmContext* ctx,
+                     bool use_kernels);
+
+}  // namespace sqod
+
+#endif  // SQOD_EVAL_KERNEL_H_

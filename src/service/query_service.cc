@@ -261,8 +261,8 @@ void QueryService::Process(Job* job) {
         event.message = std::string(StatusCodeName(response.status.code())) +
                         ": " + response.status.message();
       } else if (prepared_program != nullptr) {
-        ExplainReport explain =
-            BuildExplainReport(prepared_program->report);
+        ExplainReport explain = BuildExplainReport(
+            prepared_program->report, prepared_program->compiled.get());
         AttachRuntime(prepared_program->report, response.stats, profiles,
                       static_cast<int64_t>(response.answers.size()),
                       response.execute_ns, &explain);

@@ -1,18 +1,29 @@
-// Equivalence fuzz: random small programs and EDBs must produce identical
-// sorted query answers under every engine configuration — semi-naive vs
-// naive iteration, indexes on vs off. This locks in the correctness of the
-// flat-storage join engine (arena rows, open-addressing dedup/indexes,
-// dense bindings): any divergence between the probe path and the scan path,
-// or between delta-driven and full re-evaluation, shows up as a mismatch.
+// Equivalence suite: every engine configuration must produce identical
+// sorted query answers — semi-naive vs naive iteration, indexes on vs off,
+// and (the compiled-bytecode contract) interpreted PlanSteps vs generic
+// bytecode dispatch vs specialized join kernels. Within one
+// (semi_naive, use_indexes) point the three execution modes must also agree
+// on the work counters exactly: the bytecode compiler pins probes,
+// cmp_checks, firings, derived and duplicates to the interpreter's
+// semantics, so any divergence in masking, probe chains, or early pruning
+// shows up here as a stats mismatch, not just an answer mismatch.
+//
+// Coverage: the Figure 1 worked example, the GoodPath and ColoredClosure
+// workload families, stratified IDB negation with comparisons, and a
+// randomized program/EDB fuzz sweep.
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <random>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/eval/evaluator.h"
 #include "src/parser/parser.h"
+#include "src/workload/graphs.h"
+#include "src/workload/programs.h"
 
 namespace sqod {
 namespace {
@@ -21,6 +32,161 @@ using FuzzRng = std::mt19937_64;
 
 int RandInt(FuzzRng* rng, int lo, int hi) {  // inclusive
   return lo + static_cast<int>((*rng)() % (hi - lo + 1));
+}
+
+// The three plan-execution strategies under test. Interpret is the
+// reference; compile runs the generic bytecode loop; kernels adds the
+// per-rule specialized kernels on top of compile.
+struct ExecMode {
+  EvalMode mode;
+  bool use_kernels;
+  const char* name;
+};
+
+constexpr ExecMode kExecModes[] = {
+    {EvalMode::kInterpret, false, "interpret"},
+    {EvalMode::kCompile, false, "compile-generic"},
+    {EvalMode::kCompile, true, "compile-kernels"},
+};
+
+// Runs `program` against `edb` under all 12 configurations
+// (semi_naive x use_indexes x execution mode) and asserts:
+//  * answers identical everywhere, and
+//  * EvalStats identical across execution modes within one
+//    (semi_naive, use_indexes) point (iteration strategy and index usage
+//    legitimately change the counters; the execution mode must not).
+void ExpectAllConfigurationsAgree(const Program& program, const Database& edb,
+                                  const std::string& label) {
+  std::vector<Tuple> reference;
+  bool have_reference = false;
+  for (bool semi_naive : {true, false}) {
+    for (bool use_indexes : {true, false}) {
+      std::string reference_stats;
+      for (const ExecMode& exec : kExecModes) {
+        EvalOptions options;
+        options.semi_naive = semi_naive;
+        options.use_indexes = use_indexes;
+        options.mode = exec.mode;
+        options.use_kernels = exec.use_kernels;
+        EvalStats stats;
+        Result<std::vector<Tuple>> result =
+            EvaluateQuery(program, edb, options, &stats);
+        ASSERT_TRUE(result.ok())
+            << label << " [" << exec.name << " semi_naive=" << semi_naive
+            << " use_indexes=" << use_indexes
+            << "]: " << result.status().message();
+        std::vector<Tuple> answers = result.take();
+        if (!have_reference) {
+          reference = answers;
+          have_reference = true;
+        }
+        ASSERT_EQ(reference, answers)
+            << label << " [" << exec.name << " semi_naive=" << semi_naive
+            << " use_indexes=" << use_indexes << "] diverged on answers";
+        if (reference_stats.empty()) {
+          reference_stats = stats.ToString();
+        } else {
+          ASSERT_EQ(reference_stats, stats.ToString())
+              << label << " [" << exec.name << " semi_naive=" << semi_naive
+              << " use_indexes=" << use_indexes << "] diverged on counters";
+        }
+      }
+    }
+  }
+}
+
+// The Figure 1 worked example, as shipped in examples/figure1.dl (the
+// a/b closure program with facts).
+TEST(EvalEquivTest, Figure1FourWayEquivalence) {
+  std::ifstream in(std::string(SQOD_EXAMPLES_DIR) + "/figure1.dl");
+  ASSERT_TRUE(in.good());
+  std::ostringstream source;
+  source << in.rdbuf();
+  Result<ParsedUnit> parsed = ParseUnit(source.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  Database edb;
+  for (const Atom& fact : parsed.value().facts) edb.InsertAtom(fact);
+  ExpectAllConfigurationsAgree(parsed.value().program, edb, "figure1.dl");
+}
+
+// The Section 3 GoodPath program over its generated workload (the E2
+// bench family, scaled down): linear recursion plus bound-key joins —
+// the shape the scan_probe_emit kernel targets.
+TEST(EvalEquivTest, GoodPathFourWayEquivalence) {
+  Rng rng(20260808);
+  GoodPathConfig config;
+  config.nodes = 120;
+  config.edges = 420;
+  config.num_start = 8;
+  config.num_end = 8;
+  config.threshold = 30;
+  Database edb = MakeGoodPathWorkload(config, &rng);
+  ExpectAllConfigurationsAgree(MakeGoodPathProgram(), edb, "goodpath");
+}
+
+// The E4 family: k-colored transitive closure (one base + one recursive
+// rule per color) over random colored edges.
+TEST(EvalEquivTest, ColoredClosureFourWayEquivalence) {
+  Rng rng(20260808);
+  ColoredClosure workload = MakeColoredClosure(/*colors=*/3, /*num_ics=*/2,
+                                               &rng);
+  Database edb = MakeColoredEdges(/*colors=*/3, /*nodes=*/60, /*edges=*/200,
+                                  workload.ics, &rng);
+  ExpectAllConfigurationsAgree(workload.program, edb, "colored_closure");
+}
+
+// Stratified IDB negation plus comparisons: reach in stratum 0, its
+// complement in stratum 1, a guarded closure over the complement in
+// stratum 2. Exercises kCheckNeg against both EDB and IDB-total sources
+// and kFilterCmp between join levels.
+TEST(EvalEquivTest, StratifiedNegationFourWayEquivalence) {
+  Result<ParsedUnit> parsed = ParseUnit(R"(
+    reach(X) :- start(X).
+    reach(Y) :- reach(X), e(X, Y).
+    dark(X) :- node(X), !reach(X).
+    darkpair(X, Y) :- dark(X), e(X, Y), dark(Y), X < Y, !blocked(X).
+    darkpair(X, Z) :- darkpair(X, Y), e(Y, Z), dark(Z), Y != Z.
+    ?- darkpair.
+  )");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  Database edb;
+  FuzzRng rng(7);
+  const PredId node = InternPred("node"), start = InternPred("start"),
+               blocked = InternPred("blocked"), e = InternPred("e");
+  for (int n = 0; n < 30; ++n) {
+    edb.Insert(node, {Value::Int(n)});
+  }
+  edb.Insert(start, {Value::Int(0)});
+  edb.Insert(start, {Value::Int(3)});
+  edb.Insert(blocked, {Value::Int(17)});
+  edb.Insert(blocked, {Value::Int(21)});
+  for (int i = 0; i < 70; ++i) {
+    edb.Insert(e, {Value::Int(RandInt(&rng, 0, 29)),
+                   Value::Int(RandInt(&rng, 0, 29))});
+  }
+  ExpectAllConfigurationsAgree(parsed.value().program, edb, "stratified_neg");
+}
+
+// Repeated variables inside one subgoal (e(X, X)) and inter-atom repeats:
+// the compiler must not mask a column on a variable the same atom is the
+// first to bind — that was an interpreter/bytecode divergence caught
+// during development, pinned here.
+TEST(EvalEquivTest, RepeatedVariableFourWayEquivalence) {
+  Result<ParsedUnit> parsed = ParseUnit(R"(
+    loop(X) :- e(X, X).
+    tri(X, Y) :- e(X, Y), e(Y, X), X <= Y.
+    chain(X, Z) :- loop(X), e(X, Z), e(Z, Z).
+    ?- tri.
+  )");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  Database edb;
+  FuzzRng rng(11);
+  const PredId e = InternPred("e");
+  for (int i = 0; i < 60; ++i) {
+    edb.Insert(e, {Value::Int(RandInt(&rng, 0, 9)),
+                   Value::Int(RandInt(&rng, 0, 9))});
+  }
+  ExpectAllConfigurationsAgree(parsed.value().program, edb, "repeated_vars");
 }
 
 // Generates a random safe program over EDB predicates e0/2, e1/2, f0/1 and
@@ -114,23 +280,10 @@ TEST(EvalEquivFuzzTest, AllConfigurationsAgree) {
     ++generated;
     Database edb;
     for (const Atom& fact : parsed.value().facts) edb.InsertAtom(fact);
-
-    std::vector<std::vector<Tuple>> answers;
-    for (bool semi_naive : {true, false}) {
-      for (bool use_indexes : {true, false}) {
-        EvalOptions options;
-        options.semi_naive = semi_naive;
-        options.use_indexes = use_indexes;
-        Result<std::vector<Tuple>> result =
-            EvaluateQuery(parsed.value().program, edb, options);
-        ASSERT_TRUE(result.ok()) << result.status().message() << "\n" << src;
-        answers.push_back(result.take());
-      }
-    }
-    for (size_t i = 1; i < answers.size(); ++i) {
-      ASSERT_EQ(answers[0], answers[i])
-          << "configuration " << i << " diverged on:\n" << src;
-    }
+    ExpectAllConfigurationsAgree(parsed.value().program, edb,
+                                 "fuzz trial " + std::to_string(trial) +
+                                     ":\n" + src);
+    if (::testing::Test::HasFatalFailure()) return;
   }
   // The generator must actually exercise the engine, not skip everything.
   EXPECT_GE(generated, 150);

@@ -1,0 +1,171 @@
+// Golden tests for the compiled-plan side of EXPLAIN: kernel selection is
+// part of the observable contract (EXPLAIN text, EXPLAIN ANALYZE JSON, the
+// slow-query log), so this file pins which kernel the compiler picks for
+// the canonical rule shapes and how the selection renders.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/engine/explain.h"
+#include "src/eval/bytecode.h"
+#include "src/eval/plan.h"
+#include "src/obs/json.h"
+#include "src/parser/parser.h"
+
+namespace sqod {
+namespace {
+
+constexpr const char* kFigure1 = R"(
+  p(X, Y) :- a(X, Y).
+  p(X, Y) :- b(X, Y).
+  p(X, Y) :- a(X, Z), p(Z, Y).
+  p(X, Y) :- b(X, Z), p(Z, Y).
+  :- a(X, Y), b(Y, Z).
+  b(1, 2). b(2, 3). a(3, 4). a(4, 5).
+  ?- p.
+)";
+
+// Maps every compiled plan to its kernel name, keyed by
+// (rule_index, delta_subgoal).
+std::map<std::pair<int, int>, std::string> KernelsByPlan(
+    const CompiledProgram& compiled) {
+  std::map<std::pair<int, int>, std::string> kernels;
+  for (const CompiledProgram::PlanInfo& plan : compiled.plans) {
+    kernels[{plan.rule_index, plan.delta_subgoal}] =
+        KernelName(plan.kernel);
+  }
+  return kernels;
+}
+
+// The canonical rule shapes get the kernels the compiler documents:
+//  * single-atom copy rule           -> scan_filter_emit
+//  * binary join on a bound key      -> scan_probe_emit
+//  * anything carrying a negation    -> generic
+TEST(ExplainGoldenTest, KernelSelectionMatchesRuleShapes) {
+  Result<ParsedUnit> parsed = ParseUnit(R"(
+    copy(X, Y) :- e(X, Y).
+    join(X, Z) :- e(X, Y), f(Y, Z).
+    guarded(X) :- n(X), !e(X, X).
+    tc(X, Y) :- e(X, Y).
+    tc(X, Z) :- e(X, Y), tc(Y, Z).
+    ?- tc.
+  )");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  Result<CompiledProgram> compiled = CompileProgram(parsed.value().program);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().message();
+  std::map<std::pair<int, int>, std::string> kernels =
+      KernelsByPlan(compiled.value());
+
+  // Full plans, one per rule (delta_subgoal = -1).
+  EXPECT_EQ((kernels[{0, -1}]), "scan_filter_emit");  // copy
+  EXPECT_EQ((kernels[{1, -1}]), "scan_probe_emit");   // join
+  EXPECT_EQ((kernels[{2, -1}]), "generic");           // negation
+  EXPECT_EQ((kernels[{3, -1}]), "scan_filter_emit");  // tc base
+  EXPECT_EQ((kernels[{4, -1}]), "scan_probe_emit");   // tc recursive
+  // The recursive rule also gets a semi-naive delta plan (delta on the
+  // tc occurrence, subgoal index 1): scan the delta, probe e on its
+  // bound key — still the two-level probe kernel.
+  ASSERT_TRUE((kernels.count({4, 1})));
+  EXPECT_EQ((kernels[{4, 1}]), "scan_probe_emit");
+
+  EXPECT_GT(compiled.value().total_ops, 0);
+  for (const CompiledProgram::PlanInfo& plan : compiled.value().plans) {
+    EXPECT_GT(plan.op_count, 0);
+  }
+}
+
+TEST(ExplainGoldenTest, TextReportRendersKernelTable) {
+  Engine engine;
+  Session session = engine.Open(kFigure1).take();
+  const PreparedProgram* prepared = session.Prepare().value();
+  ASSERT_NE(prepared->compiled, nullptr);
+  ExplainReport explain =
+      BuildExplainReport(prepared->report, prepared->compiled.get());
+  EXPECT_TRUE(explain.compiled);
+  EXPECT_GT(explain.compile_ns, 0);
+  EXPECT_GT(explain.total_ops, 0);
+  EXPECT_EQ(explain.kernels.size(), prepared->compiled->plans.size());
+
+  std::string text = explain.ToText();
+  EXPECT_NE(text.find("== kernels =="), std::string::npos);
+  EXPECT_NE(text.find("scan_filter_emit"), std::string::npos);
+  // Semi-naive delta plans are listed with their delta subgoal; full plans
+  // render the delta column as "-".
+  bool saw_full = false, saw_delta = false;
+  for (const ExplainKernelRow& row : explain.kernels) {
+    EXPECT_FALSE(row.kernel.empty());
+    EXPECT_GT(row.op_count, 0);
+    saw_full |= row.delta_subgoal < 0;
+    saw_delta |= row.delta_subgoal >= 0;
+  }
+  EXPECT_TRUE(saw_full);
+  EXPECT_TRUE(saw_delta);
+}
+
+TEST(ExplainGoldenTest, JsonCarriesKernelsAndExecutedOps) {
+  Engine engine;
+  Session session = engine.Open(kFigure1).take();
+  const PreparedProgram* prepared = session.Prepare().value();
+  ExplainReport explain =
+      BuildExplainReport(prepared->report, prepared->compiled.get());
+
+  Database edb = session.MakeEdb();
+  EvalOptions eval;
+  eval.profile_rules = true;
+  EvalStats stats;
+  std::vector<RuleProfile> profiles;
+  std::vector<Tuple> answers =
+      session.Execute(*prepared, edb, eval, &stats, &profiles).take();
+  AttachRuntime(prepared->report, stats, profiles,
+                static_cast<int64_t>(answers.size()), 1, &explain);
+  // Compiled mode executed, so the per-rule op counters joined in.
+  EXPECT_GT(explain.ops_executed, 0);
+  EXPECT_NE(explain.ToText().find("bytecode ops:"), std::string::npos);
+
+  Result<JsonValue> parsed = ParseJson(explain.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue* kernels = parsed.value().Find("kernels");
+  ASSERT_NE(kernels, nullptr);
+  EXPECT_NE(kernels->Find("compile_ns"), nullptr);
+  EXPECT_NE(kernels->Find("total_ops"), nullptr);
+  const JsonValue* plans = kernels->Find("plans");
+  ASSERT_NE(plans, nullptr);
+  EXPECT_EQ(plans->array.size(), prepared->compiled->plans.size());
+  for (const JsonValue& plan : plans->array) {
+    ASSERT_NE(plan.Find("kernel"), nullptr);
+    const std::string& name = plan.Find("kernel")->string;
+    EXPECT_TRUE(name == "generic" || name == "scan_filter_emit" ||
+                name == "scan_probe_emit")
+        << name;
+  }
+  const JsonValue* runtime = parsed.value().Find("runtime");
+  ASSERT_NE(runtime, nullptr);
+  EXPECT_NE(runtime->Find("ops_executed"), nullptr);
+}
+
+// The disassembler is EXPLAIN's drill-down: every compiled plan prints its
+// opcode stream, and the canonical copy rule lowers to the documented
+// scan / check / emit sequence.
+TEST(ExplainGoldenTest, DisassemblyShowsOpcodeStream) {
+  Result<ParsedUnit> parsed = ParseUnit(R"(
+    copy(X, Y) :- e(X, Y).
+    ?- copy.
+  )");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  CompiledRule rule =
+      CompileRulePlan(BuildPlan(parsed.value().program.rules()[0], 0, -1),
+                      parsed.value().program.IdbPreds());
+  std::string text = rule.ToString();
+  EXPECT_NE(text.find("SCAN_FULL"), std::string::npos);
+  EXPECT_NE(text.find("LOAD_COL"), std::string::npos);
+  EXPECT_NE(text.find("EMIT_HEAD"), std::string::npos);
+  EXPECT_EQ(rule.kernel, KernelId::kScanFilterEmit);
+}
+
+}  // namespace
+}  // namespace sqod
