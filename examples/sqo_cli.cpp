@@ -9,6 +9,7 @@
 //   usage: sqo_cli [--p1] [--tree] [--dot] [--adornments] [--eval]
 //                  [--eval-mode=interpret|compile] [--profile] [--passes]
 //                  [--explain] [--analyze[=FILE]]
+//                  [--facts=FILE] [--apply-delta=FILE]
 //                  [--disable-pass=NAME ...] [--reprepare] [--trace=FILE]
 //                  [--stats-json=FILE] <file|->
 //          sqo_cli --serve-batch [--threads=N] [--requests=R]
@@ -42,6 +43,21 @@
 //                   the unit has facts; adds per-rule runtime rows
 //                   (firings, derivations, wall time against the rule
 //                   text). With =FILE, also writes the report as JSON
+//     --facts=FILE  merge additional ground facts (plain `p(1, 2).` lines)
+//                   into the unit's EDB before anything runs; applies to
+//                   every mode, so a large base EDB can live next to a
+//                   small rules file
+//     --apply-delta=FILE  materialize the unit's query as an incremental
+//                   view, then replay a change stream against it. The file
+//                   holds batches of fact changes:
+//                       batch            # starts the next batch
+//                       +edge(5, 6).     # insert
+//                       -edge(1, 2).     # delete
+//                   After every batch the maintained answers are checked
+//                   against a from-scratch recompute of the same EDB, and
+//                   the maintain-vs-recompute wall times are printed per
+//                   batch (nonzero exit on any mismatch). With --analyze,
+//                   the maintenance totals join the EXPLAIN report
 //     --list-passes print the pipeline's pass names, in order, and exit
 //     --disable-pass=NAME  switch off one pass (repeatable); NAME is any
 //                   entry of --list-passes
@@ -84,6 +100,8 @@
 #include "src/cq/ic_check.h"
 #include "src/engine/engine.h"
 #include "src/engine/explain.h"
+#include "src/engine/view.h"
+#include "src/parser/parser.h"
 #include "src/obs/event_log.h"
 #include "src/obs/export.h"
 #include "src/obs/json.h"
@@ -119,6 +137,55 @@ bool WriteAll(const std::string& path, const std::string& content) {
   return out.good();
 }
 
+// Parses an --apply-delta file: `batch` lines separate batches, `+fact.`
+// inserts, `-fact.` deletes, `#` starts a comment. Returns false (with a
+// message naming the line) on malformed input.
+bool ParseDeltaFile(const std::string& text, const std::string& name,
+                    std::vector<sqod::FactDelta>* out) {
+  std::istringstream in(text);
+  std::string line;
+  sqod::FactDelta current;
+  int lineno = 0;
+  auto flush = [&] {
+    if (!current.empty()) {
+      out->push_back(std::move(current));
+      current = sqod::FactDelta();
+    }
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    size_t end = line.find_last_not_of(" \t\r");
+    std::string trimmed = line.substr(begin, end - begin + 1);
+    if (trimmed[0] == '#') continue;
+    if (trimmed == "batch") {
+      flush();
+      continue;
+    }
+    if (trimmed[0] != '+' && trimmed[0] != '-') {
+      std::fprintf(stderr,
+                   "%s:%d: expected 'batch', '+fact.', or '-fact.'\n",
+                   name.c_str(), lineno);
+      return false;
+    }
+    sqod::Result<sqod::Atom> atom =
+        sqod::ParseAtomText(std::string_view(trimmed).substr(1));
+    if (!atom.ok()) {
+      std::fprintf(stderr, "%s:%d: %s\n", name.c_str(), lineno,
+                   atom.status().message().c_str());
+      return false;
+    }
+    if (trimmed[0] == '+') {
+      current.inserts.push_back(atom.take());
+    } else {
+      current.deletes.push_back(atom.take());
+    }
+  }
+  flush();
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -132,7 +199,8 @@ int main(int argc, char** argv) {
   int threads = 4, requests = 8;
   long long deadline_ms = -1, max_queue = 256, slow_ms = -1,
             metrics_snapshot_ms = -1;
-  std::string trace_path, stats_json_path, analyze_path;
+  std::string trace_path, stats_json_path, analyze_path, facts_path,
+      delta_path;
   std::vector<std::string> disabled_passes;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -169,6 +237,10 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--analyze=", 10) == 0) {
       do_analyze = true;
       analyze_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--facts=", 8) == 0) {
+      facts_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--apply-delta=", 14) == 0) {
+      delta_path = argv[i] + 14;
     } else if (std::strcmp(argv[i], "--list-passes") == 0) {
       for (const std::string& name : PassManager::PassNames()) {
         std::printf("%s\n", name.c_str());
@@ -220,10 +292,27 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // The full unit: the named source plus any --facts side file (plain
+  // ground facts appended before the parse, so they go through the same
+  // validation as inline facts).
+  std::string source = ReadAll(path);
+  if (!facts_path.empty()) {
+    source += "\n";
+    source += ReadAll(facts_path.c_str());
+  }
+
+  std::vector<FactDelta> delta_batches;
+  if (!delta_path.empty() &&
+      !ParseDeltaFile(ReadAll(delta_path.c_str()), delta_path,
+                      &delta_batches)) {
+    return 2;
+  }
+
   if (serve_batch) {
     // Serve-batch mode: feed the unit through the concurrent QueryService.
-    // Every request shares one parsed session and one optimizer pipeline run
-    // (single-flight), but evaluates on its own EDB copy.
+    // Every request shares one parsed session and one optimizer pipeline
+    // run (single-flight), and evaluates against the session's shared
+    // frozen EDB snapshot.
     MetricsRegistry metrics;
     ServiceOptions service_options;
     service_options.threads = threads;
@@ -233,7 +322,6 @@ int main(int argc, char** argv) {
     service_options.metrics_snapshot_ms = metrics_snapshot_ms;
     QueryService service(service_options);
 
-    const std::string source = ReadAll(path);
     std::vector<std::future<Response>> futures;
     futures.reserve(static_cast<size_t>(requests));
     for (int i = 0; i < requests; ++i) {
@@ -350,7 +438,7 @@ int main(int argc, char** argv) {
   engine_options.metrics = &metrics;
   Engine engine(engine_options);
 
-  Result<Session> opened = engine.Open(ReadAll(path));
+  Result<Session> opened = engine.Open(source);
   if (!opened.ok()) {
     std::fprintf(stderr, "parse error: %s\n",
                  opened.status().message().c_str());
@@ -454,6 +542,76 @@ int main(int argc, char** argv) {
                   RenderRuleProfileTable(rewritten_profiles).c_str());
     }
     exit_code = original == rewritten ? 0 : 1;
+  }
+
+  if (!delta_batches.empty()) {
+    // Incremental-view replay: pin the prepared program to a materialized
+    // view, apply each batch, and referee the maintained answers against a
+    // from-scratch recompute of the same EDB.
+    MaterializeOptions materialize;
+    materialize.eval.mode = eval_mode;
+    Result<MaterializedView*> made =
+        session.Materialize(*prepared.value(), materialize);
+    if (!made.ok()) {
+      std::fprintf(stderr, "materialize error [%s]: %s\n",
+                   StatusCodeName(made.status().code()),
+                   made.status().message().c_str());
+      return 2;
+    }
+    MaterializedView* view = made.value();
+    EvalOptions eval_options;
+    eval_options.mode = eval_mode;
+    int64_t maintain_total_ns = 0, recompute_total_ns = 0;
+    bool all_match = true;
+    int batch_no = 0;
+    for (const FactDelta& delta : delta_batches) {
+      ++batch_no;
+      const int64_t t0 = NowNs();
+      Result<MaintainStats> stats = view->ApplyDelta(delta);
+      const int64_t maintain_ns = NowNs() - t0;
+      if (!stats.ok()) {
+        std::fprintf(stderr, "delta batch %d rejected [%s]: %s\n", batch_no,
+                     StatusCodeName(stats.status().code()),
+                     stats.status().message().c_str());
+        return 1;
+      }
+      maintain_total_ns += maintain_ns;
+      Database changed = view->SnapshotEdb();
+      const int64_t r0 = NowNs();
+      Result<std::vector<Tuple>> fresh =
+          session.Execute(*prepared.value(), changed, eval_options);
+      const int64_t recompute_ns = NowNs() - r0;
+      if (!fresh.ok()) {
+        std::fprintf(stderr, "recompute failed on batch %d: %s\n", batch_no,
+                     fresh.status().message().c_str());
+        return 2;
+      }
+      recompute_total_ns += recompute_ns;
+      std::vector<Tuple> answers = view->Answers();
+      const bool match = answers == fresh.value();
+      all_match = all_match && match;
+      std::printf("%% delta batch %d: maintain %s recompute %s answers=%zu "
+                  "(match: %s) | %s\n",
+                  batch_no, FormatDurationNs(maintain_ns).c_str(),
+                  FormatDurationNs(recompute_ns).c_str(), answers.size(),
+                  match ? "yes" : "NO", stats.value().Summary().c_str());
+    }
+    const double speedup =
+        maintain_total_ns > 0
+            ? static_cast<double>(recompute_total_ns) /
+                  static_cast<double>(maintain_total_ns)
+            : 0.0;
+    std::printf("%% apply-delta: %d batch(es) to v%lld, maintain %s, "
+                "recompute %s (%.1fx), match: %s\n",
+                batch_no, static_cast<long long>(view->version()),
+                FormatDurationNs(maintain_total_ns).c_str(),
+                FormatDurationNs(recompute_total_ns).c_str(), speedup,
+                all_match ? "yes" : "NO");
+    metrics.GetGauge("cli/delta_batches")->Set(batch_no);
+    metrics.GetGauge("cli/delta_match")->Set(all_match ? 1 : 0);
+    AttachMaintenance(view->totals(), view->last_batch(),
+                      view->batches_applied(), &explain);
+    if (!all_match) exit_code = 1;
   }
 
   if (do_explain || do_analyze) {

@@ -110,6 +110,43 @@ void AttachRuntime(const SqoReport& sqo, const EvalStats& stats,
   }
 }
 
+void AttachMaintenance(const MaintainStats& totals,
+                       const MaintainStats& last_batch, int64_t batches,
+                       ExplainReport* report) {
+  report->maintained = true;
+  report->batches = batches;
+  report->maintain = totals;
+  report->last_batch = last_batch;
+}
+
+namespace {
+
+// The shared field list for both maintenance stanzas (totals / last batch).
+std::string MaintainJson(const MaintainStats& s) {
+  std::string out = "{";
+  out += "\"version\":" + std::to_string(s.version);
+  out += ",\"recomputed\":";
+  out += s.recomputed ? "true" : "false";
+  out += ",\"edb_inserted\":" + std::to_string(s.edb_inserted);
+  out += ",\"edb_deleted\":" + std::to_string(s.edb_deleted);
+  out += ",\"idb_inserted\":" + std::to_string(s.idb_inserted);
+  out += ",\"idb_deleted\":" + std::to_string(s.idb_deleted);
+  out += ",\"over_deleted\":" + std::to_string(s.over_deleted);
+  out += ",\"rederived\":" + std::to_string(s.rederived);
+  char ratio[32];
+  std::snprintf(ratio, sizeof(ratio), "%.4f", s.over_deletion_ratio());
+  out += ",\"over_deletion_ratio\":" + std::string(ratio);
+  out += ",\"count_updates\":" + std::to_string(s.count_updates);
+  out += ",\"strata_incremental\":" + std::to_string(s.strata_incremental);
+  out += ",\"strata_recomputed\":" + std::to_string(s.strata_recomputed);
+  out += ",\"strata_skipped\":" + std::to_string(s.strata_skipped);
+  out += ",\"maintain_ns\":" + std::to_string(s.maintain_ns);
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
 std::string ExplainReport::ToText() const {
   std::string out = "== pass pipeline ==\n";
   const size_t kName = 14, kTime = 12, kCol = 12;
@@ -189,6 +226,30 @@ std::string ExplainReport::ToText() const {
       out += row.kernel;
       out += '\n';
     }
+  }
+
+  if (maintained) {
+    out += "\n== maintenance ==\n";
+    out += "batches:           " + std::to_string(batches) + "\n";
+    out += "maintain time:     " + FormatDurationNs(maintain.maintain_ns) +
+           "\n";
+    out += "edb delta:         +" + std::to_string(maintain.edb_inserted) +
+           " / -" + std::to_string(maintain.edb_deleted) + "\n";
+    out += "idb delta:         +" + std::to_string(maintain.idb_inserted) +
+           " / -" + std::to_string(maintain.idb_deleted) + "\n";
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.2f",
+                  maintain.over_deletion_ratio());
+    out += "over-deletion:     " + std::to_string(maintain.over_deleted) +
+           " tentative, " + std::to_string(maintain.rederived) +
+           " rederived (ratio " + ratio + ")\n";
+    out += "count updates:     " + std::to_string(maintain.count_updates) +
+           "\n";
+    out += "strata:            " +
+           std::to_string(maintain.strata_incremental) + " incremental, " +
+           std::to_string(maintain.strata_recomputed) + " recomputed, " +
+           std::to_string(maintain.strata_skipped) + " skipped\n";
+    out += "last batch:        " + last_batch.Summary() + "\n";
   }
 
   if (analyzed) {
@@ -291,6 +352,13 @@ std::string ExplainReport::ToJson() const {
     }
     out += "]}";
   }
+  if (maintained) {
+    out += ",\"maintenance\":{";
+    out += "\"batches\":" + std::to_string(batches);
+    out += ",\"totals\":" + MaintainJson(maintain);
+    out += ",\"last_batch\":" + MaintainJson(last_batch);
+    out += '}';
+  }
   if (analyzed) {
     out += ",\"runtime\":{";
     out += "\"execute_ns\":" + std::to_string(execute_ns);
@@ -337,6 +405,12 @@ std::string ExplainReport::Summary() const {
          " cmp=" + std::to_string(residue_comparisons_added) +
          " neg=" + std::to_string(residue_negations_added) + ")";
   out += " optimize=" + FormatDurationNs(optimize_ns);
+  if (maintained) {
+    out += " batches=" + std::to_string(batches);
+    out += " v" + std::to_string(maintain.version);
+    out += " overdel=" + std::to_string(maintain.over_deleted) + "/" +
+           std::to_string(maintain.rederived);
+  }
   if (analyzed) {
     out += " iters=" + std::to_string(stats.iterations);
     out += " firings=" + std::to_string(stats.rule_firings);

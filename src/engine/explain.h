@@ -7,6 +7,7 @@
 
 #include "src/eval/bytecode.h"
 #include "src/eval/evaluator.h"
+#include "src/eval/maintain.h"
 #include "src/sqo/optimizer.h"
 
 namespace sqod {
@@ -80,6 +81,12 @@ struct ExplainReport {
   int64_t total_ops = 0;   // static op count over all plans
   std::vector<ExplainKernelRow> kernels;  // one per compiled plan
 
+  // --- maintenance side (after AttachMaintenance; views only) ---
+  bool maintained = false;
+  int64_t batches = 0;          // effective ApplyDelta batches so far
+  MaintainStats maintain;       // totals across those batches
+  MaintainStats last_batch;     // the most recent batch alone
+
   // --- runtime side (after AttachRuntime) ---
   bool analyzed = false;
   EvalStats stats;
@@ -113,6 +120,14 @@ ExplainReport BuildExplainReport(const SqoReport& report,
 void AttachRuntime(const SqoReport& sqo, const EvalStats& stats,
                    const std::vector<RuleProfile>& profiles, int64_t answers,
                    int64_t execute_ns, ExplainReport* report);
+
+// Joins a materialized view's maintenance history into `report`: per-batch
+// tuples deleted / re-derived, the over-deletion ratio, and how many strata
+// were maintained incrementally vs recomputed (both the totals across
+// `batches` and the last batch alone).
+void AttachMaintenance(const MaintainStats& totals,
+                       const MaintainStats& last_batch, int64_t batches,
+                       ExplainReport* report);
 
 }  // namespace sqod
 

@@ -4,9 +4,19 @@
 #include <utility>
 
 #include "src/engine/engine.h"
+#include "src/engine/view.h"
 #include "src/sqo/pass_manager.h"
 
 namespace sqod {
+
+// Lazily built shared state: the frozen base-EDB snapshot and the
+// materialized views, both single-flight under one mutex (materialization
+// is rare and expensive; serializing it is fine and keeps the slot simple).
+struct Session::ViewCache {
+  std::mutex mu;
+  std::unique_ptr<Database> shared_edb;
+  std::unordered_map<uint64_t, std::unique_ptr<MaterializedView>> views;
+};
 
 namespace {
 
@@ -24,12 +34,43 @@ uint64_t Fnv1a64(const std::string& s) {
 Session::Session(Engine* engine, ParsedUnit unit)
     : engine_(engine),
       unit_(std::move(unit)),
-      cache_(std::make_unique<PrepareCache>()) {}
+      cache_(std::make_unique<PrepareCache>()),
+      views_(std::make_unique<ViewCache>()) {}
+
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+Session::~Session() = default;
 
 Database Session::MakeEdb() const {
   Database edb;
   for (const Atom& fact : unit_.facts) edb.InsertAtom(fact);
   return edb;
+}
+
+const Database& Session::SharedEdb() {
+  std::lock_guard<std::mutex> lock(views_->mu);
+  if (views_->shared_edb == nullptr) {
+    views_->shared_edb = std::make_unique<Database>(MakeEdb());
+    views_->shared_edb->Freeze();
+  }
+  return *views_->shared_edb;
+}
+
+Result<MaterializedView*> Session::Materialize(
+    const PreparedProgram& prepared, const MaterializeOptions& options) {
+  std::lock_guard<std::mutex> lock(views_->mu);
+  auto it = views_->views.find(prepared.cache_key);
+  if (it != views_->views.end()) return it->second.get();
+
+  engine_->metrics().GetCounter("engine/views_materialized")->Increment();
+  Result<std::unique_ptr<MaterializedView>> view =
+      MaterializedView::Create(prepared, MakeEdb(), options);
+  if (!view.ok()) return view.status();
+  MaterializedView* result = view.value().get();
+  views_->views.emplace(prepared.cache_key, std::move(view).value());
+  engine_->metrics().GetGauge("engine/materialized_views")
+      ->Set(static_cast<int64_t>(views_->views.size()));
+  return result;
 }
 
 std::string Session::Fingerprint(const SqoOptions& options) const {
@@ -162,6 +203,11 @@ size_t Session::cache_size() const {
 }
 
 void Session::ClearCache() {
+  {
+    // Views pin PreparedPrograms, so they go first.
+    std::lock_guard<std::mutex> lock(views_->mu);
+    views_->views.clear();
+  }
   std::lock_guard<std::mutex> lock(cache_->mu);
   cache_->entries.clear();
 }

@@ -18,6 +18,20 @@
 namespace sqod {
 
 class Engine;
+class MaterializedView;
+
+// How Session::Materialize builds and maintains a view (see
+// src/engine/view.h and docs/ivm.md).
+struct MaterializeOptions {
+  // Evaluation options for the initial fixpoint and the recompute
+  // fallback. The incremental path never runs the evaluator.
+  EvalOptions eval;
+  // Fall back to a full recompute when a batch's net change exceeds this
+  // fraction of the live EDB.
+  double recompute_fraction = 0.25;
+  // Always recompute (benchmark baseline / escape hatch).
+  bool force_recompute = false;
+};
 
 // An optimized program, ready for repeated execution. Owned by the session
 // that prepared it; pointers returned by Session::Prepare stay valid for
@@ -56,22 +70,34 @@ struct PreparedProgram {
 //    engine/pipeline_runs == 1). Failed runs are not cached; a later
 //    Prepare retries.
 //  * Execute / ExecuteOriginal / MakeEdb are safe concurrently, provided
-//    each thread evaluates against its own Database (Relation builds join
-//    indexes lazily, so sharing one mutable Database across evaluating
-//    threads is a data race — give every request its own MakeEdb()).
-//  * ClearCache invalidates the pointers Prepare returned and must not
-//    run concurrently with Prepare or with threads still holding them.
+//    each thread evaluates against its own Database or the session's
+//    frozen SharedEdb() snapshot. A mutable Database must not be shared
+//    across evaluating threads (Relation builds join indexes lazily — a
+//    data race); the shared snapshot is frozen, so its lazy index builds
+//    serialize internally and any number of threads may probe it.
+//  * Materialize is single-flight per prepared program: concurrent calls
+//    serialize and share one MaterializedView. The view has its own
+//    reader/maintainer contract (see view.h).
+//  * ClearCache invalidates the pointers Prepare and Materialize returned
+//    (views pin their PreparedProgram) and must not run concurrently with
+//    Prepare/Materialize or with threads still holding them.
 class Session {
  public:
-  Session(Session&&) = default;
-  Session& operator=(Session&&) = default;
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+  ~Session();
 
   const Program& program() const { return unit_.program; }
   const std::vector<Constraint>& ics() const { return unit_.constraints; }
   const std::vector<Atom>& facts() const { return unit_.facts; }
 
-  // Materializes the unit's facts as an EDB.
+  // Materializes the unit's facts as an EDB (a fresh mutable copy).
   Database MakeEdb() const;
+
+  // The unit's facts as one immutable frozen snapshot, built lazily on
+  // first use and shared by every caller after: the serving layer's warm
+  // path reads it concurrently instead of copying the EDB per request.
+  const Database& SharedEdb();
 
   // Runs the optimizer pipeline once per distinct (program, ICs, options)
   // fingerprint and caches the result: preparing the same query twice is a
@@ -103,6 +129,18 @@ class Session {
       EvalStats* stats = nullptr,
       std::vector<RuleProfile>* profiles = nullptr);
 
+  // The materialized view for `prepared`, building it on first use (one
+  // view per prepared program, keyed by its cache key; `options` only
+  // matter for the call that builds the view). The view is owned by the
+  // session and stays valid until ClearCache. Building runs the initial
+  // fixpoint, so the first call pays an Execute-sized cost; later calls
+  // return the warm view immediately.
+  Result<MaterializedView*> Materialize(const PreparedProgram& prepared,
+                                        const MaterializeOptions& options);
+  Result<MaterializedView*> Materialize(const PreparedProgram& prepared) {
+    return Materialize(prepared, MaterializeOptions());
+  }
+
   // Number of distinct prepared programs cached (in-flight ones included).
   size_t cache_size() const;
 
@@ -131,6 +169,10 @@ class Session {
     std::unordered_map<std::string, std::shared_ptr<CacheEntry>> entries;
   };
 
+  // Shared-EDB snapshot + materialized views; defined in session.cc so
+  // this header needs neither view.h nor a complete MaterializedView.
+  struct ViewCache;
+
   // The canonical fingerprint string hashed into the cache key.
   std::string Fingerprint(const SqoOptions& options) const;
 
@@ -141,6 +183,7 @@ class Session {
   Engine* engine_;
   ParsedUnit unit_;
   std::unique_ptr<PrepareCache> cache_;
+  std::unique_ptr<ViewCache> views_;
 };
 
 }  // namespace sqod

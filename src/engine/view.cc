@@ -1,0 +1,128 @@
+#include "src/engine/view.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace sqod {
+
+namespace {
+
+void SortTuples(std::vector<Tuple>* out) {
+  std::sort(out->begin(), out->end(), [](const Tuple& a, const Tuple& b) {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  });
+}
+
+Database CopyLive(const Database& db) {
+  Database out;
+  for (const auto& [pred, rel] : db.relations()) {
+    Relation* dst = out.FindOrCreate(pred, rel.arity());
+    for (TupleRef t : rel.rows()) dst->Insert(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MaterializedView>> MaterializedView::Create(
+    const PreparedProgram& prepared, const Database& base,
+    const MaterializeOptions& options) {
+  Result<MaintenancePlan> plan = BuildMaintenancePlan(prepared.program());
+  if (!plan.ok()) return plan.status();
+
+  auto view = std::unique_ptr<MaterializedView>(new MaterializedView());
+  view->prepared_ = &prepared;
+  view->options_ = options;
+  view->plan_ = std::move(plan).value();
+
+  view->state_.edb = base;  // the view owns and mutates its EDB
+  view->state_.edb.EnableVersioning(0);
+  view->state_.version = 0;
+
+  EvalOptions eval = options.eval;
+  if (eval.mode == EvalMode::kCompile && eval.compiled == nullptr) {
+    eval.compiled = prepared.compiled.get();
+  }
+  Evaluator evaluator(prepared.program(), eval);
+  Result<Database> idb = evaluator.Evaluate(view->state_.edb);
+  if (!idb.ok()) return idb.status();
+  view->state_.idb = std::move(idb).value();
+  view->state_.idb.EnableVersioning(0);
+
+  InitializeDerivationCounts(prepared.program(), view->plan_, &view->state_);
+  return view;
+}
+
+int64_t MaterializedView::version() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return state_.version;
+}
+
+std::vector<Tuple> MaterializedView::Answers(int64_t* version) const {
+  std::vector<Tuple> out;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (version != nullptr) *version = state_.version;
+    const PredId query = program().query();
+    const Relation* rel = state_.idb.Find(query);
+    if (rel == nullptr) rel = state_.edb.Find(query);  // EDB-only query
+    if (rel != nullptr) {
+      out.reserve(rel->live_size());
+      for (TupleRef t : rel->rows()) out.push_back(t.Materialize());
+    }
+  }
+  SortTuples(&out);
+  return out;
+}
+
+Result<MaintainStats> MaterializedView::ApplyDelta(const FactDelta& delta) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  ApplyDeltaOptions options;
+  options.eval = options_.eval;
+  if (options.eval.mode == EvalMode::kCompile &&
+      options.eval.compiled == nullptr) {
+    options.eval.compiled = prepared_->compiled.get();
+  }
+  options.recompute_fraction = options_.recompute_fraction;
+  options.force_recompute = options_.force_recompute;
+  Result<MaintainStats> stats =
+      ApplyDeltaToState(program(), plan_, delta, options, &state_);
+  if (stats.ok()) {
+    last_ = stats.value();
+    totals_.Accumulate(last_);
+    ++batches_;
+  }
+  return stats;
+}
+
+MaintainStats MaterializedView::last_batch() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return last_;
+}
+
+MaintainStats MaterializedView::totals() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return totals_;
+}
+
+int64_t MaterializedView::batches_applied() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return batches_;
+}
+
+Database MaterializedView::SnapshotIdb() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return CopyLive(state_.idb);
+}
+
+Database MaterializedView::SnapshotEdb() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return CopyLive(state_.edb);
+}
+
+}  // namespace sqod

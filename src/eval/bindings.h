@@ -1,0 +1,59 @@
+#ifndef SQOD_EVAL_BINDINGS_H_
+#define SQOD_EVAL_BINDINGS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/value.h"
+#include "src/eval/plan.h"
+
+namespace sqod {
+
+// Variable bindings as a dense slot array indexed by rule-local variable id
+// (rules renumber their variables 0..num_vars-1 at plan-compile time), with
+// a trail for cheap backtracking. Bind/Get/IsBound never hash or allocate.
+// Shared by the PlanStep interpreter (evaluator.cc) and the maintenance
+// executor (maintain.cc); the bytecode executor precomputes boundness and
+// needs neither the flags nor the trail.
+class Bindings {
+ public:
+  void Reset(int num_vars) {
+    slots_.assign(num_vars, Value());
+    bound_.assign(num_vars, 0);
+    trail_.clear();
+  }
+
+  size_t Mark() const { return trail_.size(); }
+
+  void Restore(size_t mark) {
+    while (trail_.size() > mark) {
+      bound_[trail_.back()] = 0;
+      trail_.pop_back();
+    }
+  }
+
+  // Binds or checks; returns false on mismatch with an existing binding.
+  bool Bind(int32_t var, const Value& value) {
+    if (bound_[var]) return slots_[var] == value;
+    bound_[var] = 1;
+    slots_[var] = value;
+    trail_.push_back(var);
+    return true;
+  }
+
+  bool IsBound(int32_t var) const { return bound_[var] != 0; }
+  const Value& Get(int32_t var) const { return slots_[var]; }
+
+ private:
+  std::vector<Value> slots_;
+  std::vector<uint8_t> bound_;
+  std::vector<int32_t> trail_;
+};
+
+inline const Value& ArgValue(const ArgRef& a, const Bindings& b) {
+  return a.var < 0 ? a.const_val : b.Get(a.var);
+}
+
+}  // namespace sqod
+
+#endif  // SQOD_EVAL_BINDINGS_H_

@@ -548,16 +548,26 @@ void RunBytecode(const CompiledRule& rule, VmContext* ctx) {
       }
       Cursor& cur = stack[depth - 1];
       bool have_row = false;
+      // Tombstoned rows are skipped before the probe counter, matching the
+      // interpreter and the specialized kernels.
       if (cur.is_scan) {
+        while (cur.scan_row < cur.scan_end && !cur.rel->live(cur.scan_row)) {
+          ++cur.scan_row;
+        }
         if (cur.scan_row < cur.scan_end) {
           cur.row_data = cur.rel->row(cur.scan_row).data();
           ++cur.scan_row;
           have_row = true;
         }
-      } else if (cur.probe_row >= 0) {
-        cur.row_data = cur.rel->row(cur.probe_row).data();
-        cur.probe_row = cur.next[cur.probe_row];
-        have_row = true;
+      } else {
+        while (cur.probe_row >= 0 && !cur.rel->live(cur.probe_row)) {
+          cur.probe_row = cur.next[cur.probe_row];
+        }
+        if (cur.probe_row >= 0) {
+          cur.row_data = cur.rel->row(cur.probe_row).data();
+          cur.probe_row = cur.next[cur.probe_row];
+          have_row = true;
+        }
       }
       if (have_row) {
         ++probes;  // one candidate row examined, like the interpreter

@@ -29,6 +29,14 @@ class Database {
   // Inserts a ground atom; CHECK-fails if not ground.
   bool InsertAtom(const Atom& fact);
 
+  // Tombstones a fact at the relation's current version (see
+  // Relation::Erase). Returns false when no live matching tuple exists.
+  bool Erase(PredId pred, const Value* vals, int arity);
+  bool Erase(PredId pred, const Tuple& t) {
+    return Erase(pred, t.data(), static_cast<int>(t.size()));
+  }
+  bool EraseAtom(const Atom& fact);
+
   bool Contains(PredId pred, const Value* vals, int arity) const;
   bool Contains(PredId pred, const Tuple& t) const {
     return Contains(pred, t.data(), static_cast<int>(t.size()));
@@ -39,15 +47,40 @@ class Database {
   const Relation* Find(PredId pred) const;
   Relation* FindOrCreate(PredId pred, int arity);
 
+  // Live tuples across all relations (tombstones excluded).
   int64_t TotalTuples() const;
   const std::unordered_map<PredId, Relation>& relations() const {
     return relations_;
   }
+  std::unordered_map<PredId, Relation>* mutable_relations() {
+    return &relations_;
+  }
+
+  // --- snapshot/versioning (see relation.h and docs/ivm.md) -------------
+
+  // Versions every relation (existing rows stamped at `base_version`) and
+  // makes relations created later versioned from birth.
+  void EnableVersioning(int64_t base_version);
+  bool versioned() const { return versioned_; }
+  // Sets the version that subsequent Insert/Erase stamps carry, on every
+  // relation (current and future).
+  void SetVersion(int64_t v);
+  int64_t version() const { return version_; }
+
+  // Freezes every relation: the database becomes an immutable snapshot
+  // safe to share across threads (concurrent probes included). Relations
+  // cannot be added after freezing — Find on an absent predicate already
+  // returns nullptr, which evaluation treats as empty.
+  void Freeze();
+  bool frozen() const { return frozen_; }
 
   std::string ToString() const;
 
  private:
   std::unordered_map<PredId, Relation> relations_;
+  bool versioned_ = false;
+  bool frozen_ = false;
+  int64_t version_ = 0;
 };
 
 }  // namespace sqod

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "src/base/check.h"
+#include "src/eval/bindings.h"
 #include "src/eval/bytecode.h"
 #include "src/eval/kernel.h"
 #include "src/eval/plan.h"
@@ -72,50 +73,6 @@ std::string RenderRuleProfileTable(const std::vector<RuleProfile>& profiles) {
 }
 
 namespace {
-
-// Variable bindings as a dense slot array indexed by rule-local variable id
-// (rules renumber their variables 0..num_vars-1 at plan-compile time), with
-// a trail for cheap backtracking. Bind/Get/IsBound never hash or allocate.
-// Interpret-mode only: the bytecode executor precomputes boundness and
-// needs neither the flags nor the trail.
-class Bindings {
- public:
-  void Reset(int num_vars) {
-    slots_.assign(num_vars, Value());
-    bound_.assign(num_vars, 0);
-    trail_.clear();
-  }
-
-  size_t Mark() const { return trail_.size(); }
-
-  void Restore(size_t mark) {
-    while (trail_.size() > mark) {
-      bound_[trail_.back()] = 0;
-      trail_.pop_back();
-    }
-  }
-
-  // Binds or checks; returns false on mismatch with an existing binding.
-  bool Bind(int32_t var, const Value& value) {
-    if (bound_[var]) return slots_[var] == value;
-    bound_[var] = 1;
-    slots_[var] = value;
-    trail_.push_back(var);
-    return true;
-  }
-
-  bool IsBound(int32_t var) const { return bound_[var] != 0; }
-  const Value& Get(int32_t var) const { return slots_[var]; }
-
- private:
-  std::vector<Value> slots_;
-  std::vector<uint8_t> bound_;
-  std::vector<int32_t> trail_;
-};
-
-inline const Value& ArgValue(const ArgRef& a, const Bindings& b) {
-  return a.var < 0 ? a.const_val : b.Get(a.var);
-}
 
 // Runtime context shared by all rules during one evaluation.
 struct Context {
@@ -224,14 +181,19 @@ void RunSteps(const RulePlan& plan, size_t step_index, Bindings* bindings,
         bindings->Restore(mark);
       };
 
+      // Tombstoned rows (versioned EDBs under incremental maintenance) are
+      // skipped before the probe counter, so interpret/compile/kernel
+      // executors stay counter-identical.
       if (mask != 0 && ctx->options.use_indexes) {
         Relation::Matches m = rel->Probe(mask, key);
         for (int32_t r = m.row; r >= 0; r = m.next[r]) {
+          if (!rel->live(r)) continue;
           try_row(rel->row(r));
           if (*ctx->overflow) return;
         }
       } else {
         for (int64_t r = 0, rows = rel->size(); r < rows; ++r) {
+          if (!rel->live(r)) continue;
           try_row(rel->row(r));
           if (*ctx->overflow) return;
         }

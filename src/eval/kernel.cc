@@ -150,10 +150,12 @@ void RunScanFilterEmit(const CompiledRule& rule, VmContext* ctx) {
     }
     Relation::Matches m = rel->Probe(lvl.mask, key);
     for (int32_t r = m.row; r >= 0; r = m.next[r]) {
+      if (!rel->live(r)) continue;  // tombstones skip before the counter
       if (!try_row(rel->row(r).data())) break;
     }
   } else {
     for (int64_t r = 0, rows = rel->size(); r < rows; ++r) {
+      if (!rel->live(r)) continue;
       if (!try_row(rel->row(r).data())) break;
     }
   }
@@ -198,6 +200,7 @@ void RunScanProbeEmit(const CompiledRule& rule, VmContext* ctx) {
 
   Value key[KLen];
   for (int64_t r = 0, rows = outer_rel->size(); r < rows; ++r) {
+    if (!outer_rel->live(r)) continue;  // tombstones skip before the counter
     ++probes;  // outer candidate row
     const Value* row = outer_rel->row(r).data();
     for (int i = 0; i < outer_nloads; ++i) {
@@ -211,6 +214,7 @@ void RunScanProbeEmit(const CompiledRule& rule, VmContext* ctx) {
     }
     Relation::Matches m = inner_rel->Probe(inner_mask, key);
     for (int32_t ir = m.row; ir >= 0; ir = m.next[ir]) {
+      if (!inner_rel->live(ir)) continue;
       ++probes;  // inner candidate row
       const Value* irow = inner_rel->row(ir).data();
       for (int i = 0; i < inner_nloads; ++i) {

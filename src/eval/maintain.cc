@@ -1,0 +1,929 @@
+#include "src/eval/maintain.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/eval/bindings.h"
+#include "src/obs/trace.h"
+
+namespace sqod {
+
+void MaintainStats::Accumulate(const MaintainStats& other) {
+  version = other.version;
+  recomputed = other.recomputed;
+  edb_inserted += other.edb_inserted;
+  edb_deleted += other.edb_deleted;
+  idb_inserted += other.idb_inserted;
+  idb_deleted += other.idb_deleted;
+  over_deleted += other.over_deleted;
+  rederived += other.rederived;
+  count_updates += other.count_updates;
+  strata_incremental += other.strata_incremental;
+  strata_recomputed += other.strata_recomputed;
+  strata_skipped += other.strata_skipped;
+  maintain_ns += other.maintain_ns;
+}
+
+std::string MaintainStats::ToString() const {
+  std::string out;
+  out += "version=" + std::to_string(version);
+  out += recomputed ? " mode=recompute" : " mode=incremental";
+  out += " edb=+" + std::to_string(edb_inserted) + "/-" +
+         std::to_string(edb_deleted);
+  out += " idb=+" + std::to_string(idb_inserted) + "/-" +
+         std::to_string(idb_deleted);
+  out += " over_deleted=" + std::to_string(over_deleted);
+  out += " rederived=" + std::to_string(rederived);
+  out += " count_updates=" + std::to_string(count_updates);
+  out += " strata=" + std::to_string(strata_incremental) + "i/" +
+         std::to_string(strata_recomputed) + "r/" +
+         std::to_string(strata_skipped) + "s";
+  return out;
+}
+
+std::string MaintainStats::Summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "v%lld %s edb +%lld/-%lld idb +%lld/-%lld overdel %lld "
+                "rederived %lld (ratio %.2f) strata %di/%dr/%ds",
+                static_cast<long long>(version),
+                recomputed ? "recompute" : "maintain",
+                static_cast<long long>(edb_inserted),
+                static_cast<long long>(edb_deleted),
+                static_cast<long long>(idb_inserted),
+                static_cast<long long>(idb_deleted),
+                static_cast<long long>(over_deleted),
+                static_cast<long long>(rederived), over_deletion_ratio(),
+                strata_incremental, strata_recomputed, strata_skipped);
+  return buf;
+}
+
+namespace {
+
+// Refines Stratify's negation levels to the SCC condensation of the IDB
+// dependency graph, in topological order. Stratify assigns one level per
+// negation depth, so a level typically lumps independent predicates
+// together — and a single same-level body reference (r(X) :- q(X,Y), ...)
+// would force DRed onto the whole level. With one stratum per SCC, DRed
+// stays confined to actual recursion and every non-recursive predicate
+// gets the cheaper counting maintenance.
+std::map<PredId, int> SccStrata(const Program& program,
+                                const std::map<PredId, int>& levels) {
+  std::vector<PredId> preds;
+  std::map<PredId, int> index;
+  for (const auto& [pred, level] : levels) {
+    index[pred] = static_cast<int>(preds.size());
+    preds.push_back(pred);
+  }
+  const int n = static_cast<int>(preds.size());
+  // dep_adj: u -> heads whose rules read u (positive or negated; Stratify
+  // guarantees negated edges are never cyclic). pos_adj: positive only —
+  // the edges SCCs are computed over.
+  std::vector<std::vector<int>> pos_adj(n), dep_adj(n);
+  for (const Rule& rule : program.rules()) {
+    const int head = index.at(rule.head.pred());
+    for (const Literal& lit : rule.body) {
+      auto it = index.find(lit.atom.pred());
+      if (it == index.end()) continue;  // EDB predicate
+      dep_adj[it->second].push_back(head);
+      if (!lit.negated) pos_adj[it->second].push_back(head);
+    }
+  }
+
+  // Kosaraju: forward DFS finish order, then reverse-graph DFS.
+  std::vector<std::vector<int>> pos_radj(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v : pos_adj[u]) pos_radj[v].push_back(u);
+  }
+  std::vector<int> order, comp(n, -1);
+  std::vector<char> seen(n, 0);
+  std::vector<std::pair<int, size_t>> stack;  // (node, next child)
+  for (int s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    stack.emplace_back(s, 0);
+    seen[s] = 1;
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      if (next < pos_adj[u].size()) {
+        int v = pos_adj[u][next++];
+        if (!seen[v]) {
+          seen[v] = 1;
+          stack.emplace_back(v, 0);
+        }
+      } else {
+        order.push_back(u);
+        stack.pop_back();
+      }
+    }
+  }
+  int num_comp = 0;
+  for (int k = n - 1; k >= 0; --k) {
+    int s = order[k];
+    if (comp[s] >= 0) continue;
+    std::vector<int> dfs{s};
+    comp[s] = num_comp;
+    while (!dfs.empty()) {
+      int u = dfs.back();
+      dfs.pop_back();
+      for (int v : pos_radj[u]) {
+        if (comp[v] < 0) {
+          comp[v] = num_comp;
+          dfs.push_back(v);
+        }
+      }
+    }
+    ++num_comp;
+  }
+
+  // Topological order of the condensation over all dependency edges
+  // (positive and negated), deterministic via (negation level, min pred)
+  // tie-breaking.
+  std::vector<int> indegree(num_comp, 0);
+  std::vector<std::set<int>> cadj(num_comp);
+  for (int u = 0; u < n; ++u) {
+    for (int v : dep_adj[u]) {
+      if (comp[u] != comp[v] && cadj[comp[u]].insert(comp[v]).second) {
+        ++indegree[comp[v]];
+      }
+    }
+  }
+  std::vector<std::pair<int, PredId>> rank(
+      num_comp, {0, std::numeric_limits<PredId>::max()});
+  for (int u = 0; u < n; ++u) {
+    int c = comp[u];
+    rank[c].first = std::max(rank[c].first, levels.at(preds[u]));
+    rank[c].second = std::min(rank[c].second, preds[u]);
+  }
+  std::set<std::pair<std::pair<int, PredId>, int>> ready;
+  for (int c = 0; c < num_comp; ++c) {
+    if (indegree[c] == 0) ready.insert({rank[c], c});
+  }
+  std::map<PredId, int> out;
+  int next_stratum = 0;
+  while (!ready.empty()) {
+    int c = ready.begin()->second;
+    ready.erase(ready.begin());
+    for (int u = 0; u < n; ++u) {
+      if (comp[u] == c) out[preds[u]] = next_stratum;
+    }
+    ++next_stratum;
+    for (int d : cadj[c]) {
+      if (--indegree[d] == 0) ready.insert({rank[d], d});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<MaintenancePlan> BuildMaintenancePlan(const Program& program) {
+  SQOD_RETURN_IF_ERROR(program.Validate());
+  Result<std::map<PredId, int>> strata = program.Stratify();
+  if (!strata.ok()) return strata.status();
+
+  MaintenancePlan plan;
+  plan.stratum_of = SccStrata(program, strata.value());
+  plan.idb_preds = program.IdbPreds();
+
+  int num_strata = 0;
+  for (const auto& [pred, s] : plan.stratum_of) {
+    num_strata = std::max(num_strata, s + 1);
+  }
+  plan.strata.resize(num_strata);
+
+  const std::vector<Rule>& rules = program.rules();
+  plan.rules.resize(rules.size());
+  PlanScratch scratch;
+  for (int r = 0; r < static_cast<int>(rules.size()); ++r) {
+    const Rule& rule = rules[r];
+    const int stratum = plan.stratum_of.at(rule.head.pred());
+    MaintenancePlan::Stratum& st = plan.strata[stratum];
+    st.rules.push_back(r);
+    st.heads.insert(rule.head.pred());
+
+    MaintenancePlan::RuleMaint& rm = plan.rules[r];
+    rm.rule_index = r;
+    const int nbody = static_cast<int>(rule.body.size());
+    rm.delta_plans.reserve(nbody);
+    rm.negated.reserve(nbody);
+    rm.body_pred.reserve(nbody);
+    for (int i = 0; i < nbody; ++i) {
+      const Literal& lit = rule.body[i];
+      rm.negated.push_back(lit.negated ? 1 : 0);
+      rm.body_pred.push_back(lit.atom.pred());
+      st.body_preds.insert(lit.atom.pred());
+      if (!lit.negated && plan.idb_preds.count(lit.atom.pred()) > 0 &&
+          plan.stratum_of.at(lit.atom.pred()) == stratum) {
+        st.recursive = true;
+      }
+      if (lit.negated) {
+        // The delta of "not B" is a finite scan over the change to B:
+        // flip the literal positive so BuildPlan can open the body there.
+        Rule flipped = rule;
+        flipped.body[i].negated = false;
+        rm.delta_plans.push_back(BuildPlan(flipped, r, i, &scratch));
+      } else {
+        rm.delta_plans.push_back(BuildPlan(rule, r, i, &scratch));
+      }
+    }
+    rm.support_plan = BuildPlan(rule, r, -1, &scratch, /*head_bound=*/true);
+    rm.init_plan = BuildPlan(rule, r, -1, &scratch);
+  }
+  return plan;
+}
+
+namespace {
+
+// Which rows of a relation a plan position sees: the current live set, the
+// previous snapshot, or everything (delta relations are plain and finite).
+struct MaintSource {
+  const Relation* rel = nullptr;
+  enum class View { kLive, kOld, kAll } view = View::kLive;
+};
+
+inline bool RowVisible(const MaintSource& src, int64_t r, int64_t old_v) {
+  switch (src.view) {
+    case MaintSource::View::kLive: return src.rel->live(r);
+    case MaintSource::View::kOld: return src.rel->LiveAt(r, old_v);
+    case MaintSource::View::kAll: return true;
+  }
+  return false;
+}
+
+// Recursive join over the plan steps against per-position sources, calling
+// sink(head_vals, n) per complete body match. A sink sets *stop to end the
+// enumeration early (support checks need one witness, not all of them).
+template <typename Sink>
+void RunMaintSteps(const RulePlan& plan,
+                   const std::vector<MaintSource>& sources, int64_t old_v,
+                   size_t step_index, Bindings* bindings, bool* stop,
+                   Sink&& sink) {
+  if (*stop) return;
+  if (step_index == plan.steps.size()) {
+    Value head[Relation::kMaxArity];
+    const int n = static_cast<int>(plan.head.size());
+    for (int i = 0; i < n; ++i) head[i] = ArgValue(plan.head[i], *bindings);
+    sink(head, n);
+    return;
+  }
+  const PlanStep& step = plan.steps[step_index];
+  switch (step.kind) {
+    case PlanStep::Kind::kComparison: {
+      if (EvalCmp(ArgValue(step.lhs, *bindings), step.op,
+                  ArgValue(step.rhs, *bindings))) {
+        RunMaintSteps(plan, sources, old_v, step_index + 1, bindings, stop,
+                      sink);
+      }
+      return;
+    }
+    case PlanStep::Kind::kNegation: {
+      Value key[Relation::kMaxArity];
+      const int n = static_cast<int>(step.args.size());
+      for (int i = 0; i < n; ++i) key[i] = ArgValue(step.args[i], *bindings);
+      const MaintSource& src = sources[step.index];
+      bool present = false;
+      if (src.rel != nullptr) {
+        if (src.view == MaintSource::View::kOld) {
+          int32_t r = src.rel->FindRow(key, n);
+          present = r >= 0 && src.rel->LiveAt(r, old_v);
+        } else {
+          present = src.rel->Contains(key, n);
+        }
+      }
+      if (!present) {
+        RunMaintSteps(plan, sources, old_v, step_index + 1, bindings, stop,
+                      sink);
+      }
+      return;
+    }
+    case PlanStep::Kind::kJoin: {
+      const MaintSource& src = sources[step.index];
+      const Relation* rel = src.rel;
+      if (rel == nullptr || rel->empty()) return;
+
+      uint64_t mask = 0;
+      Value key[Relation::kMaxArity];
+      int klen = 0;
+      const int n = static_cast<int>(step.args.size());
+      for (int i = 0; i < n; ++i) {
+        const ArgRef& a = step.args[i];
+        if (a.var < 0) {
+          mask |= uint64_t{1} << i;
+          key[klen++] = a.const_val;
+        } else if (bindings->IsBound(a.var)) {
+          mask |= uint64_t{1} << i;
+          key[klen++] = bindings->Get(a.var);
+        }
+      }
+
+      auto try_row = [&](int64_t r) {
+        if (!RowVisible(src, r, old_v)) return;
+        TupleRef row = rel->row(r);
+        size_t mark = bindings->Mark();
+        bool ok = true;
+        for (int i = 0; i < n && ok; ++i) {
+          const ArgRef& a = step.args[i];
+          ok = a.var < 0 ? a.const_val == row[i]
+                         : bindings->Bind(a.var, row[i]);
+        }
+        if (ok) {
+          RunMaintSteps(plan, sources, old_v, step_index + 1, bindings, stop,
+                        sink);
+        }
+        bindings->Restore(mark);
+      };
+
+      if (mask != 0) {
+        Relation::Matches m = rel->Probe(mask, key);
+        for (int32_t r = m.row; r >= 0 && !*stop; r = m.next[r]) try_row(r);
+      } else {
+        for (int64_t r = 0, rows = rel->size(); r < rows && !*stop; ++r) {
+          try_row(r);
+        }
+      }
+      return;
+    }
+  }
+}
+
+// Shared context for one ApplyDeltaToState call.
+struct MaintCtx {
+  const Program* program;
+  const MaintenancePlan* plan;
+  MaterializedState* state;
+  int64_t old_v = 0;        // previous snapshot version (V - 1)
+  Database dplus;           // net insertions so far, EDB + completed strata
+  Database dminus;          // net deletions so far
+  Bindings bindings;
+  MaintainStats* stats = nullptr;
+
+  const Relation* Rel(PredId p) const {
+    return plan->idb_preds.count(p) > 0 ? state->idb.Find(p)
+                                        : state->edb.Find(p);
+  }
+};
+
+// How the non-delta positions of a delta plan read the state. Counting uses
+// the telescoping discipline (new before the delta position, old after), so
+// each changed derivation is enumerated exactly once; DRed phases read one
+// consistent snapshot (old while over-deleting, new while re-inserting).
+enum class OthersView { kTelescope, kAllOld, kAllLive };
+
+template <typename Sink>
+void RunDeltaPlan(MaintCtx* ctx, const MaintenancePlan::RuleMaint& rm, int i,
+                  const Relation* delta_rel, OthersView others, Sink&& sink) {
+  if (delta_rel == nullptr || delta_rel->empty()) return;
+  const RulePlan& plan = rm.delta_plans[i];
+  const int nbody = static_cast<int>(rm.body_pred.size());
+  std::vector<MaintSource> sources(nbody);
+  for (int j = 0; j < nbody; ++j) {
+    if (j == i) {
+      sources[j] = {delta_rel, MaintSource::View::kAll};
+      continue;
+    }
+    MaintSource::View view = MaintSource::View::kLive;
+    switch (others) {
+      case OthersView::kTelescope:
+        view = j < i ? MaintSource::View::kLive : MaintSource::View::kOld;
+        break;
+      case OthersView::kAllOld: view = MaintSource::View::kOld; break;
+      case OthersView::kAllLive: view = MaintSource::View::kLive; break;
+    }
+    sources[j] = {ctx->Rel(rm.body_pred[j]), view};
+  }
+  bool stop = false;
+  ctx->bindings.Reset(plan.num_vars);
+  RunMaintSteps(plan, sources, ctx->old_v, 0, &ctx->bindings, &stop, sink);
+}
+
+// True when `t` has at least one full-body derivation of `rm`'s rule in the
+// current live state. The support plan's head slots are seeded from `t`.
+bool HasSupport(MaintCtx* ctx, const MaintenancePlan::RuleMaint& rm,
+                const Value* t, int n) {
+  const RulePlan& plan = rm.support_plan;
+  if (static_cast<int>(plan.head.size()) != n) return false;
+  ctx->bindings.Reset(plan.num_vars);
+  for (int i = 0; i < n; ++i) {
+    const ArgRef& a = plan.head[i];
+    if (a.var < 0) {
+      if (a.const_val != t[i]) return false;
+    } else if (!ctx->bindings.Bind(a.var, t[i])) {
+      return false;  // repeated head variable with conflicting values
+    }
+  }
+  const int nbody = static_cast<int>(rm.body_pred.size());
+  std::vector<MaintSource> sources(nbody);
+  for (int j = 0; j < nbody; ++j) {
+    sources[j] = {ctx->Rel(rm.body_pred[j]), MaintSource::View::kLive};
+  }
+  bool found = false;
+  bool stop = false;
+  RunMaintSteps(plan, sources, ctx->old_v, 0, &ctx->bindings, &stop,
+                [&](const Value*, int) {
+                  found = true;
+                  stop = true;
+                });
+  return found;
+}
+
+// Per-predicate scratch accumulating signed derivation-count deltas for one
+// counting stratum; net transitions apply at stratum end so mid-stratum
+// enumeration never sees half-applied version stamps.
+struct CountScratch {
+  struct Entry {
+    Relation rel;
+    std::vector<int64_t> deltas;
+    explicit Entry(int arity) : rel(arity) {}
+  };
+  std::map<PredId, Entry> preds;
+
+  void Add(PredId pred, const Value* vals, int n, int64_t d) {
+    auto it = preds.find(pred);
+    if (it == preds.end()) it = preds.emplace(pred, Entry(n)).first;
+    Entry& e = it->second;
+    int32_t r = e.rel.FindRow(vals, n);
+    if (r < 0) {
+      e.rel.Insert(vals, n);
+      r = static_cast<int32_t>(e.rel.size()) - 1;
+      e.deltas.push_back(0);
+    }
+    e.deltas[r] += d;
+  }
+};
+
+// Counting maintenance for one non-recursive stratum: accumulate signed
+// count deltas from every (rule, position, sign) delta join, then apply the
+// net transitions and append this stratum's output deltas to the global
+// change sets.
+void MaintainCountingStratum(MaintCtx* ctx,
+                             const MaintenancePlan::Stratum& stratum) {
+  CountScratch scratch;
+  for (int r : stratum.rules) {
+    const MaintenancePlan::RuleMaint& rm = ctx->plan->rules[r];
+    const int nbody = static_cast<int>(rm.body_pred.size());
+    for (int i = 0; i < nbody; ++i) {
+      PredId p = rm.body_pred[i];
+      // Gained derivations: tuples added to a positive subgoal, or removed
+      // from a negated one. Lost derivations: the mirror image.
+      const Relation* gain =
+          rm.negated[i] ? ctx->dminus.Find(p) : ctx->dplus.Find(p);
+      const Relation* lose =
+          rm.negated[i] ? ctx->dplus.Find(p) : ctx->dminus.Find(p);
+      PredId head = rm.delta_plans[i].head_pred;
+      RunDeltaPlan(ctx, rm, i, gain, OthersView::kTelescope,
+                   [&](const Value* vals, int n) {
+                     scratch.Add(head, vals, n, +1);
+                   });
+      RunDeltaPlan(ctx, rm, i, lose, OthersView::kTelescope,
+                   [&](const Value* vals, int n) {
+                     scratch.Add(head, vals, n, -1);
+                   });
+    }
+  }
+
+  for (auto& [pred, entry] : scratch.preds) {
+    Relation* rel = ctx->state->idb.FindOrCreate(pred, entry.rel.arity());
+    rel->EnableCounts();
+    const int32_t rows = static_cast<int32_t>(entry.rel.size());
+    for (int32_t sr = 0; sr < rows; ++sr) {
+      const int64_t dv = entry.deltas[sr];
+      if (dv == 0) continue;
+      ++ctx->stats->count_updates;
+      TupleRef t = entry.rel.row(sr);
+      int32_t row = rel->FindRow(t.data(), t.size());
+      if (row < 0) {
+        SQOD_CHECK_MSG(dv > 0, "negative count for an absent tuple");
+        rel->Insert(t);  // stamps added = V
+        row = rel->FindRow(t.data(), t.size());
+        rel->set_count(row, dv);
+        ctx->dplus.Insert(pred, t);
+        ++ctx->stats->idb_inserted;
+        continue;
+      }
+      const int64_t c = rel->count(row) + dv;
+      SQOD_CHECK_MSG(c >= 0, "derivation count went negative");
+      rel->set_count(row, c);
+      const bool was = rel->live(row);
+      const bool now = c > 0;
+      if (was && !now) {
+        rel->EraseRow(row);
+        ctx->dminus.Insert(pred, t);
+        ++ctx->stats->idb_deleted;
+      } else if (!was && now) {
+        rel->ReviveRow(row);
+        ctx->dplus.Insert(pred, t);
+        ++ctx->stats->idb_inserted;
+      }
+    }
+  }
+}
+
+// DRed maintenance for one recursive stratum: over-delete everything
+// reachable from a deletion against the old snapshot, rescue over-deleted
+// tuples that still have support, then propagate insertions (and rescues)
+// semi-naively against the live state. Output deltas are classified from
+// the version stamps of every touched row at the end.
+void MaintainDredStratum(MaintCtx* ctx,
+                         const MaintenancePlan::Stratum& stratum) {
+  MaterializedState* state = ctx->state;
+  const int64_t v = state->version;
+  std::vector<std::pair<PredId, int32_t>> touched;
+
+  // Tombstones a derived head during over-deletion. Rows that were already
+  // dead (before the batch, or from an earlier over-deletion) are skipped.
+  Database over_new;
+  auto over_delete = [&](const Value* vals, int n, PredId pred) {
+    Relation* rel = state->idb.FindOrCreate(pred, n);
+    int32_t row = rel->FindRow(vals, n);
+    if (row < 0 || !rel->live(row)) return;
+    rel->EraseRow(row);
+    touched.emplace_back(pred, row);
+    over_new.Insert(pred, vals, n);
+    ++ctx->stats->over_deleted;
+  };
+
+  // Phase 1: over-delete. Seeds come from the global change sets (EDB and
+  // lower strata); the worklist then closes over same-stratum derivations,
+  // all against the old snapshot.
+  for (int r : stratum.rules) {
+    const MaintenancePlan::RuleMaint& rm = ctx->plan->rules[r];
+    const int nbody = static_cast<int>(rm.body_pred.size());
+    for (int i = 0; i < nbody; ++i) {
+      PredId p = rm.body_pred[i];
+      const Relation* lose =
+          rm.negated[i] ? ctx->dplus.Find(p) : ctx->dminus.Find(p);
+      PredId head = rm.delta_plans[i].head_pred;
+      RunDeltaPlan(ctx, rm, i, lose, OthersView::kAllOld,
+                   [&](const Value* vals, int n) {
+                     over_delete(vals, n, head);
+                   });
+    }
+  }
+  while (over_new.TotalTuples() > 0) {
+    Database over_cur = std::move(over_new);
+    over_new = Database();
+    for (int r : stratum.rules) {
+      const MaintenancePlan::RuleMaint& rm = ctx->plan->rules[r];
+      const int nbody = static_cast<int>(rm.body_pred.size());
+      for (int i = 0; i < nbody; ++i) {
+        if (rm.negated[i] || stratum.heads.count(rm.body_pred[i]) == 0) {
+          continue;
+        }
+        const Relation* drel = over_cur.Find(rm.body_pred[i]);
+        PredId head = rm.delta_plans[i].head_pred;
+        RunDeltaPlan(ctx, rm, i, drel, OthersView::kAllOld,
+                     [&](const Value* vals, int n) {
+                       over_delete(vals, n, head);
+                     });
+      }
+    }
+  }
+
+  // Makes a head live during rederivation/insertion and queues it for
+  // same-stratum propagation. A row tombstoned by this very batch is
+  // undeleted (net unchanged — its original added-version is preserved);
+  // anything else becomes an insertion stamped at V.
+  Database newly;
+  auto process_up = [&](const Value* vals, int n, PredId pred) {
+    Relation* rel = state->idb.FindOrCreate(pred, n);
+    int32_t row = rel->FindRow(vals, n);
+    if (row >= 0 && rel->live(row)) return;
+    if (row < 0) {
+      rel->Insert(vals, n);  // stamps added = V
+      row = rel->FindRow(vals, n);
+    } else if (rel->deleted_version(row) == v) {
+      rel->UndeleteRow(row);
+      ++ctx->stats->rederived;
+    } else {
+      rel->ReviveRow(row);
+    }
+    touched.emplace_back(pred, row);
+    newly.Insert(pred, vals, n);
+  };
+
+  // Phase 2: rederive. Each over-deleted tuple that still has a full-body
+  // witness in the live state comes back with its identity intact.
+  const size_t num_over = touched.size();
+  for (size_t k = 0; k < num_over; ++k) {
+    auto [pred, row] = touched[k];
+    Relation* rel = state->idb.FindOrCreate(
+        pred, ctx->state->idb.Find(pred)->arity());
+    if (rel->live(row)) continue;  // already rescued
+    TupleRef t = rel->row(row);
+    Value vals[Relation::kMaxArity];
+    const int n = t.size();
+    for (int i = 0; i < n; ++i) vals[i] = t[i];
+    for (int r : stratum.rules) {
+      const MaintenancePlan::RuleMaint& rm = ctx->plan->rules[r];
+      if (rm.support_plan.head_pred != pred) continue;
+      if (HasSupport(ctx, rm, vals, n)) {
+        rel->UndeleteRow(row);
+        ++ctx->stats->rederived;
+        newly.Insert(pred, vals, n);
+        break;
+      }
+    }
+  }
+
+  // Inserting a derived head can reallocate the very relation the delta
+  // join is scanning (a recursive rule reads its own head predicate), so
+  // the insertion phases buffer the derived tuples and make them live only
+  // after the scan finishes; the worklist picks them up for propagation.
+  std::vector<Tuple> derived;
+  auto run_buffered = [&](const MaintenancePlan::RuleMaint& rm, int i,
+                          const Relation* drel) {
+    derived.clear();
+    RunDeltaPlan(ctx, rm, i, drel, OthersView::kAllLive,
+                 [&](const Value* vals, int n) {
+                   derived.emplace_back(vals, vals + n);
+                 });
+    PredId head = rm.delta_plans[i].head_pred;
+    for (const Tuple& t : derived) {
+      process_up(t.data(), static_cast<int>(t.size()), head);
+    }
+  };
+
+  // Phase 3: insertion seeds from the global change sets.
+  for (int r : stratum.rules) {
+    const MaintenancePlan::RuleMaint& rm = ctx->plan->rules[r];
+    const int nbody = static_cast<int>(rm.body_pred.size());
+    for (int i = 0; i < nbody; ++i) {
+      PredId p = rm.body_pred[i];
+      const Relation* gain =
+          rm.negated[i] ? ctx->dminus.Find(p) : ctx->dplus.Find(p);
+      run_buffered(rm, i, gain);
+    }
+  }
+
+  // Phase 4: propagate every newly-live tuple (rescues and insertions
+  // alike) through the same-stratum positions until the worklist drains.
+  while (newly.TotalTuples() > 0) {
+    Database cur = std::move(newly);
+    newly = Database();
+    for (int r : stratum.rules) {
+      const MaintenancePlan::RuleMaint& rm = ctx->plan->rules[r];
+      const int nbody = static_cast<int>(rm.body_pred.size());
+      for (int i = 0; i < nbody; ++i) {
+        if (rm.negated[i] || stratum.heads.count(rm.body_pred[i]) == 0) {
+          continue;
+        }
+        run_buffered(rm, i, cur.Find(rm.body_pred[i]));
+      }
+    }
+  }
+
+  // Classify the net effect of every touched row from its version stamps.
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (auto [pred, row] : touched) {
+    const Relation* rel = state->idb.Find(pred);
+    if (rel->live(row)) {
+      if (rel->added_version(row) == v) {
+        ctx->dplus.Insert(pred, rel->row(row));
+        ++ctx->stats->idb_inserted;
+      }
+    } else if (rel->deleted_version(row) == v) {
+      ctx->dminus.Insert(pred, rel->row(row));
+      ++ctx->stats->idb_deleted;
+    }
+  }
+}
+
+// Validates and nets the batch without mutating anything. On return dplus /
+// dminus hold the effective EDB change (dedup'd, no-ops dropped).
+Status NetBatch(const MaintenancePlan& plan, const FactDelta& delta,
+                const MaterializedState& state, Database* dplus,
+                Database* dminus) {
+  auto validate = [&](const Atom& a) -> Status {
+    if (!a.is_ground()) {
+      return Status::InvalidArgument("delta fact is not ground: " +
+                                     a.ToString());
+    }
+    if (a.arity() > Relation::kMaxArity) {
+      return Status::InvalidArgument("delta fact arity exceeds " +
+                                     std::to_string(Relation::kMaxArity));
+    }
+    if (plan.idb_preds.count(a.pred()) > 0) {
+      return Status::InvalidArgument(
+          "cannot apply a delta to derived predicate " + PredName(a.pred()));
+    }
+    const Relation* rel = state.edb.Find(a.pred());
+    if (rel != nullptr && rel->arity() != a.arity()) {
+      return Status::InvalidArgument("arity mismatch for " +
+                                     PredName(a.pred()) + ": " +
+                                     a.ToString());
+    }
+    return Status::Ok();
+  };
+  for (const Atom& a : delta.inserts) SQOD_RETURN_IF_ERROR(validate(a));
+  for (const Atom& a : delta.deletes) SQOD_RETURN_IF_ERROR(validate(a));
+
+  // Deletes apply before inserts: a tuple in both stays present. Dedup
+  // through plain staging databases, then keep only effective changes.
+  Database ins, del;
+  for (const Atom& a : delta.inserts) ins.InsertAtom(a);
+  for (const Atom& a : delta.deletes) del.InsertAtom(a);
+  for (const auto& [pred, rel] : del.relations()) {
+    const Relation* ins_rel = ins.Find(pred);
+    const Relation* cur = state.edb.Find(pred);
+    for (TupleRef t : rel.rows()) {
+      if (ins_rel != nullptr && ins_rel->Contains(t.data(), t.size())) {
+        continue;  // delete + insert = no net change
+      }
+      if (cur != nullptr && cur->Contains(t.data(), t.size())) {
+        dminus->Insert(pred, t);
+      }
+    }
+  }
+  for (const auto& [pred, rel] : ins.relations()) {
+    const Relation* cur = state.edb.Find(pred);
+    for (TupleRef t : rel.rows()) {
+      if (cur == nullptr || !cur->Contains(t.data(), t.size())) {
+        dplus->Insert(pred, t);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// Full-fixpoint fallback: evaluate the program over the (already stamped)
+// new EDB and diff the fresh IDB against the materialized one, stamping
+// transitions at the current version. Counts are rebuilt from scratch.
+Status RecomputeState(const Program& program, const MaintenancePlan& plan,
+                      const EvalOptions& eval, MaterializedState* state,
+                      MaintainStats* stats) {
+  Evaluator evaluator(program, eval);
+  Result<Database> fresh = evaluator.Evaluate(state->edb);
+  if (!fresh.ok()) return fresh.status();
+  const int64_t v = state->version;
+
+  for (const auto& [pred, frel] : fresh.value().relations()) {
+    Relation* rel = state->idb.FindOrCreate(pred, frel.arity());
+    for (TupleRef t : frel.rows()) {
+      int32_t row = rel->FindRow(t.data(), t.size());
+      if (row >= 0 && rel->live(row)) continue;
+      if (row < 0) {
+        rel->Insert(t);
+      } else {
+        rel->ReviveRow(row);
+      }
+      ++stats->idb_inserted;
+    }
+  }
+  for (auto& [pred, rel] : *state->idb.mutable_relations()) {
+    const Relation* frel = fresh.value().Find(pred);
+    const int32_t rows = static_cast<int32_t>(rel.size());
+    for (int32_t r = 0; r < rows; ++r) {
+      if (!rel.live(r) || rel.added_version(r) == v) continue;
+      TupleRef t = rel.row(r);
+      if (frel == nullptr || !frel->Contains(t.data(), t.size())) {
+        rel.EraseRow(r);
+        ++stats->idb_deleted;
+      }
+    }
+  }
+
+  InitializeDerivationCounts(program, plan, state);
+  for (const MaintenancePlan::Stratum& st : plan.strata) {
+    if (!st.rules.empty()) ++stats->strata_recomputed;
+  }
+  stats->recomputed = true;
+  return Status::Ok();
+}
+
+}  // namespace
+
+void InitializeDerivationCounts(const Program& program,
+                                const MaintenancePlan& plan,
+                                MaterializedState* state) {
+  MaintCtx ctx;
+  ctx.program = &program;
+  ctx.plan = &plan;
+  ctx.state = state;
+  ctx.old_v = state->version;
+
+  for (const MaintenancePlan::Stratum& st : plan.strata) {
+    if (st.recursive || st.rules.empty()) continue;
+    for (PredId pred : st.heads) {
+      const int arity = program.Arity(pred);
+      Relation* rel = state->idb.FindOrCreate(pred, arity);
+      rel->EnableCounts();
+      rel->ResetCounts();
+    }
+    for (int r : st.rules) {
+      const MaintenancePlan::RuleMaint& rm = plan.rules[r];
+      const RulePlan& ip = rm.init_plan;
+      const int nbody = static_cast<int>(rm.body_pred.size());
+      std::vector<MaintSource> sources(nbody);
+      for (int j = 0; j < nbody; ++j) {
+        sources[j] = {ctx.Rel(rm.body_pred[j]), MaintSource::View::kLive};
+      }
+      Relation* rel = state->idb.FindOrCreate(
+          ip.head_pred, static_cast<int>(ip.head.size()));
+      bool stop = false;
+      ctx.bindings.Reset(ip.num_vars);
+      RunMaintSteps(ip, sources, ctx.old_v, 0, &ctx.bindings, &stop,
+                    [&](const Value* vals, int n) {
+                      int32_t row = rel->FindRow(vals, n);
+                      SQOD_CHECK_MSG(row >= 0 && rel->live(row),
+                                     "count init found a derivation for a "
+                                     "tuple missing from the fixpoint");
+                      rel->add_count(row, 1);
+                    });
+    }
+  }
+}
+
+Result<MaintainStats> ApplyDeltaToState(const Program& program,
+                                        const MaintenancePlan& plan,
+                                        const FactDelta& delta,
+                                        const ApplyDeltaOptions& options,
+                                        MaterializedState* state) {
+  const int64_t t0 = NowNs();
+  MaintainStats stats;
+  stats.version = state->version;
+
+  MaintCtx ctx;
+  ctx.program = &program;
+  ctx.plan = &plan;
+  ctx.state = state;
+  ctx.stats = &stats;
+
+  SQOD_RETURN_IF_ERROR(
+      NetBatch(plan, delta, *state, &ctx.dplus, &ctx.dminus));
+  const int64_t net_plus = ctx.dplus.TotalTuples();
+  const int64_t net_minus = ctx.dminus.TotalTuples();
+  if (net_plus + net_minus == 0) {
+    stats.strata_skipped = static_cast<int>(plan.strata.size());
+    stats.maintain_ns = NowNs() - t0;
+    return stats;  // no effective change; version unchanged
+  }
+  const int64_t edb_live = state->edb.TotalTuples();
+  const bool recompute =
+      options.force_recompute ||
+      static_cast<double>(net_plus + net_minus) >
+          options.recompute_fraction * static_cast<double>(
+                                           std::max<int64_t>(1, edb_live));
+
+  // Advance the snapshot: every transition below stamps with V, the old
+  // snapshot stays readable as LiveAt(row, V - 1).
+  const int64_t v = state->version + 1;
+  state->version = v;
+  state->edb.SetVersion(v);
+  state->idb.SetVersion(v);
+  ctx.old_v = v - 1;
+  stats.version = v;
+
+  for (const auto& [pred, rel] : ctx.dminus.relations()) {
+    for (TupleRef t : rel.rows()) {
+      SQOD_CHECK(state->edb.Erase(pred, t.data(), t.size()));
+      ++stats.edb_deleted;
+    }
+  }
+  for (const auto& [pred, rel] : ctx.dplus.relations()) {
+    Relation* target = state->edb.FindOrCreate(pred, rel.arity());
+    for (TupleRef t : rel.rows()) {
+      SQOD_CHECK(target->Insert(t));
+      ++stats.edb_inserted;
+    }
+  }
+
+  if (recompute) {
+    SQOD_RETURN_IF_ERROR(
+        RecomputeState(program, plan, options.eval, state, &stats));
+    stats.maintain_ns = NowNs() - t0;
+    return stats;
+  }
+
+  for (const MaintenancePlan::Stratum& stratum : plan.strata) {
+    if (stratum.rules.empty()) continue;
+    bool affected = false;
+    for (PredId p : stratum.body_preds) {
+      const Relation* dp = ctx.dplus.Find(p);
+      const Relation* dm = ctx.dminus.Find(p);
+      if ((dp != nullptr && !dp->empty()) ||
+          (dm != nullptr && !dm->empty())) {
+        affected = true;
+        break;
+      }
+    }
+    if (!affected) {
+      ++stats.strata_skipped;
+      continue;
+    }
+    if (stratum.recursive) {
+      MaintainDredStratum(&ctx, stratum);
+    } else {
+      MaintainCountingStratum(&ctx, stratum);
+    }
+    ++stats.strata_incremental;
+  }
+
+  stats.maintain_ns = NowNs() - t0;
+  return stats;
+}
+
+}  // namespace sqod

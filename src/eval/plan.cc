@@ -8,7 +8,7 @@
 namespace sqod {
 
 RulePlan BuildPlan(const Rule& rule, int rule_index, int first,
-                   PlanScratch* scratch) {
+                   PlanScratch* scratch, bool head_bound) {
   RulePlan plan;
   plan.rule_index = rule_index;
   plan.delta_subgoal = first;
@@ -24,6 +24,11 @@ RulePlan BuildPlan(const Rule& rule, int rule_index, int first,
     s.var_index.emplace(v, static_cast<int32_t>(s.var_index.size()));
   }
   s.bound.assign(s.var_index.size(), 0);
+  if (head_bound) {
+    s.vars.clear();
+    rule.head.CollectVars(&s.vars);
+    for (VarId v : s.vars) s.bound[s.var_index.at(v)] = 1;
+  }
 
   std::vector<bool> done_body(rule.body.size(), false);
   std::vector<bool> done_cmp(rule.comparisons.size(), false);

@@ -65,8 +65,15 @@ struct PlanScratch {
 // Builds the evaluation order for a rule. `first` (if >= 0) is the body
 // index of the positive subgoal to evaluate first (the delta subgoal).
 // `scratch` (optional) carries reusable buffers across calls.
+//
+// `head_bound` orders the body as if every head variable were already
+// bound (the caller pre-binds plan.head's slots before running the steps).
+// Used by the maintenance layer's DRed support checks, which ask "is this
+// specific head tuple still derivable" — with the head seeded, the greedy
+// most-bound order starts from atoms sharing head variables instead of a
+// blind scan.
 RulePlan BuildPlan(const Rule& rule, int rule_index, int first,
-                   PlanScratch* scratch = nullptr);
+                   PlanScratch* scratch = nullptr, bool head_bound = false);
 
 }  // namespace sqod
 

@@ -24,6 +24,40 @@ Relation::Relation(int arity) : arity_(arity) {
                  "cannot address more columns");
 }
 
+Relation::Relation(const Relation& other)
+    : arity_(other.arity_),
+      num_rows_(other.num_rows_),
+      num_dead_(other.num_dead_),
+      arena_(other.arena_),
+      row_hashes_(other.row_hashes_),
+      dedup_slots_(other.dedup_slots_),
+      indexes_(other.indexes_),
+      versioned_(other.versioned_),
+      version_(other.version_),
+      added_(other.added_),
+      deleted_(other.deleted_),
+      counts_enabled_(other.counts_enabled_),
+      counts_(other.counts_) {}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  SQOD_CHECK_MSG(!frozen_, "cannot assign over a frozen relation");
+  arity_ = other.arity_;
+  num_rows_ = other.num_rows_;
+  num_dead_ = other.num_dead_;
+  arena_ = other.arena_;
+  row_hashes_ = other.row_hashes_;
+  dedup_slots_ = other.dedup_slots_;
+  indexes_ = other.indexes_;
+  versioned_ = other.versioned_;
+  version_ = other.version_;
+  added_ = other.added_;
+  deleted_ = other.deleted_;
+  counts_enabled_ = other.counts_enabled_;
+  counts_ = other.counts_;
+  return *this;
+}
+
 bool Relation::RowEquals(int32_t row, const Value* vals) const {
   const Value* r = RowData(row);
   for (int i = 0; i < arity_; ++i) {
@@ -75,8 +109,23 @@ void Relation::GrowDedup() {
   }
 }
 
+int32_t Relation::FindRow(const Value* vals, int n) const {
+  SQOD_CHECK(n == arity_);
+  if (dedup_slots_.empty()) return -1;
+  uint64_t h = HashValues(vals, n);
+  size_t m = dedup_slots_.size() - 1;
+  size_t s = h & m;
+  while (true) {
+    int32_t r = dedup_slots_[s];
+    if (r == kEmptySlot) return -1;
+    if (row_hashes_[r] == h && RowEquals(r, vals)) return r;
+    s = (s + 1) & m;
+  }
+}
+
 bool Relation::Insert(const Value* vals, int n) {
   SQOD_CHECK(n == arity_);
+  SQOD_CHECK_MSG(!frozen_, "Insert on a frozen relation");
   uint64_t h = HashValues(vals, n);
   if (NeedsGrow(num_rows_, dedup_slots_.size())) GrowDedup();
   size_t m = dedup_slots_.size() - 1;
@@ -84,7 +133,12 @@ bool Relation::Insert(const Value* vals, int n) {
   while (true) {
     int32_t r = dedup_slots_[s];
     if (r == kEmptySlot) break;
-    if (row_hashes_[r] == h && RowEquals(r, vals)) return false;
+    if (row_hashes_[r] == h && RowEquals(r, vals)) {
+      if (live(r)) return false;
+      // Revive a tombstoned row in place: its physical home is unique.
+      ReviveRow(r);
+      return true;
+    }
     s = (s + 1) & m;
   }
   int32_t row = static_cast<int32_t>(num_rows_);
@@ -92,24 +146,67 @@ bool Relation::Insert(const Value* vals, int n) {
   arena_.insert(arena_.end(), vals, vals + n);
   row_hashes_.push_back(h);
   ++num_rows_;
+  if (versioned_) {
+    added_.push_back(version_);
+    deleted_.push_back(kNeverDeleted);
+  }
+  if (counts_enabled_) counts_.push_back(0);
   for (auto& [mask, index] : indexes_) {
     AddRowToIndex(mask, &index, row);
   }
   return true;
 }
 
+bool Relation::Erase(const Value* vals, int n) {
+  SQOD_CHECK_MSG(!frozen_, "Erase on a frozen relation");
+  if (!versioned_) EnableVersioning(0);
+  int32_t r = FindRow(vals, n);
+  if (r < 0 || !live(r)) return false;
+  EraseRow(r);
+  return true;
+}
+
 bool Relation::Contains(const Value* vals, int n) const {
-  SQOD_CHECK(n == arity_);
-  if (dedup_slots_.empty()) return false;
-  uint64_t h = HashValues(vals, n);
-  size_t m = dedup_slots_.size() - 1;
-  size_t s = h & m;
-  while (true) {
-    int32_t r = dedup_slots_[s];
-    if (r == kEmptySlot) return false;
-    if (row_hashes_[r] == h && RowEquals(r, vals)) return true;
-    s = (s + 1) & m;
-  }
+  int32_t r = FindRow(vals, n);
+  return r >= 0 && live(r);
+}
+
+void Relation::EnableVersioning(int64_t base_version) {
+  SQOD_CHECK_MSG(!frozen_, "EnableVersioning on a frozen relation");
+  if (versioned_) return;
+  versioned_ = true;
+  version_ = base_version;
+  added_.assign(num_rows_, base_version);
+  deleted_.assign(num_rows_, kNeverDeleted);
+}
+
+void Relation::EraseRow(int32_t row) {
+  SQOD_CHECK(versioned_ && live(row));
+  deleted_[row] = version_;
+  ++num_dead_;
+}
+
+void Relation::ReviveRow(int32_t row) {
+  SQOD_CHECK(versioned_ && !live(row));
+  added_[row] = version_;
+  deleted_[row] = kNeverDeleted;
+  --num_dead_;
+}
+
+void Relation::UndeleteRow(int32_t row) {
+  SQOD_CHECK(versioned_ && !live(row));
+  deleted_[row] = kNeverDeleted;
+  --num_dead_;
+}
+
+void Relation::EnableCounts() {
+  if (counts_enabled_) return;
+  counts_enabled_ = true;
+  counts_.assign(num_rows_, 0);
+}
+
+void Relation::ResetCounts() {
+  counts_.assign(num_rows_, 0);
 }
 
 void Relation::GrowIndex(Index* index) const {
@@ -152,7 +249,7 @@ void Relation::AddRowToIndex(uint64_t mask, Index* index, int32_t row) const {
   }
 }
 
-Relation::Matches Relation::Probe(uint64_t mask, const Value* key) const {
+const Relation::Index& Relation::FindOrBuildIndex(uint64_t mask) const {
   auto it = indexes_.find(mask);
   if (it == indexes_.end()) {
     it = indexes_.emplace(mask, Index()).first;
@@ -163,31 +260,58 @@ Relation::Matches Relation::Probe(uint64_t mask, const Value* key) const {
       AddRowToIndex(mask, &index, row);
     }
   }
-  const Index& index = it->second;
-  if (index.slots.empty()) return Matches();
+  return it->second;
+}
+
+Relation::Matches Relation::Probe(uint64_t mask, const Value* key) const {
+  const Index* index;
+  if (frozen_) {
+    // Shared read-only snapshot: the map mutates on first probe of a mask,
+    // so the lookup-or-build must serialize. Once built, an Index never
+    // changes (frozen relations take no inserts), so chain walks below are
+    // lock-free.
+    std::lock_guard<std::mutex> lock(*index_mu_);
+    index = &FindOrBuildIndex(mask);
+  } else {
+    index = &FindOrBuildIndex(mask);
+  }
+  if (index->slots.empty()) return Matches();
   const int n = std::popcount(mask);
   uint64_t h = HashSeed(n);
   for (int k = 0; k < n; ++k) {
     h = Mix64(h ^ static_cast<uint64_t>(key[k].Hash()));
   }
-  size_t m = index.slots.size() - 1;
+  size_t m = index->slots.size() - 1;
   size_t s = h & m;
   while (true) {
-    int32_t head = index.slots[s];
+    int32_t head = index->slots[s];
     if (head == kEmptySlot) return Matches();
-    if (index.key_hash[head] == h && MaskedColsEqualKey(head, mask, key)) {
-      return Matches{head, index.next.data()};
+    if (index->key_hash[head] == h && MaskedColsEqualKey(head, mask, key)) {
+      return Matches{head, index->next.data()};
     }
     s = (s + 1) & m;
   }
 }
 
+void Relation::Freeze() {
+  if (frozen_) return;
+  frozen_ = true;
+  index_mu_ = std::make_unique<std::mutex>();
+}
+
 void Relation::Clear() {
+  SQOD_CHECK_MSG(!frozen_, "Clear on a frozen relation");
   num_rows_ = 0;
+  num_dead_ = 0;
   arena_.clear();
   row_hashes_.clear();
   dedup_slots_.clear();
   indexes_.clear();
+  // Versioning/counts flags survive Clear: subsequent inserts stamp with
+  // version_ again.
+  added_.clear();
+  deleted_.clear();
+  counts_.clear();
 }
 
 }  // namespace sqod

@@ -124,6 +124,72 @@ Response QueryService::Call(Request request) {
   return Submit(std::move(request)).get();
 }
 
+std::future<DeltaResponse> QueryService::ApplyDelta(DeltaRequest request) {
+  auto job = std::make_shared<DeltaJob>();
+  job->request = std::move(request);
+  job->submit_ns = NowNs();
+
+  job->trace.trace_id = NextTraceId();
+  job->trace.request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  job->trace.submit_ns = job->submit_ns;
+  job->trace.metrics = &metrics();
+  job->trace.tracer.set_enabled(job->request.trace);
+
+  Tracer& tracer = job->trace.tracer;
+  job->root_span = tracer.StartSpanAt("delta", job->submit_ns);
+  job->root_span.SetAttr("request_id",
+                         static_cast<int64_t>(job->trace.request_id));
+  job->root_span.SetAttr(
+      "inserts", static_cast<int64_t>(job->request.delta.inserts.size()));
+  job->root_span.SetAttr(
+      "deletes", static_cast<int64_t>(job->request.delta.deletes.size()));
+  {
+    Span admission = tracer.StartSpan("delta.admission");
+    admission.SetAttr("queue_depth",
+                      static_cast<int64_t>(pool_.queue_depth()));
+  }
+
+  std::future<DeltaResponse> future = job->promise.get_future();
+  ThreadPool::SubmitResult submitted =
+      pool_.Submit([this, job] { ProcessDelta(job.get()); });
+  if (submitted == ThreadPool::SubmitResult::kAccepted) {
+    metrics().GetCounter("service/delta_batches")->Increment();
+    return future;
+  }
+
+  const bool queue_full = submitted == ThreadPool::SubmitResult::kQueueFull;
+  metrics().GetCounter("service/delta_batches_rejected")->Increment();
+
+  DeltaResponse response;
+  response.trace_id = job->trace.trace_id;
+  response.status =
+      queue_full ? Status::ResourceExhausted(
+                       "admission queue full (max_queue=" +
+                       std::to_string(options_.max_queue) + ")")
+                 : Status::FailedPrecondition("service is shut down");
+  job->root_span.SetAttr("rejected", 1);
+  job->root_span.End();
+  if (tracer.enabled()) response.spans = tracer.TakeSpans();
+
+  LogEvent event;
+  event.ts_ns = NowNs();
+  event.trace_id = job->trace.trace_id;
+  event.request_id = job->trace.request_id;
+  event.kind = "request_rejected";
+  event.fields.emplace_back("queue_full", queue_full ? 1 : 0);
+  event.fields.emplace_back("delta", 1);
+  event.message = response.status.message();
+  event_log_.Append(std::move(event));
+
+  job->promise.set_value(std::move(response));
+  return future;
+}
+
+DeltaResponse QueryService::CallApplyDelta(DeltaRequest request) {
+  return ApplyDelta(std::move(request)).get();
+}
+
 void QueryService::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
@@ -182,6 +248,130 @@ std::shared_ptr<QueryService::SessionEntry> QueryService::GetSession(
   return entry;
 }
 
+void QueryService::ProcessDelta(DeltaJob* job) {
+  const int64_t start_ns = NowNs();
+  MetricsRegistry& metrics = this->metrics();
+  metrics.GetHistogram("service/queue_wait_ns")
+      ->Record(start_ns - job->submit_ns);
+
+  Tracer& tracer = job->trace.tracer;
+  {
+    Span queue = tracer.StartSpanAt("delta.queue", job->submit_ns);
+  }
+
+  DeltaResponse response;
+  response.trace_id = job->trace.trace_id;
+  response.queue_wait_ns = start_ns - job->submit_ns;
+
+  auto finish = [&](Status status) {
+    response.status = std::move(status);
+    metrics
+        .GetCounter(response.status.ok() ? "service/delta_batches_completed"
+                                         : "service/delta_batches_failed")
+        ->Increment();
+
+    const int64_t total_ns = NowNs() - job->submit_ns;
+    job->root_span.SetAttr("status_code",
+                           static_cast<int64_t>(response.status.code()));
+    job->root_span.SetAttr("version", response.snapshot_version);
+    job->root_span.End();
+    if (tracer.enabled()) response.spans = tracer.TakeSpans();
+
+    if (!response.status.ok()) {
+      LogEvent event;
+      event.ts_ns = NowNs();
+      event.trace_id = job->trace.trace_id;
+      event.request_id = job->trace.request_id;
+      event.kind = "request_error";
+      event.fields.emplace_back("code",
+                                static_cast<int64_t>(response.status.code()));
+      event.fields.emplace_back("total_ns", total_ns);
+      event.fields.emplace_back("delta", 1);
+      event.message = std::string(StatusCodeName(response.status.code())) +
+                      ": " + response.status.message();
+      event_log_.Append(std::move(event));
+    }
+
+    // Slow maintenance batches land in the same ring as slow queries,
+    // joinable with their span tree by trace id.
+    if (options_.slow_query_ms >= 0 &&
+        total_ns >= options_.slow_query_ms * 1'000'000) {
+      metrics.GetCounter("service/slow_queries")->Increment();
+      LogEvent event;
+      event.ts_ns = NowNs();
+      event.trace_id = job->trace.trace_id;
+      event.request_id = job->trace.request_id;
+      event.kind = "slow_delta";
+      event.fields.emplace_back("total_ns", total_ns);
+      event.fields.emplace_back("queue_wait_ns", response.queue_wait_ns);
+      event.fields.emplace_back("materialize_ns", response.materialize_ns);
+      event.fields.emplace_back("maintain_ns", response.maintain_ns);
+      event.fields.emplace_back("version", response.snapshot_version);
+      if (response.status.ok()) {
+        event.message = response.stats.Summary();
+      } else {
+        event.message = std::string(StatusCodeName(response.status.code())) +
+                        ": " + response.status.message();
+      }
+      event_log_.Append(std::move(event));
+    }
+
+    job->promise.set_value(std::move(response));
+  };
+
+  std::shared_ptr<SessionEntry> entry = GetSession(job->request.source);
+  if (entry->session == nullptr) {
+    finish(entry->status);
+    return;
+  }
+  Session& session = *entry->session;
+
+  // Maintenance has no original-program fallback: a view exists only for a
+  // prepared (rewritten) program, so Prepare errors fail the batch.
+  Span prepare_span = tracer.StartSpan("delta.prepare");
+  SqoOptions sqo = job->request.sqo;
+  if (sqo.tracer == nullptr) sqo.tracer = &tracer;
+  bool cache_hit = false;
+  Result<const PreparedProgram*> prepared = session.Prepare(sqo, &cache_hit);
+  prepare_span.SetAttr("cache_hit", cache_hit ? 1 : 0);
+  prepare_span.End();
+  if (!prepared.ok()) {
+    finish(prepared.status());
+    return;
+  }
+
+  Span materialize_span = tracer.StartSpan("delta.materialize");
+  const int64_t materialize_start_ns = NowNs();
+  Result<MaterializedView*> view =
+      session.Materialize(*prepared.value(), job->request.materialize);
+  response.materialize_ns = NowNs() - materialize_start_ns;
+  materialize_span.End();
+  if (!view.ok()) {
+    finish(view.status());
+    return;
+  }
+
+  Span maintain_span = tracer.StartSpan("delta.maintain");
+  const int64_t maintain_start_ns = NowNs();
+  Result<MaintainStats> stats = view.value()->ApplyDelta(job->request.delta);
+  response.maintain_ns = NowNs() - maintain_start_ns;
+  metrics.GetHistogram("service/apply_delta_ns")
+      ->Record(response.maintain_ns);
+  if (!stats.ok()) {
+    maintain_span.End();
+    finish(stats.status());
+    return;
+  }
+  response.stats = stats.value();
+  response.snapshot_version = response.stats.version;
+  maintain_span.SetAttr("version", response.snapshot_version);
+  maintain_span.SetAttr("recomputed", response.stats.recomputed ? 1 : 0);
+  maintain_span.SetAttr("idb_delta", response.stats.idb_inserted +
+                                         response.stats.idb_deleted);
+  maintain_span.End();
+  finish(Status::Ok());
+}
+
 void QueryService::Process(Job* job) {
   const int64_t start_ns = NowNs();
   MetricsRegistry& metrics = this->metrics();
@@ -202,6 +392,7 @@ void QueryService::Process(Job* job) {
   // State the slow-query log reads at finish; filled as the request
   // advances.
   const PreparedProgram* prepared_program = nullptr;
+  const MaterializedView* served_view = nullptr;
   std::vector<RuleProfile> profiles;
   const bool slow_armed = options_.slow_query_ms >= 0;
 
@@ -266,6 +457,10 @@ void QueryService::Process(Job* job) {
         AttachRuntime(prepared_program->report, response.stats, profiles,
                       static_cast<int64_t>(response.answers.size()),
                       response.execute_ns, &explain);
+        if (served_view != nullptr) {
+          AttachMaintenance(served_view->totals(), served_view->last_batch(),
+                            served_view->batches_applied(), &explain);
+        }
         event.message = explain.Summary();
       }
       event_log_.Append(std::move(event));
@@ -329,9 +524,40 @@ void QueryService::Process(Job* job) {
   }
   prepare_span.End();
 
-  // Every request evaluates against its own EDB: Relation builds join
-  // indexes lazily, so a shared mutable Database across workers would race.
-  Database edb = session.MakeEdb();
+  // Materialized-view fast path: copy the warm answers out under the
+  // view's shared lock instead of evaluating. The first such request pays
+  // the initial fixpoint (inside Materialize); the fallback path cannot
+  // serve from a view (no prepared program), so it evaluates below.
+  if (job->request.materialized && !fallback) {
+    Span view_span = tracer.StartSpan("request.view");
+    const int64_t exec_start_ns = NowNs();
+    Result<MaterializedView*> view =
+        session.Materialize(*prepared.value(), job->request.materialize);
+    if (!view.ok()) {
+      view_span.End();
+      finish(view.status());
+      return;
+    }
+    served_view = view.value();
+    response.answers = served_view->Answers(&response.snapshot_version);
+    response.execute_ns = NowNs() - exec_start_ns;
+    metrics.GetHistogram("service/execute_ns")->Record(response.execute_ns);
+    metrics.GetCounter("service/view_serves")->Increment();
+    view_span.SetAttr("version", response.snapshot_version);
+    view_span.SetAttr("answers",
+                      static_cast<int64_t>(response.answers.size()));
+    view_span.End();
+    response.served_from_view = true;
+    response.eval_mode = job->request.materialize.eval.mode;
+    response.optimized = true;
+    finish(Status::Ok());
+    return;
+  }
+
+  // Every request reads the session's frozen shared base snapshot — the
+  // per-request EDB copy is gone. Freeze makes concurrent lazy index
+  // builds safe; evaluation writes only to its own IDB/delta relations.
+  const Database& edb = session.SharedEdb();
 
   EvalOptions eval = job->request.eval;
   eval.cancel = cancel;
@@ -363,6 +589,8 @@ void QueryService::Process(Job* job) {
   }
   response.answers = std::move(answers).value();
   response.optimized = !fallback;
+  response.eval_mode = eval.mode;
+  response.snapshot_version = 0;  // the immutable base snapshot
   finish(Status::Ok());
 }
 

@@ -15,6 +15,7 @@
 #include "src/base/cancel.h"
 #include "src/base/status.h"
 #include "src/engine/engine.h"
+#include "src/engine/view.h"
 #include "src/obs/context.h"
 #include "src/obs/event_log.h"
 #include "src/service/thread_pool.h"
@@ -115,6 +116,15 @@ struct Request {
   // evaluation) into Response::spans. Off by default: untraced requests
   // pay one branch per instrumentation site.
   bool trace = false;
+  // Serve from the session's materialized view instead of evaluating: the
+  // first such request pays the initial fixpoint (materialization), later
+  // ones copy the warm answers out under a shared lock. Combine with
+  // ApplyDelta to keep the view current as the EDB changes. Ignored (a
+  // normal evaluation runs) when the program needed the kUnsupported
+  // fallback. `materialize` configures the view when this request is the
+  // one that builds it.
+  bool materialized = false;
+  MaterializeOptions materialize;
 };
 
 struct Response {
@@ -137,6 +147,52 @@ struct Response {
   int passes_ran = 0;
   // The request's span tree (empty unless Request::trace was set).
   std::vector<SpanRecord> spans;
+  // The EDB snapshot version the answers reflect: a materialized-view
+  // request reports the view's current version; a plain evaluation reports
+  // 0 (the session's immutable base snapshot). -1 on error/rejection.
+  int64_t snapshot_version = -1;
+  // How the answers were produced: true when they were copied from the
+  // warm materialized view without running the evaluator.
+  bool served_from_view = false;
+  // The evaluation mode that actually ran (for view-served answers, the
+  // mode the view was materialized/maintained with).
+  EvalMode eval_mode = EvalMode::kCompile;
+};
+
+// One batch of EDB changes against a session's materialized view.
+// Admission, queueing, tracing, and the slow-query log mirror Request; the
+// worker prepares the program (cache hit after the first), materializes the
+// view if this is the first touch, and applies the batch.
+struct DeltaRequest {
+  // The datalog unit whose view to maintain; requests with byte-identical
+  // sources share one session, and therefore one view per fingerprint.
+  std::string source;
+  // Optimizer options; part of the prepared-program fingerprint.
+  SqoOptions sqo;
+  // View construction/maintenance options (first touch only, like
+  // Request::materialize).
+  MaterializeOptions materialize;
+  // The facts to delete and insert (deletes first; see FactDelta).
+  FactDelta delta;
+  // Collect the span tree (admission → queue → materialize → maintain).
+  bool trace = false;
+};
+
+struct DeltaResponse {
+  Status status;
+  // The batch's maintenance stats (see MaintainStats); zeros on error.
+  MaintainStats stats;
+  // The view's snapshot version after the batch (-1 on error). An empty
+  // net batch leaves the version unchanged.
+  int64_t snapshot_version = -1;
+  int64_t queue_wait_ns = 0;
+  // Time materializing the view (0 when it was already warm) and applying
+  // the batch.
+  int64_t materialize_ns = 0;
+  int64_t maintain_ns = 0;
+  // Trace id (joinable with slow-query-log entries), span tree as above.
+  uint64_t trace_id = 0;
+  std::vector<SpanRecord> spans;
 };
 
 class QueryService {
@@ -154,6 +210,18 @@ class QueryService {
 
   // Convenience: Submit and wait.
   Response Call(Request request);
+
+  // Admission-controlled submit of one maintenance batch. Batches share
+  // the worker pool and admission queue with queries; batches against the
+  // same view serialize on the view's writer lock while readers of other
+  // views (and queries) proceed. Observability mirrors Submit:
+  // service/delta_batches{,_rejected,_failed} counters, the
+  // service/apply_delta_ns latency histogram, and — past slow_query_ms —
+  // a "slow_delta" event-log entry joinable with spans by trace id.
+  std::future<DeltaResponse> ApplyDelta(DeltaRequest request);
+
+  // Convenience: ApplyDelta and wait.
+  DeltaResponse CallApplyDelta(DeltaRequest request);
 
   // Stops admission, drains queued and in-flight requests, joins the
   // workers. Every future obtained from Submit is ready afterwards.
@@ -192,8 +260,17 @@ class QueryService {
     Span root_span;
   };
 
+  struct DeltaJob {
+    DeltaRequest request;
+    std::promise<DeltaResponse> promise;
+    int64_t submit_ns = 0;
+    TraceContext trace;
+    Span root_span;
+  };
+
   std::shared_ptr<SessionEntry> GetSession(const std::string& source);
   void Process(Job* job);
+  void ProcessDelta(DeltaJob* job);
   // `prev` is the baseline the first window diffs against; captured by the
   // constructor before any request can arrive, so the first published
   // delta covers everything since service start even when the OS schedules

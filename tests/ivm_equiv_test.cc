@@ -1,0 +1,749 @@
+// Incremental-view-maintenance equivalence suite: after every ApplyDelta
+// batch, the maintained IDB must equal a from-scratch fixpoint over the same
+// EDB — per predicate, not just for the query — across execution modes
+// (interpret / compile-generic / compile-kernels) and against both the
+// incremental path (counting + DRed) and the recompute fallback.
+//
+// Coverage: recursive transitive closure under random churn (DRed),
+// non-recursive multi-join rules with repeated predicates (counting's
+// telescoping discipline), stratified negation over a changing EDB,
+// comparison atoms, degenerate batches (no-ops, delete+insert of the same
+// tuple, empty nets), error atomicity, the engine's MaterializedView and
+// frozen shared-EDB snapshot, the serving layer's ApplyDelta/materialized
+// request path, and — under TSan — concurrent readers against a maintainer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/engine/view.h"
+#include "src/eval/evaluator.h"
+#include "src/eval/maintain.h"
+#include "src/parser/parser.h"
+#include "src/service/query_service.h"
+#include "src/workload/graphs.h"
+
+namespace sqod {
+namespace {
+
+using FuzzRng = std::mt19937_64;
+
+Atom Fact1(const char* pred, int64_t a) {
+  return Atom(pred, {Term::Int(a)});
+}
+Atom Fact2(const char* pred, int64_t a, int64_t b) {
+  return Atom(pred, {Term::Int(a), Term::Int(b)});
+}
+
+// Live tuples per predicate, sorted — the canonical comparison form.
+// Predicates whose relations are empty (all tombstoned) are dropped, so a
+// maintained database and a freshly evaluated one compare equal.
+std::map<PredId, std::vector<Tuple>> LiveTuples(const Database& db) {
+  std::map<PredId, std::vector<Tuple>> out;
+  for (const auto& [pred, rel] : db.relations()) {
+    std::vector<Tuple>& tuples = out[pred];
+    for (TupleRef t : rel.rows()) tuples.push_back(t.Materialize());
+    if (tuples.empty()) {
+      out.erase(pred);
+      continue;
+    }
+    std::sort(tuples.begin(), tuples.end());
+  }
+  return out;
+}
+
+std::string Render(const std::map<PredId, std::vector<Tuple>>& tuples) {
+  std::string out;
+  for (const auto& [pred, ts] : tuples) {
+    out += PredName(pred) + ": " + std::to_string(ts.size()) + " tuples\n";
+  }
+  return out;
+}
+
+// The oracle: mirror of the view's EDB as a plain database, re-evaluated
+// from scratch after every batch.
+void ApplyToOracle(const FactDelta& delta, Database* edb) {
+  for (const Atom& a : delta.deletes) {
+    bool in_inserts = false;
+    for (const Atom& b : delta.inserts) in_inserts = in_inserts || a == b;
+    if (!in_inserts) edb->EraseAtom(a);
+  }
+  for (const Atom& a : delta.inserts) edb->InsertAtom(a);
+}
+
+struct ExecMode {
+  EvalMode mode;
+  bool use_kernels;
+  const char* name;
+};
+
+constexpr ExecMode kExecModes[] = {
+    {EvalMode::kInterpret, false, "interpret"},
+    {EvalMode::kCompile, false, "compile-generic"},
+    {EvalMode::kCompile, true, "compile-kernels"},
+};
+
+// One incremental state driven through a delta script, checked against a
+// from-scratch oracle fixpoint (in every execution mode) after each batch.
+class IvmHarness {
+ public:
+  // `recompute_fraction` > 1e8 never falls back; 0 always does.
+  void Init(const std::string& rules, const Database& initial_edb,
+            const ExecMode& exec, double recompute_fraction,
+            bool force_recompute = false) {
+    Result<Program> program = ParseProgram(rules);
+    ASSERT_TRUE(program.ok()) << program.status().message();
+    program_ = std::move(program).value();
+
+    Result<MaintenancePlan> plan = BuildMaintenancePlan(program_);
+    ASSERT_TRUE(plan.ok()) << plan.status().message();
+    plan_ = std::move(plan).value();
+
+    options_.eval.mode = exec.mode;
+    options_.eval.use_kernels = exec.use_kernels;
+    options_.recompute_fraction = recompute_fraction;
+    options_.force_recompute = force_recompute;
+
+    state_.edb = initial_edb;
+    state_.edb.EnableVersioning(0);
+    state_.version = 0;
+    Evaluator evaluator(program_, options_.eval);
+    Result<Database> idb = evaluator.Evaluate(state_.edb);
+    ASSERT_TRUE(idb.ok()) << idb.status().message();
+    state_.idb = std::move(idb).value();
+    state_.idb.EnableVersioning(0);
+    InitializeDerivationCounts(program_, plan_, &state_);
+
+    oracle_edb_ = initial_edb;
+  }
+
+  // Applies one batch to both sides and asserts the full IDBs agree.
+  void ApplyAndCheck(const FactDelta& delta, const std::string& label) {
+    Result<MaintainStats> stats =
+        ApplyDeltaToState(program_, plan_, delta, options_, &state_);
+    ASSERT_TRUE(stats.ok()) << label << ": " << stats.status().message();
+    last_stats_ = stats.value();
+
+    ApplyToOracle(delta, &oracle_edb_);
+    ASSERT_NO_FATAL_FAILURE(CheckAgainstOracle(label));
+  }
+
+  void CheckAgainstOracle(const std::string& label) {
+    std::map<PredId, std::vector<Tuple>> maintained = LiveTuples(state_.idb);
+    ASSERT_EQ(LiveTuples(state_.edb), LiveTuples(oracle_edb_))
+        << label << ": maintained EDB diverged from the oracle";
+    for (const ExecMode& exec : kExecModes) {
+      EvalOptions eval;
+      eval.mode = exec.mode;
+      eval.use_kernels = exec.use_kernels;
+      Evaluator evaluator(program_, eval);
+      Result<Database> fresh = evaluator.Evaluate(oracle_edb_);
+      ASSERT_TRUE(fresh.ok()) << label << ": " << fresh.status().message();
+      ASSERT_EQ(maintained, LiveTuples(fresh.value()))
+          << label << " [" << exec.name
+          << "]: incremental != recompute\nmaintained:\n"
+          << Render(maintained) << "fresh:\n"
+          << Render(LiveTuples(fresh.value()));
+    }
+  }
+
+  const MaintainStats& last_stats() const { return last_stats_; }
+  const MaterializedState& state() const { return state_; }
+  const Database& oracle_edb() const { return oracle_edb_; }
+  MaterializedState* mutable_state() { return &state_; }
+
+ private:
+  Program program_;
+  MaintenancePlan plan_;
+  ApplyDeltaOptions options_;
+  MaterializedState state_;
+  Database oracle_edb_;
+  MaintainStats last_stats_;
+};
+
+// A random batch over `pred` edges in [0, nodes): deletions sampled from
+// the live tuples (so they usually hit), insertions random (so some
+// duplicate, some are new).
+FactDelta RandomEdgeBatch(FuzzRng* rng, const Database& edb, const char* pred,
+                          int nodes, int inserts, int deletes) {
+  FactDelta delta;
+  const Relation* rel = edb.Find(InternPred(pred));
+  std::vector<Tuple> live;
+  if (rel != nullptr) {
+    for (TupleRef t : rel->rows()) live.push_back(t.Materialize());
+  }
+  for (int i = 0; i < deletes; ++i) {
+    if (!live.empty() && (*rng)() % 4 != 0) {
+      const Tuple& t = live[(*rng)() % live.size()];
+      delta.deletes.push_back(Fact2(pred, t[0].as_int(), t[1].as_int()));
+    } else {
+      delta.deletes.push_back(
+          Fact2(pred, (*rng)() % nodes, (*rng)() % nodes));  // likely absent
+    }
+  }
+  for (int i = 0; i < inserts; ++i) {
+    delta.inserts.push_back(Fact2(pred, (*rng)() % nodes, (*rng)() % nodes));
+  }
+  return delta;
+}
+
+// --- recursive strata: DRed under random churn ---------------------------
+
+constexpr const char* kTcRules = R"(
+  tc(X, Y) :- edge(X, Y).
+  tc(X, Z) :- tc(X, Y), edge(Y, Z).
+  ?- tc.
+)";
+
+TEST(IvmEquivTest, TransitiveClosureRandomChurn) {
+  for (const ExecMode& exec : kExecModes) {
+    FuzzRng rng(0xc0ffee);
+    Database edb = MakeRandomGraph(24, 60, &rng);
+    IvmHarness harness;
+    ASSERT_NO_FATAL_FAILURE(harness.Init(kTcRules, edb, exec, 1e9));
+    for (int batch = 0; batch < 24; ++batch) {
+      FactDelta delta = RandomEdgeBatch(&rng, harness.state().edb, "edge", 24,
+                                        1 + batch % 3, 1 + batch % 4);
+      ASSERT_NO_FATAL_FAILURE(harness.ApplyAndCheck(
+          delta, std::string(exec.name) + " tc batch " +
+                     std::to_string(batch)));
+      EXPECT_FALSE(harness.last_stats().recomputed);
+    }
+  }
+}
+
+TEST(IvmEquivTest, CyclicGraphDeletionsRederive) {
+  // A cycle plus a chord: deleting one cycle edge over-deletes a large
+  // chunk of tc that the chord rederives — the DRed rescue path.
+  IvmHarness harness;
+  Database edb;
+  for (int i = 0; i < 8; ++i) {
+    edb.InsertAtom(Fact2("edge", i, (i + 1) % 8));
+  }
+  edb.InsertAtom(Fact2("edge", 0, 4));  // chord
+  ASSERT_NO_FATAL_FAILURE(
+      harness.Init(kTcRules, edb, kExecModes[0], 1e9));
+
+  FactDelta drop_cycle_edge;
+  drop_cycle_edge.deletes.push_back(Fact2("edge", 2, 3));
+  ASSERT_NO_FATAL_FAILURE(
+      harness.ApplyAndCheck(drop_cycle_edge, "cycle edge deletion"));
+  EXPECT_GT(harness.last_stats().over_deleted, 0);
+
+  FactDelta restore;
+  restore.inserts.push_back(Fact2("edge", 2, 3));
+  ASSERT_NO_FATAL_FAILURE(harness.ApplyAndCheck(restore, "cycle restored"));
+}
+
+// --- non-recursive strata: counting ---------------------------------------
+
+constexpr const char* kJoinRules = R"(
+  q(X, Z) :- a(X, Y), b(Y, Z).
+  twice(X, Z) :- a(X, Y), a(Y, Z).
+  r(X) :- q(X, Y), c(Y).
+  ?- r.
+)";
+
+TEST(IvmEquivTest, CountingMultiJoinWithRepeatedPredicates) {
+  for (const ExecMode& exec : kExecModes) {
+    FuzzRng rng(0xbead);
+    Database edb;
+    for (int i = 0; i < 40; ++i) {
+      edb.InsertAtom(Fact2("a", rng() % 12, rng() % 12));
+      edb.InsertAtom(Fact2("b", rng() % 12, rng() % 12));
+      if (i % 3 == 0) edb.InsertAtom(Fact1("c", rng() % 12));
+    }
+    IvmHarness harness;
+    ASSERT_NO_FATAL_FAILURE(harness.Init(kJoinRules, edb, exec, 1e9));
+    const char* preds[] = {"a", "b"};
+    for (int batch = 0; batch < 20; ++batch) {
+      FactDelta delta = RandomEdgeBatch(&rng, harness.state().edb,
+                                        preds[batch % 2], 12, 2, 2);
+      if (batch % 4 == 0) {
+        delta.inserts.push_back(Fact1("c", rng() % 12));
+      }
+      if (batch % 5 == 0) {
+        delta.deletes.push_back(Fact1("c", rng() % 12));
+      }
+      ASSERT_NO_FATAL_FAILURE(harness.ApplyAndCheck(
+          delta, std::string(exec.name) + " join batch " +
+                     std::to_string(batch)));
+      EXPECT_FALSE(harness.last_stats().recomputed);
+      EXPECT_EQ(harness.last_stats().over_deleted, 0)
+          << "non-recursive program must never enter DRed";
+    }
+  }
+}
+
+constexpr const char* kComparisonRules = R"(
+  good(X, Y) :- edge(X, Y), X < Y.
+  far(X) :- good(X, Y), Y >= 8.
+  ?- far.
+)";
+
+TEST(IvmEquivTest, ComparisonAtomsUnderChurn) {
+  FuzzRng rng(0xfeed);
+  Database edb = MakeRandomGraph(16, 40, &rng);
+  IvmHarness harness;
+  ASSERT_NO_FATAL_FAILURE(
+      harness.Init(kComparisonRules, edb, kExecModes[2], 1e9));
+  for (int batch = 0; batch < 16; ++batch) {
+    FactDelta delta =
+        RandomEdgeBatch(&rng, harness.state().edb, "edge", 16, 2, 2);
+    ASSERT_NO_FATAL_FAILURE(
+        harness.ApplyAndCheck(delta, "cmp batch " + std::to_string(batch)));
+  }
+}
+
+// --- stratified negation over a changing EDB ------------------------------
+
+constexpr const char* kNegationRules = R"(
+  reach(X) :- source(X).
+  reach(Y) :- reach(X), edge(X, Y).
+  unreach(X) :- node(X), !reach(X).
+  ?- unreach.
+)";
+
+TEST(IvmEquivTest, StratifiedNegationOverChangingEdb) {
+  FuzzRng rng(0xdead);
+  Database edb;
+  for (int i = 0; i < 16; ++i) edb.InsertAtom(Fact1("node", i));
+  for (int i = 0; i < 24; ++i) {
+    edb.InsertAtom(Fact2("edge", rng() % 16, rng() % 16));
+  }
+  edb.InsertAtom(Fact1("source", 0));
+  IvmHarness harness;
+  ASSERT_NO_FATAL_FAILURE(
+      harness.Init(kNegationRules, edb, kExecModes[0], 1e9));
+  for (int batch = 0; batch < 20; ++batch) {
+    FactDelta delta =
+        RandomEdgeBatch(&rng, harness.state().edb, "edge", 16, 1, 2);
+    if (batch % 3 == 0) delta.inserts.push_back(Fact1("source", rng() % 16));
+    if (batch % 4 == 1) delta.deletes.push_back(Fact1("source", rng() % 16));
+    if (batch % 5 == 2) delta.inserts.push_back(Fact1("node", 16 + batch));
+    ASSERT_NO_FATAL_FAILURE(harness.ApplyAndCheck(
+        delta, "negation batch " + std::to_string(batch)));
+  }
+}
+
+// --- degenerate batches and error atomicity -------------------------------
+
+TEST(IvmEquivTest, DegenerateBatchesDoNotAdvanceTheVersion) {
+  Database edb;
+  edb.InsertAtom(Fact2("edge", 1, 2));
+  edb.InsertAtom(Fact2("edge", 2, 3));
+  IvmHarness harness;
+  ASSERT_NO_FATAL_FAILURE(harness.Init(kTcRules, edb, kExecModes[0], 1e9));
+
+  FactDelta empty;
+  ASSERT_NO_FATAL_FAILURE(harness.ApplyAndCheck(empty, "empty batch"));
+  EXPECT_EQ(harness.state().version, 0);
+
+  FactDelta noop;
+  noop.inserts.push_back(Fact2("edge", 1, 2));   // already present
+  noop.deletes.push_back(Fact2("edge", 7, 9));   // absent
+  ASSERT_NO_FATAL_FAILURE(harness.ApplyAndCheck(noop, "no-op batch"));
+  EXPECT_EQ(harness.state().version, 0);
+
+  FactDelta churn;  // delete + insert of the same tuple: net unchanged
+  churn.deletes.push_back(Fact2("edge", 1, 2));
+  churn.inserts.push_back(Fact2("edge", 1, 2));
+  churn.inserts.push_back(Fact2("edge", 3, 4));  // the only real change
+  ASSERT_NO_FATAL_FAILURE(harness.ApplyAndCheck(churn, "churn batch"));
+  EXPECT_EQ(harness.state().version, 1);
+  EXPECT_EQ(harness.last_stats().edb_inserted, 1);
+  EXPECT_EQ(harness.last_stats().edb_deleted, 0);
+
+  FactDelta reinsert;  // delete, then re-insert in a later batch
+  reinsert.deletes.push_back(Fact2("edge", 3, 4));
+  ASSERT_NO_FATAL_FAILURE(harness.ApplyAndCheck(reinsert, "delete"));
+  FactDelta back;
+  back.inserts.push_back(Fact2("edge", 3, 4));
+  ASSERT_NO_FATAL_FAILURE(harness.ApplyAndCheck(back, "re-insert"));
+  EXPECT_EQ(harness.state().version, 3);
+}
+
+TEST(IvmEquivTest, InvalidBatchesLeaveTheStateUntouched) {
+  Database edb;
+  edb.InsertAtom(Fact2("edge", 1, 2));
+  IvmHarness harness;
+  ASSERT_NO_FATAL_FAILURE(harness.Init(kTcRules, edb, kExecModes[0], 1e9));
+
+  Result<Program> program = ParseProgram(kTcRules);
+  ASSERT_TRUE(program.ok());
+  Result<MaintenancePlan> plan = BuildMaintenancePlan(program.value());
+  ASSERT_TRUE(plan.ok());
+
+  auto expect_rejected = [&](FactDelta delta, const char* label) {
+    ApplyDeltaOptions options;
+    Result<MaintainStats> stats =
+        ApplyDeltaToState(program.value(), plan.value(), delta, options,
+                          harness.mutable_state());
+    EXPECT_FALSE(stats.ok()) << label;
+    if (!stats.ok()) {
+      EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument) << label;
+    }
+    EXPECT_EQ(harness.state().version, 0) << label;
+    ASSERT_NO_FATAL_FAILURE(harness.CheckAgainstOracle(label));
+  };
+
+  FactDelta idb_write;
+  idb_write.inserts.push_back(Fact2("tc", 5, 6));
+  expect_rejected(std::move(idb_write), "IDB predicate in delta");
+
+  FactDelta bad_arity;
+  bad_arity.inserts.push_back(Fact1("edge", 5));
+  expect_rejected(std::move(bad_arity), "arity mismatch");
+
+  FactDelta non_ground;
+  non_ground.inserts.push_back(
+      Atom("edge", {Term::Var("X"), Term::Int(1)}));
+  expect_rejected(std::move(non_ground), "non-ground fact");
+}
+
+// --- recompute fallback ---------------------------------------------------
+
+TEST(IvmEquivTest, ForcedRecomputeMatchesIncremental) {
+  for (const ExecMode& exec : kExecModes) {
+    FuzzRng rng(0xabba);
+    Database edb = MakeRandomGraph(20, 50, &rng);
+    IvmHarness harness;
+    ASSERT_NO_FATAL_FAILURE(
+        harness.Init(kTcRules, edb, exec, 1e9, /*force_recompute=*/true));
+    for (int batch = 0; batch < 8; ++batch) {
+      FactDelta delta =
+          RandomEdgeBatch(&rng, harness.state().edb, "edge", 20, 2, 2);
+      ASSERT_NO_FATAL_FAILURE(harness.ApplyAndCheck(
+          delta, std::string(exec.name) + " recompute batch " +
+                     std::to_string(batch)));
+      if (harness.state().version > 0) {
+        EXPECT_TRUE(harness.last_stats().recomputed);
+      }
+    }
+  }
+}
+
+TEST(IvmEquivTest, LargeBatchTriggersTheRecomputeFallback) {
+  FuzzRng rng(0xcafe);
+  Database edb = MakeRandomGraph(20, 40, &rng);
+  IvmHarness harness;
+  ASSERT_NO_FATAL_FAILURE(
+      harness.Init(kTcRules, edb, kExecModes[2], /*recompute_fraction=*/0.25));
+
+  FactDelta small;
+  small.inserts.push_back(Fact2("edge", 1, 19));
+  ASSERT_NO_FATAL_FAILURE(harness.ApplyAndCheck(small, "small batch"));
+  EXPECT_FALSE(harness.last_stats().recomputed);
+
+  FactDelta big;  // way past 25% of the live EDB
+  for (int i = 0; i < 40; ++i) {
+    big.inserts.push_back(Fact2("edge", 100 + i, 101 + i));
+  }
+  ASSERT_NO_FATAL_FAILURE(harness.ApplyAndCheck(big, "big batch"));
+  EXPECT_TRUE(harness.last_stats().recomputed);
+
+  // And the state stays maintainable incrementally afterwards.
+  FactDelta after;
+  after.deletes.push_back(Fact2("edge", 100, 101));
+  ASSERT_NO_FATAL_FAILURE(harness.ApplyAndCheck(after, "after recompute"));
+  EXPECT_FALSE(harness.last_stats().recomputed);
+}
+
+TEST(IvmEquivTest, GrowFromEmptyEdb) {
+  Database empty;
+  IvmHarness harness;
+  ASSERT_NO_FATAL_FAILURE(harness.Init(kTcRules, empty, kExecModes[2], 1e9));
+  FuzzRng rng(0x5eed);
+  for (int batch = 0; batch < 10; ++batch) {
+    FactDelta delta;
+    delta.inserts.push_back(Fact2("edge", rng() % 8, rng() % 8));
+    delta.inserts.push_back(Fact2("edge", rng() % 8, rng() % 8));
+    ASSERT_NO_FATAL_FAILURE(harness.ApplyAndCheck(
+        delta, "grow batch " + std::to_string(batch)));
+  }
+}
+
+// --- engine layer: MaterializedView and the frozen shared EDB -------------
+
+constexpr const char* kEngineSource = R"(
+  tc(X, Y) :- edge(X, Y).
+  tc(X, Z) :- tc(X, Y), edge(Y, Z).
+  edge(1, 2). edge(2, 3). edge(3, 4).
+  ?- tc.
+)";
+
+TEST(IvmEquivEngineTest, ViewServesWarmAnswersAndMaintainsThem) {
+  Engine engine;
+  Result<Session> session = engine.Open(kEngineSource);
+  ASSERT_TRUE(session.ok()) << session.status().message();
+  Result<const PreparedProgram*> prepared = session.value().Prepare();
+  ASSERT_TRUE(prepared.ok()) << prepared.status().message();
+
+  Result<MaterializedView*> view =
+      session.value().Materialize(*prepared.value());
+  ASSERT_TRUE(view.ok()) << view.status().message();
+  EXPECT_EQ(view.value()->version(), 0);
+
+  // Warm answers == an actual evaluation against the shared snapshot.
+  Result<std::vector<Tuple>> executed = session.value().Execute(
+      *prepared.value(), session.value().SharedEdb());
+  ASSERT_TRUE(executed.ok());
+  int64_t version = -1;
+  EXPECT_EQ(view.value()->Answers(&version), executed.value());
+  EXPECT_EQ(version, 0);
+
+  // Materialize again: same view, still warm.
+  Result<MaterializedView*> again =
+      session.value().Materialize(*prepared.value());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(view.value(), again.value());
+
+  // Maintain, then check against a fresh evaluation of the view's EDB.
+  FactDelta delta;
+  delta.inserts.push_back(Fact2("edge", 4, 5));
+  delta.deletes.push_back(Fact2("edge", 2, 3));
+  Result<MaintainStats> stats = view.value()->ApplyDelta(delta);
+  ASSERT_TRUE(stats.ok()) << stats.status().message();
+  EXPECT_EQ(stats.value().version, 1);
+  EXPECT_EQ(view.value()->version(), 1);
+
+  Database changed = view.value()->SnapshotEdb();
+  Result<std::vector<Tuple>> fresh =
+      session.value().Execute(*prepared.value(), changed);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(view.value()->Answers(&version), fresh.value());
+  EXPECT_EQ(version, 1);
+  EXPECT_EQ(view.value()->batches_applied(), 1);
+}
+
+TEST(IvmEquivEngineTest, SharedEdbIsFrozenAndStable) {
+  Engine engine;
+  Result<Session> session = engine.Open(kEngineSource);
+  ASSERT_TRUE(session.ok());
+  const Database& a = session.value().SharedEdb();
+  const Database& b = session.value().SharedEdb();
+  EXPECT_EQ(&a, &b);  // one snapshot, not one per call
+  EXPECT_TRUE(a.frozen());
+  EXPECT_EQ(a.TotalTuples(), 3);
+}
+
+// --- service layer --------------------------------------------------------
+
+TEST(IvmEquivServiceTest, ApplyDeltaAdvancesTheServedSnapshot) {
+  ServiceOptions options;
+  options.threads = 2;
+  QueryService service(options);
+
+  Request query;
+  query.source = kEngineSource;
+  query.materialized = true;
+  Response r0 = service.Call(query);
+  ASSERT_TRUE(r0.status.ok()) << r0.status.message();
+  EXPECT_TRUE(r0.served_from_view);
+  EXPECT_EQ(r0.snapshot_version, 0);
+  EXPECT_EQ(r0.answers.size(), 6u);  // tc of the 3-edge chain
+
+  DeltaRequest delta;
+  delta.source = kEngineSource;
+  delta.delta.inserts.push_back(Fact2("edge", 4, 5));
+  DeltaResponse d = service.CallApplyDelta(delta);
+  ASSERT_TRUE(d.status.ok()) << d.status.message();
+  EXPECT_EQ(d.snapshot_version, 1);
+  EXPECT_GT(d.stats.idb_inserted, 0);
+
+  Response r1 = service.Call(query);
+  ASSERT_TRUE(r1.status.ok());
+  EXPECT_EQ(r1.snapshot_version, 1);
+  EXPECT_EQ(r1.answers.size(), 10u);  // tc of the 4-edge chain
+
+  // A non-materialized request still reads the immutable base snapshot.
+  Request plain;
+  plain.source = kEngineSource;
+  Response r2 = service.Call(plain);
+  ASSERT_TRUE(r2.status.ok());
+  EXPECT_FALSE(r2.served_from_view);
+  EXPECT_EQ(r2.snapshot_version, 0);
+  EXPECT_EQ(r2.answers.size(), 6u);
+  EXPECT_EQ(r2.eval_mode, EvalMode::kCompile);
+
+  // Rejected IDB writes surface as kInvalidArgument, not a crash.
+  DeltaRequest bad;
+  bad.source = kEngineSource;
+  bad.delta.inserts.push_back(Fact2("tc", 1, 2));
+  DeltaResponse rejected = service.CallApplyDelta(bad);
+  EXPECT_EQ(rejected.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IvmEquivServiceTest, SlowDeltaLandsInTheEventLog) {
+  ServiceOptions options;
+  options.threads = 1;
+  options.slow_query_ms = 0;  // log everything
+  QueryService service(options);
+
+  DeltaRequest delta;
+  delta.source = kEngineSource;
+  delta.trace = true;
+  delta.delta.inserts.push_back(Fact2("edge", 9, 10));
+  DeltaResponse d = service.CallApplyDelta(delta);
+  ASSERT_TRUE(d.status.ok()) << d.status.message();
+  EXPECT_NE(d.trace_id, 0u);
+  EXPECT_FALSE(d.spans.empty());
+
+  bool found = false;
+  for (const LogEvent& event : service.event_log().Events()) {
+    if (event.kind == "slow_delta" && event.trace_id == d.trace_id) {
+      found = true;
+      EXPECT_NE(event.message.find("v1"), std::string::npos)
+          << event.message;
+    }
+  }
+  EXPECT_TRUE(found) << "no slow_delta event joinable by trace id";
+}
+
+// --- concurrency (the TSan targets) ---------------------------------------
+
+TEST(IvmEquivConcurrencyTest, ReadersSeeOnlyCompleteSnapshots) {
+  Engine engine;
+  Result<Session> opened = engine.Open(kEngineSource);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened).value();
+  Result<const PreparedProgram*> prepared = session.Prepare();
+  ASSERT_TRUE(prepared.ok());
+  Result<MaterializedView*> made = session.Materialize(*prepared.value());
+  ASSERT_TRUE(made.ok());
+  MaterializedView* view = made.value();
+
+  // Deterministic batches; expected answers per version precomputed by
+  // replaying them against an oracle EDB.
+  std::vector<FactDelta> batches;
+  for (int i = 0; i < 12; ++i) {
+    FactDelta delta;
+    if (i % 3 == 2) {
+      // Deletes the edge batch i-2 inserted, so every batch has a non-empty
+      // net and the version advances exactly once per batch.
+      delta.deletes.push_back(Fact2("edge", 4 + (i - 2), 5 + (i - 2)));
+    } else {
+      delta.inserts.push_back(Fact2("edge", 4 + i, 5 + i));
+    }
+    batches.push_back(std::move(delta));
+  }
+  std::vector<std::vector<Tuple>> expected;
+  {
+    Database oracle = session.MakeEdb();
+    expected.push_back(
+        session.Execute(*prepared.value(), oracle).value());
+    for (const FactDelta& delta : batches) {
+      ApplyToOracle(delta, &oracle);
+      expected.push_back(
+          session.Execute(*prepared.value(), oracle).value());
+    }
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        int64_t version = -1;
+        std::vector<Tuple> answers = view->Answers(&version);
+        if (version < 0 ||
+            version >= static_cast<int64_t>(expected.size()) ||
+            answers != expected[version]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (const FactDelta& delta : batches) {
+    Result<MaintainStats> stats = view->ApplyDelta(delta);
+    ASSERT_TRUE(stats.ok()) << stats.status().message();
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(mismatches.load(), 0)
+      << "a reader observed a half-applied batch";
+  EXPECT_EQ(view->version(), static_cast<int64_t>(batches.size()));
+  int64_t version = -1;
+  EXPECT_EQ(view->Answers(&version), expected.back());
+  EXPECT_EQ(version, static_cast<int64_t>(batches.size()));
+}
+
+TEST(IvmEquivConcurrencyTest, ConcurrentQueriesShareTheFrozenEdb) {
+  ServiceOptions options;
+  options.threads = 4;
+  QueryService service(options);
+
+  // All workers race on the session's frozen shared snapshot: the lazy
+  // index builds inside Relation::Probe must serialize, the chain walks
+  // must not.
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 16; ++i) {
+    Request request;
+    request.source = kEngineSource;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  std::vector<Tuple> reference;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Response response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.message();
+    EXPECT_FALSE(response.served_from_view);
+    if (i == 0) {
+      reference = response.answers;
+    } else {
+      EXPECT_EQ(response.answers, reference);
+    }
+  }
+}
+
+TEST(IvmEquivConcurrencyTest, MaterializedReadsRaceWithMaintenance) {
+  ServiceOptions options;
+  options.threads = 4;
+  QueryService service(options);
+
+  std::vector<std::future<DeltaResponse>> deltas;
+  std::vector<std::future<Response>> queries;
+  for (int i = 0; i < 8; ++i) {
+    DeltaRequest delta;
+    delta.source = kEngineSource;
+    delta.delta.inserts.push_back(Fact2("edge", 10 + i, 11 + i));
+    deltas.push_back(service.ApplyDelta(std::move(delta)));
+    for (int q = 0; q < 3; ++q) {
+      Request request;
+      request.source = kEngineSource;
+      request.materialized = true;
+      queries.push_back(service.Submit(std::move(request)));
+    }
+  }
+  for (std::future<DeltaResponse>& f : deltas) {
+    DeltaResponse d = f.get();
+    ASSERT_TRUE(d.status.ok()) << d.status.message();
+  }
+  int64_t max_version = -1;
+  for (std::future<Response>& f : queries) {
+    Response r = f.get();
+    ASSERT_TRUE(r.status.ok()) << r.status.message();
+    EXPECT_TRUE(r.served_from_view);
+    EXPECT_GE(r.snapshot_version, 0);
+    max_version = std::max(max_version, r.snapshot_version);
+  }
+  // Answers always reflect exactly the version they claim: re-check the
+  // final state synchronously.
+  Request last;
+  last.source = kEngineSource;
+  last.materialized = true;
+  Response final_response = service.Call(last);
+  ASSERT_TRUE(final_response.status.ok());
+  EXPECT_EQ(final_response.snapshot_version, 8);
+}
+
+}  // namespace
+}  // namespace sqod
