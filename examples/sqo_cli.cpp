@@ -70,7 +70,9 @@
 //     --stats-json=FILE  write all collected metrics as JSON
 //     --check-json=FILE  validate FILE with the built-in minimal JSON
 //                   parser and exit (0 = valid); used by the smoke test
-//     --serve-batch run the unit through the concurrent QueryService:
+//     --serve-batch run the unit through an in-process sqo_server on a
+//                   loopback port, driven over the wire protocol by the
+//                   client library (pipelined on one connection):
 //                   submit --requests=R copies (default 8) onto
 //                   --threads=N workers (default 4) with an admission
 //                   queue of --max-queue=Q (default 256) and a per-request
@@ -91,16 +93,18 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/cq/ic_check.h"
 #include "src/engine/engine.h"
 #include "src/engine/explain.h"
 #include "src/engine/view.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
 #include "src/parser/parser.h"
 #include "src/obs/event_log.h"
 #include "src/obs/export.h"
@@ -309,31 +313,60 @@ int main(int argc, char** argv) {
   }
 
   if (serve_batch) {
-    // Serve-batch mode: feed the unit through the concurrent QueryService.
-    // Every request shares one parsed session and one optimizer pipeline
-    // run (single-flight), and evaluates against the session's shared
-    // frozen EDB snapshot.
+    // Serve-batch mode: stand up an in-process sqo_server on a loopback
+    // ephemeral port and drive it through the client library, so the batch
+    // exercises the real wire protocol end to end. Every request shares
+    // one parsed session and one optimizer pipeline run (single-flight)
+    // server-side, and evaluates against the session's shared frozen EDB
+    // snapshot. Requests are pipelined on one connection; the server
+    // answers in completion order.
     MetricsRegistry metrics;
-    ServiceOptions service_options;
-    service_options.threads = threads;
-    service_options.max_queue = static_cast<size_t>(max_queue);
-    service_options.metrics = &metrics;
-    service_options.slow_query_ms = slow_ms;
-    service_options.metrics_snapshot_ms = metrics_snapshot_ms;
-    QueryService service(service_options);
+    ServerOptions server_options;
+    server_options.host = "127.0.0.1";
+    server_options.port = 0;
+    server_options.service.threads = threads;
+    server_options.service.max_queue = static_cast<size_t>(max_queue);
+    server_options.service.metrics = &metrics;
+    server_options.service.slow_query_ms = slow_ms;
+    server_options.service.metrics_snapshot_ms = metrics_snapshot_ms;
+    Server server(std::move(server_options));
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   started.message().c_str());
+      return 2;
+    }
 
-    std::vector<std::future<Response>> futures;
-    futures.reserve(static_cast<size_t>(requests));
+    ClientOptions client_options;
+    client_options.port = server.port();
+    Result<Client> connected = Client::Connect(client_options);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n",
+                   connected.status().message().c_str());
+      return 2;
+    }
+    Client& client = connected.value();
+
+    QueryParams params;
+    params.source = source;
+    params.deadline_ms = deadline_ms;
+    params.eval_mode =
+        eval_mode == EvalMode::kInterpret ? "interpret" : "compile";
+    params.disabled_passes = disabled_passes;
+    // With --trace, every request collects its own span tree; the trees
+    // merge below into one Chrome trace, one lane per request.
+    params.trace = !trace_path.empty();
+
+    std::vector<uint64_t> ids;
+    ids.reserve(static_cast<size_t>(requests));
     for (int i = 0; i < requests; ++i) {
-      Request request;
-      request.source = source;
-      request.sqo.disabled_passes = disabled_passes;
-      request.eval.mode = eval_mode;
-      request.deadline_ms = deadline_ms;
-      // With --trace, every request collects its own span tree; the trees
-      // merge below into one Chrome trace, one lane per request.
-      request.trace = !trace_path.empty();
-      futures.push_back(service.Submit(std::move(request)));
+      Result<uint64_t> sent = client.SendQuery(params);
+      if (!sent.ok()) {
+        std::fprintf(stderr, "send failed: %s\n",
+                     sent.status().message().c_str());
+        return 2;
+      }
+      ids.push_back(sent.value());
     }
 
     int ok = 0, rejected = 0, cancelled = 0, deadline_exceeded = 0,
@@ -342,8 +375,14 @@ int main(int argc, char** argv) {
     bool all_match = true, have_answers = false;
     std::vector<Tuple> first_answers;
     std::vector<RequestTrace> traces;
-    for (std::future<Response>& future : futures) {
-      Response response = future.get();
+    for (uint64_t id : ids) {
+      Result<ServerMessage> reply = client.WaitFor(id);
+      if (!reply.ok()) {
+        std::fprintf(stderr, "connection failed: %s\n",
+                     reply.status().message().c_str());
+        return 2;
+      }
+      Response response = std::move(reply.value().query);
       if (!response.spans.empty()) {
         RequestTrace trace;
         trace.trace_id = response.trace_id;
@@ -378,7 +417,8 @@ int main(int argc, char** argv) {
           break;
       }
     }
-    service.Shutdown();
+    client.Close();
+    server.Stop();
 
     std::printf("%% serve-batch: threads=%d max_queue=%lld requests=%d "
                 "deadline_ms=%lld\n",
@@ -407,11 +447,11 @@ int main(int argc, char** argv) {
 
     // The structured event log: slow queries (with their trace ids and
     // EXPLAIN summaries), errors, rejections, metric snapshots.
-    std::vector<LogEvent> events = service.event_log().Events();
+    std::vector<LogEvent> events = server.service().event_log().Events();
     if (!events.empty()) {
-      std::printf("%% serve-batch: %zu event(s), slow_queries=%zu\n",
-                  events.size(),
-                  service.event_log().EventsOfKind("slow_query").size());
+      std::printf(
+          "%% serve-batch: %zu event(s), slow_queries=%zu\n", events.size(),
+          server.service().event_log().EventsOfKind("slow_query").size());
       for (const LogEvent& event : events) {
         std::printf("%% event: %s\n", RenderLogEvent(event).c_str());
       }

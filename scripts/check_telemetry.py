@@ -32,7 +32,8 @@ import sys
 
 # Every metric name the engine may emit lives under one of these roots;
 # a new namespace is a deliberate API change, so the check fails loudly.
-METRIC_NAMESPACES = ("cli", "engine", "eval", "obs", "service", "sqo")
+METRIC_NAMESPACES = ("cli", "engine", "eval", "net", "obs", "service",
+                     "sqo", "tenant")
 
 # The 8-pass Levy–Sagiv pipeline, in order.
 EXPECTED_PASSES = [

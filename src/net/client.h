@@ -1,0 +1,107 @@
+#ifndef SQOD_NET_CLIENT_H_
+#define SQOD_NET_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/net/socket.h"
+#include "src/proto/proto.h"
+
+namespace sqod {
+
+// A small blocking client for the sqo_server protocol. Connect() performs
+// the TCP connect and the hello handshake; the typed calls below each send
+// one request and block for its reply.
+//
+// Pipelining: Send* enqueues a request and returns its id without waiting;
+// WaitFor(id) blocks until that id's reply arrives, stashing any other
+// replies read along the way (the server answers in completion order).
+// One thread per Client: the class is not thread-safe.
+//
+// Error layering: a Result error from a call means the transport or the
+// protocol failed (connection lost, undecodable frame) — the connection is
+// unusable afterwards. Server-side request failures arrive as OK results
+// whose payload carries the status (Response::status etc.).
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string token;
+  int min_version = kProtoVersionMin;
+  int max_version = kProtoVersionMax;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class Client {
+ public:
+  // Connects and performs the hello handshake. A hello rejection (bad
+  // token, no common version) is returned as that error.
+  static Result<Client> Connect(const ClientOptions& options);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  // The server's hello reply: negotiated version, resolved tenant, frame
+  // ceiling.
+  const HelloResult& hello() const { return hello_; }
+
+  // Loads (parses + prepares) `source` under the tenant-scoped session
+  // name. Response::status carries any parse/prepare error.
+  Result<Response> LoadProgram(const std::string& session,
+                               const std::string& source);
+
+  // One query; see QueryParams for session-vs-inline addressing.
+  Result<Response> Query(const QueryParams& params);
+
+  // EXPLAIN/ANALYZE against a loaded session; the report is in
+  // Response::explain_json.
+  Result<Response> Explain(const std::string& session);
+
+  // One EDB delta batch (facts in source syntax) against a session's view.
+  Result<DeltaResponse> ApplyDelta(const std::string& session,
+                                   std::vector<std::string> inserts,
+                                   std::vector<std::string> deletes,
+                                   bool trace = false);
+
+  // The server's full metrics export, parsed.
+  Result<JsonValue> Metrics();
+
+  // Polite shutdown: close request, wait for the ack, close the socket.
+  Status Close();
+
+  // --- pipelined interface ---
+
+  // Sends without waiting; returns the request id to pass to WaitFor.
+  Result<uint64_t> SendQuery(const QueryParams& params);
+  Result<uint64_t> SendApplyDelta(const std::string& session,
+                                  std::vector<std::string> inserts,
+                                  std::vector<std::string> deletes,
+                                  bool trace = false);
+
+  // Blocks until `id`'s reply arrives (replies for other ids encountered
+  // on the way are stashed for their own WaitFor calls).
+  Result<ServerMessage> WaitFor(uint64_t id);
+
+  bool connected() const { return fd_.valid(); }
+
+ private:
+  Client() : reader_(kDefaultMaxFrameBytes) {}
+
+  Status SendPayload(const std::string& payload);
+  // Reads and decodes the next frame off the socket (blocking).
+  Result<ServerMessage> ReadMessage();
+  // Send + WaitFor in one step.
+  Result<ServerMessage> Call(std::string payload, uint64_t id);
+
+  UniqueFd fd_;
+  FrameReader reader_;
+  HelloResult hello_;
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, ServerMessage> stash_;
+};
+
+}  // namespace sqod
+
+#endif  // SQOD_NET_CLIENT_H_

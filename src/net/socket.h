@@ -1,0 +1,74 @@
+#ifndef SQOD_NET_SOCKET_H_
+#define SQOD_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/status.h"
+
+namespace sqod {
+
+// Thin POSIX socket helpers shared by the server and the client: RAII fd
+// ownership plus the handful of syscall wrappers both sides need, with
+// errno folded into Status messages. No other file in src/net touches raw
+// socket syscalls.
+
+// An owned file descriptor; closes on destruction, move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset();  // closes if valid
+
+ private:
+  int fd_ = -1;
+};
+
+// Creates a TCP listener bound to host:port (port 0 = ephemeral) with
+// SO_REUSEADDR, non-blocking, listening. `host` must be a numeric IPv4
+// address ("127.0.0.1", "0.0.0.0").
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog);
+
+// Blocking TCP connect to a numeric IPv4 host. TCP_NODELAY is set: the
+// protocol is request/response and Nagle would serialize pipelined frames.
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port);
+
+// The local port a bound socket ended up on (resolves port-0 binds).
+Result<uint16_t> LocalPort(int fd);
+
+Status SetNonBlocking(int fd);
+
+// read(2)/write(2) with EINTR retried. Returns the transfer count; 0 from
+// ReadSome means EOF; -1 means EAGAIN/EWOULDBLOCK (caller polls); any
+// other failure is a Status. Partial transfers are normal.
+Result<int64_t> ReadSome(int fd, char* buf, size_t n);
+Result<int64_t> WriteSome(int fd, const char* buf, size_t n);
+
+// Blocking loop around WriteSome until all n bytes are written (client
+// side; the fd must be in blocking mode).
+Status WriteAll(int fd, const char* buf, size_t n);
+
+}  // namespace sqod
+
+#endif  // SQOD_NET_SOCKET_H_

@@ -1,6 +1,7 @@
 #include "src/service/query_service.h"
 
 #include <chrono>
+#include <limits>
 #include <utility>
 
 #include "src/engine/explain.h"
@@ -24,7 +25,30 @@ ThreadPool::Options MakePoolOptions(const ServiceOptions& options) {
   return pool_options;
 }
 
+// Per-tenant metric names live under "tenant/<name>/"; empty tenant means
+// untenanted (no extra series — the service/ aggregates already cover it).
+std::string TenantMetric(const std::string& tenant, const char* suffix) {
+  return "tenant/" + tenant + "/" + suffix;
+}
+
 }  // namespace
+
+Result<int64_t> DeadlineNsFromMs(int64_t deadline_ms, int64_t now_ns) {
+  if (deadline_ms == -1) return int64_t{-1};
+  if (deadline_ms < 0) {
+    return Status::InvalidArgument(
+        "deadline_ms must be -1 (none) or >= 0, got " +
+        std::to_string(deadline_ms));
+  }
+  // now_ns + deadline_ms * 1e6 must fit in int64; check before multiplying.
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  if (deadline_ms > (kMax - now_ns) / 1'000'000) {
+    return Status::InvalidArgument("deadline_ms " +
+                                   std::to_string(deadline_ms) +
+                                   " overflows the ns deadline scale");
+  }
+  return now_ns + deadline_ms * 1'000'000;
+}
 
 QueryService::QueryService(ServiceOptions options)
     : options_(options),
@@ -44,27 +68,73 @@ QueryService::QueryService(ServiceOptions options)
 
 QueryService::~QueryService() { Shutdown(); }
 
+void QueryService::Deliver(Job* job, Response response) {
+  if (job->callback) {
+    job->callback(std::move(response));
+  } else {
+    job->promise.set_value(std::move(response));
+  }
+}
+
+void QueryService::Deliver(DeltaJob* job, DeltaResponse response) {
+  if (job->callback) {
+    job->callback(std::move(response));
+  } else {
+    job->promise.set_value(std::move(response));
+  }
+}
+
 std::future<Response> QueryService::Submit(Request request) {
   auto job = std::make_shared<Job>();
   job->request = std::move(request);
+  std::future<Response> future = job->promise.get_future();
+  SubmitJob(std::move(job));
+  return future;
+}
+
+void QueryService::Submit(Request request,
+                          std::function<void(Response)> done) {
+  auto job = std::make_shared<Job>();
+  job->request = std::move(request);
+  job->callback = std::move(done);
+  SubmitJob(std::move(job));
+}
+
+void QueryService::SubmitJob(std::shared_ptr<Job> job) {
   job->submit_ns = NowNs();
-  job->deadline_ns = job->request.deadline_ms < 0
-                         ? -1
-                         : job->submit_ns +
-                               job->request.deadline_ms * 1'000'000;
 
   job->trace.trace_id = NextTraceId();
   job->trace.request_id =
       next_request_id_.fetch_add(1, std::memory_order_relaxed);
   job->trace.submit_ns = job->submit_ns;
-  job->trace.deadline_ns = job->deadline_ns;
   job->trace.metrics = &metrics();
   job->trace.tracer.set_enabled(job->request.trace);
+  Tracer& tracer = job->trace.tracer;
+
+  // The single ms→ns deadline conversion. Invalid deadlines are rejected
+  // here, before admission, like any other malformed request.
+  Result<int64_t> deadline =
+      DeadlineNsFromMs(job->request.deadline_ms, job->submit_ns);
+  if (!deadline.ok()) {
+    metrics().GetCounter("service/requests_rejected")->Increment();
+    metrics().GetCounter("service/requests_rejected_invalid")->Increment();
+    if (!job->request.tenant.empty()) {
+      metrics()
+          .GetCounter(TenantMetric(job->request.tenant, "rejected"))
+          ->Increment();
+    }
+    Response response;
+    response.trace_id = job->trace.trace_id;
+    response.status = deadline.status();
+    Deliver(job.get(), std::move(response));
+    return;
+  }
+  job->deadline_ns = deadline.value();
+  job->trace.deadline_ns = job->deadline_ns;
 
   // Everything the submitting thread records must happen strictly before
   // the pool handoff: a worker may start (and touch the tracer) the moment
   // Submit enqueues the job.
-  Tracer& tracer = job->trace.tracer;
   // No trace-id attr here: the Chrome-trace exporter stamps every event's
   // args with the hex trace id, and a second (integer) copy on the root
   // span would shadow it.
@@ -77,12 +147,16 @@ std::future<Response> QueryService::Submit(Request request) {
                       static_cast<int64_t>(pool_.queue_depth()));
   }
 
-  std::future<Response> future = job->promise.get_future();
   ThreadPool::SubmitResult submitted =
       pool_.Submit([this, job] { Process(job.get()); });
   if (submitted == ThreadPool::SubmitResult::kAccepted) {
     metrics().GetCounter("service/requests_accepted")->Increment();
-    return future;
+    if (!job->request.tenant.empty()) {
+      metrics()
+          .GetCounter(TenantMetric(job->request.tenant, "requests"))
+          ->Increment();
+    }
+    return;
   }
 
   const bool queue_full = submitted == ThreadPool::SubmitResult::kQueueFull;
@@ -91,6 +165,11 @@ std::future<Response> QueryService::Submit(Request request) {
       .GetCounter(queue_full ? "service/requests_rejected_queue_full"
                              : "service/requests_rejected_shutdown")
       ->Increment();
+  if (!job->request.tenant.empty()) {
+    metrics()
+        .GetCounter(TenantMetric(job->request.tenant, "rejected"))
+        ->Increment();
+  }
   // Rejected requests never waited, but they still contribute a sample:
   // the queue-wait distribution covers every submitted request, so load
   // shedding pulls the percentiles down instead of hiding them.
@@ -116,8 +195,7 @@ std::future<Response> QueryService::Submit(Request request) {
   event.message = response.status.message();
   event_log_.Append(std::move(event));
 
-  job->promise.set_value(std::move(response));
-  return future;
+  Deliver(job.get(), std::move(response));
 }
 
 Response QueryService::Call(Request request) {
@@ -127,6 +205,20 @@ Response QueryService::Call(Request request) {
 std::future<DeltaResponse> QueryService::ApplyDelta(DeltaRequest request) {
   auto job = std::make_shared<DeltaJob>();
   job->request = std::move(request);
+  std::future<DeltaResponse> future = job->promise.get_future();
+  SubmitDeltaJob(std::move(job));
+  return future;
+}
+
+void QueryService::ApplyDelta(DeltaRequest request,
+                              std::function<void(DeltaResponse)> done) {
+  auto job = std::make_shared<DeltaJob>();
+  job->request = std::move(request);
+  job->callback = std::move(done);
+  SubmitDeltaJob(std::move(job));
+}
+
+void QueryService::SubmitDeltaJob(std::shared_ptr<DeltaJob> job) {
   job->submit_ns = NowNs();
 
   job->trace.trace_id = NextTraceId();
@@ -150,16 +242,25 @@ std::future<DeltaResponse> QueryService::ApplyDelta(DeltaRequest request) {
                       static_cast<int64_t>(pool_.queue_depth()));
   }
 
-  std::future<DeltaResponse> future = job->promise.get_future();
   ThreadPool::SubmitResult submitted =
       pool_.Submit([this, job] { ProcessDelta(job.get()); });
   if (submitted == ThreadPool::SubmitResult::kAccepted) {
     metrics().GetCounter("service/delta_batches")->Increment();
-    return future;
+    if (!job->request.tenant.empty()) {
+      metrics()
+          .GetCounter(TenantMetric(job->request.tenant, "delta_batches"))
+          ->Increment();
+    }
+    return;
   }
 
   const bool queue_full = submitted == ThreadPool::SubmitResult::kQueueFull;
   metrics().GetCounter("service/delta_batches_rejected")->Increment();
+  if (!job->request.tenant.empty()) {
+    metrics()
+        .GetCounter(TenantMetric(job->request.tenant, "rejected"))
+        ->Increment();
+  }
 
   DeltaResponse response;
   response.trace_id = job->trace.trace_id;
@@ -182,8 +283,7 @@ std::future<DeltaResponse> QueryService::ApplyDelta(DeltaRequest request) {
   event.message = response.status.message();
   event_log_.Append(std::move(event));
 
-  job->promise.set_value(std::move(response));
-  return future;
+  Deliver(job.get(), std::move(response));
 }
 
 DeltaResponse QueryService::CallApplyDelta(DeltaRequest request) {
@@ -227,11 +327,20 @@ void QueryService::SnapshotLoop(MetricsSnapshot prev) {
 }
 
 std::shared_ptr<QueryService::SessionEntry> QueryService::GetSession(
-    const std::string& source) {
+    const std::string& tenant, const std::string& source) {
+  // Tenant-qualified key: identical sources under different tenants parse
+  // into separate Session objects (separate prepare caches, separate
+  // materialized views) — a tenant can never warm or observe another's
+  // state. '\x1f' (ASCII unit separator) cannot appear in a tenant name.
+  std::string key;
+  key.reserve(tenant.size() + 1 + source.size());
+  key.append(tenant);
+  key.push_back('\x1f');
+  key.append(source);
   std::shared_ptr<SessionEntry> entry;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
-    std::shared_ptr<SessionEntry>& slot = sessions_[source];
+    std::shared_ptr<SessionEntry>& slot = sessions_[key];
     if (slot == nullptr) slot = std::make_shared<SessionEntry>();
     entry = slot;
   }
@@ -271,6 +380,15 @@ void QueryService::ProcessDelta(DeltaJob* job) {
         ->Increment();
 
     const int64_t total_ns = NowNs() - job->submit_ns;
+    if (!job->request.tenant.empty()) {
+      metrics
+          .GetCounter(TenantMetric(job->request.tenant,
+                                   response.status.ok() ? "completed"
+                                                        : "errors"))
+          ->Increment();
+      metrics.GetHistogram(TenantMetric(job->request.tenant, "latency_ns"))
+          ->Record(total_ns);
+    }
     job->root_span.SetAttr("status_code",
                            static_cast<int64_t>(response.status.code()));
     job->root_span.SetAttr("version", response.snapshot_version);
@@ -316,10 +434,11 @@ void QueryService::ProcessDelta(DeltaJob* job) {
       event_log_.Append(std::move(event));
     }
 
-    job->promise.set_value(std::move(response));
+    Deliver(job, std::move(response));
   };
 
-  std::shared_ptr<SessionEntry> entry = GetSession(job->request.source);
+  std::shared_ptr<SessionEntry> entry =
+      GetSession(job->request.tenant, job->request.source);
   if (entry->session == nullptr) {
     finish(entry->status);
     return;
@@ -414,6 +533,15 @@ void QueryService::Process(Job* job) {
     }
 
     const int64_t total_ns = NowNs() - job->submit_ns;
+    if (!job->request.tenant.empty()) {
+      metrics
+          .GetCounter(TenantMetric(job->request.tenant,
+                                   response.status.ok() ? "completed"
+                                                        : "errors"))
+          ->Increment();
+      metrics.GetHistogram(TenantMetric(job->request.tenant, "latency_ns"))
+          ->Record(total_ns);
+    }
     job->root_span.SetAttr("status_code",
                            static_cast<int64_t>(response.status.code()));
     job->root_span.SetAttr("answers",
@@ -466,7 +594,7 @@ void QueryService::Process(Job* job) {
       event_log_.Append(std::move(event));
     }
 
-    job->promise.set_value(std::move(response));
+    Deliver(job, std::move(response));
   };
 
   const CancelToken* cancel = job->request.cancel.get();
@@ -483,7 +611,8 @@ void QueryService::Process(Job* job) {
 
   Span prepare_span = tracer.StartSpan("request.prepare");
   const int64_t prepare_start_ns = NowNs();
-  std::shared_ptr<SessionEntry> entry = GetSession(job->request.source);
+  std::shared_ptr<SessionEntry> entry =
+      GetSession(job->request.tenant, job->request.source);
   if (entry->session == nullptr) {
     prepare_span.End();
     finish(entry->status);
@@ -524,6 +653,16 @@ void QueryService::Process(Job* job) {
   }
   prepare_span.End();
 
+  // Load-only requests (the front-end's LoadProgram) stop here: the unit
+  // parsed and the optimizer pipeline ran (or the fallback was noted), so
+  // later queries on this session hit the plan cache.
+  if (job->request.load_only) {
+    response.optimized = !fallback;
+    response.snapshot_version = 0;
+    finish(Status::Ok());
+    return;
+  }
+
   // Materialized-view fast path: copy the warm answers out under the
   // view's shared lock instead of evaluating. The first such request pays
   // the initial fixpoint (inside Materialize); the fallback path cannot
@@ -550,6 +689,13 @@ void QueryService::Process(Job* job) {
     response.served_from_view = true;
     response.eval_mode = job->request.materialize.eval.mode;
     response.optimized = true;
+    if (job->request.want_explain) {
+      ExplainReport explain = BuildExplainReport(
+          prepared_program->report, prepared_program->compiled.get());
+      AttachMaintenance(served_view->totals(), served_view->last_batch(),
+                        served_view->batches_applied(), &explain);
+      response.explain_json = explain.ToJson();
+    }
     finish(Status::Ok());
     return;
   }
@@ -568,8 +714,9 @@ void QueryService::Process(Job* job) {
   if (eval.tracer == nullptr) eval.tracer = &tracer;
   // Per-rule profiles feed the slow-query log's EXPLAIN summary and the
   // traced response; untraced fast-path requests skip the clock reads.
-  const bool want_profiles =
-      slow_armed || job->request.trace || eval.profile_rules;
+  const bool want_profiles = slow_armed || job->request.trace ||
+                             eval.profile_rules ||
+                             job->request.want_explain;
   if (slow_armed) eval.profile_rules = true;
 
   Span execute_span = tracer.StartSpan("request.execute");
@@ -591,6 +738,14 @@ void QueryService::Process(Job* job) {
   response.optimized = !fallback;
   response.eval_mode = eval.mode;
   response.snapshot_version = 0;  // the immutable base snapshot
+  if (job->request.want_explain && prepared_program != nullptr) {
+    ExplainReport explain = BuildExplainReport(
+        prepared_program->report, prepared_program->compiled.get());
+    AttachRuntime(prepared_program->report, response.stats, profiles,
+                  static_cast<int64_t>(response.answers.size()),
+                  response.execute_ns, &explain);
+    response.explain_json = explain.ToJson();
+  }
   finish(Status::Ok());
 }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -95,11 +96,23 @@ struct ServiceOptions {
   int64_t metrics_snapshot_ms = -1;
 };
 
+// The single conversion point between caller-facing millisecond deadlines
+// and the evaluator's absolute nanosecond deadlines. -1 = no deadline;
+// any other negative value, or one whose absolute ns deadline would
+// overflow int64, is kInvalidArgument (Submit rejects such requests before
+// they reach the queue).
+Result<int64_t> DeadlineNsFromMs(int64_t deadline_ms, int64_t now_ns);
+
 struct Request {
   // A full datalog unit: rules, ICs, optional facts, query declaration.
   // Requests with byte-identical sources share one parsed session (and
   // therefore one prepared-program cache).
   std::string source;
+  // Tenant namespace. Sessions are deduplicated per (tenant, source), so
+  // tenants never share Engine session state even for byte-identical
+  // programs, and non-empty tenants get tenant/<name>/... counters and
+  // latency histograms next to the service/... ones. "" = untenanted.
+  std::string tenant;
   // Optimizer options; part of the prepared-program fingerprint.
   SqoOptions sqo;
   // Evaluation options. The service fills in cancel/deadline_ns (and the
@@ -125,6 +138,14 @@ struct Request {
   // one that builds it.
   bool materialized = false;
   MaterializeOptions materialize;
+  // Validate and warm only: parse the unit (single-flight per session) and
+  // run Prepare, then finish without executing. The network front-end's
+  // LoadProgram maps here — the optimizer pipeline runs once at load time
+  // and every later query on the session hits the plan cache.
+  bool load_only = false;
+  // Attach an EXPLAIN/ANALYZE report (ExplainReport::ToJson) to the
+  // response. Costs per-rule profiling on this request.
+  bool want_explain = false;
 };
 
 struct Response {
@@ -157,6 +178,9 @@ struct Response {
   // The evaluation mode that actually ran (for view-served answers, the
   // mode the view was materialized/maintained with).
   EvalMode eval_mode = EvalMode::kCompile;
+  // EXPLAIN/ANALYZE report (ExplainReport::ToJson) when the request set
+  // want_explain and reached execution; empty otherwise.
+  std::string explain_json;
 };
 
 // One batch of EDB changes against a session's materialized view.
@@ -167,6 +191,8 @@ struct DeltaRequest {
   // The datalog unit whose view to maintain; requests with byte-identical
   // sources share one session, and therefore one view per fingerprint.
   std::string source;
+  // Tenant namespace, as in Request::tenant.
+  std::string tenant;
   // Optimizer options; part of the prepared-program fingerprint.
   SqoOptions sqo;
   // View construction/maintenance options (first touch only, like
@@ -204,9 +230,15 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   // Admission-controlled, non-blocking submit. The returned future is
-  // always valid; rejected requests (queue full, shut down) resolve
-  // immediately with the rejection status.
+  // always valid; rejected requests (queue full, shut down, invalid
+  // deadline) resolve immediately with the rejection status.
   std::future<Response> Submit(Request request);
+
+  // Callback-style submit for transports that must never block: `done`
+  // runs on the worker thread that completed the request, or on the
+  // submitting thread for immediate rejections. Exactly one invocation per
+  // submit, rejection included.
+  void Submit(Request request, std::function<void(Response)> done);
 
   // Convenience: Submit and wait.
   Response Call(Request request);
@@ -219,6 +251,10 @@ class QueryService {
   // service/apply_delta_ns latency histogram, and — past slow_query_ms —
   // a "slow_delta" event-log entry joinable with spans by trace id.
   std::future<DeltaResponse> ApplyDelta(DeltaRequest request);
+
+  // Callback-style ApplyDelta, mirroring the callback Submit.
+  void ApplyDelta(DeltaRequest request,
+                  std::function<void(DeltaResponse)> done);
 
   // Convenience: ApplyDelta and wait.
   DeltaResponse CallApplyDelta(DeltaRequest request);
@@ -248,7 +284,10 @@ class QueryService {
 
   struct Job {
     Request request;
+    // Exactly one of the two delivery paths is used: the promise (future
+    // API) or the callback (transport API). Deliver() dispatches.
     std::promise<Response> promise;
+    std::function<void(Response)> callback;
     int64_t submit_ns = 0;
     int64_t deadline_ns = -1;  // absolute, NowNs() scale
     // Request-scoped telemetry: the trace id / span collector, and the
@@ -263,12 +302,21 @@ class QueryService {
   struct DeltaJob {
     DeltaRequest request;
     std::promise<DeltaResponse> promise;
+    std::function<void(DeltaResponse)> callback;
     int64_t submit_ns = 0;
     TraceContext trace;
     Span root_span;
   };
 
-  std::shared_ptr<SessionEntry> GetSession(const std::string& source);
+  // Session lookup key: tenant-qualified source text.
+  std::shared_ptr<SessionEntry> GetSession(const std::string& tenant,
+                                           const std::string& source);
+  // Builds the job (trace context, deadline validation, admission spans)
+  // and hands it to the pool; delivers the rejection inline on failure.
+  void SubmitJob(std::shared_ptr<Job> job);
+  void SubmitDeltaJob(std::shared_ptr<DeltaJob> job);
+  static void Deliver(Job* job, Response response);
+  static void Deliver(DeltaJob* job, DeltaResponse response);
   void Process(Job* job);
   void ProcessDelta(DeltaJob* job);
   // `prev` is the baseline the first window diffs against; captured by the

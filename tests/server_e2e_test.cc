@@ -1,0 +1,238 @@
+// End-to-end test of the sqo_server binary: fork/exec the real daemon,
+// parse its readiness announcement for the ephemeral port, and drive it
+// over TCP with the client library — two tenants loading programs,
+// streaming queries and delta batches against named sessions, per-tenant
+// quota rejection visible in the metrics export, and a SIGTERM drain that
+// answers every in-flight request before the process exits 0.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/base/value.h"
+#include "src/net/client.h"
+
+#ifndef SQOD_SERVER_BIN
+#error "SQOD_SERVER_BIN must point at the sqo_server executable"
+#endif
+
+namespace sqod {
+namespace {
+
+constexpr const char* kChain = R"(
+  path(X, Y) :- step(X, Y).
+  path(X, Y) :- step(X, Z), path(Z, Y).
+  step(1, 2). step(2, 3).
+  ?- path.
+)";
+
+Tuple T(int64_t a, int64_t b) { return {Value::Int(a), Value::Int(b)}; }
+
+// The forked daemon: pid, announced port, and the stdout pipe.
+struct Daemon {
+  pid_t pid = -1;
+  uint16_t port = 0;
+  int out_fd = -1;
+
+  ~Daemon() {
+    if (out_fd >= 0) close(out_fd);
+    if (pid > 0) {
+      kill(pid, SIGKILL);
+      waitpid(pid, nullptr, 0);
+    }
+  }
+
+  // Sends SIGTERM and reaps; returns the exit status (-1 on abnormal
+  // termination).
+  int Terminate() {
+    if (pid <= 0) return -1;
+    kill(pid, SIGTERM);
+    int status = 0;
+    waitpid(pid, &status, 0);
+    pid = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+};
+
+bool SpawnServer(std::vector<std::string> extra_args, Daemon* daemon) {
+  int out_pipe[2];
+  if (pipe(out_pipe) != 0) return false;
+  pid_t pid = fork();
+  if (pid < 0) {
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    return false;
+  }
+  if (pid == 0) {
+    dup2(out_pipe[1], STDOUT_FILENO);
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    std::vector<std::string> args = {SQOD_SERVER_BIN, "--port=0",
+                                     "--threads=2"};
+    for (std::string& arg : extra_args) args.push_back(std::move(arg));
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    execv(SQOD_SERVER_BIN, argv.data());
+    _exit(127);
+  }
+  close(out_pipe[1]);
+  daemon->pid = pid;
+  daemon->out_fd = out_pipe[0];
+
+  // The announce line is the readiness signal.
+  std::string line;
+  char byte;
+  while (line.find('\n') == std::string::npos) {
+    ssize_t got = read(daemon->out_fd, &byte, 1);
+    if (got <= 0) return false;
+    line.push_back(byte);
+  }
+  unsigned port = 0;
+  if (std::sscanf(line.c_str(), "listening on port %u", &port) != 1) {
+    return false;
+  }
+  daemon->port = static_cast<uint16_t>(port);
+  return daemon->port != 0;
+}
+
+Result<Client> ConnectAs(const Daemon& daemon, const std::string& token) {
+  ClientOptions options;
+  options.port = daemon.port;
+  options.token = token;
+  return Client::Connect(options);
+}
+
+int64_t CounterFromExport(const JsonValue& metrics,
+                          const std::string& name) {
+  const JsonValue* counters = metrics.Find("counters");
+  if (counters == nullptr) return -1;
+  const JsonValue* counter = counters->Find(name);
+  if (counter == nullptr || !counter->is_number()) return -1;
+  return static_cast<int64_t>(counter->number);
+}
+
+TEST(ServerE2eTest, TwoTenantsQuotasAndSigtermDrain) {
+  Daemon daemon;
+  ASSERT_TRUE(SpawnServer({"--token=acme:acme-token:1",
+                           "--token=beta:beta-token",
+                           "--drain-log=/dev/null"},
+                          &daemon));
+
+  Result<Client> acme = ConnectAs(daemon, "acme-token");
+  Result<Client> beta = ConnectAs(daemon, "beta-token");
+  ASSERT_TRUE(acme.ok()) << acme.status().message();
+  ASSERT_TRUE(beta.ok()) << beta.status().message();
+  EXPECT_EQ(acme.value().hello().tenant, "acme");
+  EXPECT_EQ(beta.value().hello().tenant, "beta");
+
+  // Both tenants bind the same session name; the namespaces are disjoint.
+  ASSERT_TRUE(acme.value().LoadProgram("tc", kChain).value().status.ok());
+  ASSERT_TRUE(beta.value().LoadProgram("tc", kChain).value().status.ok());
+
+  // Stream delta batches on acme's session: versions advance monotonically
+  // and every reply reflects the batch it answered.
+  int64_t last_version = 0;
+  for (int i = 3; i < 6; ++i) {
+    Result<DeltaResponse> delta = acme.value().ApplyDelta(
+        "tc", {"step(" + std::to_string(i) + ", " + std::to_string(i + 1) +
+               ")"},
+        {});
+    ASSERT_TRUE(delta.ok());
+    ASSERT_TRUE(delta.value().status.ok())
+        << delta.value().status.message();
+    EXPECT_EQ(delta.value().snapshot_version, last_version + 1);
+    last_version = delta.value().snapshot_version;
+  }
+
+  QueryParams params;
+  params.session = "tc";
+  Result<Response> acme_q = acme.value().Query(params);
+  Result<Response> beta_q = beta.value().Query(params);
+  ASSERT_TRUE(acme_q.ok());
+  ASSERT_TRUE(beta_q.ok());
+  ASSERT_TRUE(acme_q.value().status.ok());
+  ASSERT_TRUE(beta_q.value().status.ok());
+  // acme: chain 1..6 -> 15 paths at version 3; beta: untouched, 3 paths.
+  EXPECT_EQ(acme_q.value().answers.size(), 15u);
+  EXPECT_EQ(acme_q.value().snapshot_version, 3);
+  EXPECT_EQ(beta_q.value().answers,
+            (std::vector<Tuple>{T(1, 2), T(1, 3), T(2, 3)}));
+  EXPECT_EQ(beta_q.value().snapshot_version, 0);
+
+  // acme's quota is 1 in-flight: pipelining several queries at once must
+  // trip it, and the rejection lands in the per-tenant counters.
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    Result<uint64_t> sent = acme.value().SendQuery(params);
+    ASSERT_TRUE(sent.ok());
+    ids.push_back(sent.value());
+  }
+  int ok = 0, rejected = 0;
+  for (uint64_t id : ids) {
+    Result<ServerMessage> reply = acme.value().WaitFor(id);
+    ASSERT_TRUE(reply.ok());
+    if (reply.value().status.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(reply.value().status.code(),
+                StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, 4);
+  EXPECT_GE(ok, 1);
+
+  Result<JsonValue> metrics = beta.value().Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(CounterFromExport(metrics.value(), "tenant/acme/quota_rejected"),
+            rejected);
+  EXPECT_EQ(CounterFromExport(metrics.value(), "tenant/acme/delta_batches"),
+            3);
+  EXPECT_GE(CounterFromExport(metrics.value(), "tenant/beta/requests"), 2);
+
+  // SIGTERM with a request in flight: the reply still arrives, then the
+  // daemon exits 0. The Metrics round trip after the send pins the race:
+  // frames on one connection dispatch in order, so once its reply is back
+  // the query is guaranteed in flight (a drain only ignores *unread*
+  // frames, never dispatched ones).
+  Result<uint64_t> inflight = beta.value().SendQuery(params);
+  ASSERT_TRUE(inflight.ok());
+  ASSERT_TRUE(beta.value().Metrics().ok());
+  kill(daemon.pid, SIGTERM);
+  Result<ServerMessage> last = beta.value().WaitFor(inflight.value());
+  ASSERT_TRUE(last.ok()) << last.status().message();
+  ASSERT_TRUE(last.value().status.ok());
+  EXPECT_EQ(last.value().query.answers.size(), 3u);
+  EXPECT_EQ(daemon.Terminate(), 0);
+}
+
+TEST(ServerE2eTest, OpenServerAnswersInlineQueries) {
+  Daemon daemon;
+  ASSERT_TRUE(SpawnServer({}, &daemon));
+  Result<Client> connected = ConnectAs(daemon, "");
+  ASSERT_TRUE(connected.ok()) << connected.status().message();
+  Client& client = connected.value();
+
+  QueryParams params;
+  params.source = kChain;
+  Result<Response> response = client.Query(params);
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response.value().status.ok());
+  EXPECT_EQ(response.value().answers,
+            (std::vector<Tuple>{T(1, 2), T(1, 3), T(2, 3)}));
+  EXPECT_TRUE(client.Close().ok());
+  EXPECT_EQ(daemon.Terminate(), 0);
+}
+
+}  // namespace
+}  // namespace sqod
