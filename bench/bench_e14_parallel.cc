@@ -1,0 +1,103 @@
+// Experiment E14 — intra-query parallel evaluation (EvalOptions::threads).
+//
+// Semi-naive iterations hash-partition each compiled plan's first join
+// level P ways and run the (plan, partition) tasks on a shared executor,
+// merging per-task scratch at the iteration barrier (docs/evaluator.md,
+// "Parallel evaluation"). Two claims to measure:
+//
+//   (a) threads = 1 is the serial code path untouched: its wall time must
+//       match the pre-parallelism baseline within noise (the zero-regression
+//       gate for this subsystem), and
+//   (b) the partition overhead — task creation, scratch databases, barrier
+//       merge — is bounded: on a single online CPU threads = P > 1 may not
+//       cost more than a modest constant factor, and on a multi-core host
+//       the same sweep shows the speedup.
+//
+// The work counters (derived/probes/duplicates) are thread-count-invariant
+// by contract, so the sweep's reports diff clean on everything but wall
+// time and the parallel-machinery counters (partition_tasks, skew).
+
+#include "bench/bench_common.h"
+
+namespace sqod {
+namespace {
+
+Database MakeDb(int nodes, int threshold, uint64_t seed) {
+  Rng rng(seed);
+  GoodPathConfig config;
+  config.nodes = nodes;
+  config.edges = nodes * 3;
+  config.num_start = 25;
+  config.num_end = 25;
+  config.threshold = threshold;
+  return MakeGoodPathWorkload(config, &rng);
+}
+
+// Reports the parallel-machinery counters alongside the work counters.
+std::vector<Tuple> RunParallel(const Program& program, const Database& edb,
+                               benchmark::State& state, int threads) {
+  EvalOptions options;
+  options.threads = threads;
+  ParallelEvalStats pstats;
+  options.parallel_stats = &pstats;
+  std::vector<Tuple> answers = RunAndReport(program, edb, state, options);
+  state.counters["threads"] = threads;
+  state.counters["partition_tasks"] =
+      static_cast<double>(pstats.partition_tasks);
+  state.counters["parallel_iters"] =
+      static_cast<double>(pstats.parallel_iterations);
+  state.counters["skew_max_ns"] = static_cast<double>(pstats.skew_max_ns);
+  return answers;
+}
+
+// Thread sweep over the E2-size GoodPath closure (linear recursion plus
+// bound-key joins; the scan_probe_emit kernel's home turf).
+void BM_E14_GoodPath_Threads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kNodes = 1000;
+  Program p = MakeGoodPathProgram();
+  Database edb = MakeDb(kNodes, kNodes / 2, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunParallel(p, edb, state, threads));
+  }
+}
+
+// The same sweep over the k-colored transitive closure (the E4 family):
+// several mutually recursive rules per stratum means more plans per
+// iteration, hence more partition tasks per barrier — the shape where
+// parallelism has the most to grab and the merge the most to reconcile.
+void BM_E14_ColoredClosure_Threads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  Rng rng(20260808);
+  ColoredClosure workload = MakeColoredClosure(/*colors=*/3, /*num_ics=*/0,
+                                               &rng);
+  Database edb = MakeColoredEdges(/*colors=*/3, /*nodes=*/150, /*edges=*/600,
+                                  workload.ics, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunParallel(workload.program, edb, state, threads));
+  }
+}
+
+// Overhead floor: a workload too small to benefit (3-node chain) makes
+// the per-task fixed costs — scratch setup, barrier, merge — the entire
+// threads > 1 delta.
+void BM_E14_PartitionOverhead(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kNodes = 48;
+  Program p = MakeGoodPathProgram();
+  Database edb = MakeDb(kNodes, kNodes / 2, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunParallel(p, edb, state, threads));
+  }
+}
+
+BENCHMARK(BM_E14_GoodPath_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E14_ColoredClosure_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E14_PartitionOverhead)->Arg(1)->Arg(2)->Arg(4)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sqod

@@ -218,6 +218,11 @@ Result<std::vector<Tuple>> Session::Run(const Program& program,
                                         std::vector<RuleProfile>* profiles) {
   if (options.tracer == nullptr) options.tracer = engine_->tracer();
   if (options.metrics == nullptr) options.metrics = &engine_->metrics();
+  if (options.threads > 1 && options.executor == nullptr) {
+    // Parallel evaluations share the engine's eval pool (never the serving
+    // layer's request pool — see Engine::eval_executor for why).
+    options.executor = &engine_->eval_executor(options.threads - 1);
+  }
   engine_->metrics().GetCounter("engine/executions")->Increment();
   return EvaluateQuery(program, edb, options, stats, profiles);
 }

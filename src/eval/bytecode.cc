@@ -421,6 +421,12 @@ void RunBytecode(const CompiledRule& rule, VmContext* ctx) {
   }
   int depth = 0;
 
+  // Hash-partition filter for the first join level (parallel evaluation).
+  // Hoisted: the unpartitioned path pays one register test per row.
+  const uint64_t part_count = static_cast<uint64_t>(ctx->part_count);
+  const uint64_t part_index = static_cast<uint64_t>(ctx->part_index);
+  const bool partitioned = part_count > 1;
+
   Value key[Relation::kMaxArity];
 
   auto src_value = [&](ArgSrc s) -> const Value& {
@@ -548,10 +554,15 @@ void RunBytecode(const CompiledRule& rule, VmContext* ctx) {
       }
       Cursor& cur = stack[depth - 1];
       bool have_row = false;
-      // Tombstoned rows are skipped before the probe counter, matching the
+      // Tombstoned rows — and, at a partitioned level 0, rows of other
+      // partitions — are skipped before the probe counter, matching the
       // interpreter and the specialized kernels.
+      const bool filter_part = partitioned && cur.level == 0;
       if (cur.is_scan) {
-        while (cur.scan_row < cur.scan_end && !cur.rel->live(cur.scan_row)) {
+        while (cur.scan_row < cur.scan_end &&
+               (!cur.rel->live(cur.scan_row) ||
+                (filter_part &&
+                 cur.rel->row_hash(cur.scan_row) % part_count != part_index))) {
           ++cur.scan_row;
         }
         if (cur.scan_row < cur.scan_end) {
@@ -560,7 +571,10 @@ void RunBytecode(const CompiledRule& rule, VmContext* ctx) {
           have_row = true;
         }
       } else {
-        while (cur.probe_row >= 0 && !cur.rel->live(cur.probe_row)) {
+        while (cur.probe_row >= 0 &&
+               (!cur.rel->live(cur.probe_row) ||
+                (filter_part &&
+                 cur.rel->row_hash(cur.probe_row) % part_count != part_index))) {
           cur.probe_row = cur.next[cur.probe_row];
         }
         if (cur.probe_row >= 0) {

@@ -190,6 +190,14 @@ struct VmContext {
   int64_t* derived_count = nullptr;
   bool* overflow = nullptr;
 
+  // Hash partitioning of the FIRST join level (parallel evaluation): with
+  // part_count = P > 1, only rows whose stored row hash lands in partition
+  // part_index (hash % P) are sourced at level 0; deeper levels see every
+  // row. Rows are filtered before the probe counter (like tombstones), so
+  // work counters sum across partitions to the serial counts.
+  int part_count = 1;
+  int part_index = 0;
+
   // Reusable scratch, owned by the evaluator and sized once per Evaluate
   // (CompiledProgram::max_regs / max_levels).
   std::vector<Value>* regs = nullptr;

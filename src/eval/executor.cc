@@ -1,0 +1,77 @@
+#include "src/eval/executor.h"
+
+namespace sqod {
+
+EvalExecutor::EvalExecutor(int workers) {
+  if (workers < 0) workers = 0;
+  threads_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+EvalExecutor::~EvalExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void EvalExecutor::DrainBatch(Batch* b) {
+  for (;;) {
+    const int i = b->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= b->num_tasks) return;
+    (*b->fn)(i);
+    if (b->done.fetch_add(1, std::memory_order_acq_rel) + 1 == b->num_tasks) {
+      // The lock pairs with the caller's wait: without it the notify could
+      // race between the caller's predicate check and its block.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void EvalExecutor::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    while (!stop_ && batches_.empty()) work_cv_.wait(lock);
+    if (stop_) return;
+    // Oldest batch with unclaimed tasks; fully-claimed batches are retired
+    // here (their stragglers finish on whoever claimed them).
+    std::shared_ptr<Batch> b = batches_.front();
+    if (b->next.load(std::memory_order_relaxed) >= b->num_tasks) {
+      batches_.pop_front();
+      continue;
+    }
+    lock.unlock();
+    DrainBatch(b.get());
+    lock.lock();
+  }
+}
+
+void EvalExecutor::Run(int num_tasks, const std::function<void(int)>& fn) {
+  if (num_tasks <= 0) return;
+  if (threads_.empty() || num_tasks == 1) {
+    for (int i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->num_tasks = num_tasks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batches_.push_back(batch);
+  }
+  work_cv_.notify_all();
+  // The caller works its own batch — the deadlock-freedom guarantee — then
+  // blocks only for tasks still in flight on workers.
+  DrainBatch(batch.get());
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return batch->done.load(std::memory_order_acquire) == batch->num_tasks;
+  });
+}
+
+}  // namespace sqod

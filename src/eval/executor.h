@@ -1,0 +1,70 @@
+#ifndef SQOD_EVAL_EXECUTOR_H_
+#define SQOD_EVAL_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sqod {
+
+// The intra-query task executor behind parallel evaluation
+// (docs/evaluator.md, "Parallel evaluation"). Deliberately NOT the
+// serving layer's ThreadPool: a request worker that parked its own
+// partition tasks on the pool it runs on would deadlock once every worker
+// is a waiting coordinator. This executor is work-sharing instead of
+// work-queueing — Run() makes the calling thread claim and execute tasks
+// from its own batch alongside the workers, so every batch completes even
+// with zero workers, and any number of request threads can share one
+// executor without a reservation protocol.
+//
+// Batches from concurrent Run() calls interleave freely: workers drain
+// whichever batch has unclaimed tasks, oldest first. Run() returns only
+// when every task of ITS batch has finished (a full barrier), which is
+// exactly the iteration-boundary contract the evaluator's merge step
+// needs. Tasks must not call Run() on the same executor recursively.
+class EvalExecutor {
+ public:
+  // `workers` background threads (0 is valid: Run degenerates to inline
+  // execution on the caller). A query partitioned P ways wants P-1 workers
+  // to run fully parallel; fewer workers just cap the concurrency.
+  explicit EvalExecutor(int workers);
+  ~EvalExecutor();
+
+  EvalExecutor(const EvalExecutor&) = delete;
+  EvalExecutor& operator=(const EvalExecutor&) = delete;
+
+  // Executes fn(0..num_tasks-1), each exactly once, on the caller plus any
+  // free workers; returns when all of them have completed. Safe to call
+  // from multiple threads concurrently (batches share the worker set).
+  void Run(int num_tasks, const std::function<void(int)>& fn);
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  struct Batch {
+    const std::function<void(int)>* fn = nullptr;
+    int num_tasks = 0;
+    std::atomic<int> next{0};  // next unclaimed task index
+    std::atomic<int> done{0};  // completed tasks
+  };
+
+  // Claims and runs tasks of `b` until none are left unclaimed.
+  void DrainBatch(Batch* b);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: "a batch has tasks"
+  std::condition_variable done_cv_;  // callers: "my batch finished"
+  std::deque<std::shared_ptr<Batch>> batches_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+}  // namespace sqod
+
+#endif  // SQOD_EVAL_EXECUTOR_H_

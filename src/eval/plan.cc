@@ -82,9 +82,15 @@ RulePlan BuildPlan(const Rule& rule, int rule_index, int first,
     emit_ready_filters();
   }
   for (;;) {
-    // Pick the positive subgoal with the most bound argument positions.
+    // Pick the positive subgoal with the most bound argument positions —
+    // more bound keys means a narrower index probe. Ties break toward the
+    // fewest unbound positions: with equal probe selectivity, the subgoal
+    // introducing fewer free variables grows the binding set least, so the
+    // joins downstream of it scan smaller intermediates. (Equal on both
+    // counts keeps body order, preserving pre-refinement plans.)
     int best = -1;
     int best_score = -1;
+    int best_unbound = -1;
     for (size_t i = 0; i < rule.body.size(); ++i) {
       if (done_body[i] || rule.body[i].negated) continue;
       const Atom& a = rule.body[i].atom;
@@ -92,8 +98,11 @@ RulePlan BuildPlan(const Rule& rule, int rule_index, int first,
       for (const Term& t : a.args()) {
         if (t.is_const() || s.bound[s.var_index.at(t.var())] != 0) ++score;
       }
-      if (score > best_score) {
+      const int unbound = static_cast<int>(a.args().size()) - score;
+      if (score > best_score ||
+          (score == best_score && unbound < best_unbound)) {
         best_score = score;
+        best_unbound = unbound;
         best = static_cast<int>(i);
       }
     }

@@ -46,6 +46,14 @@ void Span::End() {
   }
 }
 
+void Span::EndAt(int64_t end_ns) {
+  if (tracer_ != nullptr) {
+    tracer_->CloseSpanAt(handle_, end_ns);
+    tracer_ = nullptr;
+    handle_ = -1;
+  }
+}
+
 Span Tracer::StartSpan(std::string_view name) {
   return StartSpanAt(name, NowNs());
 }
@@ -72,10 +80,11 @@ std::vector<SpanRecord> Tracer::TakeSpans() {
   return out;
 }
 
-void Tracer::CloseSpan(int handle) {
+void Tracer::CloseSpan(int handle) { CloseSpanAt(handle, NowNs()); }
+
+void Tracer::CloseSpanAt(int handle, int64_t now) {
   SQOD_CHECK(handle >= 0 && handle < static_cast<int>(open_.size()));
   SQOD_CHECK_MSG(!closed_[handle], "span closed twice");
-  int64_t now = NowNs();
   // Spans closing out of stack order (a moved Span outliving its lexical
   // scope) are tolerated: any open descendant is closed first, with its
   // elapsed time as of now.

@@ -1,0 +1,305 @@
+// Parallel-evaluation machinery tests (docs/evaluator.md, "Parallel
+// evaluation"): the EvalExecutor's work-sharing barrier contract,
+// cooperative cancellation and deadlines at partition-task boundaries,
+// max_derived enforcement across per-task budgets, the EXPLAIN
+// "== parallel ==" attachment, and a partition-merge stress run that
+// hammers one shared executor from concurrent evaluations — the test the
+// TSan and ASan CI jobs lean on to vet the single-writer merge invariant.
+//
+// Answer/counter equivalence against the serial evaluator lives in
+// eval_equiv_test.cc; this file covers the machinery's edges.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/cancel.h"
+#include "src/base/check.h"
+#include "src/engine/explain.h"
+#include "src/eval/evaluator.h"
+#include "src/eval/executor.h"
+#include "src/obs/trace.h"
+#include "src/parser/parser.h"
+#include "src/workload/graphs.h"
+#include "src/workload/programs.h"
+
+namespace sqod {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EvalExecutor unit tests
+
+TEST(ParallelEvalTest, ExecutorRunsEachTaskExactlyOnce) {
+  EvalExecutor executor(3);
+  constexpr int kTasks = 64;
+  std::vector<std::atomic<int>> runs(kTasks);
+  executor.Run(kTasks, [&](int i) {
+    runs[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ParallelEvalTest, ExecutorWithZeroWorkersRunsInline) {
+  EvalExecutor executor(0);
+  EXPECT_EQ(executor.workers(), 0);
+  std::atomic<int> total{0};
+  const std::thread::id caller = std::this_thread::get_id();
+  bool all_on_caller = true;
+  executor.Run(16, [&](int) {
+    if (std::this_thread::get_id() != caller) all_on_caller = false;
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 16);
+  EXPECT_TRUE(all_on_caller);
+}
+
+TEST(ParallelEvalTest, ExecutorEmptyBatchReturnsImmediately) {
+  EvalExecutor executor(2);
+  bool ran = false;
+  executor.Run(0, [&](int) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+// Run() is a barrier per batch, and concurrent batches from different
+// caller threads interleave on one worker set without losing tasks.
+TEST(ParallelEvalTest, ExecutorSharedByConcurrentCallers) {
+  EvalExecutor executor(2);
+  constexpr int kCallers = 4;
+  constexpr int kBatches = 8;
+  constexpr int kTasks = 24;
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int b = 0; b < kBatches; ++b) {
+        std::atomic<int> batch_total{0};
+        executor.Run(kTasks, [&](int) {
+          batch_total.fetch_add(1, std::memory_order_relaxed);
+        });
+        // Barrier: by the time Run returns, this batch is fully done.
+        EXPECT_EQ(batch_total.load(), kTasks);
+        total.fetch_add(batch_total.load(), std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(total.load(), int64_t{kCallers} * kBatches * kTasks);
+}
+
+// ---------------------------------------------------------------------------
+// Interruption at partition-task boundaries
+
+Database MakeChainEdb(int length) {
+  Database edb;
+  const PredId e = InternPred("e");
+  for (int i = 0; i < length; ++i) {
+    edb.Insert(e, {Value::Int(i), Value::Int(i + 1)});
+  }
+  return edb;
+}
+
+Program MakePathProgram() {
+  Result<ParsedUnit> parsed = ParseUnit(R"(
+    path(X, Y) :- e(X, Y).
+    path(X, Z) :- path(X, Y), e(Y, Z).
+    ?- path.
+  )");
+  SQOD_CHECK(parsed.ok());
+  return parsed.value().program;
+}
+
+// An already-expired deadline fails the evaluation with kDeadlineExceeded
+// before the parallel tasks do real work, and the shared pool comes back
+// drained: the same executor immediately serves both a plain batch and a
+// full follow-up evaluation.
+TEST(ParallelEvalTest, DeadlineExceededDrainsPool) {
+  Program program = MakePathProgram();
+  Database edb = MakeChainEdb(200);
+
+  EvalExecutor executor(3);
+  EvalOptions options;
+  options.threads = 4;
+  options.executor = &executor;
+  options.deadline_ns = NowNs() - 1;
+  Result<std::vector<Tuple>> result = EvaluateQuery(program, edb, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+
+  // Pool drained: no stuck partition tasks hold the workers.
+  std::atomic<int> ran{0};
+  executor.Run(8, [&](int) { ran.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(ran.load(), 8);
+
+  // And the executor still evaluates correctly after the failure.
+  EvalOptions retry;
+  retry.threads = 4;
+  retry.executor = &executor;
+  Result<std::vector<Tuple>> ok = EvaluateQuery(program, edb, retry);
+  ASSERT_TRUE(ok.ok()) << ok.status().message();
+  EXPECT_EQ(ok.value().size(), 200u * 201u / 2u);
+}
+
+// A mid-flight deadline (not just a pre-expired one) also unwinds with
+// kDeadlineExceeded on a workload that takes well past the budget.
+TEST(ParallelEvalTest, DeadlineExpiresMidEvaluation) {
+  Program program = MakePathProgram();
+  Database edb = MakeChainEdb(600);
+  EvalOptions options;
+  options.threads = 4;
+  options.deadline_ns = NowNs() + 1'000'000;  // 1 ms; the closure takes more
+  Result<std::vector<Tuple>> result = EvaluateQuery(program, edb, options);
+  if (result.ok()) {
+    // A very fast machine could finish inside the budget; that's not a
+    // failure of the deadline machinery.
+    GTEST_SKIP() << "evaluation finished inside the 1 ms budget";
+  }
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// A pre-cancelled token stops a parallel run at the first task boundary.
+TEST(ParallelEvalTest, CancelStopsParallelEvaluation) {
+  Program program = MakePathProgram();
+  Database edb = MakeChainEdb(200);
+  CancelToken cancel;
+  cancel.Cancel();
+  EvalOptions options;
+  options.threads = 4;
+  options.cancel = &cancel;
+  Result<std::vector<Tuple>> result = EvaluateQuery(program, edb, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+// Cancellation fired from another thread mid-run lands as kCancelled (or,
+// on a fast box, the run completes first — both are legal outcomes of the
+// cooperative contract; what may not happen is a hang or a crash).
+TEST(ParallelEvalTest, CancelFromAnotherThread) {
+  Program program = MakePathProgram();
+  Database edb = MakeChainEdb(600);
+  CancelToken cancel;
+  EvalOptions options;
+  options.threads = 4;
+  options.cancel = &cancel;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    cancel.Cancel();
+  });
+  Result<std::vector<Tuple>> result = EvaluateQuery(program, edb, options);
+  canceller.join();
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  }
+}
+
+// max_derived still trips in parallel mode. The per-task budgets let the
+// merged total overshoot the limit by up to a factor of the task count, but
+// the barrier re-check guarantees the run FAILS whenever the final total is
+// over — it can never silently succeed past the limit.
+TEST(ParallelEvalTest, MaxDerivedOverflowInParallel) {
+  Program program = MakePathProgram();
+  Database edb = MakeChainEdb(120);  // closure derives 7260 tuples
+  EvalOptions options;
+  options.threads = 4;
+  options.max_derived = 50;
+  Result<std::vector<Tuple>> result = EvaluateQuery(program, edb, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN attachment
+
+TEST(ParallelEvalTest, ExplainParallelSection) {
+  ParallelEvalStats stats;
+  stats.threads = 4;
+  stats.parallel_iterations = 6;
+  stats.partition_tasks = 24;
+  stats.skew_max_ns = 1500;
+  stats.partition_derived = {10, 12, 9, 11};
+
+  ExplainReport report;
+  AttachParallel(stats, &report);
+  ASSERT_TRUE(report.parallel);
+  const std::string text = report.ToText();
+  EXPECT_NE(text.find("== parallel =="), std::string::npos);
+  EXPECT_NE(text.find("partition tasks:"), std::string::npos);
+  EXPECT_NE(text.find("p0=10"), std::string::npos);
+  EXPECT_NE(text.find("p3=11"), std::string::npos);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"parallel\""), std::string::npos);
+  EXPECT_NE(json.find("\"partition_tasks\":24"), std::string::npos);
+  EXPECT_NE(report.Summary().find("par(threads=4 tasks=24)"),
+            std::string::npos);
+}
+
+// A serial run's stats (zero partition tasks) must leave the report
+// untouched, so callers can attach unconditionally.
+TEST(ParallelEvalTest, ExplainSkipsSerialStats) {
+  ParallelEvalStats stats;  // defaults: threads=1, no tasks
+  ExplainReport report;
+  AttachParallel(stats, &report);
+  EXPECT_FALSE(report.parallel);
+  EXPECT_EQ(report.ToText().find("== parallel =="), std::string::npos);
+  EXPECT_EQ(report.ToJson().find("\"parallel\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Partition-merge stress
+
+// Many evaluations racing on one small shared executor, each partitioned
+// wider than the worker count, every one checked against the serial
+// reference. Under TSan this vets the coordinator-warms-indexes /
+// tasks-only-read invariant; under ASan, the scratch-merge lifetimes.
+TEST(ParallelEvalTest, PartitionMergeStress) {
+  Rng rng(20260808);
+  GoodPathConfig config;
+  config.nodes = 80;
+  config.edges = 260;
+  config.num_start = 5;
+  config.num_end = 5;
+  config.threshold = 20;
+  Database edb = MakeGoodPathWorkload(config, &rng);
+  Program program = MakeGoodPathProgram();
+
+  EvalStats serial_stats;
+  Result<std::vector<Tuple>> serial =
+      EvaluateQuery(program, edb, {}, &serial_stats);
+  ASSERT_TRUE(serial.ok());
+  const std::vector<Tuple> expect_answers = serial.value();
+  const std::string expect_stats = serial_stats.ToString();
+
+  EvalExecutor executor(2);
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 3;
+  std::vector<std::thread> runners;
+  std::atomic<int> mismatches{0};
+  runners.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    runners.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        EvalOptions options;
+        options.threads = 2 + ((t + round) % 3);  // 2..4-way partitioning
+        options.executor = &executor;
+        EvalStats stats;
+        Result<std::vector<Tuple>> result =
+            EvaluateQuery(program, edb, options, &stats);
+        if (!result.ok() || result.value() != expect_answers ||
+            stats.ToString() != expect_stats) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : runners) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace sqod
